@@ -1,0 +1,72 @@
+//! Decision-latency benchmark: the paper measures Hipster's per-interval
+//! runtime overhead at <2 ms (Python, including I/O) — <0.2% of a 1 s
+//! interval. This measures our per-decision cost for each policy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hipster_core::{
+    HeuristicMapper, Hipster, Observation, OctopusMan, Policy, StaticPolicy,
+};
+use hipster_platform::Platform;
+use hipster_sim::QosTarget;
+
+fn obs(load: f64, tail_ms: f64) -> Observation {
+    Observation {
+        load_frac: load,
+        tail_latency_s: tail_ms / 1e3,
+        qos: QosTarget::new(0.90, 0.500),
+        power_w: 2.0,
+        batch_ips_big: 0.0,
+        batch_ips_small: 0.0,
+        counters_valid: true,
+        has_batch: false,
+    }
+}
+
+fn bench_policy(c: &mut Criterion, name: &str, make: impl Fn() -> Box<dyn Policy>) {
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || (make(), 0usize),
+            |(mut p, mut i)| {
+                // Sweep load and latency so all decision paths execute.
+                for _ in 0..64 {
+                    let load = (i % 100) as f64 / 100.0;
+                    let tail = ((i * 37) % 700) as f64;
+                    criterion::black_box(p.decide(&obs(load, tail)));
+                    i += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let platform = Platform::juno_r1();
+    let p1 = platform.clone();
+    bench_policy(c, "decide/static", move || {
+        Box::new(StaticPolicy::all_big(&p1))
+    });
+    let p2 = platform.clone();
+    bench_policy(c, "decide/octopus_man", move || {
+        Box::new(OctopusMan::with_defaults(&p2))
+    });
+    let p3 = platform.clone();
+    bench_policy(c, "decide/heuristic", move || {
+        Box::new(HeuristicMapper::with_defaults(&p3))
+    });
+    let p4 = platform.clone();
+    bench_policy(c, "decide/hipster_in", move || {
+        Box::new(
+            Hipster::interactive(&p4, 7)
+                .learning_intervals(10)
+                .build(),
+        )
+    });
+}
+
+criterion_group!(
+    name = group;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+);
+criterion_main!(group);

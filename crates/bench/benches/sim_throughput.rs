@@ -1,0 +1,55 @@
+//! Simulator throughput: how fast the discrete-event engine runs one
+//! monitoring interval of each workload (this bounds how long the `repro`
+//! experiments take).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hipster_platform::{CoreConfig, Platform};
+use hipster_sim::{Engine, MachineConfig};
+use hipster_workloads::{memcached, web_search, Constant};
+
+fn benches(c: &mut Criterion) {
+    let platform = Platform::juno_r1();
+    let lc: CoreConfig = "2B2S-0.90".parse().unwrap();
+    let cfg = MachineConfig::interactive(&platform, lc);
+
+    c.bench_function("engine/memcached_interval_70pct", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    Platform::juno_r1(),
+                    Box::new(memcached()),
+                    Box::new(Constant::new(0.7, 100.0)),
+                    5,
+                )
+            },
+            |mut e| {
+                criterion::black_box(e.step(cfg));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("engine/web_search_interval_70pct", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    Platform::juno_r1(),
+                    Box::new(web_search()),
+                    Box::new(Constant::new(0.7, 100.0)),
+                    5,
+                )
+            },
+            |mut e| {
+                criterion::black_box(e.step(cfg));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = group;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+);
+criterion_main!(group);

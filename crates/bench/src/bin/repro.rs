@@ -1,0 +1,69 @@
+//! `repro` — regenerates every table and figure of the Hipster paper.
+//!
+//! ```text
+//! repro all            # everything (several minutes in release mode)
+//! repro table2 fig2    # selected experiments
+//! repro all --quick    # 4× shorter runs for a fast smoke pass
+//! ```
+
+use hipster_bench::experiments as exp;
+
+const EXPERIMENTS: &[(&str, fn(bool))] = &[
+    ("table2", exp::table2::run),
+    ("fig1", exp::fig1::run),
+    ("fig2", exp::fig2::run),
+    ("fig3", exp::fig3::run),
+    ("fig5", exp::fig5::run),
+    ("fig6", exp::fig6_7::run_fig6),
+    ("fig7", exp::fig6_7::run_fig7),
+    ("fig8", exp::fig8::run),
+    ("fig9", exp::fig9::run),
+    ("fig10", exp::fig10::run),
+    ("fig11", exp::fig11::run),
+    ("table3", exp::table3::run),
+    ("ablation", exp::ablation::run),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n\nexperiments: {}",
+        EXPERIMENTS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() {
+        usage();
+    }
+    let run_all = selected.contains(&"all");
+    let mut matched = false;
+    for (name, runner) in EXPERIMENTS {
+        if run_all || selected.contains(name) {
+            matched = true;
+            let start = std::time::Instant::now();
+            runner(quick);
+            println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        }
+    }
+    for want in &selected {
+        if *want != "all" && !EXPERIMENTS.iter().any(|(n, _)| n == want) {
+            eprintln!("unknown experiment: {want}");
+            matched = false;
+        }
+    }
+    if !matched {
+        usage();
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline tuning sweep (paper §4.1: "we first performed a sweep on the
+//! danger and safe thresholds, and picked the combination of thresholds
+//! with the highest QoS guarantee"). Not part of `repro`; used to pick the
+//! per-workload zone constants.
+
+use hipster_core::{HeuristicMapper, Manager, OctopusMan, Policy, Zones};
+use hipster_platform::Platform;
+use hipster_sim::{Engine, LcModel};
+use hipster_workloads::{memcached, web_search, Diurnal};
+
+fn main() {
+    let platform = Platform::juno_r1();
+    for (wname, make) in [
+        ("Memcached", memcached as fn() -> hipster_workloads::LcWorkload),
+        ("Web-Search", web_search),
+    ] {
+        println!("== {wname} ==");
+        for (danger, safe) in [
+            (0.85, 0.35),
+            (0.85, 0.20),
+            (0.70, 0.35),
+            (0.70, 0.20),
+            (0.60, 0.25),
+            (0.50, 0.15),
+            (0.85, 0.10),
+            (0.70, 0.10),
+        ] {
+            let zones = Zones::new(danger, safe);
+            for om in [true, false] {
+                let policy: Box<dyn Policy> = if om {
+                    Box::new(OctopusMan::new(&platform, zones))
+                } else {
+                    Box::new(HeuristicMapper::new(&platform, zones))
+                };
+                let w = make();
+                let qos = w.qos();
+                let engine =
+                    Engine::new(platform.clone(), Box::new(w), Box::new(Diurnal::paper()), 3);
+                let trace = Manager::new(engine, policy).run(2100);
+                println!(
+                    "  D={danger:.2} S={safe:.2} {}: guarantee {:.1}% energy {:.0} J migr {}",
+                    if om { "octopus " } else { "heuristic" },
+                    trace.qos_guarantee_pct(qos),
+                    trace.total_energy_j(),
+                    trace.total_migrations()
+                );
+            }
+        }
+    }
+}

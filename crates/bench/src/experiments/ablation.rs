@@ -1,0 +1,114 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! * **hybrid vs pure RL** — §3.1 argues a pure ε-greedy learner violates
+//!   QoS while exploring;
+//! * **stochastic reward band on/off** (Algorithm 1 line 9);
+//! * **discount factor γ = 0 vs 0.9** (short-term-only rewards);
+//! * **free reconfiguration** — what Octopus-Man's oscillation would cost
+//!   if core migrations were free (they are not; §3.6).
+
+use hipster_core::{DvfsOnly, Hipster, OctopusMan, RewardParams};
+use hipster_platform::Platform;
+use hipster_sim::{Engine, ReconfigCosts};
+use hipster_workloads::{web_search, Diurnal};
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+
+/// Runs the ablation table (Web-Search diurnal).
+pub fn run(quick: bool) {
+    println!("== Ablations (Web-Search, diurnal) ==\n");
+    let platform = Platform::juno_r1();
+    let secs = scaled(1400, quick);
+    let learn = scaled(400, quick) as u64;
+    let qos = qos_of(Workload::WebSearch);
+
+    let mut t = Table::new(vec!["variant", "QoS guarantee", "energy (J)", "migrations"]);
+
+    let base = |seed: u64| {
+        Hipster::interactive(&platform, seed)
+            .learning_intervals(learn)
+            .zones(Workload::WebSearch.tuned_zones())
+            .bucket_width(0.06)
+    };
+
+    let variants: Vec<(&str, hipster_core::Hipster)> = vec![
+        ("HipsterIn (hybrid)", base(121).build()),
+        ("pure RL (ε=0.1, no heuristic)", base(121).pure_rl(0.1).build()),
+        ("no stochastic reward band", base(121).stochastic(false).build()),
+        (
+            "γ = 0 (myopic rewards)",
+            base(121)
+                .reward_params(RewardParams {
+                    gamma: 0.0,
+                    ..RewardParams::paper_defaults()
+                })
+                .build(),
+        ),
+    ];
+    for (name, policy) in variants {
+        let trace = run_interactive(
+            Workload::WebSearch,
+            Box::new(Diurnal::paper()),
+            Box::new(policy),
+            secs,
+            121,
+        );
+        t.row(vec![
+            name.to_string(),
+            pct(trace.qos_guarantee_pct(qos)),
+            f(trace.total_energy_j(), 0),
+            trace.total_migrations().to_string(),
+        ]);
+    }
+
+    // Pegasus-style DVFS-only control: no migrations at all, but no access
+    // to the small cores' low-load efficiency either.
+    {
+        let trace = run_interactive(
+            Workload::WebSearch,
+            Box::new(Diurnal::paper()),
+            Box::new(DvfsOnly::new(&platform, Workload::WebSearch.tuned_zones())),
+            secs,
+            121,
+        );
+        t.row(vec![
+            "DVFS-only (Pegasus-style, 2B)".to_string(),
+            pct(trace.qos_guarantee_pct(qos)),
+            f(trace.total_energy_j(), 0),
+            trace.total_migrations().to_string(),
+        ]);
+    }
+
+    // Octopus-Man with and without reconfiguration costs: how much of its
+    // QoS damage is oscillation paying real migration stalls.
+    for (name, costs) in [
+        ("Octopus-Man (real migration costs)", ReconfigCosts::juno_defaults()),
+        ("Octopus-Man (free migrations)", ReconfigCosts::free()),
+    ] {
+        let engine = Engine::new(
+            Platform::juno_r1(),
+            Box::new(web_search()),
+            Box::new(Diurnal::paper()),
+            121,
+        )
+        .with_costs(costs);
+        let trace = hipster_core::Manager::new(
+            engine,
+            Box::new(OctopusMan::new(&platform, Workload::WebSearch.tuned_zones())),
+        )
+        .run(secs);
+        t.row(vec![
+            name.to_string(),
+            pct(trace.qos_guarantee_pct(qos)),
+            f(trace.total_energy_j(), 0),
+            trace.total_migrations().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(expected: pure RL learns slowly and violates QoS while exploring; \
+         myopic γ=0 underperforms; free migrations recover part of \
+         Octopus-Man's oscillation damage)\n"
+    );
+}

@@ -1,0 +1,53 @@
+//! **Figure 1** — power drawn for a diurnal load: Web-Search running on
+//! two big cores at maximum DVFS.
+//!
+//! The paper's point: load swings between ≈5% and ≈80% of capacity while
+//! server power never drops proportionally (poor energy proportionality),
+//! which is the opportunity Hipster exploits.
+
+use hipster_core::StaticPolicy;
+use hipster_platform::Platform;
+use hipster_workloads::Diurnal;
+
+use crate::runner::{run_interactive, scaled, Workload};
+use crate::tablefmt::{f, Table};
+use crate::write_csv;
+
+/// Runs Fig. 1 and prints the QPS / power series (percent of max).
+pub fn run(quick: bool) {
+    println!("== Figure 1: diurnal load vs server power (Web-Search on 2B-1.15) ==\n");
+    let platform = Platform::juno_r1();
+    let secs = scaled(2100, quick);
+    let trace = run_interactive(
+        Workload::WebSearch,
+        Box::new(Diurnal::paper()),
+        Box::new(StaticPolicy::all_big(&platform)),
+        secs,
+        11,
+    );
+    // Normalize power to the busiest interval (the paper plots percent of
+    // max capacity on both axes).
+    let p_max = trace
+        .intervals()
+        .iter()
+        .map(|s| s.power.total())
+        .fold(0.0, f64::max);
+    let mut t = Table::new(vec!["time (s)", "QPS %max", "power %max"]);
+    let mut csv = String::from("t,qps_pct,power_pct\n");
+    let mut min_power_pct = 100.0f64;
+    for s in trace.intervals() {
+        let qps_pct = s.offered_load_frac * 100.0;
+        let power_pct = s.power.total() / p_max * 100.0;
+        min_power_pct = min_power_pct.min(power_pct);
+        csv.push_str(&format!("{},{qps_pct:.1},{power_pct:.1}\n", s.start_s));
+        if (s.start_s as u64) % 120 == 0 {
+            t.row(vec![f(s.start_s, 0), f(qps_pct, 0), f(power_pct, 0)]);
+        }
+    }
+    t.print();
+    write_csv("fig1_diurnal_power.csv", &csv);
+    println!(
+        "\npower floor: {min_power_pct:.0}% of max while load bottoms out \
+         (paper: power stays ≥60% — energy disproportionality)\n"
+    );
+}

@@ -1,0 +1,69 @@
+//! **Figure 10** — impact of the load-bucket size on HipsterIn's QoS
+//! violations and energy savings (both relative to static all-big).
+//!
+//! The paper sweeps 3/6/9% buckets for Web-Search and 2/3/4% for
+//! Memcached: smaller buckets give finer control (more energy saved, more
+//! violations); larger buckets the reverse.
+
+use hipster_core::{energy_reduction_pct, Hipster, StaticPolicy};
+use hipster_platform::Platform;
+use hipster_workloads::Diurnal;
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{pct, Table};
+
+/// Runs Fig. 10.
+pub fn run(quick: bool) {
+    println!("== Figure 10: bucket-size sweep (QoS violations & energy reduction vs static big) ==\n");
+    let platform = Platform::juno_r1();
+    let secs = scaled(2100, quick);
+    let learn = scaled(500, quick) as u64;
+
+    let mut t = Table::new(vec![
+        "workload",
+        "bucket",
+        "QoS violations",
+        "energy reduction",
+    ]);
+    for workload in [Workload::WebSearch, Workload::Memcached] {
+        let qos = qos_of(workload);
+        let widths: &[f64] = if workload == Workload::WebSearch {
+            &[0.03, 0.06, 0.09]
+        } else {
+            &[0.02, 0.03, 0.04]
+        };
+        let baseline = run_interactive(
+            workload,
+            Box::new(Diurnal::paper()),
+            Box::new(StaticPolicy::all_big(&platform)),
+            secs,
+            91,
+        );
+        for &width in widths {
+            let trace = run_interactive(
+                workload,
+                Box::new(Diurnal::paper()),
+                Box::new(
+                    Hipster::interactive(&platform, 91)
+                        .learning_intervals(learn)
+                        .zones(workload.tuned_zones())
+                        .bucket_width(width)
+                        .build(),
+                ),
+                secs,
+                91,
+            );
+            t.row(vec![
+                workload.name().to_string(),
+                pct(width * 100.0),
+                pct(100.0 - trace.qos_guarantee_pct(qos)),
+                pct(energy_reduction_pct(&trace, &baseline)),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\n(paper: small buckets → more energy savings but more violations; \
+         large buckets → safer but less efficient)\n"
+    );
+}

@@ -1,0 +1,106 @@
+//! **Figure 11** — HipsterCo: Web-Search collocated with each SPEC CPU2006
+//! batch program; QoS guarantee, batch throughput (aggregate IPS) and
+//! energy, all normalized to a static mapping (Web-Search on the two big
+//! cores at top DVFS, batch on the four small cores).
+
+use hipster_core::{Hipster, OctopusMan, Policy, StaticPolicy};
+use hipster_platform::Platform;
+use hipster_sim::{BatchProgram, Trace};
+use hipster_workloads::{spec, Diurnal};
+
+use crate::runner::{qos_of, run_collocated, scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+
+fn pool(program: &spec::SpecProgram) -> Vec<Box<dyn BatchProgram>> {
+    vec![Box::new(program.clone())]
+}
+
+/// Runs Fig. 11.
+pub fn run(quick: bool) {
+    println!(
+        "== Figure 11: HipsterCo vs Octopus-Man vs static — Web-Search + SPEC batch ==\n"
+    );
+    let platform = Platform::juno_r1();
+    let secs = scaled(1200, quick);
+    let learn = scaled(400, quick) as u64;
+    let qos = qos_of(Workload::WebSearch);
+
+    let mut t = Table::new(vec![
+        "program",
+        "OM QoS",
+        "Co QoS",
+        "OM IPS×",
+        "Co IPS×",
+        "OM energy×",
+        "Co energy×",
+    ]);
+    let mut sums = [0.0f64; 6];
+    let programs = spec::programs();
+    for program in &programs {
+        let (max_b, max_s) = spec::max_ips(program);
+        let run_one = |policy: Box<dyn Policy>, seed: u64| -> Trace {
+            run_collocated(
+                Workload::WebSearch,
+                Box::new(Diurnal::paper()),
+                policy,
+                pool(program),
+                secs,
+                seed,
+            )
+        };
+        let zones = Workload::WebSearch.tuned_zones();
+        let static_trace = run_one(Box::new(StaticPolicy::all_big(&platform)), 101);
+        let om_trace = run_one(Box::new(OctopusMan::new(&platform, zones)), 101);
+        let co_trace = run_one(
+            Box::new(
+                Hipster::collocated(&platform, max_b + max_s, 101)
+                    .learning_intervals(learn)
+                    .zones(zones)
+                    .bucket_width(0.06)
+                    .build(),
+            ),
+            101,
+        );
+
+        let base_ips = static_trace.mean_batch_ips().max(1.0);
+        let base_energy = static_trace.total_energy_j().max(1e-9);
+        let base_qos = static_trace.qos_guarantee_pct(qos).max(1e-9);
+        let row = [
+            om_trace.qos_guarantee_pct(qos) / base_qos,
+            co_trace.qos_guarantee_pct(qos) / base_qos,
+            om_trace.mean_batch_ips() / base_ips,
+            co_trace.mean_batch_ips() / base_ips,
+            om_trace.total_energy_j() / base_energy,
+            co_trace.total_energy_j() / base_energy,
+        ];
+        for (s, v) in sums.iter_mut().zip(row.iter()) {
+            *s += v;
+        }
+        t.row(vec![
+            program.name().to_string(),
+            pct(row[0] * 100.0),
+            pct(row[1] * 100.0),
+            f(row[2], 2),
+            f(row[3], 2),
+            f(row[4], 2),
+            f(row[5], 2),
+        ]);
+    }
+    let n = programs.len() as f64;
+    t.row(vec![
+        "mean".to_string(),
+        pct(sums[0] / n * 100.0),
+        pct(sums[1] / n * 100.0),
+        f(sums[2] / n, 2),
+        f(sums[3] / n, 2),
+        f(sums[4] / n, 2),
+        f(sums[5] / n, 2),
+    ]);
+    t.print();
+    println!(
+        "\n(normalized to static: LC on 2B-1.15, batch on the 4 small cores; \
+         paper means: Octopus-Man 2.6× IPS at 1.2× energy and 76% QoS, \
+         HipsterCo 2.3× IPS at 0.8× energy and 94% QoS; calculix gains most, \
+         libquantum least)\n"
+    );
+}

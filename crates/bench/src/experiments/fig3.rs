@@ -1,0 +1,100 @@
+//! **Figure 3** — energy-efficiency loss from using the *other* workload's
+//! state machine.
+//!
+//! For each load level, run Memcached on the configuration Web-Search's
+//! state machine selects there (escalating along the ladder until QoS is
+//! met, as the paper requires) and normalize its efficiency to the
+//! configuration Memcached's own machine selects — and vice versa. Values
+//! below 1 are the neglected efficiency the paper reports (up to 35% for
+//! Memcached, 19% for Web-Search).
+
+use hipster_platform::{rank_by_power, CoreConfig, Platform};
+
+use crate::experiments::sweep::{best_config, efficiency, measure_cell};
+use crate::runner::{scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+
+/// Fig. 3 uses its own (coarser) load grid in the paper.
+const LOADS: [f64; 11] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.85, 0.9, 0.95, 1.0];
+
+/// Runs Fig. 3.
+pub fn run(quick: bool) {
+    println!("== Figure 3: energy efficiency with the other workload's state machine ==\n");
+    let platform = Platform::juno_r1();
+    let secs = scaled(25, quick);
+    let ladder = rank_by_power(&platform, platform.all_configs());
+
+    // Build both state machines on the Fig. 3 grid.
+    let machine = |w: Workload| -> Vec<Option<CoreConfig>> {
+        LOADS
+            .iter()
+            .map(|&l| best_config(w, &platform.all_configs(), l, secs, 31).map(|c| c.config))
+            .collect()
+    };
+    let mc_machine = machine(Workload::Memcached);
+    let ws_machine = machine(Workload::WebSearch);
+
+    // Run `workload` at `load` starting from the foreign machine's config,
+    // escalating up the power ladder until QoS is met.
+    let foreign_eff = |workload: Workload, load: f64, start: CoreConfig| -> Option<f64> {
+        let mut idx = ladder.iter().position(|c| *c == start)?;
+        loop {
+            let cell = measure_cell(workload, ladder[idx], load, secs, 31);
+            if cell.meets_qos {
+                return Some(efficiency(workload, &cell));
+            }
+            idx += 1;
+            if idx >= ladder.len() {
+                return None;
+            }
+        }
+    };
+
+    let mut t = Table::new(vec![
+        "load",
+        "Memcached (w/ WS machine)",
+        "Web-Search (w/ MC machine)",
+    ]);
+    let mut worst_mc = 1.0f64;
+    let mut worst_ws = 1.0f64;
+    for (i, &load) in LOADS.iter().enumerate() {
+        let mc_norm = match (ws_machine[i], mc_machine[i]) {
+            (Some(foreign), Some(own)) => {
+                let own_eff = {
+                    let cell = measure_cell(Workload::Memcached, own, load, secs, 31);
+                    efficiency(Workload::Memcached, &cell)
+                };
+                foreign_eff(Workload::Memcached, load, foreign).map(|e| e / own_eff)
+            }
+            _ => None,
+        };
+        let ws_norm = match (mc_machine[i], ws_machine[i]) {
+            (Some(foreign), Some(own)) => {
+                let own_eff = {
+                    let cell = measure_cell(Workload::WebSearch, own, load, secs, 31);
+                    efficiency(Workload::WebSearch, &cell)
+                };
+                foreign_eff(Workload::WebSearch, load, foreign).map(|e| e / own_eff)
+            }
+            _ => None,
+        };
+        if let Some(v) = mc_norm {
+            worst_mc = worst_mc.min(v);
+        }
+        if let Some(v) = ws_norm {
+            worst_ws = worst_ws.min(v);
+        }
+        t.row(vec![
+            pct(load * 100.0),
+            mc_norm.map(|v| f(v, 3)).unwrap_or_else(|| "-".into()),
+            ws_norm.map(|v| f(v, 3)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nworst-case neglected efficiency: Memcached {:.0}%, Web-Search {:.0}% \
+         (paper: up to 35% and 19%)\n",
+        (1.0 - worst_mc) * 100.0,
+        (1.0 - worst_ws) * 100.0
+    );
+}

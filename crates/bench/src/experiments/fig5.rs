@@ -1,0 +1,114 @@
+//! **Figure 5** — time-series comparison of Hipster's heuristic mapper
+//! against static (all big cores) and Octopus-Man, on Memcached and
+//! Web-Search under the diurnal load.
+//!
+//! The paper's qualitative points, which the printed summaries check:
+//! Octopus-Man never mixes clusters and oscillates between 2B and 4S; the
+//! heuristic explores DVFS and mixed-cluster configurations; static has the
+//! fewest violations.
+
+use hipster_core::{HeuristicMapper, OctopusMan, Policy, StaticPolicy};
+use hipster_platform::Platform;
+use hipster_sim::Trace;
+use hipster_workloads::Diurnal;
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+use crate::write_csv;
+
+fn policies(platform: &Platform, workload: Workload) -> Vec<(&'static str, Box<dyn Policy>)> {
+    let zones = workload.tuned_zones();
+    vec![
+        ("Static(2B-1.15)", Box::new(StaticPolicy::all_big(platform))),
+        ("Octopus-Man", Box::new(OctopusMan::new(platform, zones))),
+        (
+            "Hipster-heuristic",
+            Box::new(HeuristicMapper::new(platform, zones)),
+        ),
+    ]
+}
+
+fn series_csv(trace: &Trace) -> String {
+    let mut csv =
+        String::from("t,load_frac,tail_ms,throughput_rps,big_ghz,small_ghz,n_big,n_small\n");
+    for s in trace.intervals() {
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.1},{},{},{},{}\n",
+            s.start_s,
+            s.offered_load_frac,
+            s.tail_latency_s * 1e3,
+            s.throughput_rps,
+            s.config.big_freq,
+            s.config.small_freq,
+            s.config.lc.n_big,
+            s.config.lc.n_small,
+        ));
+    }
+    csv
+}
+
+/// Runs Fig. 5 (six panels: 3 policies × 2 workloads).
+pub fn run(quick: bool) {
+    println!("== Figure 5: static vs Octopus-Man vs Hipster's heuristic (diurnal) ==\n");
+    let platform = Platform::juno_r1();
+    for workload in Workload::BOTH {
+        let secs = scaled(if workload == Workload::Memcached { 2100 } else { 2100 }, quick);
+        let qos = qos_of(workload);
+        println!("-- {} --", workload.name());
+        let mut t = Table::new(vec![
+            "policy",
+            "QoS guarantee",
+            "mean tardiness",
+            "energy (J)",
+            "migrations",
+            "mixed-cluster cfgs",
+            "DVFS levels used",
+        ]);
+        for (name, policy) in policies(&platform, workload) {
+            let trace = run_interactive(
+                workload,
+                Box::new(Diurnal::paper()),
+                policy,
+                secs,
+                51,
+            );
+            let mixed = trace
+                .intervals()
+                .iter()
+                .filter(|s| s.config.lc.n_big > 0 && s.config.lc.n_small > 0)
+                .count();
+            let dvfs: std::collections::HashSet<u32> = trace
+                .intervals()
+                .iter()
+                .filter(|s| s.config.lc.n_big > 0)
+                .map(|s| s.config.big_freq.as_mhz())
+                .collect();
+            t.row(vec![
+                name.to_string(),
+                pct(trace.qos_guarantee_pct(qos)),
+                trace
+                    .mean_violation_tardiness(qos)
+                    .map(|v| f(v, 2))
+                    .unwrap_or_else(|| "-".into()),
+                f(trace.total_energy_j(), 0),
+                trace.total_migrations().to_string(),
+                mixed.to_string(),
+                dvfs.len().to_string(),
+            ]);
+            write_csv(
+                &format!(
+                    "fig5_{}_{}.csv",
+                    workload.name().to_lowercase(),
+                    name.to_lowercase().replace(['(', ')', '-'], "")
+                ),
+                &series_csv(&trace),
+            );
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "(paper: Octopus-Man oscillates between 2B-1.15 and 4S-0.65 — 0 mixed configs, \
+         1 DVFS level; the heuristic explores both dimensions but still violates QoS)\n"
+    );
+}

@@ -1,0 +1,105 @@
+//! **Figures 6 and 7** — HipsterIn time series on Memcached (Fig. 6) and
+//! Web-Search (Fig. 7) under the diurnal load, with a 500 s learning phase.
+//!
+//! The paper's claims checked here: after the learning phase the
+//! oscillatory effect between core mappings is greatly reduced and the QoS
+//! guarantee improves relative to the learning phase.
+
+use hipster_core::Hipster;
+use hipster_platform::Platform;
+use hipster_workloads::Diurnal;
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+use crate::write_csv;
+
+/// Runs one of the two figures.
+pub fn run_one(workload: Workload, quick: bool) {
+    let fig = if workload == Workload::Memcached { 6 } else { 7 };
+    println!(
+        "== Figure {fig}: HipsterIn on {} (diurnal, 500 s learning) ==\n",
+        workload.name()
+    );
+    let platform = Platform::juno_r1();
+    let secs = scaled(2100, quick);
+    let learn = scaled(500, quick);
+    let qos = qos_of(workload);
+    let policy = Hipster::interactive(&platform, 61)
+        .learning_intervals(learn as u64)
+        .zones(workload.tuned_zones())
+        .bucket_width(if workload == Workload::Memcached {
+            0.03
+        } else {
+            0.06
+        })
+        .build();
+    let trace = run_interactive(workload, Box::new(Diurnal::paper()), Box::new(policy), secs, 61);
+
+    // Split learning vs exploitation phases.
+    let (learn_iv, exploit_iv) = trace.intervals().split_at(learn.min(trace.len()));
+    let guarantee = |ivs: &[hipster_sim::IntervalStats]| {
+        if ivs.is_empty() {
+            return 100.0;
+        }
+        ivs.iter().filter(|s| !qos.violated(s.tail_latency_s)).count() as f64 / ivs.len() as f64
+            * 100.0
+    };
+    let migrations = |ivs: &[hipster_sim::IntervalStats]| {
+        let m: usize = ivs.iter().map(|s| s.migrated_cores).sum();
+        m as f64 / ivs.len().max(1) as f64
+    };
+
+    let mut t = Table::new(vec![
+        "phase",
+        "intervals",
+        "QoS guarantee",
+        "migrations/interval",
+    ]);
+    t.row(vec![
+        "learning (heuristic)".to_string(),
+        learn_iv.len().to_string(),
+        pct(guarantee(learn_iv)),
+        f(migrations(learn_iv), 2),
+    ]);
+    t.row(vec![
+        "exploitation (table)".to_string(),
+        exploit_iv.len().to_string(),
+        pct(guarantee(exploit_iv)),
+        f(migrations(exploit_iv), 2),
+    ]);
+    t.print();
+    println!(
+        "\noverall guarantee {} | energy {} J | total migrations {}\n(paper: exploitation \
+         reduces core-mapping oscillation and improves QoS over the learning phase)\n",
+        pct(trace.qos_guarantee_pct(qos)),
+        f(trace.total_energy_j(), 0),
+        trace.total_migrations()
+    );
+
+    let mut csv =
+        String::from("t,load_frac,tail_ms,rps,big_ghz,n_big,n_small,migrated\n");
+    for s in trace.intervals() {
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.1},{},{},{},{}\n",
+            s.start_s,
+            s.offered_load_frac,
+            s.tail_latency_s * 1e3,
+            s.throughput_rps,
+            s.config.big_freq,
+            s.config.lc.n_big,
+            s.config.lc.n_small,
+            s.migrated_cores
+        ));
+    }
+    write_csv(&format!("fig{fig}_hipsterin.csv"), &csv);
+}
+
+/// Runs Fig. 6 (Memcached).
+pub fn run_fig6(quick: bool) {
+    run_one(Workload::Memcached, quick);
+}
+
+/// Runs Fig. 7 (Web-Search).
+pub fn run_fig7(quick: bool) {
+    run_one(Workload::WebSearch, quick);
+}

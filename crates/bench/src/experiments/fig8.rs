@@ -1,0 +1,115 @@
+//! **Figure 8** — rapid adaptation to load changes: Memcached load ramps
+//! from 50% to 100% over 175 s; compare the QoS tardiness of HipsterIn (in
+//! its exploitation phase) against Octopus-Man.
+//!
+//! HipsterIn is pre-trained on a load sweep so the ramp hits a populated
+//! table (the paper runs it after its learning phase).
+
+use hipster_core::{Hipster, OctopusMan, Policy};
+use hipster_platform::Platform;
+use hipster_sim::{LoadPattern, Trace};
+use hipster_workloads::{Ramp, Sequence, Steps};
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{f, Table};
+use crate::write_csv;
+
+fn pattern(train_secs: f64) -> Box<dyn LoadPattern> {
+    // Training sweep: staircase over the whole load range, then the ramp.
+    let n_steps = 20;
+    let levels: Vec<(f64, f64)> = (0..n_steps)
+        .map(|i| {
+            (
+                train_secs / n_steps as f64,
+                0.3 + 0.7 * (i as f64 + 0.5) / n_steps as f64,
+            )
+        })
+        .collect();
+    Box::new(Sequence::new(vec![
+        Box::new(Steps::new(levels)),
+        Box::new(Ramp {
+            from: 0.5,
+            to: 1.0,
+            ramp_s: 175.0,
+        }),
+    ]))
+}
+
+/// Runs Fig. 8.
+pub fn run(quick: bool) {
+    println!("== Figure 8: Memcached load ramp 50%→100% over 175 s (QoS tardiness) ==\n");
+    let platform = Platform::juno_r1();
+    let train = scaled(500, quick);
+    let qos = qos_of(Workload::Memcached);
+    let total = train + 175;
+
+    let run_one = |policy: Box<dyn Policy>| -> Trace {
+        run_interactive(
+            Workload::Memcached,
+            pattern(train as f64),
+            policy,
+            total,
+            71,
+        )
+    };
+    let zones = Workload::Memcached.tuned_zones();
+    let hipster = run_one(Box::new(
+        Hipster::interactive(&platform, 71)
+            .learning_intervals(train as u64)
+            .zones(zones)
+            .bucket_width(0.03)
+            .build(),
+    ));
+    let octopus = run_one(Box::new(OctopusMan::new(&platform, zones)));
+
+    let mut t = Table::new(vec![
+        "t (s)",
+        "load %",
+        "HipsterIn tardiness",
+        "Octopus-Man tardiness",
+    ]);
+    let mut csv = String::from("t,load,hipster_tardiness,octopus_tardiness\n");
+    let mut h_sum = 0.0;
+    let mut o_sum = 0.0;
+    let mut n = 0;
+    for i in train..total {
+        let h = &hipster.intervals()[i];
+        let o = &octopus.intervals()[i];
+        let ht = h.tardiness(qos.target_s);
+        let ot = o.tardiness(qos.target_s);
+        h_sum += ht;
+        o_sum += ot;
+        n += 1;
+        let tr = (i - train) as f64;
+        csv.push_str(&format!(
+            "{tr},{:.3},{ht:.3},{ot:.3}\n",
+            h.offered_load_frac
+        ));
+        if (i - train) % 15 == 0 {
+            t.row(vec![
+                f(tr, 0),
+                f(h.offered_load_frac * 100.0, 0),
+                f(ht, 2),
+                f(ot, 2),
+            ]);
+        }
+    }
+    t.print();
+    write_csv("fig8_ramp_tardiness.csv", &csv);
+    let h_viol = hipster.intervals()[train..]
+        .iter()
+        .filter(|s| qos.violated(s.tail_latency_s))
+        .count();
+    let o_viol = octopus.intervals()[train..]
+        .iter()
+        .filter(|s| qos.violated(s.tail_latency_s))
+        .count();
+    println!(
+        "\nramp-phase mean tardiness: HipsterIn {:.2} vs Octopus-Man {:.2} \
+         ({}× lower; paper: 3.7× in the 75–90% region)\nviolations during ramp: \
+         HipsterIn {h_viol}/{n} vs Octopus-Man {o_viol}/{n}\n",
+        h_sum / n as f64,
+        o_sum / n as f64,
+        if h_sum > 0.0 { o_sum / h_sum } else { f64::NAN },
+    );
+}

@@ -1,0 +1,15 @@
+//! One module per table/figure of the paper's evaluation section.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6_7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod table2;
+pub mod table3;

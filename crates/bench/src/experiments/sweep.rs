@@ -1,0 +1,106 @@
+//! Constant-load configuration sweeps — the raw material of Fig. 2 and
+//! Fig. 3.
+//!
+//! For each (configuration, load level) cell, run the workload at constant
+//! load and measure the median interval tail latency and mean system power;
+//! a configuration "meets QoS at load L" when the median tail is within the
+//! target. The per-load choice of the cheapest QoS-meeting configuration is
+//! the state machine of Fig. 2c.
+
+use hipster_platform::{CoreConfig, Platform};
+use hipster_sim::{Engine, LcModel, MachineConfig};
+use hipster_workloads::Constant;
+
+use crate::runner::Workload;
+
+/// Measurement of one (config, load) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The configuration measured.
+    pub config: CoreConfig,
+    /// Load fraction.
+    pub load: f64,
+    /// Median interval tail latency, seconds.
+    pub tail_s: f64,
+    /// Mean system power, watts.
+    pub power_w: f64,
+    /// Whether the tail met the workload's QoS target.
+    pub meets_qos: bool,
+}
+
+/// Runs one cell: `secs` intervals at constant `load` under `config`
+/// (5 warm-up intervals are discarded).
+pub fn measure_cell(
+    workload: Workload,
+    config: CoreConfig,
+    load: f64,
+    secs: usize,
+    seed: u64,
+) -> Cell {
+    let platform = Platform::juno_r1();
+    let model = workload.model();
+    let qos = model.qos();
+    let mcfg = MachineConfig::interactive(&platform, config);
+    let mut engine = Engine::new(
+        platform,
+        Box::new(model),
+        Box::new(Constant::new(load, secs as f64)),
+        seed,
+    );
+    let mut tails = Vec::new();
+    let mut power = 0.0;
+    let mut n = 0;
+    for i in 0..secs {
+        let s = engine.step(mcfg);
+        if i >= 5 {
+            tails.push(s.tail_latency_s);
+            power += s.power.total();
+            n += 1;
+        }
+    }
+    tails.sort_by(f64::total_cmp);
+    let tail_s = tails[tails.len() / 2];
+    let power_w = power / n as f64;
+    Cell {
+        config,
+        load,
+        tail_s,
+        power_w,
+        meets_qos: tail_s <= qos.target_s,
+    }
+}
+
+/// The per-load choice of the cheapest QoS-meeting configuration from a
+/// candidate set (the "state machine" builder). Returns `None` for loads no
+/// candidate can serve.
+pub fn best_config(
+    workload: Workload,
+    candidates: &[CoreConfig],
+    load: f64,
+    secs: usize,
+    seed: u64,
+) -> Option<Cell> {
+    candidates
+        .iter()
+        .map(|&c| measure_cell(workload, c, load, secs, seed))
+        .filter(|cell| cell.meets_qos)
+        .min_by(|a, b| a.power_w.total_cmp(&b.power_w))
+}
+
+/// The paper's Fig. 2 load levels for each workload.
+pub fn paper_loads(workload: Workload) -> Vec<f64> {
+    match workload {
+        Workload::Memcached => vec![
+            0.29, 0.40, 0.51, 0.63, 0.69, 0.71, 0.77, 0.83, 0.89, 0.91, 0.94, 0.97, 1.0,
+        ],
+        Workload::WebSearch => vec![
+            0.18, 0.25, 0.33, 0.40, 0.47, 0.55, 0.62, 0.69, 0.76, 0.84, 0.91, 0.96, 1.0,
+        ],
+    }
+}
+
+/// Throughput-per-watt efficiency of a cell (RPS/W or QPS/W).
+pub fn efficiency(workload: Workload, cell: &Cell) -> f64 {
+    let max = workload.model().max_load_rps();
+    cell.load * max / cell.power_w
+}

@@ -1,0 +1,50 @@
+//! **Table 2** — power and performance characterization on the Juno
+//! platform (compute microbenchmark at top DVFS, per cluster).
+
+use hipster_platform::{characterize, CoreKind, Platform};
+
+use crate::tablefmt::{f, Table};
+
+/// Paper values for comparison: (power all, power one, MIPS all, MIPS one).
+const PAPER: [(CoreKind, f64, f64, f64, f64); 2] = [
+    (CoreKind::Big, 2.30, 1.62, 4260.0, 2138.0),
+    (CoreKind::Small, 1.43, 0.95, 3298.0, 826.0),
+];
+
+/// Runs the characterization and prints paper-vs-measured rows.
+pub fn run(_quick: bool) {
+    println!("== Table 2: power/performance characterization (Juno R1) ==\n");
+    let platform = Platform::juno_r1();
+    let rows = characterize(&platform);
+    let mut t = Table::new(vec![
+        "core type (GHz)",
+        "P all cores (W)",
+        "paper",
+        "P one core (W)",
+        "paper",
+        "MIPS all",
+        "paper",
+        "MIPS one",
+        "paper",
+    ]);
+    for row in rows {
+        let (_, p_all, p_one, m_all, m_one) = PAPER
+            .iter()
+            .copied()
+            .find(|(k, ..)| *k == row.kind)
+            .expect("paper row exists");
+        t.row(vec![
+            format!("{} ({})", row.kind, row.freq),
+            f(row.power_all, 2),
+            f(p_all, 2),
+            f(row.power_one, 2),
+            f(p_one, 2),
+            f(row.ips_all / 1e6, 0),
+            f(m_all, 0),
+            f(row.ips_one / 1e6, 0),
+            f(m_one, 0),
+        ]);
+    }
+    t.print();
+    println!();
+}

@@ -1,0 +1,116 @@
+//! **Table 3** — HipsterIn summary: QoS guarantee, QoS tardiness and
+//! energy reduction (vs static all-big) for five policies on Memcached and
+//! Web-Search under the diurnal load.
+
+use hipster_core::{
+    HeuristicMapper, Hipster, OctopusMan, Policy, PolicySummary, StaticPolicy,
+};
+use hipster_platform::Platform;
+use hipster_workloads::Diurnal;
+
+use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::tablefmt::{f, pct, Table};
+
+fn policy_list(
+    platform: &Platform,
+    workload: Workload,
+    learn: u64,
+    bucket: f64,
+) -> Vec<(String, Box<dyn Policy>)> {
+    let zones = workload.tuned_zones();
+    vec![
+        (
+            "Static (all big cores)".into(),
+            Box::new(StaticPolicy::all_big(platform)),
+        ),
+        (
+            "Static (all small cores)".into(),
+            Box::new(StaticPolicy::all_small(platform)),
+        ),
+        (
+            "Hipster's Heuristic".into(),
+            Box::new(HeuristicMapper::new(platform, zones)),
+        ),
+        (
+            "Octopus-Man".into(),
+            Box::new(OctopusMan::new(platform, zones)),
+        ),
+        (
+            "HipsterIn".into(),
+            Box::new(
+                Hipster::interactive(platform, 111)
+                    .learning_intervals(learn)
+                    .zones(zones)
+                    .bucket_width(bucket)
+                    .build(),
+            ),
+        ),
+    ]
+}
+
+/// Paper Table 3 values for side-by-side comparison:
+/// (policy, MC guarantee, WS guarantee, MC energy red., WS energy red.).
+const PAPER: [(&str, f64, f64, &str, &str); 5] = [
+    ("Static (all big cores)", 99.5, 99.5, "-", "-"),
+    ("Static (all small cores)", 85.8, 78.4, "48.0%", "31.0%"),
+    ("Hipster's Heuristic", 89.9, 95.3, "18.7%", "13.6%"),
+    ("Octopus-Man", 92.0, 80.0, "17.2%", "4.3%"),
+    ("HipsterIn", 99.4, 96.5, "14.3%", "17.8%"),
+];
+
+/// Runs Table 3.
+pub fn run(quick: bool) {
+    println!("== Table 3: HipsterIn summary (diurnal runs) ==\n");
+    let platform = Platform::juno_r1();
+    let secs = scaled(2100, quick);
+    let learn = scaled(500, quick) as u64;
+
+    for workload in Workload::BOTH {
+        let qos = qos_of(workload);
+        let bucket = if workload == Workload::Memcached { 0.03 } else { 0.06 };
+        println!("-- {} --", workload.name());
+        let mut summaries = Vec::new();
+        for (name, policy) in policy_list(&platform, workload, learn, bucket) {
+            let trace =
+                run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 111);
+            summaries.push(PolicySummary::from_trace(name, &trace, qos));
+        }
+        let baseline = summaries[0].clone();
+        let mut t = Table::new(vec![
+            "policy",
+            "QoS guarantee",
+            "paper",
+            "tardiness",
+            "energy reduction",
+            "paper",
+            "migrations",
+        ]);
+        for s in &summaries {
+            let paper = PAPER
+                .iter()
+                .find(|(n, ..)| *n == s.name)
+                .expect("paper row");
+            let (paper_g, paper_e) = if workload == Workload::Memcached {
+                (paper.1, paper.3)
+            } else {
+                (paper.2, paper.4)
+            };
+            let reduction = if s.name.starts_with("Static (all big") {
+                "-".to_string()
+            } else {
+                pct(s.energy_reduction_pct_vs(&baseline))
+            };
+            t.row(vec![
+                s.name.clone(),
+                pct(s.qos_guarantee_pct),
+                pct(paper_g),
+                s.mean_tardiness.map(|v| f(v, 2)).unwrap_or_else(|| "-".into()),
+                reduction,
+                paper_e.to_string(),
+                s.migrations.to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

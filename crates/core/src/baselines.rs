@@ -1,0 +1,313 @@
+//! Baseline policies: static mappings, Octopus-Man, and Hipster's
+//! heuristic mapper run standalone.
+
+use hipster_platform::{power_ladder, rank_by_power, CoreConfig, CoreKind, Platform};
+
+use crate::feedback::{FeedbackController, Zones};
+use crate::policy::{Observation, Policy};
+
+/// A fixed configuration, never adjusted — the paper's "Static (all big
+/// cores)" and "Static (all small cores)" rows of Table 3.
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    name: String,
+    config: CoreConfig,
+}
+
+impl StaticPolicy {
+    /// Pins the latency-critical workload to `config`.
+    pub fn new(config: CoreConfig) -> Self {
+        StaticPolicy {
+            name: format!("Static({config})"),
+            config,
+        }
+    }
+
+    /// All big cores at maximum DVFS (the paper's energy baseline).
+    pub fn all_big(platform: &Platform) -> Self {
+        let big = platform.cluster(CoreKind::Big);
+        let small = platform.cluster(CoreKind::Small);
+        Self::new(CoreConfig::new(big.len(), 0, big.max_freq(), small.max_freq()))
+    }
+
+    /// All small cores at their maximum DVFS.
+    pub fn all_small(platform: &Platform) -> Self {
+        let big = platform.cluster(CoreKind::Big);
+        let small = platform.cluster(CoreKind::Small);
+        Self::new(CoreConfig::new(0, small.len(), big.min_freq(), small.max_freq()))
+    }
+
+    /// The pinned configuration.
+    pub fn config(&self) -> CoreConfig {
+        self.config
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, _obs: &Observation) -> CoreConfig {
+        self.config
+    }
+}
+
+/// The Octopus-Man baseline (Petrucci et al., HPCA 2015): a feedback state
+/// machine whose ladder contains only exclusively-small or exclusively-big
+/// mappings, always at the highest DVFS of the cluster in use.
+#[derive(Debug, Clone)]
+pub struct OctopusMan {
+    controller: FeedbackController,
+}
+
+impl OctopusMan {
+    /// Creates Octopus-Man for `platform` with the given zone thresholds.
+    pub fn new(platform: &Platform, zones: Zones) -> Self {
+        let ladder = rank_by_power(platform, platform.baseline_configs());
+        OctopusMan {
+            controller: FeedbackController::new(ladder, zones),
+        }
+    }
+
+    /// Creates Octopus-Man with the paper-default zones.
+    pub fn with_defaults(platform: &Platform) -> Self {
+        Self::new(platform, Zones::paper_defaults())
+    }
+
+    /// The configuration ladder (power-ranked baseline configs).
+    pub fn ladder(&self) -> &[CoreConfig] {
+        self.controller.ladder()
+    }
+}
+
+impl Policy for OctopusMan {
+    fn name(&self) -> &str {
+        "Octopus-Man"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> CoreConfig {
+        self.controller
+            .update(obs.tail_latency_s, obs.qos.target_s)
+    }
+}
+
+/// A Pegasus-style DVFS-only controller (Lo et al., cited in the paper's
+/// related work): the latency-critical workload stays pinned to all big
+/// cores and only the big cluster's DVFS moves with the danger/safe
+/// feedback. No core migrations ever happen — which is exactly what it
+/// gives up relative to Hipster on a heterogeneous platform, since it can
+/// never reach the small cores' low-load efficiency.
+#[derive(Debug, Clone)]
+pub struct DvfsOnly {
+    controller: FeedbackController,
+}
+
+impl DvfsOnly {
+    /// Creates the DVFS-only policy for `platform`.
+    pub fn new(platform: &Platform, zones: Zones) -> Self {
+        let big = platform.cluster(CoreKind::Big);
+        let small = platform.cluster(CoreKind::Small);
+        let ladder: Vec<CoreConfig> = big
+            .freq_levels()
+            .map(|f| CoreConfig::new(big.len(), 0, f, small.max_freq()))
+            .collect();
+        DvfsOnly {
+            controller: FeedbackController::new(ladder, zones),
+        }
+    }
+
+    /// Creates the policy with the default zones.
+    pub fn with_defaults(platform: &Platform) -> Self {
+        Self::new(platform, Zones::paper_defaults())
+    }
+
+    /// The DVFS ladder (all-big configs, ascending frequency).
+    pub fn ladder(&self) -> &[CoreConfig] {
+        self.controller.ladder()
+    }
+}
+
+impl Policy for DvfsOnly {
+    fn name(&self) -> &str {
+        "DVFS-only"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> CoreConfig {
+        self.controller
+            .update(obs.tail_latency_s, obs.qos.target_s)
+    }
+}
+
+/// Hipster's heuristic mapper run standalone (§4.2.1): the same feedback
+/// controller as Octopus-Man but over the *full* HetCMP ladder — every
+/// core-mix and DVFS combination, power-ranked.
+#[derive(Debug, Clone)]
+pub struct HeuristicMapper {
+    controller: FeedbackController,
+}
+
+impl HeuristicMapper {
+    /// Creates the heuristic mapper for `platform`.
+    pub fn new(platform: &Platform, zones: Zones) -> Self {
+        HeuristicMapper {
+            controller: FeedbackController::new(power_ladder(platform), zones),
+        }
+    }
+
+    /// Creates the mapper with paper-default zones.
+    pub fn with_defaults(platform: &Platform) -> Self {
+        Self::new(platform, Zones::paper_defaults())
+    }
+
+    /// The full HetCMP ladder.
+    pub fn ladder(&self) -> &[CoreConfig] {
+        self.controller.ladder()
+    }
+
+    /// Access to the underlying controller (the hybrid manager drives it
+    /// directly during the learning phase).
+    pub fn controller_mut(&mut self) -> &mut FeedbackController {
+        &mut self.controller
+    }
+}
+
+impl Policy for HeuristicMapper {
+    fn name(&self) -> &str {
+        "Hipster-heuristic"
+    }
+
+    fn decide(&mut self, obs: &Observation) -> CoreConfig {
+        self.controller
+            .update(obs.tail_latency_s, obs.qos.target_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_sim::QosTarget;
+
+    fn obs(tail_ms: f64) -> Observation {
+        let mut o = Observation::startup(QosTarget::new(0.95, 0.010));
+        o.tail_latency_s = tail_ms / 1e3;
+        o.load_frac = 0.5;
+        o
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let p = Platform::juno_r1();
+        let mut s = StaticPolicy::all_big(&p);
+        let cfg = s.config();
+        assert_eq!(cfg.to_string(), "2B-1.15");
+        for tail in [0.0, 5.0, 50.0] {
+            assert_eq!(s.decide(&obs(tail)), cfg);
+        }
+    }
+
+    #[test]
+    fn static_all_small() {
+        let p = Platform::juno_r1();
+        let s = StaticPolicy::all_small(&p);
+        assert_eq!(s.config().to_string(), "4S-0.65");
+    }
+
+    #[test]
+    fn octopus_ladder_is_big_or_small_at_max_dvfs() {
+        let p = Platform::juno_r1();
+        let om = OctopusMan::with_defaults(&p);
+        assert_eq!(om.ladder().len(), 6);
+        for c in om.ladder() {
+            assert!(
+                c.single_core_type().is_some(),
+                "{c} mixes clusters — Octopus-Man must not"
+            );
+            if c.n_big > 0 {
+                assert_eq!(c.big_freq.as_mhz(), 1150);
+            }
+        }
+        // Power order: smalls first, then bigs.
+        assert_eq!(om.ladder()[0].to_string(), "1S-0.65");
+        assert_eq!(om.ladder()[5].to_string(), "2B-1.15");
+    }
+
+    #[test]
+    fn octopus_escalates_under_pressure() {
+        let p = Platform::juno_r1();
+        let mut om = OctopusMan::with_defaults(&p);
+        // Drive to the bottom.
+        for _ in 0..10 {
+            om.decide(&obs(0.1));
+        }
+        assert_eq!(om.decide(&obs(0.1)).to_string(), "1S-0.65");
+        // Violation escalates one state per interval.
+        assert_eq!(om.decide(&obs(20.0)).to_string(), "2S-0.65");
+        assert_eq!(om.decide(&obs(20.0)).to_string(), "3S-0.65");
+    }
+
+    #[test]
+    fn heuristic_ladder_covers_full_config_space() {
+        let p = Platform::juno_r1();
+        let h = HeuristicMapper::with_defaults(&p);
+        assert_eq!(h.ladder().len(), p.all_configs().len());
+        // It can express mixed-cluster states Octopus-Man cannot.
+        assert!(h
+            .ladder()
+            .iter()
+            .any(|c| c.n_big > 0 && c.n_small > 0));
+    }
+
+    #[test]
+    fn heuristic_explores_dvfs_settings() {
+        let p = Platform::juno_r1();
+        let h = HeuristicMapper::with_defaults(&p);
+        let freqs: std::collections::HashSet<u32> = h
+            .ladder()
+            .iter()
+            .filter(|c| c.n_big > 0)
+            .map(|c| c.big_freq.as_mhz())
+            .collect();
+        assert!(freqs.contains(&600) && freqs.contains(&900) && freqs.contains(&1150));
+    }
+
+    #[test]
+    fn names() {
+        let p = Platform::juno_r1();
+        assert_eq!(OctopusMan::with_defaults(&p).name(), "Octopus-Man");
+        assert_eq!(HeuristicMapper::with_defaults(&p).name(), "Hipster-heuristic");
+        assert_eq!(StaticPolicy::all_big(&p).name(), "Static(2B-1.15)");
+        assert_eq!(DvfsOnly::with_defaults(&p).name(), "DVFS-only");
+    }
+
+    #[test]
+    fn dvfs_only_never_migrates_cores() {
+        let p = Platform::juno_r1();
+        let mut d = DvfsOnly::with_defaults(&p);
+        assert_eq!(d.ladder().len(), 3); // 0.60 / 0.90 / 1.15 GHz
+        let mut prev: Option<CoreConfig> = None;
+        for tail in [0.1, 9.0, 9.9, 0.5, 20.0, 0.1, 0.1] {
+            let c = d.decide(&obs(tail));
+            assert_eq!(c.n_big, 2);
+            assert_eq!(c.n_small, 0);
+            if let Some(p) = prev {
+                assert!(p.same_mapping(&c), "mapping changed: {p} -> {c}");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn dvfs_only_walks_frequencies() {
+        let p = Platform::juno_r1();
+        let mut d = DvfsOnly::with_defaults(&p);
+        // Safe tails walk down to 0.60 GHz.
+        for _ in 0..5 {
+            d.decide(&obs(0.1));
+        }
+        assert_eq!(d.decide(&obs(0.1)).big_freq.as_mhz(), 600);
+        // Danger tails walk back up.
+        d.decide(&obs(9.9));
+        assert_eq!(d.decide(&obs(9.9)).big_freq.as_mhz(), 1150);
+    }
+}

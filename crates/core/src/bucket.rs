@@ -1,0 +1,117 @@
+//! Load quantization into discrete buckets — the MDP state space.
+//!
+//! §3.2: the QoS Monitor "reads the current load on the latency-critical
+//! workload and quantizes this value into discrete buckets between 0 and
+//! T−1, for (some) small value T". Fig. 10 sweeps the bucket size: small
+//! buckets give fine-grained control (more energy savings, more QoS
+//! violations from frequent reconfiguration), large buckets the opposite.
+
+/// Quantizes load fractions into buckets of a fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_core::LoadBuckets;
+///
+/// let b = LoadBuckets::new(0.05); // 5% buckets
+/// assert_eq!(b.num_buckets(), 21);
+/// assert_eq!(b.bucket(0.00), 0);
+/// assert_eq!(b.bucket(0.07), 1);
+/// assert_eq!(b.bucket(1.00), 20);
+/// assert_eq!(b.bucket(2.00), 20); // clamps overload
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBuckets {
+    width: f64,
+    count: usize,
+}
+
+impl LoadBuckets {
+    /// Creates buckets of `width` (a fraction of max load, e.g. `0.03` for
+    /// the paper's 3% buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < width <= 1`.
+    pub fn new(width: f64) -> Self {
+        assert!(
+            width > 0.0 && width <= 1.0,
+            "bucket width {width} not in (0, 1]"
+        );
+        let count = (1.0 / width).ceil() as usize + 1;
+        LoadBuckets { width, count }
+    }
+
+    /// The bucket width as a load fraction.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of buckets `T` (states are `0..T`).
+    pub fn num_buckets(&self) -> usize {
+        self.count
+    }
+
+    /// Quantizes a load fraction (clamped to `[0, 1]`) into a bucket index.
+    pub fn bucket(&self, load_frac: f64) -> u32 {
+        let clamped = load_frac.clamp(0.0, 1.0);
+        ((clamped / self.width).floor() as usize).min(self.count - 1) as u32
+    }
+
+    /// The load fraction at the centre of bucket `b` (useful for
+    /// diagnostics).
+    pub fn center(&self, b: u32) -> f64 {
+        ((b as f64 + 0.5) * self.width).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let b = LoadBuckets::new(0.1);
+        assert_eq!(b.bucket(0.0), 0);
+        assert_eq!(b.bucket(0.0999), 0);
+        assert_eq!(b.bucket(0.1), 1);
+        assert_eq!(b.bucket(0.95), 9);
+        assert_eq!(b.bucket(1.0), 10);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let b = LoadBuckets::new(0.1);
+        assert_eq!(b.bucket(-0.5), 0);
+        assert_eq!(b.bucket(7.0), 10);
+    }
+
+    #[test]
+    fn smaller_width_more_buckets() {
+        assert!(LoadBuckets::new(0.02).num_buckets() > LoadBuckets::new(0.09).num_buckets());
+    }
+
+    #[test]
+    fn monotone_in_load() {
+        let b = LoadBuckets::new(0.03);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let cur = b.bucket(i as f64 / 100.0);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn center_within_bucket() {
+        let b = LoadBuckets::new(0.25);
+        let c = b.center(1);
+        assert_eq!(b.bucket(c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn rejects_zero_width() {
+        LoadBuckets::new(0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The feedback state machine shared by Octopus-Man and Hipster's
+//! heuristic mapper (paper §3.3).
+//!
+//! States are core configurations, pre-ordered "approximately from highest
+//! to lowest power efficiency" by the stress microbenchmark. The controller
+//! moves to the next-higher power state whenever the measured tail latency
+//! ends an interval in the *danger zone* (`QoS_curr > QoS_target × QoS_D`)
+//! and to the next-lower power state in the *safe zone*
+//! (`QoS_curr < QoS_target × QoS_S`), with `0 < QoS_S < QoS_D < 1` chosen
+//! to damp oscillation.
+
+use hipster_platform::CoreConfig;
+
+/// Danger/safe-zone thresholds of the feedback controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zones {
+    /// `QoS_D`: fraction of the target above which the state machine
+    /// escalates.
+    pub danger: f64,
+    /// `QoS_S`: fraction of the target below which it de-escalates.
+    pub safe: f64,
+}
+
+impl Zones {
+    /// Creates zone thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < safe < danger <= 1`.
+    pub fn new(danger: f64, safe: f64) -> Self {
+        assert!(
+            0.0 < safe && safe < danger && danger <= 1.0,
+            "invalid zones: danger {danger}, safe {safe}"
+        );
+        Zones { danger, safe }
+    }
+
+    /// The thresholds used throughout the reproduction (danger at 85% of
+    /// target, safe below 35%), chosen like the paper — empirically, for
+    /// the highest QoS guarantee in a sweep. A low safe threshold damps the
+    /// step-down-into-overload oscillation the paper blames for
+    /// Octopus-Man's QoS violations.
+    pub fn paper_defaults() -> Self {
+        Zones::new(0.85, 0.35)
+    }
+}
+
+impl Default for Zones {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// A feedback state machine over an ordered configuration ladder.
+#[derive(Debug, Clone)]
+pub struct FeedbackController {
+    ladder: Vec<CoreConfig>,
+    idx: usize,
+    zones: Zones,
+}
+
+impl FeedbackController {
+    /// Creates a controller over `ladder` (lowest-power state first),
+    /// starting at the *highest* state — both Octopus-Man and Hipster start
+    /// conservatively and work downward as the safe zone allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ladder` is empty.
+    pub fn new(ladder: Vec<CoreConfig>, zones: Zones) -> Self {
+        assert!(!ladder.is_empty(), "ladder must not be empty");
+        let idx = ladder.len() - 1;
+        FeedbackController { ladder, idx, zones }
+    }
+
+    /// The ladder, lowest-power state first.
+    pub fn ladder(&self) -> &[CoreConfig] {
+        &self.ladder
+    }
+
+    /// The current state.
+    pub fn current(&self) -> CoreConfig {
+        self.ladder[self.idx]
+    }
+
+    /// The configured zones.
+    pub fn zones(&self) -> Zones {
+        self.zones
+    }
+
+    /// Applies one interval's measurement and returns the next state:
+    /// danger zone → next-higher power state, safe zone → next-lower,
+    /// otherwise hold.
+    pub fn update(&mut self, tail_latency_s: f64, target_s: f64) -> CoreConfig {
+        if tail_latency_s > target_s * self.zones.danger {
+            self.idx = (self.idx + 1).min(self.ladder.len() - 1);
+        } else if tail_latency_s < target_s * self.zones.safe {
+            self.idx = self.idx.saturating_sub(1);
+        }
+        self.current()
+    }
+
+    /// Resets to the highest-power state (used when re-entering the
+    /// learning phase after a QoS slump).
+    pub fn reset_high(&mut self) {
+        self.idx = self.ladder.len() - 1;
+    }
+
+    /// Moves the controller to the state closest to `config` (same core
+    /// counts, nearest DVFS), if one exists in the ladder. Used to hand
+    /// over smoothly from the exploitation phase.
+    pub fn seek(&mut self, config: &CoreConfig) {
+        if let Some(i) = self.ladder.iter().position(|c| c == config) {
+            self.idx = i;
+        } else if let Some(i) = self
+            .ladder
+            .iter()
+            .position(|c| c.same_mapping(config))
+        {
+            self.idx = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_platform::{power_ladder, Platform};
+
+    fn controller() -> FeedbackController {
+        FeedbackController::new(power_ladder(&Platform::juno_r1()), Zones::paper_defaults())
+    }
+
+    #[test]
+    fn starts_at_highest_power_state() {
+        let c = controller();
+        let top = *c.ladder().last().unwrap();
+        assert_eq!(c.current(), top);
+    }
+
+    #[test]
+    fn danger_zone_escalates() {
+        let mut c = controller();
+        c.seek(&"1S-0.65".parse().unwrap());
+        let before = c.current();
+        let after = c.update(0.0099, 0.010); // 99% of target: danger
+        assert_ne!(before, after);
+        assert_eq!(after, c.ladder()[1]);
+    }
+
+    #[test]
+    fn safe_zone_deescalates() {
+        let mut c = controller();
+        let n = c.ladder().len();
+        let after = c.update(0.001, 0.010); // 10% of target: safe
+        assert_eq!(after, c.ladder()[n - 2]);
+    }
+
+    #[test]
+    fn middle_zone_holds() {
+        let mut c = controller();
+        c.seek(&"2B2S-0.90".parse().unwrap());
+        let before = c.current();
+        // 70% of target: between safe (50%) and danger (85%).
+        let after = c.update(0.007, 0.010);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn saturates_at_ladder_ends() {
+        let mut c = controller();
+        for _ in 0..100 {
+            c.update(1.0, 0.010); // massive violation
+        }
+        assert_eq!(c.current(), *c.ladder().last().unwrap());
+        for _ in 0..100 {
+            c.update(0.0, 0.010); // idle
+        }
+        assert_eq!(c.current(), c.ladder()[0]);
+    }
+
+    #[test]
+    fn seek_finds_exact_and_mapping_match() {
+        let mut c = controller();
+        let exact: CoreConfig = "2B2S-0.60".parse().unwrap();
+        c.seek(&exact);
+        assert_eq!(c.current(), exact);
+        // A config absent from the ladder (freq not offered for 0-big) at
+        // least lands on the same mapping.
+        let weird = CoreConfig::new(
+            2,
+            2,
+            hipster_platform::Frequency::from_mhz(900),
+            hipster_platform::Frequency::from_mhz(650),
+        );
+        c.seek(&weird);
+        assert!(c.current().same_mapping(&weird));
+    }
+
+    #[test]
+    fn reset_high_returns_to_top() {
+        let mut c = controller();
+        c.update(0.0, 0.010);
+        c.update(0.0, 0.010);
+        c.reset_high();
+        assert_eq!(c.current(), *c.ladder().last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid zones")]
+    fn zones_must_be_ordered() {
+        Zones::new(0.5, 0.8);
+    }
+}

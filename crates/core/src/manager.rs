@@ -1,0 +1,191 @@
+//! The runtime driver: wires a [`Policy`] to a simulation [`Engine`] the
+//! way the real Hipster wires its Mapper Module to Linux.
+//!
+//! Each monitoring interval the manager (1) assembles an [`Observation`]
+//! from the previous interval's statistics (what the QoS Monitor would
+//! read from the latency logfile, energy registers and perf counters),
+//! (2) asks the policy for the next core configuration, (3) translates it
+//! into a full [`MachineConfig`] — interactive (clusters the LC workload
+//! does not use are clocked down) or collocated (remaining cores run batch,
+//! Algorithm 2 lines 8–13) — and (4) steps the engine.
+
+use hipster_sim::{Engine, IntervalStats, MachineConfig, Trace};
+
+use crate::policy::{Observation, Policy};
+
+/// Drives one policy over one engine, producing a [`Trace`].
+#[derive(Debug)]
+pub struct Manager {
+    engine: Engine,
+    policy: Box<dyn Policy>,
+    collocate: bool,
+    last: Option<IntervalStats>,
+}
+
+impl Manager {
+    /// Creates an interactive-mode manager (no batch collocation).
+    pub fn new(engine: Engine, policy: Box<dyn Policy>) -> Self {
+        Manager {
+            engine,
+            policy,
+            collocate: false,
+            last: None,
+        }
+    }
+
+    /// Enables batch collocation: remaining cores run the engine's batch
+    /// pool and the policy observes batch IPS.
+    pub fn collocated(mut self) -> Self {
+        self.collocate = true;
+        self
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The observation the policy will act on next.
+    pub fn observation(&self) -> Observation {
+        let qos = self.engine.lc_model().qos();
+        match &self.last {
+            None => Observation::startup(qos),
+            Some(s) => {
+                // The MDP state is the *input* load on the workload (the
+                // paper's "percentage of maximum load"). The generator's
+                // offered fraction is the right signal: measured arrival
+                // rates collapse under closed-loop saturation (clients
+                // stall mid-wait), which would alias overloaded states
+                // onto low-load buckets.
+                Observation {
+                    load_frac: s.offered_load_frac.clamp(0.0, 1.5),
+                    tail_latency_s: s.tail_latency_s,
+                    qos,
+                    power_w: s.power.total(),
+                    batch_ips_big: s.batch_ips_big,
+                    batch_ips_small: s.batch_ips_small,
+                    counters_valid: s.counters_valid,
+                    has_batch: self.collocate,
+                }
+            }
+        }
+    }
+
+    /// Runs one monitoring interval.
+    pub fn step(&mut self) -> IntervalStats {
+        let obs = self.observation();
+        let lc = self.policy.decide(&obs);
+        let cfg = if self.collocate {
+            MachineConfig::collocated(self.engine.platform(), lc)
+        } else {
+            MachineConfig::interactive(self.engine.platform(), lc)
+        };
+        let stats = self.engine.step(cfg);
+        self.last = Some(stats.clone());
+        stats
+    }
+
+    /// Runs `intervals` monitoring intervals and returns their trace.
+    pub fn run(&mut self, intervals: usize) -> Trace {
+        (0..intervals).map(|_| self.step()).collect()
+    }
+
+    /// Consumes the manager after a run, returning the engine (e.g. to
+    /// inspect cumulative energy).
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticPolicy;
+    use hipster_platform::{CoreKind, Frequency, Platform};
+    use hipster_sim::{Demand, LcModel, LoadPattern, QosTarget, SimRng};
+
+    #[derive(Debug)]
+    struct Toy;
+    impl LcModel for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn max_load_rps(&self) -> f64 {
+            100.0
+        }
+        fn qos(&self) -> QosTarget {
+            QosTarget::new(0.95, 0.010)
+        }
+        fn sample_demand(&self, _rng: &mut SimRng) -> Demand {
+            Demand::new(1.0, 0.0)
+        }
+        fn service_speed(&self, kind: CoreKind, _f: Frequency) -> f64 {
+            match kind {
+                CoreKind::Big => 1000.0,
+                CoreKind::Small => 400.0,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Half;
+    impl LoadPattern for Half {
+        fn load_at(&self, _t: f64) -> f64 {
+            0.5
+        }
+        fn duration(&self) -> f64 {
+            10.0
+        }
+    }
+
+    fn manager() -> Manager {
+        let platform = Platform::juno_r1();
+        let policy = StaticPolicy::all_big(&platform);
+        let engine = Engine::new(platform, Box::new(Toy), Box::new(Half), 3);
+        Manager::new(engine, Box::new(policy))
+    }
+
+    #[test]
+    fn first_observation_is_startup() {
+        let m = manager();
+        let o = m.observation();
+        assert_eq!(o.load_frac, 0.0);
+        assert_eq!(o.tail_latency_s, 0.0);
+    }
+
+    #[test]
+    fn run_produces_trace_and_updates_observation() {
+        let mut m = manager();
+        let trace = m.run(5);
+        assert_eq!(trace.len(), 5);
+        let o = m.observation();
+        // ~50 rps measured out of 100 max.
+        assert!((o.load_frac - 0.5).abs() < 0.25, "{}", o.load_frac);
+        assert!(o.power_w > 0.0);
+    }
+
+    #[test]
+    fn static_policy_holds_configuration() {
+        let mut m = manager();
+        let trace = m.run(4);
+        for s in trace.intervals() {
+            assert_eq!(s.config.lc.to_string(), "2B-1.15");
+        }
+        assert_eq!(trace.total_migrations(), 0);
+    }
+
+    #[test]
+    fn interactive_mode_downclocks_unused_cluster() {
+        let mut m = manager();
+        let s = m.step();
+        // LC on big cores only → small cluster can't go below its single
+        // operating point, but batch is off.
+        assert!(!s.config.batch_enabled);
+        assert_eq!(s.batch_ips_big, 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Summary metrics for policy comparisons — the quantities of Table 3.
+
+use hipster_sim::{QosTarget, Trace};
+
+/// One policy's summary over a run (a row of Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySummary {
+    /// Policy name.
+    pub name: String,
+    /// Percentage of intervals meeting the QoS target.
+    pub qos_guarantee_pct: f64,
+    /// Mean tardiness over violating intervals (`None` when spotless).
+    pub mean_tardiness: Option<f64>,
+    /// Total energy over the run, joules.
+    pub total_energy_j: f64,
+    /// Total LC core migrations.
+    pub migrations: usize,
+    /// Mean aggregate batch IPS (0 without collocation).
+    pub mean_batch_ips: f64,
+}
+
+impl PolicySummary {
+    /// Summarizes a trace.
+    pub fn from_trace(name: impl Into<String>, trace: &Trace, qos: QosTarget) -> Self {
+        PolicySummary {
+            name: name.into(),
+            qos_guarantee_pct: trace.qos_guarantee_pct(qos),
+            mean_tardiness: trace.mean_violation_tardiness(qos),
+            total_energy_j: trace.total_energy_j(),
+            migrations: trace.total_migrations(),
+            mean_batch_ips: trace.mean_batch_ips(),
+        }
+    }
+
+    /// Energy reduction relative to a baseline trace, percent (positive =
+    /// this policy used less energy). Table 3 reports this against Static
+    /// (all big cores).
+    pub fn energy_reduction_pct_vs(&self, baseline: &PolicySummary) -> f64 {
+        if baseline.total_energy_j <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.total_energy_j / baseline.total_energy_j) * 100.0
+    }
+}
+
+/// Energy reduction of `trace` versus `baseline`, percent.
+pub fn energy_reduction_pct(trace: &Trace, baseline: &Trace) -> f64 {
+    if baseline.total_energy_j() <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - trace.total_energy_j() / baseline.total_energy_j()) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_platform::{CoreConfig, Frequency, PowerBreakdown};
+    use hipster_sim::{IntervalStats, MachineConfig};
+
+    fn stats(tail_ms: f64, energy: f64) -> IntervalStats {
+        let f = Frequency::from_mhz(1150);
+        let fs = Frequency::from_mhz(650);
+        IntervalStats {
+            index: 0,
+            start_s: 0.0,
+            duration_s: 1.0,
+            config: MachineConfig {
+                lc: CoreConfig::new(2, 0, f, fs),
+                big_freq: f,
+                small_freq: fs,
+                batch_enabled: false,
+            },
+            offered_load_frac: 0.5,
+            offered_rps: 10.0,
+            arrivals: 10,
+            completions: 10,
+            timeouts: 0,
+            throughput_rps: 10.0,
+            tail_latency_s: tail_ms / 1e3,
+            mean_latency_s: tail_ms / 2e3,
+            queue_len: 0,
+            lc_busy: vec![0.5, 0.5],
+            power: PowerBreakdown {
+                big: energy,
+                small: 0.0,
+                rest: 0.0,
+            },
+            energy_j: energy,
+            batch_ips_big: 1.0e9,
+            batch_ips_small: 0.5e9,
+            counters_valid: true,
+            migrated_cores: 1,
+        }
+    }
+
+    fn qos() -> QosTarget {
+        QosTarget::new(0.95, 0.010)
+    }
+
+    #[test]
+    fn summary_from_trace() {
+        let t: Trace = vec![stats(5.0, 2.0), stats(20.0, 2.0)].into_iter().collect();
+        let s = PolicySummary::from_trace("X", &t, qos());
+        assert_eq!(s.qos_guarantee_pct, 50.0);
+        assert_eq!(s.mean_tardiness, Some(2.0));
+        assert_eq!(s.total_energy_j, 4.0);
+        assert_eq!(s.migrations, 2);
+        assert!((s.mean_batch_ips - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_reduction_sign() {
+        let cheap: Trace = vec![stats(5.0, 1.0)].into_iter().collect();
+        let pricey: Trace = vec![stats(5.0, 2.0)].into_iter().collect();
+        assert!((energy_reduction_pct(&cheap, &pricey) - 50.0).abs() < 1e-12);
+        assert!(energy_reduction_pct(&pricey, &cheap) < 0.0);
+        let a = PolicySummary::from_trace("a", &cheap, qos());
+        let b = PolicySummary::from_trace("b", &pricey, qos());
+        assert!((a.energy_reduction_pct_vs(&b) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_baseline_guard() {
+        let t = Trace::new();
+        assert_eq!(energy_reduction_pct(&t, &t), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The policy interface: what every task manager observes and decides.
+
+use hipster_platform::CoreConfig;
+use hipster_sim::QosTarget;
+
+/// Everything the QoS Monitor hands a policy at the end of a monitoring
+/// interval (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Measured load during the previous interval, as a fraction of the
+    /// workload's maximum (the MDP state signal before quantization).
+    pub load_frac: f64,
+    /// Measured tail latency at the QoS percentile, seconds.
+    pub tail_latency_s: f64,
+    /// The workload's QoS target.
+    pub qos: QosTarget,
+    /// Average system power during the interval, watts.
+    pub power_w: f64,
+    /// Aggregate batch IPS on big cores as reported by perf counters.
+    pub batch_ips_big: f64,
+    /// Aggregate batch IPS on small cores as reported by perf counters.
+    pub batch_ips_small: f64,
+    /// Whether the perf counter window was clean (the Juno idle bug
+    /// corrupts whole windows; see `hipster-platform`).
+    pub counters_valid: bool,
+    /// Whether batch jobs are collocated on the machine.
+    pub has_batch: bool,
+}
+
+impl Observation {
+    /// The observation presented before any interval has run: zero load,
+    /// zero latency. Policies should answer with their lowest/startup
+    /// configuration.
+    pub fn startup(qos: QosTarget) -> Self {
+        Observation {
+            load_frac: 0.0,
+            tail_latency_s: 0.0,
+            qos,
+            power_w: 0.0,
+            batch_ips_big: 0.0,
+            batch_ips_small: 0.0,
+            counters_valid: true,
+            has_batch: false,
+        }
+    }
+
+    /// QoS tardiness of the observation (measured / target).
+    pub fn tardiness(&self) -> f64 {
+        self.qos.tardiness(self.tail_latency_s)
+    }
+}
+
+/// A task-management policy: decides the next interval's core configuration
+/// for the latency-critical workload from the previous interval's
+/// observation.
+///
+/// Implementations in this crate: [`StaticPolicy`](crate::StaticPolicy),
+/// [`OctopusMan`](crate::OctopusMan),
+/// [`HeuristicMapper`](crate::HeuristicMapper) and
+/// [`Hipster`](crate::Hipster) (the paper's contribution).
+pub trait Policy: std::fmt::Debug + Send {
+    /// Short policy name for tables and traces.
+    fn name(&self) -> &str;
+
+    /// Chooses the configuration for the next monitoring interval.
+    fn decide(&mut self, obs: &Observation) -> CoreConfig;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_observation_is_quiet() {
+        let o = Observation::startup(QosTarget::new(0.95, 0.010));
+        assert_eq!(o.load_frac, 0.0);
+        assert_eq!(o.tail_latency_s, 0.0);
+        assert!(o.counters_valid);
+        assert_eq!(o.tardiness(), 0.0);
+    }
+
+    #[test]
+    fn tardiness_ratio() {
+        let mut o = Observation::startup(QosTarget::new(0.95, 0.010));
+        o.tail_latency_s = 0.025;
+        assert!((o.tardiness() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_is_object_safe() {
+        fn _use(_: &dyn Policy) {}
+    }
+}

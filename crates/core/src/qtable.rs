@@ -1,0 +1,303 @@
+//! The Hipster lookup table `R(w, c)`.
+//!
+//! §3.7: "the lookup table was implemented using a Python dictionary, which
+//! uses open addressing … having a computational complexity of O(1)". The
+//! Rust equivalent is a `HashMap` keyed on (load bucket, configuration);
+//! absent entries read as 0 (unexplored).
+
+use std::collections::HashMap;
+
+use hipster_platform::CoreConfig;
+
+/// Tabular action-value store for the Hipster MDP.
+///
+/// `w` is a quantized load bucket, `c` a core configuration; `R(w, c)`
+/// estimates the total discounted reward from taking `c` in state `w`.
+#[derive(Debug, Clone, Default)]
+pub struct QTable {
+    table: HashMap<(u32, CoreConfig), f64>,
+}
+
+impl QTable {
+    /// Creates an empty table (all entries 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of explored (written) entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table has never been written.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Reads `R(w, c)`; unexplored entries are 0.
+    pub fn get(&self, w: u32, c: &CoreConfig) -> f64 {
+        self.table.get(&(w, *c)).copied().unwrap_or(0.0)
+    }
+
+    /// The highest `R(w, d)` over an action set (0 if none explored).
+    pub fn max_over(&self, w: u32, actions: &[CoreConfig]) -> f64 {
+        actions
+            .iter()
+            .map(|c| self.get(w, c))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// The action with the highest `R(w, d)`; ties break toward the
+    /// earliest action in `actions` (the power ladder puts cheaper
+    /// configurations first, so unexplored states prefer low power).
+    ///
+    /// Returns `None` when `actions` is empty.
+    pub fn best_action(&self, w: u32, actions: &[CoreConfig]) -> Option<CoreConfig> {
+        let mut best: Option<(CoreConfig, f64)> = None;
+        for c in actions {
+            let v = self.get(w, c);
+            match best {
+                None => best = Some((*c, v)),
+                Some((_, bv)) if v > bv => best = Some((*c, v)),
+                _ => {}
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// The Q-learning update of Algorithm 1 line 16:
+    ///
+    /// ```text
+    /// R(w,c) ← R(w,c) + α · (λ + γ·max_d R(w', d) − R(w,c))
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` and `gamma` lie in `[0, 1]`.
+    pub fn update(
+        &mut self,
+        w: u32,
+        c: CoreConfig,
+        reward: f64,
+        next_w: u32,
+        actions: &[CoreConfig],
+        alpha: f64,
+        gamma: f64,
+    ) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} not in [0,1]");
+        assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} not in [0,1]");
+        let future = self.max_over(next_w, actions);
+        let entry = self.table.entry((w, c)).or_insert(0.0);
+        *entry += alpha * (reward + gamma * future - *entry);
+    }
+
+    /// Whether state `w` has at least one strictly positive entry — i.e.
+    /// the table has found a configuration believed to meet QoS there.
+    pub fn has_positive_entry(&self, w: u32, actions: &[CoreConfig]) -> bool {
+        actions.iter().any(|c| self.get(w, c) > 0.0)
+    }
+
+    /// Iterates over all written entries as `((w, c), value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, CoreConfig), &f64)> {
+        self.table.iter()
+    }
+
+    /// Serializes the table as tab-separated text (`bucket \t config \t
+    /// value`), sorted for stable output. The paper's deployment story
+    /// assumes learned tables survive across runs; this is the wire format
+    /// for that warm start.
+    ///
+    /// Configurations are stored by their paper-style label, which carries
+    /// a single frequency: entries whose idle-cluster frequency differs
+    /// from the Juno defaults are canonicalized on reload. Action sets
+    /// produced by [`power_ladder`](hipster_platform::power_ladder) are
+    /// canonical, so tables learned by [`Hipster`](crate::Hipster) always
+    /// round-trip exactly.
+    pub fn to_tsv(&self) -> String {
+        let mut rows: Vec<(u32, CoreConfig, f64)> =
+            self.table.iter().map(|(&(w, c), &v)| (w, c, v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut out = String::new();
+        for (w, c, v) in rows {
+            out.push_str(&format!("{w}\t{c}\t{v:.17e}\n"));
+        }
+        out
+    }
+
+    /// Parses a table serialized by [`QTable::to_tsv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_tsv(text: &str) -> Result<Self, String> {
+        let mut table = QTable::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let err = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+            let w: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing bucket"))?
+                .parse()
+                .map_err(|_| err("bad bucket"))?;
+            let c: CoreConfig = parts
+                .next()
+                .ok_or_else(|| err("missing config"))?
+                .parse()
+                .map_err(|_| err("bad config"))?;
+            let v: f64 = parts
+                .next()
+                .ok_or_else(|| err("missing value"))?
+                .parse()
+                .map_err(|_| err("bad value"))?;
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            table.table.insert((w, c), v);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_platform::Frequency;
+
+    fn cfg(n_big: usize, n_small: usize) -> CoreConfig {
+        CoreConfig::new(
+            n_big,
+            n_small,
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(650),
+        )
+    }
+
+    #[test]
+    fn unexplored_reads_zero() {
+        let t = QTable::new();
+        assert_eq!(t.get(3, &cfg(1, 0)), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut t = QTable::new();
+        let actions = [cfg(1, 0), cfg(2, 0)];
+        t.update(0, cfg(1, 0), 10.0, 1, &actions, 0.5, 0.0);
+        assert_eq!(t.get(0, &cfg(1, 0)), 5.0);
+        t.update(0, cfg(1, 0), 10.0, 1, &actions, 0.5, 0.0);
+        assert_eq!(t.get(0, &cfg(1, 0)), 7.5);
+    }
+
+    #[test]
+    fn discounting_bootstraps_future_value() {
+        let mut t = QTable::new();
+        let actions = [cfg(1, 0), cfg(2, 0)];
+        // Seed the next state's value.
+        t.update(1, cfg(2, 0), 8.0, 2, &actions, 1.0, 0.0);
+        assert_eq!(t.get(1, &cfg(2, 0)), 8.0);
+        // α=1, γ=0.5: R(0,c) = λ + 0.5·max_d R(1,d) = 2 + 4.
+        t.update(0, cfg(1, 0), 2.0, 1, &actions, 1.0, 0.5);
+        assert_eq!(t.get(0, &cfg(1, 0)), 6.0);
+    }
+
+    #[test]
+    fn best_action_argmax_with_ladder_tiebreak() {
+        let mut t = QTable::new();
+        let actions = [cfg(0, 1), cfg(1, 0), cfg(2, 0)];
+        // All zero: first (cheapest) wins.
+        assert_eq!(t.best_action(0, &actions), Some(cfg(0, 1)));
+        t.update(0, cfg(1, 0), 4.0, 0, &actions, 1.0, 0.0);
+        assert_eq!(t.best_action(0, &actions), Some(cfg(1, 0)));
+        // Negative values lose to zero-valued cheaper entries.
+        t.update(1, cfg(0, 1), -3.0, 0, &actions, 1.0, 0.0);
+        assert_eq!(t.best_action(1, &actions), Some(cfg(1, 0)));
+    }
+
+    #[test]
+    fn best_action_empty_set() {
+        let t = QTable::new();
+        assert_eq!(t.best_action(0, &[]), None);
+    }
+
+    #[test]
+    fn positive_entry_detection() {
+        let mut t = QTable::new();
+        let actions = [cfg(1, 0)];
+        assert!(!t.has_positive_entry(0, &actions));
+        t.update(0, cfg(1, 0), -1.0, 0, &actions, 1.0, 0.0);
+        assert!(!t.has_positive_entry(0, &actions));
+        t.update(0, cfg(1, 0), 10.0, 0, &actions, 1.0, 0.0);
+        assert!(t.has_positive_entry(0, &actions));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn update_rejects_bad_alpha() {
+        let mut t = QTable::new();
+        t.update(0, cfg(1, 0), 1.0, 0, &[], 1.5, 0.5);
+    }
+
+    #[test]
+    fn tsv_round_trip_preserves_entries() {
+        // Canonical configs: idle-cluster frequency at the Juno default
+        // (0.60 GHz big when no big cores), as power_ladder produces.
+        let small_only = CoreConfig::new(
+            0,
+            3,
+            Frequency::from_mhz(600),
+            Frequency::from_mhz(650),
+        );
+        let mut t = QTable::new();
+        let actions = [cfg(1, 0), cfg(2, 0), small_only];
+        t.update(0, cfg(1, 0), 3.25, 1, &actions, 0.6, 0.9);
+        t.update(5, small_only, -1.75, 5, &actions, 0.6, 0.9);
+        t.update(5, cfg(2, 0), 7.5, 6, &actions, 1.0, 0.0);
+        let text = t.to_tsv();
+        let back = QTable::from_tsv(&text).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (&(w, c), &v) in t.iter() {
+            assert!((back.get(w, &c) - v).abs() < 1e-12, "({w},{c})");
+        }
+    }
+
+    #[test]
+    fn every_power_ladder_config_round_trips() {
+        use hipster_platform::{power_ladder, Platform};
+        let ladder = power_ladder(&Platform::juno_r1());
+        let mut t = QTable::new();
+        for (i, c) in ladder.iter().enumerate() {
+            t.update(i as u32, *c, i as f64, 0, &[], 1.0, 0.0);
+        }
+        let back = QTable::from_tsv(&t.to_tsv()).unwrap();
+        for (i, c) in ladder.iter().enumerate() {
+            assert_eq!(back.get(i as u32, c), i as f64, "{c}");
+        }
+    }
+
+    #[test]
+    fn tsv_output_is_sorted_and_stable() {
+        let mut t = QTable::new();
+        t.update(3, cfg(2, 0), 1.0, 3, &[], 1.0, 0.0);
+        t.update(1, cfg(1, 0), 2.0, 1, &[], 1.0, 0.0);
+        let a = t.to_tsv();
+        let b = t.to_tsv();
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(lines[0].starts_with('1'));
+        assert!(lines[1].starts_with('3'));
+    }
+
+    #[test]
+    fn from_tsv_rejects_garbage() {
+        assert!(QTable::from_tsv("not a table").is_err());
+        assert!(QTable::from_tsv("1\tnonsense\t2.0").is_err());
+        assert!(QTable::from_tsv("1\t2B-1.15\tx").is_err());
+        assert!(QTable::from_tsv("1\t2B-1.15\t1.0\textra").is_err());
+        // Empty and blank lines are fine.
+        assert_eq!(QTable::from_tsv("\n\n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The reward mechanism — Algorithm 1 of the paper.
+//!
+//! The reward λₙ for the interval that just finished has three parts:
+//!
+//! * **QoS reward** — `QoS_reward = QoS_curr / QoS_target`. Below the
+//!   danger zone the reward is `QoS_reward + 1` (prefer configurations that
+//!   *approach* the target: less over-provisioning). Above the target it is
+//!   `−QoS_reward − 1` (tardiness-scaled punishment).
+//! * **Stochastic reward** — between the danger zone and the target a
+//!   uniform `Random(0,1)` is subtracted, keeping some pressure to explore
+//!   out of the near-violation band.
+//! * **Power reward** (HipsterIn) — `TDP / Power`; or **Throughput reward**
+//!   (HipsterCo) — `(BIPS + SIPS) / (maxIPS(B) + maxIPS(S))`.
+
+use hipster_sim::SimRng;
+
+use crate::policy::Observation;
+
+/// What the hybrid manager optimizes once QoS is safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// HipsterIn: minimize system power (reward `TDP / Power`).
+    MinimizePower {
+        /// Thermal design power of the platform, watts.
+        tdp_w: f64,
+    },
+    /// HipsterCo: maximize batch throughput (reward
+    /// `(BIPS + SIPS) / (maxIPS(B) + maxIPS(S))`).
+    MaximizeBatchThroughput {
+        /// `maxIPS(B) + maxIPS(S)`: single-core peak IPS of the batch mix
+        /// on a big plus a small core at top DVFS.
+        max_ips_sum: f64,
+    },
+}
+
+/// Tunable constants of the reward and Q-update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardParams {
+    /// Danger-zone fraction `QoS_D` (§3.3): latencies above
+    /// `target × QoS_D` are "close to violation".
+    pub qos_danger: f64,
+    /// Learning rate α (paper: 0.6).
+    pub alpha: f64,
+    /// Discount factor γ (paper: 0.9).
+    pub gamma: f64,
+}
+
+impl RewardParams {
+    /// The paper's empirically determined constants: α = 0.6, γ = 0.9,
+    /// danger zone at 85% of the target.
+    pub fn paper_defaults() -> Self {
+        RewardParams {
+            qos_danger: 0.85,
+            alpha: 0.6,
+            gamma: 0.9,
+        }
+    }
+}
+
+impl Default for RewardParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Computes the reward λₙ of Algorithm 1 (lines 1–15) for one observation.
+///
+/// `rng` feeds the stochastic penalty band; `stochastic` disables it for
+/// the ablation study when `false`.
+pub fn reward(
+    obs: &Observation,
+    objective: Objective,
+    params: &RewardParams,
+    rng: &mut SimRng,
+    stochastic: bool,
+) -> f64 {
+    let qos_reward = obs.tail_latency_s / obs.qos.target_s;
+    let danger = obs.qos.target_s * params.qos_danger;
+    let mut lambda = if obs.tail_latency_s < danger {
+        qos_reward + 1.0
+    } else if obs.tail_latency_s < obs.qos.target_s {
+        let penalty = if stochastic { rng.uniform() } else { 0.0 };
+        qos_reward + 1.0 - penalty
+    } else {
+        -qos_reward - 1.0
+    };
+    match objective {
+        Objective::MaximizeBatchThroughput { max_ips_sum } => {
+            // Lines 12–13: only meaningful when batch jobs exist and the
+            // counters were clean (the Juno idle bug would inject garbage).
+            if obs.has_batch && obs.counters_valid && max_ips_sum > 0.0 {
+                lambda += (obs.batch_ips_big + obs.batch_ips_small) / max_ips_sum;
+            }
+        }
+        Objective::MinimizePower { tdp_w } => {
+            // Line 15.
+            if obs.power_w > 0.0 {
+                lambda += tdp_w / obs.power_w;
+            }
+        }
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_sim::QosTarget;
+
+    fn obs(tail_ms: f64, power_w: f64) -> Observation {
+        Observation {
+            load_frac: 0.5,
+            tail_latency_s: tail_ms / 1e3,
+            qos: QosTarget::new(0.95, 0.010),
+            power_w,
+            batch_ips_big: 0.0,
+            batch_ips_small: 0.0,
+            counters_valid: true,
+            has_batch: false,
+        }
+    }
+
+    fn power_objective() -> Objective {
+        Objective::MinimizePower { tdp_w: 3.0 }
+    }
+
+    #[test]
+    fn meeting_qos_earns_positive_reward() {
+        let mut rng = SimRng::seed(1);
+        let r = reward(
+            &obs(2.0, 1.5),
+            power_objective(),
+            &RewardParams::paper_defaults(),
+            &mut rng,
+            true,
+        );
+        // QoS part: 0.2 + 1 = 1.2; power part: 3.0/1.5 = 2.0.
+        assert!((r - 3.2).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn violating_qos_earns_negative_qos_part() {
+        let mut rng = SimRng::seed(2);
+        let r = reward(
+            &obs(25.0, 3.0),
+            power_objective(),
+            &RewardParams::paper_defaults(),
+            &mut rng,
+            true,
+        );
+        // QoS part: −2.5 − 1 = −3.5; power part: 1.0.
+        assert!((r - -2.5).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn near_target_configurations_score_higher_when_safe() {
+        // Below the danger zone, approaching the target increases reward
+        // (less over-provisioning) — line 7's `QoS_reward + 1` shape.
+        let mut rng = SimRng::seed(3);
+        let p = RewardParams::paper_defaults();
+        let snappy = reward(&obs(1.0, 2.0), power_objective(), &p, &mut rng, true);
+        let close = reward(&obs(8.0, 2.0), power_objective(), &p, &mut rng, true);
+        assert!(close > snappy);
+    }
+
+    #[test]
+    fn stochastic_band_applies_random_penalty() {
+        let p = RewardParams::paper_defaults();
+        // 9 ms is between danger (8.5 ms) and the 10 ms target.
+        let deterministic = {
+            let mut rng = SimRng::seed(4);
+            reward(&obs(9.0, 3.0), power_objective(), &p, &mut rng, false)
+        };
+        let mut rng = SimRng::seed(4);
+        let stochastic = reward(&obs(9.0, 3.0), power_objective(), &p, &mut rng, true);
+        assert!(stochastic <= deterministic);
+        assert!(deterministic - stochastic <= 1.0);
+    }
+
+    #[test]
+    fn power_reward_prefers_lower_power() {
+        let mut rng = SimRng::seed(5);
+        let p = RewardParams::paper_defaults();
+        let cheap = reward(&obs(5.0, 1.2), power_objective(), &p, &mut rng, true);
+        let costly = reward(&obs(5.0, 2.8), power_objective(), &p, &mut rng, true);
+        assert!(cheap > costly);
+    }
+
+    #[test]
+    fn throughput_reward_counts_batch_ips() {
+        let mut rng = SimRng::seed(6);
+        let p = RewardParams::paper_defaults();
+        let objective = Objective::MaximizeBatchThroughput { max_ips_sum: 3.0e9 };
+        let mut o = obs(5.0, 2.0);
+        o.has_batch = true;
+        o.batch_ips_big = 4.0e9;
+        o.batch_ips_small = 2.0e9;
+        let r = reward(&o, objective, &p, &mut rng, true);
+        // QoS 1.5 + throughput 2.0.
+        assert!((r - 3.5).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn garbage_counters_contribute_nothing() {
+        let mut rng = SimRng::seed(7);
+        let p = RewardParams::paper_defaults();
+        let objective = Objective::MaximizeBatchThroughput { max_ips_sum: 3.0e9 };
+        let mut o = obs(5.0, 2.0);
+        o.has_batch = true;
+        o.batch_ips_big = 1.0e18; // garbage from the Juno idle bug
+        o.counters_valid = false;
+        let r = reward(&o, objective, &p, &mut rng, true);
+        assert!((r - 1.5).abs() < 1e-12, "{r}");
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end policy comparisons on the calibrated workloads — scaled-down
+//! versions of the paper's §4.2 evaluation (the full runs live in the
+//! `hipster-bench` repro harness).
+
+use hipster_core::{
+    Hipster, HeuristicMapper, Manager, OctopusMan, PolicySummary, Policy, StaticPolicy,
+};
+use hipster_platform::Platform;
+use hipster_sim::{Engine, LcModel, Trace};
+use hipster_workloads::{web_search, Diurnal};
+
+/// Runs one policy over the diurnal Web-Search load for `secs` intervals.
+fn run_policy(policy: Box<dyn Policy>, secs: usize, seed: u64) -> Trace {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform,
+        Box::new(web_search()),
+        Box::new(Diurnal::paper()),
+        seed,
+    );
+    Manager::new(engine, policy).run(secs)
+}
+
+fn qos() -> hipster_sim::QosTarget {
+    web_search().qos()
+}
+
+// Long enough to cover the diurnal evening peak (hours 20–24 of the
+// 36-hour, one-minute-per-hour compressed day).
+const RUN_SECS: usize = 1500;
+const SEED: u64 = 1234;
+
+fn platform() -> Platform {
+    Platform::juno_r1()
+}
+
+#[test]
+fn static_big_meets_qos_but_wastes_energy() {
+    let p = platform();
+    let big = run_policy(Box::new(StaticPolicy::all_big(&p)), RUN_SECS, SEED);
+    let small = run_policy(Box::new(StaticPolicy::all_small(&p)), RUN_SECS, SEED);
+    let g_big = big.qos_guarantee_pct(qos());
+    let g_small = small.qos_guarantee_pct(qos());
+    assert!(g_big > 97.0, "static big guarantee {g_big}");
+    // All-small cannot hold the diurnal peak (paper: 78.4%).
+    assert!(g_small < 90.0, "static small guarantee {g_small}");
+    // And all-small is cheaper. (Paper: 31% less energy; our constant
+    // 0.76 W rest-of-system term — calibrated from Table 2 — compresses
+    // relative energy deltas, so we assert direction and a ≥5% gap. See
+    // EXPERIMENTS.md for the paper-vs-model discussion.)
+    assert!(small.total_energy_j() < 0.95 * big.total_energy_j());
+}
+
+#[test]
+fn hipster_in_beats_octopus_man_on_qos() {
+    let p = platform();
+    let om = run_policy(Box::new(OctopusMan::with_defaults(&p)), RUN_SECS, SEED);
+    let hipster = Hipster::interactive(&p, 99).learning_intervals(200).build();
+    let hi = run_policy(Box::new(hipster), RUN_SECS, SEED);
+
+    let g_om = om.qos_guarantee_pct(qos());
+    let g_hi = hi.qos_guarantee_pct(qos());
+    assert!(
+        g_hi > g_om,
+        "HipsterIn {g_hi}% must beat Octopus-Man {g_om}% (paper: 96.5 vs 80)"
+    );
+    // And with fewer migrations (paper: 4.7× fewer for Web-Search).
+    assert!(
+        hi.total_migrations() < om.total_migrations(),
+        "HipsterIn migrations {} vs Octopus-Man {}",
+        hi.total_migrations(),
+        om.total_migrations()
+    );
+}
+
+#[test]
+fn hipster_in_saves_energy_vs_static_big() {
+    let p = platform();
+    let big = run_policy(Box::new(StaticPolicy::all_big(&p)), RUN_SECS, SEED);
+    let hipster = Hipster::interactive(&p, 99).learning_intervals(200).build();
+    let hi = run_policy(Box::new(hipster), RUN_SECS, SEED);
+    let saved = hipster_core::energy_reduction_pct(&hi, &big);
+    assert!(
+        saved > 5.0,
+        "HipsterIn must save energy vs static big: {saved}% (paper: 17.8%)"
+    );
+    // While keeping a high QoS guarantee (paper: 96.5%).
+    let g = hi.qos_guarantee_pct(qos());
+    assert!(g > 88.0, "HipsterIn guarantee {g}");
+}
+
+#[test]
+fn heuristic_mapper_explores_but_violates_more_than_hipster() {
+    let p = platform();
+    let heur = run_policy(
+        Box::new(HeuristicMapper::with_defaults(&p)),
+        RUN_SECS,
+        SEED,
+    );
+    let hipster = Hipster::interactive(&p, 99).learning_intervals(200).build();
+    let hi = run_policy(Box::new(hipster), RUN_SECS, SEED);
+    let g_heur = heur.qos_guarantee_pct(qos());
+    let g_hi = hi.qos_guarantee_pct(qos());
+    assert!(
+        g_hi >= g_heur,
+        "HipsterIn {g_hi}% vs heuristic alone {g_heur}% (paper: 96.5 vs 95.3)"
+    );
+    // The heuristic does use mixed-cluster configs (unlike Octopus-Man).
+    let mixed = heur
+        .intervals()
+        .iter()
+        .any(|s| s.config.lc.n_big > 0 && s.config.lc.n_small > 0);
+    assert!(mixed, "heuristic must explore mixed configs");
+}
+
+#[test]
+fn summaries_print_table3_shape() {
+    // A smoke test exercising the full Table 3 pipeline at reduced length.
+    let p = platform();
+    let big = run_policy(Box::new(StaticPolicy::all_big(&p)), 300, SEED);
+    let base = PolicySummary::from_trace("Static(big)", &big, qos());
+    let hipster = Hipster::interactive(&p, 99).learning_intervals(100).build();
+    let hi_trace = run_policy(Box::new(hipster), 300, SEED);
+    let hi = PolicySummary::from_trace("HipsterIn", &hi_trace, qos());
+    let reduction = hi.energy_reduction_pct_vs(&base);
+    assert!(reduction > -50.0 && reduction < 60.0);
+    assert!(hi.qos_guarantee_pct <= 100.0);
+}

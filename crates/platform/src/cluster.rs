@@ -1,0 +1,220 @@
+//! Clusters: groups of identical cores sharing an L2 cache and a DVFS domain.
+
+use std::fmt;
+
+use crate::{CoreId, CoreKind, CoreSpec, Frequency, PlatformError};
+
+/// Identifier of a cluster within a [`Platform`](crate::Platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub usize);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+/// A voltage/frequency operating point of a DVFS domain.
+///
+/// Voltages are expressed relative to the domain's maximum (`volts_rel` = 1.0
+/// at the top frequency); the power model only ever uses voltage ratios, so
+/// absolute volts are unnecessary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Clock frequency of this point.
+    pub freq: Frequency,
+    /// Supply voltage relative to the voltage at the domain's top frequency.
+    pub volts_rel: f64,
+}
+
+/// A cluster of identical cores sharing one DVFS domain and an L2 cache.
+///
+/// On the Juno R1 the big cluster is 2× Cortex-A57 with 2 MB shared L2 and
+/// DVFS points 0.60/0.90/1.15 GHz; the small cluster is 4× Cortex-A53 with
+/// 1 MB shared L2 fixed at 0.65 GHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    id: ClusterId,
+    spec: CoreSpec,
+    cores: Vec<CoreId>,
+    opps: Vec<OperatingPoint>,
+    l2_kib: u32,
+}
+
+impl Cluster {
+    /// Builds a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::EmptyCluster`] if `cores` or `opps` is empty,
+    /// and [`PlatformError::UnsortedOpps`] if the operating points are not in
+    /// strictly increasing frequency order.
+    pub fn new(
+        id: ClusterId,
+        spec: CoreSpec,
+        cores: Vec<CoreId>,
+        opps: Vec<OperatingPoint>,
+        l2_kib: u32,
+    ) -> Result<Self, PlatformError> {
+        if cores.is_empty() || opps.is_empty() {
+            return Err(PlatformError::EmptyCluster(id));
+        }
+        if opps.windows(2).any(|w| w[0].freq >= w[1].freq) {
+            return Err(PlatformError::UnsortedOpps(id));
+        }
+        Ok(Cluster {
+            id,
+            spec,
+            cores,
+            opps,
+            l2_kib,
+        })
+    }
+
+    /// This cluster's identifier.
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// The core class of every core in this cluster.
+    pub fn kind(&self) -> CoreKind {
+        self.spec.kind
+    }
+
+    /// Microarchitectural parameters of the cluster's cores.
+    pub fn spec(&self) -> &CoreSpec {
+        &self.spec
+    }
+
+    /// Identifiers of the cores in this cluster.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Number of cores in this cluster.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the cluster has no cores (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Shared L2 cache size in KiB.
+    pub fn l2_kib(&self) -> u32 {
+        self.l2_kib
+    }
+
+    /// The available voltage/frequency operating points, lowest first.
+    pub fn opps(&self) -> &[OperatingPoint] {
+        &self.opps
+    }
+
+    /// The available frequencies, lowest first.
+    pub fn freq_levels(&self) -> impl Iterator<Item = Frequency> + '_ {
+        self.opps.iter().map(|o| o.freq)
+    }
+
+    /// The lowest available frequency.
+    pub fn min_freq(&self) -> Frequency {
+        self.opps[0].freq
+    }
+
+    /// The highest available frequency.
+    pub fn max_freq(&self) -> Frequency {
+        self.opps[self.opps.len() - 1].freq
+    }
+
+    /// Looks up the operating point for `freq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnsupportedFrequency`] if `freq` is not one
+    /// of the cluster's operating points.
+    pub fn opp(&self, freq: Frequency) -> Result<OperatingPoint, PlatformError> {
+        self.opps
+            .iter()
+            .copied()
+            .find(|o| o.freq == freq)
+            .ok_or(PlatformError::UnsupportedFrequency {
+                cluster: self.id,
+                freq,
+            })
+    }
+
+    /// Whether `freq` is a valid operating point of this cluster.
+    pub fn supports(&self, freq: Frequency) -> bool {
+        self.opps.iter().any(|o| o.freq == freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CoreSpec {
+        CoreSpec {
+            kind: CoreKind::Big,
+            ipc_compute: 1.8,
+        }
+    }
+
+    fn opp(mhz: u32, v: f64) -> OperatingPoint {
+        OperatingPoint {
+            freq: Frequency::from_mhz(mhz),
+            volts_rel: v,
+        }
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Cluster::new(
+            ClusterId(0),
+            spec(),
+            vec![CoreId(0), CoreId(1)],
+            vec![opp(600, 0.8), opp(1150, 1.0)],
+            2048,
+        )
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.kind(), CoreKind::Big);
+        assert_eq!(c.min_freq(), Frequency::from_mhz(600));
+        assert_eq!(c.max_freq(), Frequency::from_mhz(1150));
+        assert_eq!(c.l2_kib(), 2048);
+        assert!(c.supports(Frequency::from_mhz(600)));
+        assert!(!c.supports(Frequency::from_mhz(900)));
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let err = Cluster::new(ClusterId(1), spec(), vec![], vec![opp(600, 0.8)], 512);
+        assert!(matches!(err, Err(PlatformError::EmptyCluster(ClusterId(1)))));
+    }
+
+    #[test]
+    fn unsorted_opps_rejected() {
+        let err = Cluster::new(
+            ClusterId(0),
+            spec(),
+            vec![CoreId(0)],
+            vec![opp(1150, 1.0), opp(600, 0.8)],
+            512,
+        );
+        assert!(matches!(err, Err(PlatformError::UnsortedOpps(_))));
+    }
+
+    #[test]
+    fn opp_lookup() {
+        let c = Cluster::new(
+            ClusterId(0),
+            spec(),
+            vec![CoreId(0)],
+            vec![opp(600, 0.8), opp(900, 0.9)],
+            512,
+        )
+        .unwrap();
+        assert_eq!(c.opp(Frequency::from_mhz(900)).unwrap().volts_rel, 0.9);
+        assert!(c.opp(Frequency::from_mhz(1000)).is_err());
+    }
+}

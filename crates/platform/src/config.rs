@@ -1,0 +1,263 @@
+//! Core configurations — the action space of the Hipster MDP.
+//!
+//! A [`CoreConfig`] is "the combination of cores and DVFS settings allocated
+//! to the latency-critical application" (paper §3.1). The paper labels them
+//! `2B2S-0.90`, `4S-0.65`, etc.; [`std::fmt::Display`] and [`std::str::FromStr`]
+//! use the same notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{CoreKind, Frequency, PlatformError};
+
+/// A core-mapping + DVFS configuration for the latency-critical workload.
+///
+/// `big_freq` applies to the big cluster; `small_freq` to the small cluster
+/// (fixed at 0.65 GHz on the Juno R1). The paper's labels carry a single
+/// frequency — the big-cluster one when big cores are in use, else the small
+/// cluster's — and the label formatting follows that convention.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{CoreConfig, Frequency};
+///
+/// let c: CoreConfig = "2B2S-0.90".parse()?;
+/// assert_eq!(c.n_big, 2);
+/// assert_eq!(c.n_small, 2);
+/// assert_eq!(c.big_freq, Frequency::from_mhz(900));
+/// assert_eq!(c.to_string(), "2B2S-0.90");
+/// # Ok::<(), hipster_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreConfig {
+    /// Number of big cores allocated to the latency-critical workload.
+    pub n_big: usize,
+    /// Number of small cores allocated to the latency-critical workload.
+    pub n_small: usize,
+    /// DVFS setting of the big cluster.
+    pub big_freq: Frequency,
+    /// DVFS setting of the small cluster.
+    pub small_freq: Frequency,
+}
+
+impl CoreConfig {
+    /// Creates a configuration.
+    pub const fn new(
+        n_big: usize,
+        n_small: usize,
+        big_freq: Frequency,
+        small_freq: Frequency,
+    ) -> Self {
+        CoreConfig {
+            n_big,
+            n_small,
+            big_freq,
+            small_freq,
+        }
+    }
+
+    /// Total number of cores allocated to the latency-critical workload.
+    pub fn total_cores(&self) -> usize {
+        self.n_big + self.n_small
+    }
+
+    /// Number of cores of `kind` in this configuration.
+    pub fn count(&self, kind: CoreKind) -> usize {
+        match kind {
+            CoreKind::Big => self.n_big,
+            CoreKind::Small => self.n_small,
+        }
+    }
+
+    /// Frequency applied to cores of `kind`.
+    pub fn freq(&self, kind: CoreKind) -> Frequency {
+        match kind {
+            CoreKind::Big => self.big_freq,
+            CoreKind::Small => self.small_freq,
+        }
+    }
+
+    /// Whether the latency-critical workload runs exclusively on one core
+    /// type (Algorithm 2 line 10 tests this to boost the other cluster for
+    /// batch jobs).
+    pub fn single_core_type(&self) -> Option<CoreKind> {
+        match (self.n_big, self.n_small) {
+            (0, 0) => None,
+            (_, 0) => Some(CoreKind::Big),
+            (0, _) => Some(CoreKind::Small),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` and `other` allocate exactly the same cores (possibly
+    /// at different DVFS). Transitions between equal mappings are pure DVFS
+    /// changes, which are much cheaper than core migrations (§3.6).
+    pub fn same_mapping(&self, other: &CoreConfig) -> bool {
+        self.n_big == other.n_big && self.n_small == other.n_small
+    }
+
+    /// The frequency shown in the paper-style label: the big cluster's when
+    /// big cores are present, otherwise the small cluster's.
+    pub fn label_freq(&self) -> Frequency {
+        if self.n_big > 0 {
+            self.big_freq
+        } else {
+            self.small_freq
+        }
+    }
+}
+
+impl fmt::Display for CoreConfig {
+    /// Formats in the paper's notation: `1B3S-0.90`, `2B-1.15`, `4S-0.65`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n_big > 0 {
+            write!(f, "{}B", self.n_big)?;
+        }
+        if self.n_small > 0 {
+            write!(f, "{}S", self.n_small)?;
+        }
+        if self.n_big == 0 && self.n_small == 0 {
+            write!(f, "0B0S")?;
+        }
+        write!(f, "-{}", self.label_freq())
+    }
+}
+
+impl FromStr for CoreConfig {
+    type Err = PlatformError;
+
+    /// Parses the paper's notation.
+    ///
+    /// The counts default to zero when a letter is absent (`4S-0.65` has no
+    /// big cores). Because the label carries one frequency, the other
+    /// cluster's is filled with Juno defaults: small cores always 0.65 GHz;
+    /// a config without big cores gets the big cluster's minimum (0.60 GHz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadConfigLabel`] on malformed input.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || PlatformError::BadConfigLabel(s.to_owned());
+        let (cores, freq) = s.split_once('-').ok_or_else(bad)?;
+        let ghz: f64 = freq.parse().map_err(|_| bad())?;
+        if !(0.0..=20.0).contains(&ghz) {
+            return Err(bad());
+        }
+        let freq = Frequency::from_ghz(ghz);
+
+        let mut n_big = 0usize;
+        let mut n_small = 0usize;
+        let mut digits = String::new();
+        let mut seen_any = false;
+        for ch in cores.chars() {
+            match ch {
+                '0'..='9' => digits.push(ch),
+                'B' | 'b' => {
+                    n_big = digits.parse().map_err(|_| bad())?;
+                    digits.clear();
+                    seen_any = true;
+                }
+                'S' | 's' => {
+                    n_small = digits.parse().map_err(|_| bad())?;
+                    digits.clear();
+                    seen_any = true;
+                }
+                _ => return Err(bad()),
+            }
+        }
+        if !digits.is_empty() || !seen_any {
+            return Err(bad());
+        }
+        let small_freq = Frequency::from_mhz(650);
+        let (big_freq, small_freq) = if n_big > 0 {
+            (freq, small_freq)
+        } else {
+            (Frequency::from_mhz(600), freq)
+        };
+        Ok(CoreConfig::new(n_big, n_small, big_freq, small_freq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(m: u32) -> Frequency {
+        Frequency::from_mhz(m)
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(
+            CoreConfig::new(2, 2, mhz(900), mhz(650)).to_string(),
+            "2B2S-0.90"
+        );
+        assert_eq!(
+            CoreConfig::new(0, 4, mhz(600), mhz(650)).to_string(),
+            "4S-0.65"
+        );
+        assert_eq!(
+            CoreConfig::new(2, 0, mhz(1150), mhz(650)).to_string(),
+            "2B-1.15"
+        );
+        assert_eq!(
+            CoreConfig::new(1, 3, mhz(600), mhz(650)).to_string(),
+            "1B3S-0.60"
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for label in ["2B2S-0.90", "4S-0.65", "2B-1.15", "1B3S-0.60", "1S-0.65"] {
+            let c: CoreConfig = label.parse().unwrap();
+            assert_eq!(c.to_string(), label, "round trip failed for {label}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "2B2S", "-0.9", "XY-0.9", "2B2S-abc", "2-0.9", "2B3-0.9"] {
+            assert!(
+                bad.parse::<CoreConfig>().is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn single_core_type() {
+        assert_eq!(
+            "2B-1.15".parse::<CoreConfig>().unwrap().single_core_type(),
+            Some(CoreKind::Big)
+        );
+        assert_eq!(
+            "3S-0.65".parse::<CoreConfig>().unwrap().single_core_type(),
+            Some(CoreKind::Small)
+        );
+        assert_eq!(
+            "1B3S-0.60".parse::<CoreConfig>().unwrap().single_core_type(),
+            None
+        );
+    }
+
+    #[test]
+    fn same_mapping_ignores_dvfs() {
+        let a: CoreConfig = "2B2S-0.60".parse().unwrap();
+        let b: CoreConfig = "2B2S-1.15".parse().unwrap();
+        let c: CoreConfig = "1B3S-0.60".parse().unwrap();
+        assert!(a.same_mapping(&b));
+        assert!(!a.same_mapping(&c));
+    }
+
+    #[test]
+    fn accessors() {
+        let c: CoreConfig = "1B3S-0.90".parse().unwrap();
+        assert_eq!(c.total_cores(), 4);
+        assert_eq!(c.count(CoreKind::Big), 1);
+        assert_eq!(c.count(CoreKind::Small), 3);
+        assert_eq!(c.freq(CoreKind::Big), mhz(900));
+        assert_eq!(c.freq(CoreKind::Small), mhz(650));
+        assert_eq!(c.label_freq(), mhz(900));
+    }
+}

@@ -1,0 +1,119 @@
+//! Core identity and per-core microarchitectural parameters.
+
+use std::fmt;
+
+use crate::Frequency;
+
+/// The two core microarchitecture classes of a big.LITTLE platform.
+///
+/// On the paper's ARM Juno R1 board, *big* cores are out-of-order
+/// Cortex-A57s and *small* cores are in-order Cortex-A53s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoreKind {
+    /// High-performance out-of-order core (Cortex-A57 on Juno R1).
+    Big,
+    /// Low-power in-order core (Cortex-A53 on Juno R1).
+    Small,
+}
+
+impl CoreKind {
+    /// The single-letter label the paper uses in configuration names
+    /// (`B` / `S`).
+    pub fn letter(self) -> char {
+        match self {
+            CoreKind::Big => 'B',
+            CoreKind::Small => 'S',
+        }
+    }
+
+    /// Both kinds, big first (the paper's presentation order).
+    pub const ALL: [CoreKind; 2] = [CoreKind::Big, CoreKind::Small];
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreKind::Big => write!(f, "big"),
+            CoreKind::Small => write!(f, "small"),
+        }
+    }
+}
+
+/// Platform-wide identifier of a physical core.
+///
+/// Indices are assigned by the [`Platform`](crate::Platform) builder in
+/// cluster order: all big cores first, then all small cores, which mirrors
+/// the Juno's logical CPU numbering once big cores are listed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Microarchitectural parameters of one core class.
+///
+/// `ipc_compute` is the instructions-per-cycle achieved by the paper's
+/// characterization microbenchmark ("mathematical operations without memory
+/// accesses", §3.3): for such code IPS scales linearly with frequency, which
+/// is what anchors the Table 2 performance numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSpec {
+    /// Which class this spec describes.
+    pub kind: CoreKind,
+    /// Instructions per cycle on the compute-only microbenchmark.
+    pub ipc_compute: f64,
+}
+
+impl CoreSpec {
+    /// IPS of the microbenchmark at frequency `f` (instructions per second).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hipster_platform::{CoreSpec, CoreKind, Frequency};
+    ///
+    /// // The Juno big core reaches 2138 MIPS at 1.15 GHz (paper Table 2).
+    /// let spec = CoreSpec { kind: CoreKind::Big, ipc_compute: 2138.0 / 1150.0 };
+    /// let ips = spec.compute_ips(Frequency::from_mhz(1150));
+    /// assert!((ips - 2.138e9).abs() < 1e6);
+    /// ```
+    pub fn compute_ips(&self, f: Frequency) -> f64 {
+        self.ipc_compute * f.as_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_letters() {
+        assert_eq!(CoreKind::Big.letter(), 'B');
+        assert_eq!(CoreKind::Small.letter(), 'S');
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CoreKind::Big.to_string(), "big");
+        assert_eq!(CoreKind::Small.to_string(), "small");
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId(3).to_string(), "cpu3");
+    }
+
+    #[test]
+    fn compute_ips_scales_linearly_with_frequency() {
+        let spec = CoreSpec {
+            kind: CoreKind::Small,
+            ipc_compute: 1.2,
+        };
+        let lo = spec.compute_ips(Frequency::from_mhz(650));
+        let hi = spec.compute_ips(Frequency::from_mhz(1300));
+        assert!((hi / lo - 2.0).abs() < 1e-12);
+    }
+}

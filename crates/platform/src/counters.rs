@@ -1,0 +1,290 @@
+//! Per-core performance counters, modelled on Linux `perf` reading the
+//! `instructions` event (paper §3.7).
+//!
+//! The Juno board has a documented bug: whenever any core enters an idle
+//! state, `perf` returns garbage values **for all cores**. The paper works
+//! around it by disabling Linux `cpuidle`, preventing idle states for idle
+//! periods longer than 3500 µs. [`PerfCounters`] reproduces both the bug and
+//! the mitigation so the HipsterCo code path can be tested against realistic
+//! counter behaviour.
+
+use crate::CoreId;
+
+/// Sentinel magnitude for garbage counter readings (way above any plausible
+/// instruction count for a 1-second window on a 1.15 GHz core).
+const GARBAGE_BASE: u64 = 0xDEAD_BEEF_0000_0000;
+
+/// Idle-period threshold beyond which a core enters an idle state when
+/// `cpuidle` is enabled, in microseconds (paper §3.7 quotes 3500 µs).
+pub const CPUIDLE_ENTRY_US: f64 = 3500.0;
+
+/// One window's reading for a single core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Core the sample belongs to.
+    pub core: CoreId,
+    /// Instructions retired during the window.
+    pub instructions: u64,
+    /// Busy fraction of the window, in `[0, 1]`.
+    pub busy: f64,
+}
+
+impl CounterSample {
+    /// Instructions per second over a window of `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    pub fn ips(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "window must have positive length");
+        self.instructions as f64 / seconds
+    }
+}
+
+/// Simulated per-core `perf` instruction counters with the Juno idle bug.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{PerfCounters, CoreId};
+///
+/// // Clean counters: bug disabled (non-Juno machine).
+/// let mut perf = PerfCounters::new(2, false);
+/// perf.record(CoreId(0), 1_000_000, 1.0);
+/// perf.record(CoreId(1), 500_000, 0.5);
+/// let w = perf.read_window(1.0).expect("no idle bug here");
+/// assert_eq!(w[0].instructions, 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfCounters {
+    /// Pending per-core instruction counts for the current window.
+    window_instr: Vec<u64>,
+    /// Pending per-core busy fractions for the current window.
+    window_busy: Vec<f64>,
+    /// Longest idle stretch observed per core this window, µs.
+    idle_stretch_us: Vec<f64>,
+    /// Whether this machine exhibits the Juno idle-counter bug.
+    juno_idle_bug: bool,
+    /// Whether Linux `cpuidle` is enabled (idle states permitted).
+    cpuidle_enabled: bool,
+    /// Monotonic counter mixed into garbage values so they visibly vary.
+    epoch: u64,
+}
+
+/// Error returned when the idle bug corrupted a counter window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GarbageWindow {
+    /// The corrupted (garbage) per-core instruction values, as `perf` would
+    /// have reported them.
+    pub garbage_len: usize,
+}
+
+impl std::fmt::Display for GarbageWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "perf idle bug corrupted all {} core counters this window",
+            self.garbage_len
+        )
+    }
+}
+
+impl std::error::Error for GarbageWindow {}
+
+impl PerfCounters {
+    /// Creates counters for `num_cores` cores.
+    ///
+    /// `juno_idle_bug` enables the board quirk; `cpuidle` starts enabled.
+    pub fn new(num_cores: usize, juno_idle_bug: bool) -> Self {
+        PerfCounters {
+            window_instr: vec![0; num_cores],
+            window_busy: vec![0.0; num_cores],
+            idle_stretch_us: vec![0.0; num_cores],
+            juno_idle_bug,
+            cpuidle_enabled: true,
+            epoch: 0,
+        }
+    }
+
+    /// Number of monitored cores.
+    pub fn num_cores(&self) -> usize {
+        self.window_instr.len()
+    }
+
+    /// Disables Linux `cpuidle` — the paper's mitigation for the idle bug.
+    /// Idle cores then never enter the buggy idle states (at the cost of
+    /// higher idle power; see
+    /// [`PowerModel::juno_r1_cpuidle_disabled`](crate::PowerModel::juno_r1_cpuidle_disabled)).
+    pub fn disable_cpuidle(&mut self) {
+        self.cpuidle_enabled = false;
+    }
+
+    /// Re-enables `cpuidle`.
+    pub fn enable_cpuidle(&mut self) {
+        self.cpuidle_enabled = true;
+    }
+
+    /// Whether `cpuidle` is currently enabled.
+    pub fn cpuidle_enabled(&self) -> bool {
+        self.cpuidle_enabled
+    }
+
+    /// Records activity of one core for the current window: retired
+    /// instructions and busy fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is out of range or `busy` is outside
+    /// `[0, 1]`.
+    pub fn record(&mut self, core: CoreId, instructions: u64, busy: f64) {
+        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} not in [0,1]");
+        self.window_instr[core.0] += instructions;
+        self.window_busy[core.0] = busy;
+    }
+
+    /// Records the longest contiguous idle stretch a core experienced this
+    /// window (µs). The simulator calls this; stretches above
+    /// [`CPUIDLE_ENTRY_US`] trigger the idle bug when `cpuidle` is enabled.
+    pub fn record_idle_stretch(&mut self, core: CoreId, stretch_us: f64) {
+        let s = &mut self.idle_stretch_us[core.0];
+        *s = s.max(stretch_us);
+    }
+
+    /// Reads and resets the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GarbageWindow`] when the Juno idle bug fires: the bug is
+    /// armed, `cpuidle` is enabled, and any core idled longer than
+    /// [`CPUIDLE_ENTRY_US`]. Real `perf` would hand back absurd values for
+    /// *all* cores; callers that want those values can use
+    /// [`PerfCounters::read_window_raw`].
+    pub fn read_window(&mut self, seconds: f64) -> Result<Vec<CounterSample>, GarbageWindow> {
+        let raw = self.read_window_raw(seconds);
+        if raw.iter().any(|s| s.instructions >= GARBAGE_BASE) {
+            return Err(GarbageWindow {
+                garbage_len: raw.len(),
+            });
+        }
+        Ok(raw)
+    }
+
+    /// Reads and resets the current window without garbage detection,
+    /// returning whatever `perf` would report (possibly garbage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    pub fn read_window_raw(&mut self, seconds: f64) -> Vec<CounterSample> {
+        assert!(seconds > 0.0, "window must have positive length");
+        self.epoch += 1;
+        let bug_fires = self.juno_idle_bug
+            && self.cpuidle_enabled
+            && self
+                .idle_stretch_us
+                .iter()
+                .any(|&s| s > CPUIDLE_ENTRY_US);
+        let out = (0..self.num_cores())
+            .map(|i| CounterSample {
+                core: CoreId(i),
+                instructions: if bug_fires {
+                    GARBAGE_BASE ^ (self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64)
+                        | GARBAGE_BASE
+                } else {
+                    self.window_instr[i]
+                },
+                busy: self.window_busy[i],
+            })
+            .collect();
+        self.window_instr.iter_mut().for_each(|v| *v = 0);
+        self.window_busy.iter_mut().for_each(|v| *v = 0.0);
+        self.idle_stretch_us.iter_mut().for_each(|v| *v = 0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_read() {
+        let mut p = PerfCounters::new(3, false);
+        p.record(CoreId(0), 100, 0.1);
+        p.record(CoreId(2), 300, 0.9);
+        let w = p.read_window(1.0).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].instructions, 100);
+        assert_eq!(w[1].instructions, 0);
+        assert_eq!(w[2].instructions, 300);
+        assert_eq!(w[2].busy, 0.9);
+    }
+
+    #[test]
+    fn window_resets_after_read() {
+        let mut p = PerfCounters::new(1, false);
+        p.record(CoreId(0), 42, 1.0);
+        let _ = p.read_window(1.0).unwrap();
+        let w = p.read_window(1.0).unwrap();
+        assert_eq!(w[0].instructions, 0);
+    }
+
+    #[test]
+    fn ips_computation() {
+        let s = CounterSample {
+            core: CoreId(0),
+            instructions: 2_000_000,
+            busy: 1.0,
+        };
+        assert_eq!(s.ips(2.0), 1.0e6);
+    }
+
+    #[test]
+    fn idle_bug_corrupts_all_cores() {
+        let mut p = PerfCounters::new(2, true);
+        p.record(CoreId(0), 100, 1.0);
+        p.record_idle_stretch(CoreId(1), 5000.0); // > 3500 µs
+        let err = p.read_window(1.0).unwrap_err();
+        assert_eq!(err.garbage_len, 2);
+    }
+
+    #[test]
+    fn raw_read_returns_garbage_values() {
+        let mut p = PerfCounters::new(2, true);
+        p.record_idle_stretch(CoreId(0), 4000.0);
+        let w = p.read_window_raw(1.0);
+        assert!(w.iter().all(|s| s.instructions >= GARBAGE_BASE));
+    }
+
+    #[test]
+    fn disabling_cpuidle_prevents_bug() {
+        let mut p = PerfCounters::new(2, true);
+        p.disable_cpuidle();
+        p.record(CoreId(0), 100, 1.0);
+        p.record_idle_stretch(CoreId(1), 1_000_000.0);
+        let w = p.read_window(1.0).unwrap();
+        assert_eq!(w[0].instructions, 100);
+    }
+
+    #[test]
+    fn short_idle_does_not_trigger_bug() {
+        let mut p = PerfCounters::new(1, true);
+        p.record_idle_stretch(CoreId(0), 1000.0); // below the 3500 µs entry threshold
+        assert!(p.read_window(1.0).is_ok());
+    }
+
+    #[test]
+    fn bug_clears_with_next_window() {
+        let mut p = PerfCounters::new(1, true);
+        p.record_idle_stretch(CoreId(0), 9000.0);
+        assert!(p.read_window(1.0).is_err());
+        p.record(CoreId(0), 7, 1.0);
+        assert_eq!(p.read_window(1.0).unwrap()[0].instructions, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_window_panics() {
+        PerfCounters::new(1, false).read_window_raw(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy metering, mirroring the Juno's on-board energy registers.
+//!
+//! The board exposes cumulative energy counters for the big cluster, the
+//! small cluster, and the rest of the system; the paper's QoS Monitor samples
+//! them once per monitoring interval (§3.7). [`EnergyMeter`] provides the
+//! same interface for the simulated platform: the simulator calls
+//! [`EnergyMeter::advance`] with the interval's average power, and readers
+//! take [`EnergyMeter::read`] snapshots or per-interval deltas.
+
+use crate::PowerBreakdown;
+
+/// Cumulative energy reading, in joules, split by register channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReading {
+    /// Big-cluster energy, J.
+    pub big: f64,
+    /// Small-cluster energy, J.
+    pub small: f64,
+    /// Rest-of-system energy, J.
+    pub rest: f64,
+}
+
+impl EnergyReading {
+    /// Total system energy, J.
+    pub fn total(&self) -> f64 {
+        self.big + self.small + self.rest
+    }
+
+    /// Channel-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &EnergyReading) -> EnergyReading {
+        EnergyReading {
+            big: self.big - earlier.big,
+            small: self.small - earlier.small,
+            rest: self.rest - earlier.rest,
+        }
+    }
+}
+
+/// Integrates power over simulated time into cumulative energy registers.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{EnergyMeter, PowerBreakdown};
+///
+/// let mut meter = EnergyMeter::new();
+/// let p = PowerBreakdown { big: 2.0, small: 1.0, rest: 0.5 };
+/// meter.advance(10.0, p); // 10 s at 3.5 W
+/// assert_eq!(meter.read().total(), 35.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    acc: EnergyReading,
+    last_mark: EnergyReading,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with all registers at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `seconds` of the given average power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn advance(&mut self, seconds: f64, power: PowerBreakdown) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid duration: {seconds}"
+        );
+        self.acc.big += power.big * seconds;
+        self.acc.small += power.small * seconds;
+        self.acc.rest += power.rest * seconds;
+    }
+
+    /// Current cumulative register values.
+    pub fn read(&self) -> EnergyReading {
+        self.acc
+    }
+
+    /// Energy accumulated since the previous `take_interval` call (or since
+    /// construction), and marks the new interval start. This is how the QoS
+    /// Monitor samples per-interval energy.
+    pub fn take_interval(&mut self) -> EnergyReading {
+        let delta = self.acc.since(&self.last_mark);
+        self.last_mark = self.acc;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bd(big: f64, small: f64, rest: f64) -> PowerBreakdown {
+        PowerBreakdown { big, small, rest }
+    }
+
+    #[test]
+    fn accumulates_energy() {
+        let mut m = EnergyMeter::new();
+        m.advance(2.0, bd(1.0, 0.5, 0.25));
+        m.advance(2.0, bd(1.0, 0.5, 0.25));
+        let r = m.read();
+        assert_eq!(r.big, 4.0);
+        assert_eq!(r.small, 2.0);
+        assert_eq!(r.rest, 1.0);
+        assert_eq!(r.total(), 7.0);
+    }
+
+    #[test]
+    fn interval_deltas() {
+        let mut m = EnergyMeter::new();
+        m.advance(1.0, bd(2.0, 0.0, 0.0));
+        assert_eq!(m.take_interval().big, 2.0);
+        m.advance(1.0, bd(3.0, 0.0, 0.0));
+        m.advance(1.0, bd(1.0, 0.0, 0.0));
+        let d = m.take_interval();
+        assert_eq!(d.big, 4.0);
+        // Cumulative register unaffected by interval marking.
+        assert_eq!(m.read().big, 6.0);
+    }
+
+    #[test]
+    fn zero_duration_is_noop() {
+        let mut m = EnergyMeter::new();
+        m.advance(0.0, bd(5.0, 5.0, 5.0));
+        assert_eq!(m.read().total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        EnergyMeter::new().advance(-1.0, bd(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn since_subtracts_channelwise() {
+        let a = EnergyReading {
+            big: 5.0,
+            small: 3.0,
+            rest: 1.0,
+        };
+        let b = EnergyReading {
+            big: 2.0,
+            small: 1.0,
+            rest: 0.5,
+        };
+        let d = a.since(&b);
+        assert_eq!((d.big, d.small, d.rest), (3.0, 2.0, 0.5));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for platform construction and lookups.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ClusterId, Frequency};
+
+/// Errors produced by the platform model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A cluster was declared with no cores or no operating points.
+    EmptyCluster(ClusterId),
+    /// A cluster's operating points were not in strictly increasing
+    /// frequency order.
+    UnsortedOpps(ClusterId),
+    /// The requested frequency is not an operating point of the cluster.
+    UnsupportedFrequency {
+        /// Cluster the request targeted.
+        cluster: ClusterId,
+        /// The offending frequency.
+        freq: Frequency,
+    },
+    /// A platform was declared without the expected big/small cluster pair.
+    MissingCluster(&'static str),
+    /// A core-configuration string could not be parsed.
+    BadConfigLabel(String),
+    /// A configuration requested more cores than the platform has.
+    TooManyCores {
+        /// Requested big-core count.
+        big: usize,
+        /// Requested small-core count.
+        small: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::EmptyCluster(id) => {
+                write!(f, "{id} has no cores or no operating points")
+            }
+            PlatformError::UnsortedOpps(id) => {
+                write!(f, "{id} operating points must increase strictly in frequency")
+            }
+            PlatformError::UnsupportedFrequency { cluster, freq } => {
+                write!(f, "{cluster} does not support {freq} GHz")
+            }
+            PlatformError::MissingCluster(which) => {
+                write!(f, "platform lacks a {which} cluster")
+            }
+            PlatformError::BadConfigLabel(s) => {
+                write!(f, "unparseable core configuration label: {s:?}")
+            }
+            PlatformError::TooManyCores { big, small } => {
+                write!(f, "configuration {big}B{small}S exceeds platform core counts")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PlatformError::EmptyCluster(ClusterId(2)).to_string(),
+            "cluster2 has no cores or no operating points"
+        );
+        assert_eq!(
+            PlatformError::UnsupportedFrequency {
+                cluster: ClusterId(0),
+                freq: Frequency::from_mhz(2000),
+            }
+            .to_string(),
+            "cluster0 does not support 2.00 GHz"
+        );
+        assert_eq!(
+            PlatformError::BadConfigLabel("x".into()).to_string(),
+            "unparseable core configuration label: \"x\""
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PlatformError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Frequency newtype used throughout the platform model.
+
+use std::fmt;
+
+/// A CPU clock frequency, stored in megahertz.
+///
+/// The Hipster paper expresses DVFS settings in gigahertz with two decimal
+/// places (0.60, 0.65, 0.90, 1.15); [`Frequency`] keeps an exact integer MHz
+/// representation so frequencies are hashable and comparable without floating
+/// point surprises.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::Frequency;
+///
+/// let f = Frequency::from_mhz(1150);
+/// assert_eq!(f.as_ghz(), 1.15);
+/// assert_eq!(f.to_string(), "1.15");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u32);
+
+impl Frequency {
+    /// Creates a frequency from a megahertz count.
+    pub const fn from_mhz(mhz: u32) -> Self {
+        Frequency(mhz)
+    }
+
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not finite or is negative.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz >= 0.0, "invalid frequency: {ghz} GHz");
+        Frequency((ghz * 1000.0).round() as u32)
+    }
+
+    /// Returns the frequency in megahertz.
+    pub const fn as_mhz(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the frequency in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+
+    /// Returns the frequency in hertz (cycles per second).
+    pub fn as_hz(self) -> f64 {
+        f64::from(self.0) * 1.0e6
+    }
+
+    /// Returns the ratio `self / other` as a plain number.
+    ///
+    /// Useful for frequency-scaling computations such as
+    /// `ips * f.ratio_to(f_max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio_to(self, other: Frequency) -> f64 {
+        assert!(other.0 != 0, "division by zero frequency");
+        f64::from(self.0) / f64::from(other.0)
+    }
+}
+
+impl fmt::Display for Frequency {
+    /// Formats as gigahertz with two decimals, matching the paper's axis
+    /// labels (e.g. `0.65`, `1.15`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.as_ghz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_ghz_round_trip() {
+        let f = Frequency::from_ghz(1.15);
+        assert_eq!(f.as_mhz(), 1150);
+        assert_eq!(f.as_ghz(), 1.15);
+        assert_eq!(Frequency::from_mhz(650).as_ghz(), 0.65);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Frequency::from_mhz(600).to_string(), "0.60");
+        assert_eq!(Frequency::from_mhz(650).to_string(), "0.65");
+        assert_eq!(Frequency::from_mhz(900).to_string(), "0.90");
+        assert_eq!(Frequency::from_mhz(1150).to_string(), "1.15");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(600),
+            Frequency::from_mhz(900),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Frequency::from_mhz(600),
+                Frequency::from_mhz(900),
+                Frequency::from_mhz(1150)
+            ]
+        );
+    }
+
+    #[test]
+    fn hz_conversion() {
+        assert_eq!(Frequency::from_mhz(1000).as_hz(), 1.0e9);
+    }
+
+    #[test]
+    fn ratio() {
+        let a = Frequency::from_mhz(600);
+        let b = Frequency::from_mhz(1150);
+        let r = a.ratio_to(b);
+        assert!((r - 600.0 / 1150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency")]
+    fn from_ghz_rejects_nan() {
+        let _ = Frequency::from_ghz(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn ratio_to_zero_panics() {
+        let _ = Frequency::from_mhz(100).ratio_to(Frequency::from_mhz(0));
+    }
+}

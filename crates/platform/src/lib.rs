@@ -1,0 +1,70 @@
+//! Heterogeneous big.LITTLE platform model for the Hipster (HPCA 2017)
+//! reproduction.
+//!
+//! The paper evaluates Hipster on an ARM Juno R1 developer board: two
+//! out-of-order Cortex-A57 ("big") cores with DVFS from 0.60 to 1.15 GHz and
+//! four in-order Cortex-A53 ("small") cores fixed at 0.65 GHz, with on-board
+//! energy registers and Linux `perf` counters. This crate models exactly the
+//! quantities the Hipster runtime observes and actuates:
+//!
+//! * [`Platform`] / [`Cluster`] / [`CoreKind`] — the topology and DVFS
+//!   operating points ([`Platform::juno_r1`] is the paper's board,
+//!   [`PlatformBuilder`] builds others);
+//! * [`CoreConfig`] — the `2B2S-0.90`-style core-mapping + DVFS
+//!   configurations that form the Hipster action space;
+//! * [`PowerModel`] — calibrated so the characterization microbenchmark
+//!   reproduces the paper's Table 2 (power and MIPS per cluster);
+//! * [`EnergyMeter`] — the Juno energy registers;
+//! * [`PerfCounters`] — per-core instruction counters, including the Juno
+//!   idle-state counter bug and the `cpuidle` mitigation the paper uses;
+//! * [`characterize`] / [`power_ladder`] — the stress-microbenchmark
+//!   characterization that anchors Table 2 and orders the heuristic
+//!   mapper's state ladder.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hipster_platform::{Platform, CoreKind, Frequency};
+//!
+//! let juno = Platform::juno_r1();
+//! let model = juno.power_model();
+//!
+//! // Power attributed to both big cores fully busy at 1.15 GHz
+//! // (big cluster + rest of system, the paper's Table 2 convention):
+//! let p = model.system_power(
+//!     &juno,
+//!     Frequency::from_mhz(1150),
+//!     Frequency::from_mhz(650),
+//!     &[1.0, 1.0],
+//!     &[],
+//! );
+//! assert!((p.big + p.rest - 2.30).abs() < 1e-9); // Table 2: 2.30 W
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod core;
+mod counters;
+mod energy;
+mod error;
+mod freq;
+mod microbench;
+mod power;
+mod topology;
+
+pub use cluster::{Cluster, ClusterId, OperatingPoint};
+pub use config::CoreConfig;
+pub use core::{CoreId, CoreKind, CoreSpec};
+pub use counters::{CounterSample, GarbageWindow, PerfCounters, CPUIDLE_ENTRY_US};
+pub use energy::{EnergyMeter, EnergyReading};
+pub use error::PlatformError;
+pub use freq::Frequency;
+pub use microbench::{
+    characterize, power_ladder, rank_by_power, stress_capacity, stress_power,
+    CharacterizationRow,
+};
+pub use power::{ClusterPowerParams, PowerBreakdown, PowerModel};
+pub use topology::{Platform, PlatformBuilder};

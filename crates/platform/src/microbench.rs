@@ -1,0 +1,225 @@
+//! The paper's characterization microbenchmark.
+//!
+//! §3.3: *"This ordering is determined by measuring the power and
+//! performance of each state using a stress microbenchmark consisting of
+//! mathematical operations without memory accesses."* Running it on the
+//! platform model yields (a) the Table 2 characterization rows and (b) the
+//! power-ordered configuration ladder used by the heuristic mapper.
+
+use crate::{CoreConfig, CoreKind, Frequency, Platform};
+
+/// One row of the Table 2 characterization: power and compute throughput of
+/// a cluster at its top frequency, with all cores or one core busy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizationRow {
+    /// Which core class this row characterizes.
+    pub kind: CoreKind,
+    /// Top frequency of the cluster.
+    pub freq: Frequency,
+    /// System power with every core of the cluster busy, W.
+    pub power_all: f64,
+    /// System power with a single core of the cluster busy, W.
+    pub power_one: f64,
+    /// Aggregate microbenchmark IPS with every core busy.
+    pub ips_all: f64,
+    /// Microbenchmark IPS with one core busy.
+    pub ips_one: f64,
+}
+
+/// Runs the compute-only stress microbenchmark characterization,
+/// reproducing the paper's Table 2.
+///
+/// For each cluster, power is measured as the full system draw during the
+/// run (rest-of-system included) minus the other cluster's idle draw,
+/// matching how the paper attributes the measurement to the cluster under
+/// test.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{characterize, Platform, CoreKind};
+///
+/// let rows = characterize(&Platform::juno_r1());
+/// let big = rows.iter().find(|r| r.kind == CoreKind::Big).unwrap();
+/// assert!((big.power_all - 2.30).abs() < 0.01); // paper: 2.30 W
+/// assert!((big.ips_one - 2.138e9).abs() < 1e7); // paper: 2138 MIPS
+/// ```
+pub fn characterize(platform: &Platform) -> Vec<CharacterizationRow> {
+    let model = platform.power_model();
+    CoreKind::ALL
+        .iter()
+        .map(|&kind| {
+            let cluster = platform.cluster(kind);
+            let f = cluster.max_freq();
+            // Attribute: own cluster + rest of system (the other cluster's
+            // idle draw is excluded, as in the paper's per-cluster rows).
+            let sys = |n_busy: usize| {
+                let busy = vec![1.0; n_busy];
+                model.cluster_power(cluster, f, &busy) + model.rest_of_system
+            };
+            let power_one = sys(1);
+            let power_all = sys(cluster.len());
+            let ips_one = cluster.spec().compute_ips(f);
+            CharacterizationRow {
+                kind,
+                freq: f,
+                power_all,
+                power_one,
+                ips_all: ips_one * cluster.len() as f64,
+                ips_one,
+            }
+        })
+        .collect()
+}
+
+/// Stress power of a configuration: system power with exactly the
+/// configuration's cores 100% busy at the configuration's DVFS, everything
+/// else idle.
+pub fn stress_power(platform: &Platform, config: &CoreConfig) -> f64 {
+    platform
+        .power_model()
+        .system_power(
+            platform,
+            config.big_freq,
+            config.small_freq,
+            &vec![1.0; config.n_big],
+            &vec![1.0; config.n_small],
+        )
+        .total()
+}
+
+/// Aggregate microbenchmark IPS of a configuration (its compute capacity).
+pub fn stress_capacity(platform: &Platform, config: &CoreConfig) -> f64 {
+    let big = platform.cluster(CoreKind::Big).spec();
+    let small = platform.cluster(CoreKind::Small).spec();
+    config.n_big as f64 * big.compute_ips(config.big_freq)
+        + config.n_small as f64 * small.compute_ips(config.small_freq)
+}
+
+/// Builds the heuristic mapper's state ladder: every platform configuration
+/// ordered "approximately from highest to lowest power efficiency" (§3.3) —
+/// concretely by ascending stress power, tie-broken by ascending compute
+/// capacity.
+///
+/// The first entry is the lowest-power state the feedback controller falls
+/// back to in the safe zone; the last is the highest-power state it escapes
+/// to in the danger zone.
+pub fn power_ladder(platform: &Platform) -> Vec<CoreConfig> {
+    rank_by_power(platform, platform.all_configs())
+}
+
+/// Orders an arbitrary configuration set by ascending stress power
+/// (tie-break: ascending capacity). Used to ladder the Octopus-Man baseline
+/// subset as well.
+pub fn rank_by_power(platform: &Platform, mut configs: Vec<CoreConfig>) -> Vec<CoreConfig> {
+    configs.sort_by(|a, b| {
+        let pa = stress_power(platform, a);
+        let pb = stress_power(platform, b);
+        pa.total_cmp(&pb).then_with(|| {
+            stress_capacity(platform, a).total_cmp(&stress_capacity(platform, b))
+        })
+    });
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_characterization_matches_paper() {
+        let p = Platform::juno_r1();
+        let rows = characterize(&p);
+        let big = rows.iter().find(|r| r.kind == CoreKind::Big).unwrap();
+        let small = rows.iter().find(|r| r.kind == CoreKind::Small).unwrap();
+
+        assert!((big.power_all - 2.30).abs() < 1e-6, "{}", big.power_all);
+        assert!((big.power_one - 1.62).abs() < 1e-6, "{}", big.power_one);
+        assert!((small.power_all - 1.43).abs() < 1e-6, "{}", small.power_all);
+        assert!((small.power_one - 0.95).abs() < 1e-6, "{}", small.power_one);
+
+        assert!((big.ips_one / 1e6 - 2138.0).abs() < 1.0);
+        assert!((big.ips_all / 1e6 - 4276.0).abs() < 20.0); // paper rounds to 4260
+        assert!((small.ips_one / 1e6 - 826.0).abs() < 1.0);
+        assert!((small.ips_all / 1e6 - 3304.0).abs() < 10.0); // paper rounds to 3298
+    }
+
+    #[test]
+    fn paper_efficiency_claims_hold() {
+        let p = Platform::juno_r1();
+        let rows = characterize(&p);
+        let big = rows.iter().find(|r| r.kind == CoreKind::Big).unwrap();
+        let small = rows.iter().find(|r| r.kind == CoreKind::Small).unwrap();
+        // "a single big core is 52% more power-efficient than a single small
+        // core" (IPS/W, system power).
+        let eff_ratio = (big.ips_one / big.power_one) / (small.ips_one / small.power_one);
+        assert!((eff_ratio - 1.52).abs() < 0.02, "per-core ratio {eff_ratio}");
+        // "a small cluster is 25% more power-efficient than a big cluster".
+        let cluster_ratio = (small.ips_all / small.power_all) / (big.ips_all / big.power_all);
+        assert!(
+            (cluster_ratio - 1.25).abs() < 0.03,
+            "per-cluster ratio {cluster_ratio}"
+        );
+    }
+
+    #[test]
+    fn ladder_covers_all_configs_and_is_power_sorted() {
+        let p = Platform::juno_r1();
+        let ladder = power_ladder(&p);
+        assert_eq!(ladder.len(), p.all_configs().len());
+        for w in ladder.windows(2) {
+            assert!(
+                stress_power(&p, &w[0]) <= stress_power(&p, &w[1]) + 1e-12,
+                "{} should not outrank {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_endpoints() {
+        let p = Platform::juno_r1();
+        let ladder = power_ladder(&p);
+        // Lowest-power state: one small core.
+        assert_eq!(ladder.first().unwrap().to_string(), "1S-0.65");
+        // Highest-power state: everything at max DVFS.
+        let top = ladder.last().unwrap();
+        assert_eq!(top.n_big, 2);
+        assert_eq!(top.n_small, 4);
+        assert_eq!(top.big_freq, Frequency::from_mhz(1150));
+    }
+
+    #[test]
+    fn paper_fig2c_states_rank_sensibly() {
+        // The 13 states of Fig. 2c must appear in the ladder in roughly the
+        // paper's order (the paper's measured powers differ slightly from
+        // the calibrated model, so we only require rank correlation, not
+        // exact order).
+        let p = Platform::juno_r1();
+        let ladder = power_ladder(&p);
+        let rank = |label: &str| {
+            let c: CoreConfig = label.parse().unwrap();
+            ladder.iter().position(|x| *x == c).unwrap_or_else(|| {
+                panic!("{label} missing from ladder");
+            })
+        };
+        assert!(rank("1S-0.65") < rank("3S-0.65"));
+        assert!(rank("3S-0.65") < rank("2B2S-0.60"));
+        assert!(rank("2B-0.60") < rank("2B2S-0.60"));
+        assert!(rank("2B2S-0.60") < rank("2B2S-0.90"));
+        assert!(rank("2B-0.90") < rank("2B-1.15"));
+        assert!(rank("1B3S-0.90") < rank("2B2S-1.15"));
+    }
+
+    #[test]
+    fn stress_capacity_monotone_in_cores() {
+        let p = Platform::juno_r1();
+        let f = Frequency::from_mhz(900);
+        let fs = Frequency::from_mhz(650);
+        let a = stress_capacity(&p, &CoreConfig::new(1, 1, f, fs));
+        let b = stress_capacity(&p, &CoreConfig::new(2, 1, f, fs));
+        let c = stress_capacity(&p, &CoreConfig::new(2, 3, f, fs));
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,401 @@
+//! Whole-platform topology: the pair of clusters plus board parameters.
+
+use crate::{
+    Cluster, ClusterId, CoreConfig, CoreId, CoreKind, CoreSpec, Frequency, OperatingPoint,
+    PlatformError, PowerModel,
+};
+
+/// A heterogeneous (big.LITTLE) platform: one big cluster, one small cluster,
+/// and a calibrated power model.
+///
+/// Build one with [`Platform::juno_r1`] (the paper's evaluation board) or
+/// [`PlatformBuilder`] for other machines.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{Platform, CoreKind};
+///
+/// let juno = Platform::juno_r1();
+/// assert_eq!(juno.cluster(CoreKind::Big).len(), 2);
+/// assert_eq!(juno.cluster(CoreKind::Small).len(), 4);
+/// assert_eq!(juno.num_cores(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    big: Cluster,
+    small: Cluster,
+    power: PowerModel,
+}
+
+impl Platform {
+    /// The ARM Juno R1 developer board used throughout the paper:
+    /// 2× Cortex-A57 (DVFS 0.60/0.90/1.15 GHz, 2 MB L2) + 4× Cortex-A53
+    /// (fixed 0.65 GHz, 1 MB L2), with the power model calibrated to the
+    /// paper's Table 2.
+    pub fn juno_r1() -> Self {
+        // IPC anchors from Table 2: one big core = 2138 MIPS at 1.15 GHz,
+        // one small core = 826 MIPS at 0.65 GHz (compute microbenchmark).
+        let big_spec = CoreSpec {
+            kind: CoreKind::Big,
+            ipc_compute: 2138.0 / 1150.0,
+        };
+        let small_spec = CoreSpec {
+            kind: CoreKind::Small,
+            ipc_compute: 826.0 / 650.0,
+        };
+        let big = Cluster::new(
+            ClusterId(0),
+            big_spec,
+            vec![CoreId(0), CoreId(1)],
+            vec![
+                OperatingPoint {
+                    freq: Frequency::from_mhz(600),
+                    volts_rel: 0.82,
+                },
+                OperatingPoint {
+                    freq: Frequency::from_mhz(900),
+                    volts_rel: 0.92,
+                },
+                OperatingPoint {
+                    freq: Frequency::from_mhz(1150),
+                    volts_rel: 1.0,
+                },
+            ],
+            2048,
+        )
+        .expect("juno big cluster is well formed");
+        let small = Cluster::new(
+            ClusterId(1),
+            small_spec,
+            vec![CoreId(2), CoreId(3), CoreId(4), CoreId(5)],
+            vec![OperatingPoint {
+                freq: Frequency::from_mhz(650),
+                volts_rel: 1.0,
+            }],
+            1024,
+        )
+        .expect("juno small cluster is well formed");
+        Platform {
+            name: "ARM Juno R1".to_owned(),
+            big,
+            small,
+            power: PowerModel::juno_r1(),
+        }
+    }
+
+    /// Human-readable board name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cluster holding cores of `kind`.
+    pub fn cluster(&self, kind: CoreKind) -> &Cluster {
+        match kind {
+            CoreKind::Big => &self.big,
+            CoreKind::Small => &self.small,
+        }
+    }
+
+    /// Both clusters, big first.
+    pub fn clusters(&self) -> [&Cluster; 2] {
+        [&self.big, &self.small]
+    }
+
+    /// The calibrated power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Total number of cores on the platform.
+    pub fn num_cores(&self) -> usize {
+        self.big.len() + self.small.len()
+    }
+
+    /// The core class of core `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist on this platform.
+    pub fn kind_of(&self, id: CoreId) -> CoreKind {
+        if self.big.cores().contains(&id) {
+            CoreKind::Big
+        } else if self.small.cores().contains(&id) {
+            CoreKind::Small
+        } else {
+            panic!("{id} does not exist on {}", self.name)
+        }
+    }
+
+    /// Enumerates every core configuration the platform supports: all
+    /// combinations of big-core count, small-core count and big-cluster DVFS
+    /// (the small cluster on Juno has a single operating point), excluding
+    /// the empty configuration.
+    ///
+    /// This is the HetCMP configuration space of the paper's §2; the
+    /// baseline (Octopus-Man) space is the subset returned by
+    /// [`Platform::baseline_configs`].
+    ///
+    /// For configurations with no big cores, the big-cluster frequency is
+    /// pinned at its minimum (the cluster stays on but idle).
+    pub fn all_configs(&self) -> Vec<CoreConfig> {
+        let mut out = Vec::new();
+        for n_big in 0..=self.big.len() {
+            for n_small in 0..=self.small.len() {
+                if n_big == 0 && n_small == 0 {
+                    continue;
+                }
+                let small_freq = self.small.max_freq();
+                if n_big == 0 {
+                    out.push(CoreConfig::new(0, n_small, self.big.min_freq(), small_freq));
+                } else {
+                    for f in self.big.freq_levels() {
+                        out.push(CoreConfig::new(n_big, n_small, f, small_freq));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The baseline-policy configuration space of Octopus-Man (HPCA'15):
+    /// exclusively big or exclusively small cores, always at the highest
+    /// DVFS of the cluster in use.
+    pub fn baseline_configs(&self) -> Vec<CoreConfig> {
+        let mut out = Vec::new();
+        for n_small in 1..=self.small.len() {
+            out.push(CoreConfig::new(
+                0,
+                n_small,
+                self.big.min_freq(),
+                self.small.max_freq(),
+            ));
+        }
+        for n_big in 1..=self.big.len() {
+            out.push(CoreConfig::new(
+                n_big,
+                0,
+                self.big.max_freq(),
+                self.small.max_freq(),
+            ));
+        }
+        out
+    }
+
+    /// Validates that `config` fits this platform (core counts and DVFS
+    /// points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::TooManyCores`] or
+    /// [`PlatformError::UnsupportedFrequency`] when it does not.
+    pub fn validate(&self, config: &CoreConfig) -> Result<(), PlatformError> {
+        if config.n_big > self.big.len() || config.n_small > self.small.len() {
+            return Err(PlatformError::TooManyCores {
+                big: config.n_big,
+                small: config.n_small,
+            });
+        }
+        if !self.big.supports(config.big_freq) {
+            return Err(PlatformError::UnsupportedFrequency {
+                cluster: self.big.id(),
+                freq: config.big_freq,
+            });
+        }
+        if !self.small.supports(config.small_freq) {
+            return Err(PlatformError::UnsupportedFrequency {
+                cluster: self.small.id(),
+                freq: config.small_freq,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for non-Juno platforms (e.g. a hypothetical 4B+4L server).
+///
+/// # Examples
+///
+/// ```
+/// use hipster_platform::{PlatformBuilder, CoreKind, Frequency, PowerModel};
+///
+/// let p = PlatformBuilder::new("toy")
+///     .big_cores(4, 2.0, &[(1000, 0.85), (2000, 1.0)], 4096)
+///     .small_cores(4, 1.0, &[(800, 0.9), (1200, 1.0)], 1024)
+///     .power_model(PowerModel::juno_r1())
+///     .build()
+///     .expect("valid platform");
+/// assert_eq!(p.num_cores(), 8);
+/// assert_eq!(p.cluster(CoreKind::Big).max_freq(), Frequency::from_mhz(2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    big: Option<(usize, f64, Vec<OperatingPoint>, u32)>,
+    small: Option<(usize, f64, Vec<OperatingPoint>, u32)>,
+    power: PowerModel,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder for a platform called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlatformBuilder {
+            name: name.into(),
+            big: None,
+            small: None,
+            power: PowerModel::juno_r1(),
+        }
+    }
+
+    fn opps_from(points: &[(u32, f64)]) -> Vec<OperatingPoint> {
+        points
+            .iter()
+            .map(|&(mhz, v)| OperatingPoint {
+                freq: Frequency::from_mhz(mhz),
+                volts_rel: v,
+            })
+            .collect()
+    }
+
+    /// Declares the big cluster: core count, compute IPC, operating points
+    /// as `(mhz, volts_rel)` pairs (ascending), and shared L2 size in KiB.
+    pub fn big_cores(mut self, n: usize, ipc: f64, points: &[(u32, f64)], l2_kib: u32) -> Self {
+        self.big = Some((n, ipc, Self::opps_from(points), l2_kib));
+        self
+    }
+
+    /// Declares the small cluster; same parameters as
+    /// [`PlatformBuilder::big_cores`].
+    pub fn small_cores(mut self, n: usize, ipc: f64, points: &[(u32, f64)], l2_kib: u32) -> Self {
+        self.small = Some((n, ipc, Self::opps_from(points), l2_kib));
+        self
+    }
+
+    /// Sets the power model (defaults to the Juno R1 calibration).
+    pub fn power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::MissingCluster`] if either cluster was not
+    /// declared, or any error from [`Cluster::new`].
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        let (nb, big_ipc, big_opps, big_l2) =
+            self.big.ok_or(PlatformError::MissingCluster("big"))?;
+        let (ns, small_ipc, small_opps, small_l2) =
+            self.small.ok_or(PlatformError::MissingCluster("small"))?;
+        let big = Cluster::new(
+            ClusterId(0),
+            CoreSpec {
+                kind: CoreKind::Big,
+                ipc_compute: big_ipc,
+            },
+            (0..nb).map(CoreId).collect(),
+            big_opps,
+            big_l2,
+        )?;
+        let small = Cluster::new(
+            ClusterId(1),
+            CoreSpec {
+                kind: CoreKind::Small,
+                ipc_compute: small_ipc,
+            },
+            (nb..nb + ns).map(CoreId).collect(),
+            small_opps,
+            small_l2,
+        )?;
+        Ok(Platform {
+            name: self.name,
+            big,
+            small,
+            power: self.power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn juno_shape() {
+        let p = Platform::juno_r1();
+        assert_eq!(p.num_cores(), 6);
+        assert_eq!(p.cluster(CoreKind::Big).len(), 2);
+        assert_eq!(p.cluster(CoreKind::Small).len(), 4);
+        assert_eq!(
+            p.cluster(CoreKind::Big).max_freq(),
+            Frequency::from_mhz(1150)
+        );
+        assert_eq!(
+            p.cluster(CoreKind::Small).max_freq(),
+            Frequency::from_mhz(650)
+        );
+        assert_eq!(p.kind_of(CoreId(0)), CoreKind::Big);
+        assert_eq!(p.kind_of(CoreId(5)), CoreKind::Small);
+    }
+
+    #[test]
+    fn juno_config_space_size() {
+        let p = Platform::juno_r1();
+        // n_big=0: 4 configs (1S..4S); n_big in {1,2}: 2 * 3 freqs * 5 small
+        // counts = 30. Total 34.
+        assert_eq!(p.all_configs().len(), 34);
+        // Baseline: 4 small-only + 2 big-only.
+        assert_eq!(p.baseline_configs().len(), 6);
+    }
+
+    #[test]
+    fn baseline_is_subset_of_full_space() {
+        let p = Platform::juno_r1();
+        let all = p.all_configs();
+        for c in p.baseline_configs() {
+            assert!(all.contains(&c), "{c} missing from full space");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let p = Platform::juno_r1();
+        let too_many = CoreConfig::new(
+            3,
+            0,
+            Frequency::from_mhz(1150),
+            Frequency::from_mhz(650),
+        );
+        assert!(matches!(
+            p.validate(&too_many),
+            Err(PlatformError::TooManyCores { .. })
+        ));
+        let bad_freq = CoreConfig::new(
+            1,
+            0,
+            Frequency::from_mhz(1000),
+            Frequency::from_mhz(650),
+        );
+        assert!(matches!(
+            p.validate(&bad_freq),
+            Err(PlatformError::UnsupportedFrequency { .. })
+        ));
+        let ok = CoreConfig::new(2, 2, Frequency::from_mhz(900), Frequency::from_mhz(650));
+        assert!(p.validate(&ok).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn kind_of_unknown_core_panics() {
+        let p = Platform::juno_r1();
+        let _ = p.kind_of(CoreId(17));
+    }
+
+    #[test]
+    fn builder_requires_both_clusters() {
+        let err = PlatformBuilder::new("x").build();
+        assert!(matches!(err, Err(PlatformError::MissingCluster("big"))));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests on the platform model's invariants.
+
+use hipster_platform::{
+    characterize, power_ladder, rank_by_power, stress_capacity, stress_power, CoreConfig,
+    CoreKind, Frequency, Platform, PlatformBuilder, PowerModel,
+};
+use proptest::prelude::*;
+
+fn juno_config() -> impl Strategy<Value = CoreConfig> {
+    (0usize..=2, 0usize..=4, prop_oneof![Just(600u32), Just(900), Just(1150)]).prop_filter_map(
+        "non-empty",
+        |(nb, ns, mhz)| {
+            (nb + ns > 0).then(|| {
+                CoreConfig::new(nb, ns, Frequency::from_mhz(mhz), Frequency::from_mhz(650))
+            })
+        },
+    )
+}
+
+proptest! {
+    /// System power is monotone in every core's busy fraction.
+    #[test]
+    fn power_monotone_in_busy(
+        b0 in 0.0f64..=1.0,
+        b1 in 0.0f64..=1.0,
+        delta in 0.0f64..=0.5,
+        mhz in prop_oneof![Just(600u32), Just(900), Just(1150)],
+    ) {
+        let p = Platform::juno_r1();
+        let m = p.power_model();
+        let f = Frequency::from_mhz(mhz);
+        let fs = Frequency::from_mhz(650);
+        let low = m.system_power(&p, f, fs, &[b0, b1], &[]).total();
+        let hi = m
+            .system_power(&p, f, fs, &[(b0 + delta).min(1.0), b1], &[])
+            .total();
+        prop_assert!(hi >= low - 1e-12);
+    }
+
+    /// Power grows with frequency at fixed utilization (V²f scaling).
+    #[test]
+    fn power_monotone_in_frequency(busy in 0.0f64..=1.0) {
+        let p = Platform::juno_r1();
+        let m = p.power_model();
+        let fs = Frequency::from_mhz(650);
+        let mut prev = 0.0;
+        for mhz in [600u32, 900, 1150] {
+            let f = Frequency::from_mhz(mhz);
+            let w = m.system_power(&p, f, fs, &[busy, busy], &[]).total();
+            prop_assert!(w >= prev - 1e-12);
+            prev = w;
+        }
+    }
+
+    /// Every valid configuration's stress power lies between the idle floor
+    /// and TDP.
+    #[test]
+    fn stress_power_within_envelope(cfg in juno_config()) {
+        let p = Platform::juno_r1();
+        let m = p.power_model();
+        let floor = m.rest_of_system;
+        let power = stress_power(&p, &cfg);
+        prop_assert!(power > floor);
+        prop_assert!(power <= m.tdp(&p) + 1e-9);
+    }
+
+    /// Capacity is monotone: adding cores or frequency never lowers the
+    /// stress capacity.
+    #[test]
+    fn capacity_monotone(cfg in juno_config()) {
+        let p = Platform::juno_r1();
+        let base = stress_capacity(&p, &cfg);
+        if cfg.n_big < 2 {
+            let more = CoreConfig::new(cfg.n_big + 1, cfg.n_small, cfg.big_freq, cfg.small_freq);
+            prop_assert!(stress_capacity(&p, &more) > base);
+        }
+        if cfg.n_big > 0 && cfg.big_freq.as_mhz() < 1150 {
+            let faster = CoreConfig::new(cfg.n_big, cfg.n_small, Frequency::from_mhz(1150), cfg.small_freq);
+            prop_assert!(stress_capacity(&p, &faster) > base);
+        }
+    }
+
+    /// rank_by_power is a permutation sorted by stress power, for any
+    /// subset of the configuration space.
+    #[test]
+    fn rank_by_power_sorts_any_subset(mask in prop::collection::vec(any::<bool>(), 34)) {
+        let p = Platform::juno_r1();
+        let all = p.all_configs();
+        let subset: Vec<CoreConfig> = all
+            .iter()
+            .zip(&mask)
+            .filter(|(_, keep)| **keep)
+            .map(|(c, _)| *c)
+            .collect();
+        if subset.is_empty() {
+            return Ok(());
+        }
+        let ranked = rank_by_power(&p, subset.clone());
+        prop_assert_eq!(ranked.len(), subset.len());
+        for c in &subset {
+            prop_assert!(ranked.contains(c));
+        }
+        for w in ranked.windows(2) {
+            prop_assert!(stress_power(&p, &w[0]) <= stress_power(&p, &w[1]) + 1e-12);
+        }
+    }
+
+    /// Custom platforms keep the characterization identities: all-cores
+    /// power exceeds one-core power, all-cores IPS is one-core × count.
+    #[test]
+    fn characterization_identities_hold(
+        nb in 1usize..=4,
+        ns in 1usize..=8,
+        big_ipc in 0.5f64..3.0,
+        small_ipc in 0.2f64..1.5,
+    ) {
+        let platform = PlatformBuilder::new("prop")
+            .big_cores(nb, big_ipc, &[(1000, 0.9), (2000, 1.0)], 2048)
+            .small_cores(ns, small_ipc, &[(900, 1.0)], 1024)
+            .power_model(PowerModel::juno_r1())
+            .build()
+            .unwrap();
+        for row in characterize(&platform) {
+            prop_assert!(row.power_all >= row.power_one - 1e-12);
+            let n = platform.cluster(row.kind).len() as f64;
+            prop_assert!((row.ips_all - row.ips_one * n).abs() < 1e-3 * row.ips_all.max(1.0));
+        }
+    }
+
+    /// The ladder's top entry is the max-capacity configuration.
+    #[test]
+    fn ladder_top_has_max_capacity(_x in 0u8..1) {
+        let p = Platform::juno_r1();
+        let ladder = power_ladder(&p);
+        let top = ladder.last().unwrap();
+        let cap_top = stress_capacity(&p, top);
+        for c in &ladder {
+            prop_assert!(stress_capacity(&p, c) <= cap_top + 1e-9);
+        }
+    }
+
+    /// CoreConfig labels are unique within the canonical config space.
+    #[test]
+    fn config_labels_unique(_x in 0u8..1) {
+        let p = Platform::juno_r1();
+        let labels: std::collections::HashSet<String> =
+            p.all_configs().iter().map(|c| c.to_string()).collect();
+        prop_assert_eq!(labels.len(), p.all_configs().len());
+    }
+
+    /// Kind lookup is total over the platform's cores.
+    #[test]
+    fn kind_of_covers_all_cores(_x in 0u8..1) {
+        let p = Platform::juno_r1();
+        let mut big = 0;
+        let mut small = 0;
+        for i in 0..p.num_cores() {
+            match p.kind_of(hipster_platform::CoreId(i)) {
+                CoreKind::Big => big += 1,
+                CoreKind::Small => small += 1,
+            }
+        }
+        prop_assert_eq!(big, 2);
+        prop_assert_eq!(small, 4);
+    }
+}

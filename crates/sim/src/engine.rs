@@ -1,0 +1,710 @@
+//! The simulation engine: steps the machine one monitoring interval at a
+//! time under a given configuration, producing the observations the Hipster
+//! QoS Monitor consumes (tail latency, load, power, batch IPS).
+
+use hipster_platform::{
+    CoreConfig, CoreId, CoreKind, EnergyMeter, Frequency, PerfCounters, Platform, PowerBreakdown,
+};
+
+use crate::costs::{ContentionModel, ReconfigCosts};
+use crate::dist::Exponential;
+use crate::rng::{Sampler, SimRng};
+use crate::service::{ServerSpec, ServiceNode};
+use crate::traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};
+
+/// The full machine configuration applied for one monitoring interval.
+///
+/// `lc` is the configuration chosen by the policy for the latency-critical
+/// workload; `big_freq`/`small_freq` are the *actual* cluster frequencies
+/// (DVFS is per cluster, so batch jobs sharing a cluster with the LC
+/// workload run at the LC frequency — the `lbm` effect of §4.3); and
+/// `batch_enabled` controls whether the remaining cores run batch jobs
+/// (HipsterCo) or idle (HipsterIn).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Cores + DVFS allocated to the latency-critical workload.
+    pub lc: CoreConfig,
+    /// Actual big-cluster frequency.
+    pub big_freq: Frequency,
+    /// Actual small-cluster frequency.
+    pub small_freq: Frequency,
+    /// Whether remaining cores run batch jobs.
+    pub batch_enabled: bool,
+}
+
+impl MachineConfig {
+    /// An interactive-only configuration (HipsterIn style): clusters the LC
+    /// workload does not use are clocked to the platform minimum
+    /// (Algorithm 2 lines 12–13).
+    pub fn interactive(platform: &Platform, lc: CoreConfig) -> Self {
+        let big = platform.cluster(CoreKind::Big);
+        let small = platform.cluster(CoreKind::Small);
+        MachineConfig {
+            lc,
+            big_freq: if lc.n_big > 0 { lc.big_freq } else { big.min_freq() },
+            small_freq: if lc.n_small > 0 {
+                lc.small_freq
+            } else {
+                small.min_freq()
+            },
+            batch_enabled: false,
+        }
+    }
+
+    /// A collocated configuration (HipsterCo style): remaining cores run
+    /// batch jobs; when the LC workload occupies a single core type, the
+    /// other cluster is boosted to its maximum DVFS to accelerate the batch
+    /// jobs (Algorithm 2 lines 8–11).
+    pub fn collocated(platform: &Platform, lc: CoreConfig) -> Self {
+        let big = platform.cluster(CoreKind::Big);
+        let small = platform.cluster(CoreKind::Small);
+        let (big_freq, small_freq) = match lc.single_core_type() {
+            Some(CoreKind::Big) => (lc.big_freq, small.max_freq()),
+            Some(CoreKind::Small) => (big.max_freq(), lc.small_freq),
+            None => (
+                if lc.n_big > 0 { lc.big_freq } else { big.min_freq() },
+                if lc.n_small > 0 { lc.small_freq } else { small.min_freq() },
+            ),
+        };
+        MachineConfig {
+            lc,
+            big_freq,
+            small_freq,
+            batch_enabled: true,
+        }
+    }
+}
+
+/// Everything the simulator measured during one monitoring interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalStats {
+    /// Zero-based interval index.
+    pub index: u64,
+    /// Interval start time, seconds.
+    pub start_s: f64,
+    /// Interval length, seconds.
+    pub duration_s: f64,
+    /// The configuration in force.
+    pub config: MachineConfig,
+    /// Commanded load as a fraction of the workload's maximum.
+    pub offered_load_frac: f64,
+    /// Commanded load in requests per second.
+    pub offered_rps: f64,
+    /// Requests that arrived.
+    pub arrivals: usize,
+    /// Requests that completed.
+    pub completions: usize,
+    /// Requests dropped by client timeouts.
+    pub timeouts: usize,
+    /// Achieved throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Tail latency at the workload's QoS percentile, seconds.
+    pub tail_latency_s: f64,
+    /// Mean latency of completed requests, seconds.
+    pub mean_latency_s: f64,
+    /// Queue length at interval end.
+    pub queue_len: usize,
+    /// Busy fraction of each LC server (big servers first).
+    pub lc_busy: Vec<f64>,
+    /// Average system power during the interval.
+    pub power: PowerBreakdown,
+    /// Energy consumed during the interval, joules.
+    pub energy_j: f64,
+    /// Aggregate batch IPS on big cores, as reported by the perf counters.
+    pub batch_ips_big: f64,
+    /// Aggregate batch IPS on small cores, as reported by the perf counters.
+    pub batch_ips_small: f64,
+    /// `false` when the Juno perf idle bug corrupted this window's counters
+    /// (the batch IPS fields then contain garbage, as real `perf` would).
+    pub counters_valid: bool,
+    /// Number of LC cores whose allocation changed entering this interval.
+    pub migrated_cores: usize,
+}
+
+impl IntervalStats {
+    /// QoS tardiness of this interval: measured tail / target.
+    pub fn tardiness(&self, target_s: f64) -> f64 {
+        self.tail_latency_s / target_s
+    }
+}
+
+/// Discrete-event simulation engine.
+///
+/// Owns the platform, the latency-critical workload model, the load
+/// pattern, an optional batch-job pool, and all measurement apparatus. A
+/// policy driver calls [`Engine::step`] once per monitoring interval with
+/// the configuration to apply.
+#[derive(Debug)]
+pub struct Engine {
+    platform: Platform,
+    lc: Box<dyn LcModel>,
+    load: Box<dyn LoadPattern>,
+    batch_pool: Vec<Box<dyn BatchProgram>>,
+    costs: ReconfigCosts,
+    contention: ContentionModel,
+    node: ServiceNode,
+    counters: PerfCounters,
+    meter: EnergyMeter,
+    demand_rng: SimRng,
+    arrival_rng: SimRng,
+    now: f64,
+    interval_s: f64,
+    index: u64,
+    current: Option<MachineConfig>,
+    cold_this_interval: bool,
+    total_migrations: u64,
+    power_override: Option<hipster_platform::PowerModel>,
+    /// Closed-loop clients currently thinking (absolute expiry times).
+    thinking: Vec<f64>,
+    /// Lognormal σ of the per-interval background-interference slowdown.
+    jitter_sigma: f64,
+    jitter_rng: SimRng,
+}
+
+impl Engine {
+    /// Creates an engine for `platform` running `lc` under `load`, with all
+    /// stochastic streams derived from `seed`.
+    pub fn new(
+        platform: Platform,
+        lc: Box<dyn LcModel>,
+        load: Box<dyn LoadPattern>,
+        seed: u64,
+    ) -> Self {
+        let mut root = SimRng::seed(seed);
+        let num_cores = platform.num_cores();
+        let mut node = ServiceNode::new();
+        node.set_timeout(lc.timeout_s());
+        Engine {
+            platform,
+            lc,
+            load,
+            batch_pool: Vec::new(),
+            costs: ReconfigCosts::juno_defaults(),
+            contention: ContentionModel::juno_defaults(),
+            node,
+            counters: PerfCounters::new(num_cores, false),
+            meter: EnergyMeter::new(),
+            demand_rng: root.fork("demand"),
+            arrival_rng: root.fork("arrival"),
+            now: 0.0,
+            interval_s: 1.0,
+            index: 0,
+            current: None,
+            cold_this_interval: false,
+            total_migrations: 0,
+            power_override: None,
+            thinking: Vec::new(),
+            jitter_sigma: 0.10,
+            jitter_rng: root.fork("jitter"),
+        }
+    }
+
+    /// Installs a batch-job pool; remaining cores run these round-robin
+    /// whenever the applied [`MachineConfig::batch_enabled`] is set.
+    pub fn with_batch_pool(mut self, pool: Vec<Box<dyn BatchProgram>>) -> Self {
+        self.batch_pool = pool;
+        self
+    }
+
+    /// Overrides the reconfiguration cost model.
+    pub fn with_costs(mut self, costs: ReconfigCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Overrides the contention model.
+    pub fn with_contention(mut self, contention: ContentionModel) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// Sets the monitoring interval length (default 1 s, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    pub fn with_interval(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "interval must be positive");
+        self.interval_s = seconds;
+        self
+    }
+
+    /// Arms the Juno perf idle-counter bug (disarmed by default).
+    pub fn with_perf_quirk(mut self, armed: bool) -> Self {
+        let n = self.platform.num_cores();
+        self.counters = PerfCounters::new(n, armed);
+        self
+    }
+
+    /// Sets the background-interference jitter: each monitoring interval
+    /// the LC service runs `exp(N(0, σ))` slower than nominal, modelling
+    /// OS housekeeping, interrupts and other un-modelled noise on a real
+    /// Linux box. Default σ = 0.10; pass 0 for a noiseless simulator.
+    ///
+    /// This noise is what keeps feedback policies honest: with a perfectly
+    /// quiet simulator a threshold controller can park one notch above the
+    /// capacity boundary forever, which real systems never allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid jitter: {sigma}");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Disables Linux `cpuidle` — the paper's mitigation for the perf bug.
+    /// Idle cores stop entering idle states (clean counters) but burn more
+    /// power; the power model switches to the cpuidle-disabled calibration.
+    pub fn disable_cpuidle(&mut self) {
+        self.counters.disable_cpuidle();
+        self.power_override = Some(self.platform.power_model().with_cpuidle_disabled());
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The platform under simulation.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The latency-critical workload model.
+    pub fn lc_model(&self) -> &dyn LcModel {
+        self.lc.as_ref()
+    }
+
+    /// The monitoring interval length, seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Total LC core migrations so far.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Cumulative energy registers.
+    pub fn energy_meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Runs one monitoring interval under `cfg` and returns its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid for the platform or allocates zero cores
+    /// to the latency-critical workload.
+    pub fn step(&mut self, cfg: MachineConfig) -> IntervalStats {
+        self.platform
+            .validate(&CoreConfig::new(
+                cfg.lc.n_big,
+                cfg.lc.n_small,
+                cfg.big_freq,
+                cfg.small_freq,
+            ))
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"));
+        assert!(
+            cfg.lc.total_cores() > 0,
+            "latency-critical workload needs at least one core"
+        );
+
+        let (preempt, stall, migrated) = self.transition_kind(&cfg);
+        self.total_migrations += migrated as u64;
+        self.cold_this_interval = migrated > 0;
+
+        // Batch allocation for this interval: remaining cores, big first.
+        let batch_cores = self.batch_core_kinds(&cfg);
+        let slowdown = self.lc_slowdown(&cfg, &batch_cores);
+
+        // LC server specs: big servers first, then small.
+        let mut specs = Vec::with_capacity(cfg.lc.total_cores());
+        for _ in 0..cfg.lc.n_big {
+            specs.push(ServerSpec {
+                kind: CoreKind::Big,
+                freq: cfg.big_freq,
+                speed: self.lc.service_speed(CoreKind::Big, cfg.big_freq),
+                slowdown,
+            });
+        }
+        for _ in 0..cfg.lc.n_small {
+            specs.push(ServerSpec {
+                kind: CoreKind::Small,
+                freq: cfg.small_freq,
+                speed: self.lc.service_speed(CoreKind::Small, cfg.small_freq),
+                slowdown,
+            });
+        }
+        self.node.reconfigure(self.now, &specs, preempt, stall);
+        self.node.begin_interval(self.now);
+
+        // Event loop for the interval.
+        let t_end = self.now + self.interval_s;
+        let frac = self.load.load_at(self.now).max(0.0);
+        let rate = frac * self.lc.max_load_rps();
+        match self.lc.closed_loop() {
+            Some(cl) => self.run_events_closed(t_end, frac, stall, cl),
+            None => self.run_events(t_end, rate, stall),
+        }
+
+        let qos = self.lc.qos();
+        let node_iv = self.node.end_interval(t_end, qos.percentile);
+
+        // Measurement: power, energy, counters.
+        let stats = self.measure(cfg, frac, rate, node_iv, &batch_cores);
+        self.current = Some(cfg);
+        self.now = t_end;
+        self.index += 1;
+        stats
+    }
+
+    /// Classifies the transition into (preempt?, stall seconds, migrated
+    /// core count).
+    fn transition_kind(&self, cfg: &MachineConfig) -> (bool, f64, usize) {
+        match &self.current {
+            None => (true, 0.0, 0),
+            Some(prev) => {
+                if !prev.lc.same_mapping(&cfg.lc) {
+                    let migrated = prev.lc.n_big.abs_diff(cfg.lc.n_big)
+                        + prev.lc.n_small.abs_diff(cfg.lc.n_small);
+                    (true, self.costs.core_migration_stall_s, migrated)
+                } else if prev.big_freq != cfg.big_freq || prev.small_freq != cfg.small_freq {
+                    (false, self.costs.dvfs_stall_s, 0)
+                } else {
+                    (false, 0.0, 0)
+                }
+            }
+        }
+    }
+
+    /// Core kinds of the batch cores for this config (big cores first).
+    fn batch_core_kinds(&self, cfg: &MachineConfig) -> Vec<CoreKind> {
+        if !cfg.batch_enabled || self.batch_pool.is_empty() {
+            return Vec::new();
+        }
+        let big_total = self.platform.cluster(CoreKind::Big).len();
+        let small_total = self.platform.cluster(CoreKind::Small).len();
+        let mut kinds = Vec::new();
+        kinds.extend(std::iter::repeat(CoreKind::Big).take(big_total - cfg.lc.n_big));
+        kinds.extend(std::iter::repeat(CoreKind::Small).take(small_total - cfg.lc.n_small));
+        kinds
+    }
+
+    fn lc_slowdown(&mut self, cfg: &MachineConfig, batch_cores: &[CoreKind]) -> f64 {
+        let on_lc_clusters = batch_cores
+            .iter()
+            .filter(|k| cfg.lc.count(**k) > 0)
+            .count();
+        let mut s = self
+            .contention
+            .lc_slowdown(on_lc_clusters, batch_cores.len());
+        if self.cold_this_interval {
+            s *= self.costs.cold_cache_penalty;
+        }
+        if self.jitter_sigma > 0.0 {
+            // Box–Muller draw for the interval's interference factor;
+            // interference only ever slows service down.
+            let u1 = 1.0 - self.jitter_rng.uniform();
+            let u2 = self.jitter_rng.uniform();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            s *= (self.jitter_sigma * z).exp();
+        }
+        s.max(1.0)
+    }
+
+    fn run_events(&mut self, t_end: f64, rate: f64, stall: f64) {
+        let mut kick_at = if stall > 0.0 { Some(self.now + stall) } else { None };
+        // Arrival *events* carry bursts of requests; thin the event rate so
+        // the request rate equals the offered load.
+        let event_rate = rate / self.lc.mean_burst().max(1.0);
+        let iat = if event_rate > 0.0 {
+            Some(Exponential::new(event_rate))
+        } else {
+            None
+        };
+        let mut next_arrival = iat
+            .as_ref()
+            .map(|d| self.now + d.sample(&mut self.arrival_rng));
+        loop {
+            let tc = self.node.next_completion();
+            // Earliest of: completion, arrival, kick — within the interval.
+            let mut t = t_end;
+            let mut what = 0u8; // 0 = end, 1 = completion, 2 = arrival, 3 = kick
+            if let Some(x) = tc {
+                if x < t {
+                    t = x;
+                    what = 1;
+                }
+            }
+            if let Some(x) = next_arrival {
+                if x < t {
+                    t = x;
+                    what = 2;
+                }
+            }
+            if let Some(x) = kick_at {
+                if x < t {
+                    t = x;
+                    what = 3;
+                }
+            }
+            self.node.advance(t);
+            match what {
+                0 => break,
+                1 => {} // advance() already completed it
+                2 => {
+                    let burst = self.lc.sample_burst(&mut self.demand_rng).max(1);
+                    for _ in 0..burst {
+                        let demand = self.lc.sample_demand(&mut self.demand_rng);
+                        self.node.arrive(t, demand);
+                    }
+                    next_arrival =
+                        iat.as_ref().map(|d| t + d.sample(&mut self.arrival_rng));
+                }
+                3 => {
+                    self.node.kick(t);
+                    kick_at = None;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Closed-loop event loop: a population of `frac × max_clients` clients
+    /// submit → wait → think (exponential, mean `think_mean_s`) → repeat.
+    /// The population is adjusted at interval boundaries; surplus clients
+    /// are retired from the thinking pool (in-flight requests complete
+    /// normally).
+    fn run_events_closed(&mut self, t_end: f64, frac: f64, stall: f64, cl: ClosedLoop) {
+        let mut kick_at = if stall > 0.0 { Some(self.now + stall) } else { None };
+        let think = Exponential::new(1.0 / cl.think_mean_s.max(1e-9));
+        let target = (frac * cl.max_clients as f64).round().max(0.0) as usize;
+        let mut population =
+            self.thinking.len() + self.node.queue_len() + self.node.in_flight();
+        // Grow: new clients start thinking now.
+        while population < target {
+            let expiry = self.now + think.sample(&mut self.arrival_rng);
+            self.thinking.push(expiry);
+            population += 1;
+        }
+        // Shrink: retire the clients that would submit last.
+        while population > target && !self.thinking.is_empty() {
+            let (idx, _) = self
+                .thinking
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty");
+            self.thinking.swap_remove(idx);
+            population -= 1;
+        }
+
+        let mut completions = Vec::new();
+        loop {
+            let next_think = self
+                .thinking
+                .iter()
+                .copied()
+                .min_by(f64::total_cmp);
+            let mut t = t_end;
+            let mut what = 0u8; // 0 = end, 1 = completion, 2 = think expiry, 3 = kick
+            if let Some(x) = self.node.next_completion() {
+                if x < t {
+                    t = x;
+                    what = 1;
+                }
+            }
+            if let Some(x) = next_think {
+                if x < t {
+                    t = x;
+                    what = 2;
+                }
+            }
+            if let Some(x) = kick_at {
+                if x < t {
+                    t = x;
+                    what = 3;
+                }
+            }
+            completions.clear();
+            self.node.advance_collect(t, &mut completions);
+            for &ct in &completions {
+                // The responding client starts thinking.
+                self.thinking.push(ct + think.sample(&mut self.arrival_rng));
+            }
+            match what {
+                0 => break,
+                1 => {}
+                2 => {
+                    let idx = self
+                        .thinking
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .expect("think expiry exists");
+                    self.thinking.swap_remove(idx);
+                    let demand = self.lc.sample_demand(&mut self.demand_rng);
+                    self.node.arrive(t, demand);
+                }
+                3 => {
+                    self.node.kick(t);
+                    kick_at = None;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn measure(
+        &mut self,
+        cfg: MachineConfig,
+        frac: f64,
+        rate: f64,
+        node_iv: crate::service::NodeInterval,
+        batch_cores: &[CoreKind],
+    ) -> IntervalStats {
+        let dur = self.interval_s;
+        let big_total = self.platform.cluster(CoreKind::Big).len();
+        let small_total = self.platform.cluster(CoreKind::Small).len();
+
+        // Per-core busy fractions in cluster order: LC cores first within
+        // each cluster, then batch cores (100% busy), then idle.
+        let mut big_busy = vec![0.0; big_total];
+        let mut small_busy = vec![0.0; small_total];
+        for i in 0..cfg.lc.n_big {
+            big_busy[i] = node_iv.busy[i];
+        }
+        for i in 0..cfg.lc.n_small {
+            small_busy[i] = node_iv.busy[cfg.lc.n_big + i];
+        }
+        let n_batch_big = batch_cores.iter().filter(|k| **k == CoreKind::Big).count();
+        let n_batch_small = batch_cores.len() - n_batch_big;
+        for i in 0..n_batch_big {
+            big_busy[cfg.lc.n_big + i] = 1.0;
+        }
+        for i in 0..n_batch_small {
+            small_busy[cfg.lc.n_small + i] = 1.0;
+        }
+
+        // Perf counters: batch instructions (what HipsterCo reads), LC
+        // instructions approximated from busy time, idle stretches for the
+        // Juno quirk.
+        let mut true_batch_big_ips = 0.0;
+        let mut true_batch_small_ips = 0.0;
+        for (i, kind) in batch_cores.iter().enumerate() {
+            let program = &self.batch_pool[i % self.batch_pool.len()];
+            let (core_idx, freq) = match kind {
+                CoreKind::Big => (CoreId(cfg.lc.n_big + i), cfg.big_freq),
+                CoreKind::Small => {
+                    // Small batch cores come after the big batch cores in
+                    // `batch_cores`; translate to a platform core id.
+                    let small_pos = i - n_batch_big;
+                    (
+                        CoreId(big_total + cfg.lc.n_small + small_pos),
+                        cfg.small_freq,
+                    )
+                }
+            };
+            let ips = program.ips(*kind, freq);
+            match kind {
+                CoreKind::Big => true_batch_big_ips += ips,
+                CoreKind::Small => true_batch_small_ips += ips,
+            }
+            self.counters.record(core_idx, (ips * dur) as u64, 1.0);
+        }
+        for (i, &b) in big_busy.iter().enumerate() {
+            if i < cfg.lc.n_big {
+                let ips = self
+                    .platform
+                    .cluster(CoreKind::Big)
+                    .spec()
+                    .compute_ips(cfg.big_freq);
+                self.counters
+                    .record(CoreId(i), (ips * b * dur) as u64, b);
+            }
+            if b < 0.999 {
+                self.counters
+                    .record_idle_stretch(CoreId(i), (1.0 - b) * dur * 1e6);
+            }
+        }
+        for (i, &b) in small_busy.iter().enumerate() {
+            let core = CoreId(big_total + i);
+            if i < cfg.lc.n_small {
+                let ips = self
+                    .platform
+                    .cluster(CoreKind::Small)
+                    .spec()
+                    .compute_ips(cfg.small_freq);
+                self.counters.record(core, (ips * b * dur) as u64, b);
+            }
+            if b < 0.999 {
+                self.counters
+                    .record_idle_stretch(core, (1.0 - b) * dur * 1e6);
+            }
+        }
+
+        let (batch_ips_big, batch_ips_small, counters_valid) =
+            match self.counters.read_window(dur) {
+                Ok(_) => (true_batch_big_ips, true_batch_small_ips, true),
+                Err(_) => {
+                    // Real perf hands back absurd values; reproduce that.
+                    (1.0e18, 1.0e18, false)
+                }
+            };
+
+        // A cluster with no latency-critical cores and no batch cores is
+        // fully idle: with cpuidle enabled it enters Juno's cluster-off
+        // state and its static draw collapses.
+        let model = self
+            .power_override
+            .unwrap_or(*self.platform.power_model());
+        let big_gated = cfg.lc.n_big == 0 && n_batch_big == 0;
+        let small_gated = cfg.lc.n_small == 0 && n_batch_small == 0;
+        let power = model.system_power_gated(
+            &self.platform,
+            cfg.big_freq,
+            cfg.small_freq,
+            &big_busy,
+            &small_busy,
+            big_gated,
+            small_gated,
+        );
+        self.meter.advance(dur, power);
+
+        IntervalStats {
+            index: self.index,
+            start_s: self.now,
+            duration_s: dur,
+            config: cfg,
+            offered_load_frac: frac,
+            offered_rps: rate,
+            arrivals: node_iv.arrivals,
+            completions: node_iv.completions,
+            timeouts: node_iv.timeouts,
+            throughput_rps: node_iv.completions as f64 / dur,
+            tail_latency_s: node_iv.tail_latency_s,
+            mean_latency_s: node_iv.mean_latency_s,
+            queue_len: node_iv.queue_len,
+            lc_busy: node_iv.busy,
+            power,
+            energy_j: power.total() * dur,
+            batch_ips_big,
+            batch_ips_small,
+            counters_valid,
+            migrated_cores: self.transitioned_cores(&cfg),
+        }
+    }
+
+    fn transitioned_cores(&self, cfg: &MachineConfig) -> usize {
+        match &self.current {
+            None => 0,
+            Some(prev) => {
+                prev.lc.n_big.abs_diff(cfg.lc.n_big) + prev.lc.n_small.abs_diff(cfg.lc.n_small)
+            }
+        }
+    }
+}

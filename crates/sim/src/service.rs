@@ -1,0 +1,607 @@
+//! The latency-critical service node: a FIFO queue feeding a set of
+//! heterogeneous core-servers.
+//!
+//! Requests arrive into a central FIFO queue and are dispatched to the
+//! fastest idle server (requests cannot span cores). Service has two
+//! sequential phases — a compute phase retired at the server's
+//! frequency-dependent speed and a memory phase that is
+//! frequency-insensitive — and both stretch under a contention slowdown
+//! while batch jobs share the machine.
+//!
+//! Reconfigurations preempt in-flight requests (for core-mapping changes)
+//! or rescale them (for pure DVFS changes), charging the corresponding
+//! stall; this is how the paper's observation that "core-transitions are
+//! far more costly relative to DVFS changes" enters the model.
+
+use std::collections::VecDeque;
+
+use hipster_platform::{CoreKind, Frequency};
+
+use crate::latency::LatencyRecorder;
+use crate::request::{Demand, Request, RequestId};
+
+/// Specification of one server (one core allocated to the LC workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSpec {
+    /// Core class backing this server.
+    pub kind: CoreKind,
+    /// Cluster frequency of that core.
+    pub freq: Frequency,
+    /// Compute speed in work units per second at that frequency.
+    pub speed: f64,
+    /// Service-time multiplier ≥ 1 from contention / cold caches.
+    pub slowdown: f64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    /// When the current execution (re)started.
+    started: f64,
+    /// Completion time under the current spec.
+    finish: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Server {
+    spec: ServerSpec,
+    /// Earliest time this server may start (end of a reconfiguration stall).
+    available_at: f64,
+    in_flight: Option<InFlight>,
+    busy_in_interval: f64,
+}
+
+impl Server {
+    fn service_time(&self, req: &Request) -> f64 {
+        (req.work_left / self.spec.speed + req.mem_left) * self.spec.slowdown
+    }
+}
+
+/// Statistics of one completed monitoring interval of the service node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInterval {
+    /// Requests that arrived during the interval.
+    pub arrivals: usize,
+    /// Requests that completed during the interval.
+    pub completions: usize,
+    /// Requests whose clients timed out during the interval.
+    pub timeouts: usize,
+    /// Tail latency at the requested percentile, seconds.
+    ///
+    /// When no request completed, this falls back to the age of the oldest
+    /// request still in the system (a lower bound on its eventual latency),
+    /// or 0 when the system is empty.
+    pub tail_latency_s: f64,
+    /// Mean latency of completed requests (0 when none completed).
+    pub mean_latency_s: f64,
+    /// Per-server busy fraction during the interval.
+    pub busy: Vec<f64>,
+    /// Queue length at the end of the interval (excluding in-flight).
+    pub queue_len: usize,
+}
+
+/// FIFO multi-server queueing node for the latency-critical workload.
+#[derive(Debug, Clone)]
+pub struct ServiceNode {
+    queue: VecDeque<Request>,
+    servers: Vec<Server>,
+    recorder: LatencyRecorder,
+    next_id: u64,
+    interval_start: f64,
+    interval_arrivals: usize,
+    interval_completions: usize,
+    interval_timeouts: usize,
+    total_completed: u64,
+    /// Client-side request timeout; timed-out requests are dropped at
+    /// dispatch and recorded as right-censored latencies.
+    timeout_s: Option<f64>,
+}
+
+impl ServiceNode {
+    /// Creates a node with no servers (configure before use).
+    pub fn new() -> Self {
+        ServiceNode {
+            queue: VecDeque::new(),
+            servers: Vec::new(),
+            recorder: LatencyRecorder::new(),
+            next_id: 0,
+            interval_start: 0.0,
+            interval_arrivals: 0,
+            interval_completions: 0,
+            interval_timeouts: 0,
+            total_completed: 0,
+            timeout_s: None,
+        }
+    }
+
+    /// Sets the client-side request timeout (`None` = patient clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is not strictly positive.
+    pub fn set_timeout(&mut self, timeout_s: Option<f64>) {
+        if let Some(t) = timeout_s {
+            assert!(t > 0.0, "timeout must be positive: {t}");
+        }
+        self.timeout_s = timeout_s;
+    }
+
+    /// Number of servers currently configured.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Requests waiting in the queue (excluding in-flight).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently being serviced.
+    pub fn in_flight(&self) -> usize {
+        self.servers.iter().filter(|s| s.in_flight.is_some()).count()
+    }
+
+    /// Total requests completed since construction.
+    pub fn total_completed(&self) -> u64 {
+        self.total_completed
+    }
+
+    /// Reconfigures the server set at time `now`.
+    ///
+    /// * `preempt` — `true` for core-mapping changes: all in-flight requests
+    ///   are preempted (remaining demand preserved) and requeued in arrival
+    ///   order. `false` for pure DVFS changes: in-flight requests continue
+    ///   with their remaining demand rescaled to the new speed.
+    /// * `stall_s` — servers may not start work before `now + stall_s`
+    ///   (migration or DVFS transition latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, if any spec has a non-positive speed or a
+    /// slowdown below 1, or if `preempt` is `false` while the server count
+    /// changes.
+    pub fn reconfigure(&mut self, now: f64, specs: &[ServerSpec], preempt: bool, stall_s: f64) {
+        assert!(!specs.is_empty(), "service node needs at least one server");
+        for s in specs {
+            assert!(s.speed > 0.0, "server speed must be positive: {s:?}");
+            assert!(s.slowdown >= 1.0, "slowdown must be ≥ 1: {s:?}");
+        }
+        if preempt {
+            self.preempt_all(now);
+            self.servers = specs
+                .iter()
+                .map(|&spec| Server {
+                    spec,
+                    available_at: now + stall_s,
+                    in_flight: None,
+                    busy_in_interval: 0.0,
+                })
+                .collect();
+        } else {
+            assert_eq!(
+                specs.len(),
+                self.servers.len(),
+                "DVFS-only reconfiguration cannot change the server count"
+            );
+            let interval_start = self.interval_start;
+            for (server, &spec) in self.servers.iter_mut().zip(specs) {
+                if let Some(fl) = server.in_flight.as_mut() {
+                    // Consume demand proportionally to elapsed service time,
+                    // then recompute the finish under the new spec.
+                    let left = remaining_fraction(fl.started, fl.finish, now);
+                    fl.req.work_left *= left;
+                    fl.req.mem_left *= left;
+                    server.busy_in_interval += (now - fl.started.max(interval_start)).max(0.0);
+                    fl.started = now;
+                    let t = (fl.req.work_left / spec.speed + fl.req.mem_left) * spec.slowdown;
+                    fl.finish = (now + stall_s) + t;
+                }
+                server.spec = spec;
+                server.available_at = server.available_at.max(now + stall_s);
+            }
+        }
+        self.dispatch(now + stall_s);
+    }
+
+    fn preempt_all(&mut self, now: f64) {
+        let interval_start = self.interval_start;
+        let mut preempted: Vec<Request> = Vec::new();
+        for server in &mut self.servers {
+            if let Some(mut fl) = server.in_flight.take() {
+                server.busy_in_interval += (now - fl.started.max(interval_start)).max(0.0);
+                let left = remaining_fraction(fl.started, fl.finish, now);
+                fl.req.work_left *= left;
+                fl.req.mem_left *= left;
+                preempted.push(fl.req);
+            }
+        }
+        // Requeue ahead of waiting requests, preserving arrival order.
+        preempted.sort_by_key(|r| r.id);
+        for req in preempted.into_iter().rev() {
+            self.queue.push_front(req);
+        }
+    }
+
+    /// Marks the start of a monitoring interval at time `t`.
+    pub fn begin_interval(&mut self, t: f64) {
+        self.interval_start = t;
+        self.interval_arrivals = 0;
+        self.interval_completions = 0;
+        self.interval_timeouts = 0;
+        for s in &mut self.servers {
+            s.busy_in_interval = 0.0;
+        }
+    }
+
+    /// Enqueues a request arriving at `now` with the given demand, then
+    /// dispatches if a server is free.
+    pub fn arrive(&mut self, now: f64, demand: Demand) {
+        let req = Request::new(RequestId(self.next_id), now, demand);
+        self.next_id += 1;
+        self.interval_arrivals += 1;
+        self.queue.push_back(req);
+        self.dispatch(now);
+    }
+
+    /// Earliest pending completion time, if any request is in flight.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.servers
+            .iter()
+            .filter_map(|s| s.in_flight.as_ref().map(|f| f.finish))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Processes all completions up to and including time `to`.
+    pub fn advance(&mut self, to: f64) {
+        while let Some(t) = self.next_completion() {
+            if t > to {
+                break;
+            }
+            self.complete_one(t);
+        }
+    }
+
+    /// Like [`ServiceNode::advance`], but appends each completion time to
+    /// `out` (closed-loop generators schedule think timers from these).
+    pub fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
+        while let Some(t) = self.next_completion() {
+            if t > to {
+                break;
+            }
+            self.complete_one(t);
+            out.push(t);
+        }
+    }
+
+    fn complete_one(&mut self, t: f64) {
+        let idx = self
+            .servers
+            .iter()
+            .position(|s| s.in_flight.as_ref().is_some_and(|f| f.finish == t))
+            .expect("completion time came from a server");
+        let fl = self.servers[idx].in_flight.take().expect("server busy");
+        self.servers[idx].busy_in_interval += t - fl.started.max(self.interval_start);
+        self.servers[idx].available_at = t;
+        self.recorder.record(fl.req.age(t));
+        self.interval_completions += 1;
+        self.total_completed += 1;
+        self.dispatch(t);
+    }
+
+    /// Dispatches queued requests to free servers (fastest server first),
+    /// dropping requests whose client already timed out.
+    fn dispatch(&mut self, now: f64) {
+        loop {
+            // Shed timed-out requests from the queue head; their latency is
+            // right-censored at the timeout so QoS accounting sees them.
+            if let Some(t) = self.timeout_s {
+                while self
+                    .queue
+                    .front()
+                    .is_some_and(|r| r.age(now) > t)
+                {
+                    self.queue.pop_front();
+                    self.recorder.record(t);
+                    self.interval_timeouts += 1;
+                }
+            }
+            if self.queue.is_empty() {
+                return;
+            }
+            // Fastest free server whose stall has elapsed.
+            let best = self
+                .servers
+                .iter_mut()
+                .filter(|s| s.in_flight.is_none() && s.available_at <= now)
+                .max_by(|a, b| {
+                    (a.spec.speed / a.spec.slowdown).total_cmp(&(b.spec.speed / b.spec.slowdown))
+                });
+            let Some(server) = best else { return };
+            let req = self.queue.pop_front().expect("queue non-empty");
+            let service = server.service_time(&req);
+            server.in_flight = Some(InFlight {
+                req,
+                started: now,
+                finish: now + service,
+            });
+        }
+    }
+
+    /// Called by the engine when servers stalled until `t` become free, to
+    /// start work that queued during the stall.
+    pub fn kick(&mut self, t: f64) {
+        self.dispatch(t);
+    }
+
+    /// Closes the interval at time `t_end`, returning its statistics.
+    ///
+    /// The tail latency is the `p`-th percentile of completions in the
+    /// interval; see [`NodeInterval::tail_latency_s`] for the no-completion
+    /// fallback.
+    pub fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
+        // Account in-flight busy time up to the interval boundary.
+        for s in &mut self.servers {
+            if let Some(fl) = &s.in_flight {
+                s.busy_in_interval += t_end - fl.started.max(self.interval_start);
+            }
+        }
+        let dur = (t_end - self.interval_start).max(f64::EPSILON);
+        let busy: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| (s.busy_in_interval / dur).clamp(0.0, 1.0))
+            .collect();
+        let (tail, mean, _n) = self.recorder.take_interval(p);
+        let tail = tail.unwrap_or_else(|| self.oldest_age(t_end));
+        NodeInterval {
+            arrivals: self.interval_arrivals,
+            completions: self.interval_completions,
+            timeouts: self.interval_timeouts,
+            tail_latency_s: tail,
+            mean_latency_s: mean.unwrap_or(0.0),
+            busy,
+            queue_len: self.queue.len(),
+        }
+    }
+
+    fn oldest_age(&self, now: f64) -> f64 {
+        let queued = self.queue.front().map(|r| r.age(now));
+        let in_flight = self
+            .servers
+            .iter()
+            .filter_map(|s| s.in_flight.as_ref().map(|f| f.req.age(now)))
+            .max_by(f64::total_cmp);
+        match (queued, in_flight) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => 0.0,
+        }
+    }
+}
+
+impl Default for ServiceNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fraction of a request's demand still outstanding when service ran
+/// linearly from `started` toward `finish` and was interrupted at `now`.
+fn remaining_fraction(started: f64, finish: f64, now: f64) -> f64 {
+    let total = finish - started;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - ((now - started) / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: CoreKind, speed: f64) -> ServerSpec {
+        ServerSpec {
+            kind,
+            freq: Frequency::from_mhz(1000),
+            speed,
+            slowdown: 1.0,
+        }
+    }
+
+    fn one_server(speed: f64) -> ServiceNode {
+        let mut n = ServiceNode::new();
+        n.reconfigure(0.0, &[spec(CoreKind::Big, speed)], true, 0.0);
+        n.begin_interval(0.0);
+        n
+    }
+
+    #[test]
+    fn single_request_latency() {
+        let mut n = one_server(2.0); // 2 work units/s
+        n.arrive(0.0, Demand::new(1.0, 0.5)); // 0.5 s compute + 0.5 s memory
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 0.95);
+        assert_eq!(iv.completions, 1);
+        assert!((iv.tail_latency_s - 1.0).abs() < 1e-12);
+        assert!((iv.busy[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_queueing_adds_wait() {
+        let mut n = one_server(1.0);
+        n.arrive(0.0, Demand::new(1.0, 0.0)); // served 0..1
+        n.arrive(0.0, Demand::new(1.0, 0.0)); // served 1..2 → latency 2
+        n.advance(5.0);
+        let iv = n.end_interval(5.0, 1.0);
+        assert_eq!(iv.completions, 2);
+        assert!((iv.tail_latency_s - 2.0).abs() < 1e-12);
+        assert!((iv.mean_latency_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_server_preferred() {
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[spec(CoreKind::Small, 1.0), spec(CoreKind::Big, 4.0)],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(4.0, 0.0)); // on big: 1 s; on small it'd be 4 s
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert!((iv.tail_latency_s - 1.0).abs() < 1e-12);
+        // Big (index 1) did the work.
+        assert!(iv.busy[1] > 0.0 && iv.busy[0] == 0.0);
+    }
+
+    #[test]
+    fn two_servers_run_in_parallel() {
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[spec(CoreKind::Big, 1.0), spec(CoreKind::Big, 1.0)],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(1.0, 0.0));
+        n.arrive(0.0, Demand::new(1.0, 0.0));
+        n.advance(1.0);
+        let iv = n.end_interval(1.0, 1.0);
+        assert_eq!(iv.completions, 2);
+        assert!((iv.tail_latency_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_stretches_service() {
+        let mut n = ServiceNode::new();
+        let mut s = spec(CoreKind::Big, 1.0);
+        s.slowdown = 2.0;
+        n.reconfigure(0.0, &[s], true, 0.0);
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(1.0, 0.0));
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert!((iv.tail_latency_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemption_preserves_remaining_work() {
+        let mut n = one_server(1.0);
+        n.arrive(0.0, Demand::new(2.0, 0.0)); // would finish at t=2
+        n.advance(1.0);
+        // Remap at t=1 onto a 2× faster server with no stall: half the work
+        // (1 unit) remains → 0.5 s more.
+        n.reconfigure(1.0, &[spec(CoreKind::Big, 2.0)], true, 0.0);
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert_eq!(iv.completions, 1);
+        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+    }
+
+    #[test]
+    fn migration_stall_delays_service() {
+        let mut n = one_server(1.0);
+        n.arrive(0.0, Demand::new(1.0, 0.0));
+        // Immediately remap with a 0.5 s stall: finish at 1.5 s.
+        n.reconfigure(0.0, &[spec(CoreKind::Big, 1.0)], true, 0.5);
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+    }
+
+    #[test]
+    fn dvfs_change_rescales_in_flight() {
+        let mut n = one_server(1.0);
+        n.arrive(0.0, Demand::new(2.0, 0.0)); // finish at 2 under speed 1
+        n.advance(1.0);
+        // At t=1, double the speed without preemption: 1 unit left → 0.5 s.
+        n.reconfigure(1.0, &[spec(CoreKind::Big, 2.0)], false, 0.0);
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert_eq!(iv.completions, 1);
+        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+    }
+
+    #[test]
+    fn no_completion_falls_back_to_oldest_age() {
+        let mut n = one_server(0.001); // pathologically slow
+        n.arrive(0.0, Demand::new(100.0, 0.0));
+        n.arrive(0.5, Demand::new(100.0, 0.0));
+        n.advance(1.0);
+        let iv = n.end_interval(1.0, 0.95);
+        assert_eq!(iv.completions, 0);
+        assert!((iv.tail_latency_s - 1.0).abs() < 1e-12, "oldest request age");
+    }
+
+    #[test]
+    fn empty_system_reports_zero_tail() {
+        let mut n = one_server(1.0);
+        n.advance(1.0);
+        let iv = n.end_interval(1.0, 0.95);
+        assert_eq!(iv.tail_latency_s, 0.0);
+        assert_eq!(iv.queue_len, 0);
+    }
+
+    #[test]
+    fn busy_fraction_spans_interval_boundaries() {
+        let mut n = one_server(1.0);
+        n.arrive(0.0, Demand::new(3.0, 0.0)); // runs 0..3
+        n.advance(1.0);
+        let iv1 = n.end_interval(1.0, 0.95);
+        assert!((iv1.busy[0] - 1.0).abs() < 1e-12);
+        n.begin_interval(1.0);
+        n.advance(2.0);
+        let iv2 = n.end_interval(2.0, 0.95);
+        assert!((iv2.busy[0] - 1.0).abs() < 1e-12);
+        n.begin_interval(2.0);
+        n.advance(4.0);
+        let iv3 = n.end_interval(4.0, 0.95);
+        assert_eq!(iv3.completions, 1);
+        assert!((iv3.busy[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_order_preserved_after_preemption() {
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[spec(CoreKind::Big, 1.0), spec(CoreKind::Big, 1.0)],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(10.0, 0.0));
+        n.arrive(0.1, Demand::new(10.0, 0.0));
+        n.arrive(0.2, Demand::new(10.0, 0.0)); // queued behind both
+        n.advance(1.0);
+        // Shrink to one server: both in-flight requests requeue in id order,
+        // ahead of the queued third request.
+        n.reconfigure(1.0, &[spec(CoreKind::Big, 100.0)], true, 0.0);
+        assert_eq!(n.queue_len(), 2); // one dispatched immediately
+        n.advance(20.0);
+        let iv = n.end_interval(20.0, 1.0);
+        assert_eq!(iv.completions, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn reconfigure_rejects_empty() {
+        ServiceNode::new().reconfigure(0.0, &[], true, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the server count")]
+    fn dvfs_reconfigure_rejects_count_change() {
+        let mut n = one_server(1.0);
+        n.reconfigure(
+            1.0,
+            &[spec(CoreKind::Big, 1.0), spec(CoreKind::Big, 1.0)],
+            false,
+            0.0,
+        );
+    }
+}

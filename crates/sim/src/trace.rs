@@ -1,0 +1,286 @@
+//! Time-series traces of simulation runs and summary metrics.
+//!
+//! Every experiment harness appends each interval's [`IntervalStats`] to a
+//! [`Trace`], then derives the paper's summary metrics: QoS guarantee (the
+//! percentage of samples meeting the target, Table 3), mean QoS tardiness
+//! over violating samples, total energy, and migration counts.
+
+use crate::engine::IntervalStats;
+use crate::request::QosTarget;
+
+/// A recorded sequence of monitoring intervals.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    intervals: Vec<IntervalStats>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one interval.
+    pub fn push(&mut self, s: IntervalStats) {
+        self.intervals.push(s);
+    }
+
+    /// The recorded intervals.
+    pub fn intervals(&self) -> &[IntervalStats] {
+        &self.intervals
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// QoS guarantee: the percentage of intervals whose tail latency met
+    /// the target (Table 3's "QoS Guarantee"). Returns 100 for an empty
+    /// trace.
+    pub fn qos_guarantee_pct(&self, qos: QosTarget) -> f64 {
+        if self.intervals.is_empty() {
+            return 100.0;
+        }
+        let met = self
+            .intervals
+            .iter()
+            .filter(|s| !qos.violated(s.tail_latency_s))
+            .count();
+        met as f64 / self.intervals.len() as f64 * 100.0
+    }
+
+    /// Mean QoS tardiness over *violating* samples only (Table 3's "QoS
+    /// Tardiness"); `None` when no interval violated.
+    pub fn mean_violation_tardiness(&self, qos: QosTarget) -> Option<f64> {
+        let v: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|s| qos.violated(s.tail_latency_s))
+            .map(|s| qos.tardiness(s.tail_latency_s))
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// Total energy over the trace, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.intervals.iter().map(|s| s.energy_j).sum()
+    }
+
+    /// Mean system power over the trace, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        let t: f64 = self.intervals.iter().map(|s| s.duration_s).sum();
+        self.total_energy_j() / t
+    }
+
+    /// Total LC core migrations (sum of per-interval migrated cores).
+    pub fn total_migrations(&self) -> usize {
+        self.intervals.iter().map(|s| s.migrated_cores).sum()
+    }
+
+    /// Total completed requests.
+    pub fn total_completions(&self) -> usize {
+        self.intervals.iter().map(|s| s.completions).sum()
+    }
+
+    /// Mean aggregate batch IPS (big + small) over intervals with valid
+    /// counters.
+    pub fn mean_batch_ips(&self) -> f64 {
+        let valid: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|s| s.counters_valid)
+            .map(|s| s.batch_ips_big + s.batch_ips_small)
+            .collect();
+        if valid.is_empty() {
+            0.0
+        } else {
+            valid.iter().sum::<f64>() / valid.len() as f64
+        }
+    }
+
+    /// QoS guarantee per consecutive window of `window` intervals (Fig. 9's
+    /// 100-second buckets when intervals are 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn windowed_qos_guarantee_pct(&self, qos: QosTarget, window: usize) -> Vec<f64> {
+        assert!(window > 0, "window must be positive");
+        self.intervals
+            .chunks(window)
+            .map(|chunk| {
+                let met = chunk
+                    .iter()
+                    .filter(|s| !qos.violated(s.tail_latency_s))
+                    .count();
+                met as f64 / chunk.len() as f64 * 100.0
+            })
+            .collect()
+    }
+
+    /// Serializes the trace as CSV (one row per interval) for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t,config,load_frac,offered_rps,throughput_rps,tail_ms,mean_ms,\
+             power_w,energy_j,batch_ips_big,batch_ips_small,migrated,queue\n",
+        );
+        for s in &self.intervals {
+            out.push_str(&format!(
+                "{:.1},{},{:.4},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.0},{:.0},{},{}\n",
+                s.start_s,
+                s.config.lc,
+                s.offered_load_frac,
+                s.offered_rps,
+                s.throughput_rps,
+                s.tail_latency_s * 1e3,
+                s.mean_latency_s * 1e3,
+                s.power.total(),
+                s.energy_j,
+                s.batch_ips_big,
+                s.batch_ips_small,
+                s.migrated_cores,
+                s.queue_len,
+            ));
+        }
+        out
+    }
+}
+
+impl FromIterator<IntervalStats> for Trace {
+    fn from_iter<T: IntoIterator<Item = IntervalStats>>(iter: T) -> Self {
+        Trace {
+            intervals: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<IntervalStats> for Trace {
+    fn extend<T: IntoIterator<Item = IntervalStats>>(&mut self, iter: T) {
+        self.intervals.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MachineConfig;
+    use hipster_platform::{CoreConfig, Frequency, PowerBreakdown};
+
+    fn stats(tail_ms: f64, energy: f64, migrated: usize) -> IntervalStats {
+        let f = Frequency::from_mhz(1150);
+        let fs = Frequency::from_mhz(650);
+        IntervalStats {
+            index: 0,
+            start_s: 0.0,
+            duration_s: 1.0,
+            config: MachineConfig {
+                lc: CoreConfig::new(2, 0, f, fs),
+                big_freq: f,
+                small_freq: fs,
+                batch_enabled: false,
+            },
+            offered_load_frac: 0.5,
+            offered_rps: 100.0,
+            arrivals: 100,
+            completions: 100,
+            timeouts: 0,
+            throughput_rps: 100.0,
+            tail_latency_s: tail_ms / 1e3,
+            mean_latency_s: tail_ms / 2e3,
+            queue_len: 0,
+            lc_busy: vec![0.5, 0.5],
+            power: PowerBreakdown {
+                big: energy * 0.6,
+                small: energy * 0.2,
+                rest: energy * 0.2,
+            },
+            energy_j: energy,
+            batch_ips_big: 0.0,
+            batch_ips_small: 0.0,
+            counters_valid: true,
+            migrated_cores: migrated,
+        }
+    }
+
+    fn qos() -> QosTarget {
+        QosTarget::new(0.95, 0.010)
+    }
+
+    #[test]
+    fn qos_guarantee_counts_violations() {
+        let t: Trace = vec![stats(5.0, 1.0, 0), stats(15.0, 1.0, 0), stats(8.0, 1.0, 0)]
+            .into_iter()
+            .collect();
+        let g = t.qos_guarantee_pct(qos());
+        assert!((g - 66.666).abs() < 0.01, "{g}");
+    }
+
+    #[test]
+    fn tardiness_over_violations_only() {
+        let t: Trace = vec![stats(5.0, 1.0, 0), stats(20.0, 1.0, 0), stats(30.0, 1.0, 0)]
+            .into_iter()
+            .collect();
+        let tard = t.mean_violation_tardiness(qos()).unwrap();
+        assert!((tard - 2.5).abs() < 1e-9, "{tard}");
+    }
+
+    #[test]
+    fn tardiness_none_when_all_met() {
+        let t: Trace = vec![stats(5.0, 1.0, 0)].into_iter().collect();
+        assert_eq!(t.mean_violation_tardiness(qos()), None);
+    }
+
+    #[test]
+    fn energy_and_migrations_accumulate() {
+        let t: Trace = vec![stats(5.0, 2.0, 1), stats(5.0, 3.0, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.total_energy_j(), 5.0);
+        assert_eq!(t.total_migrations(), 3);
+        assert!((t.mean_power_w() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_guarantee() {
+        let t: Trace = vec![
+            stats(5.0, 1.0, 0),
+            stats(15.0, 1.0, 0),
+            stats(5.0, 1.0, 0),
+            stats(5.0, 1.0, 0),
+        ]
+        .into_iter()
+        .collect();
+        let w = t.windowed_qos_guarantee_pct(qos(), 2);
+        assert_eq!(w, vec![50.0, 100.0]);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = Trace::new();
+        assert_eq!(t.qos_guarantee_pct(qos()), 100.0);
+        assert_eq!(t.total_energy_j(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t: Trace = vec![stats(5.0, 1.0, 0)].into_iter().collect();
+        let csv = t.to_csv();
+        assert!(csv.starts_with("t,config"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("2B-1.15"));
+    }
+}

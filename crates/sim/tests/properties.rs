@@ -1,0 +1,174 @@
+//! Property-based tests on the discrete-event engine's invariants.
+
+use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform};
+use hipster_sim::{
+    Demand, Engine, LcModel, LoadPattern, MachineConfig, QosTarget, ServerSpec, ServiceNode,
+    SimRng,
+};
+use proptest::prelude::*;
+
+#[derive(Debug)]
+struct PropLc {
+    work: f64,
+    mem: f64,
+}
+
+impl LcModel for PropLc {
+    fn name(&self) -> &str {
+        "prop"
+    }
+    fn max_load_rps(&self) -> f64 {
+        500.0
+    }
+    fn qos(&self) -> QosTarget {
+        QosTarget::new(0.95, 0.05)
+    }
+    fn sample_demand(&self, _rng: &mut SimRng) -> Demand {
+        Demand::new(self.work, self.mem)
+    }
+    fn service_speed(&self, kind: CoreKind, f: Frequency) -> f64 {
+        let base = match kind {
+            CoreKind::Big => 1000.0,
+            CoreKind::Small => 400.0,
+        };
+        base * f.ratio_to(Frequency::from_mhz(1150))
+    }
+}
+
+#[derive(Debug)]
+struct FixedLoad(f64);
+
+impl LoadPattern for FixedLoad {
+    fn load_at(&self, _t: f64) -> f64 {
+        self.0
+    }
+    fn duration(&self) -> f64 {
+        1e9
+    }
+}
+
+fn any_config() -> impl Strategy<Value = CoreConfig> {
+    (0usize..=2, 0usize..=4, prop_oneof![Just(600u32), Just(900), Just(1150)]).prop_filter_map(
+        "non-empty",
+        |(nb, ns, mhz)| {
+            (nb + ns > 0).then(|| {
+                CoreConfig::new(nb, ns, Frequency::from_mhz(mhz), Frequency::from_mhz(650))
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Request conservation: arrivals = completions + queued + in-flight,
+    /// across arbitrary config changes.
+    #[test]
+    fn request_conservation(
+        configs in prop::collection::vec(any_config(), 1..8),
+        load in 0.05f64..1.2,
+        seed in 0u64..1000,
+    ) {
+        let platform = Platform::juno_r1();
+        let mut engine = Engine::new(
+            platform.clone(),
+            Box::new(PropLc { work: 1.0, mem: 0.0005 }),
+            Box::new(FixedLoad(load)),
+            seed,
+        );
+        let mut arrivals = 0usize;
+        let mut completions = 0usize;
+        let mut last = None;
+        for c in configs {
+            let s = engine.step(MachineConfig::interactive(&platform, c));
+            arrivals += s.arrivals;
+            completions += s.completions;
+            last = Some(s);
+        }
+        let s = last.unwrap();
+        let outstanding = arrivals - completions;
+        // queue_len excludes in-flight; in-flight ≤ number of servers.
+        prop_assert!(outstanding >= s.queue_len);
+        prop_assert!(outstanding <= s.queue_len + s.config.lc.total_cores());
+    }
+
+    /// Busy fractions are valid and zero-load intervals stay quiet.
+    #[test]
+    fn busy_fractions_valid(cfg in any_config(), load in 0.0f64..1.0, seed in 0u64..500) {
+        let platform = Platform::juno_r1();
+        let mut engine = Engine::new(
+            platform.clone(),
+            Box::new(PropLc { work: 1.0, mem: 0.0 }),
+            Box::new(FixedLoad(load)),
+            seed,
+        );
+        for _ in 0..3 {
+            let s = engine.step(MachineConfig::interactive(&platform, cfg));
+            for &b in &s.lc_busy {
+                prop_assert!((0.0..=1.0).contains(&b), "busy {b}");
+            }
+            prop_assert!(s.power.total() > 0.0);
+            prop_assert!(s.energy_j > 0.0);
+            prop_assert!(s.tail_latency_s >= 0.0);
+        }
+    }
+
+    /// Bit-identical traces from identical seeds, for any config sequence.
+    #[test]
+    fn engine_is_deterministic(
+        configs in prop::collection::vec(any_config(), 1..6),
+        load in 0.1f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            let platform = Platform::juno_r1();
+            let mut engine = Engine::new(
+                platform.clone(),
+                Box::new(PropLc { work: 1.0, mem: 0.001 }),
+                Box::new(FixedLoad(load)),
+                seed,
+            );
+            configs
+                .iter()
+                .map(|c| {
+                    let s = engine.step(MachineConfig::interactive(&platform, *c));
+                    (s.arrivals, s.completions, s.tail_latency_s.to_bits(), s.energy_j.to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Service-node latency lower bound: no request finishes faster than
+    /// its pure service time on the fastest server.
+    #[test]
+    fn latency_at_least_service_time(
+        work in 0.1f64..10.0,
+        mem in 0.0f64..0.01,
+        n_req in 1usize..30,
+    ) {
+        let mut node = ServiceNode::new();
+        let speed = 100.0;
+        node.reconfigure(
+            0.0,
+            &[ServerSpec {
+                kind: CoreKind::Big,
+                freq: Frequency::from_mhz(1150),
+                speed,
+                slowdown: 1.0,
+            }],
+            true,
+            0.0,
+        );
+        node.begin_interval(0.0);
+        for i in 0..n_req {
+            node.arrive(i as f64 * 0.001, Demand::new(work, mem));
+        }
+        node.advance(1e9);
+        let iv = node.end_interval(1e9, 0.0); // p0 = fastest request
+        let min_service = work / speed + mem;
+        prop_assert!(iv.tail_latency_s >= min_service - 1e-9,
+            "fastest latency {} < service time {min_service}", iv.tail_latency_s);
+        prop_assert_eq!(iv.completions, n_req);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload models for the Hipster (HPCA 2017) reproduction.
+//!
+//! The paper evaluates Hipster with two latency-critical services driven by
+//! a diurnal load generator, collocated (for HipsterCo) with SPEC CPU2006
+//! batch programs. This crate provides calibrated models of all of them:
+//!
+//! * [`memcached`] / [`web_search`] — the Table 1 services, built on the
+//!   generic [`LcWorkload`] model (lognormal compute demand +
+//!   frequency-insensitive memory time + burst arrivals);
+//! * [`Diurnal`] (Fig. 1), [`Ramp`] (Fig. 8), [`Spike`], [`Steps`],
+//!   [`Constant`] — load patterns;
+//! * [`spec::programs`] — the twelve SPEC CPU2006 batch models of Fig. 11.
+//!
+//! # Example
+//!
+//! ```
+//! use hipster_sim::{LcModel, LoadPattern};
+//! use hipster_workloads::{memcached, Diurnal};
+//!
+//! let mc = memcached();
+//! assert_eq!(mc.max_load_rps(), 36_000.0);   // Table 1
+//! let load = Diurnal::paper();
+//! assert!(load.load_at(22.0 * 60.0) > 0.75); // evening peak
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lc;
+mod loadgen;
+mod presets;
+pub mod spec;
+
+pub use lc::{LcWorkload, LcWorkloadBuilder};
+pub use loadgen::{Constant, Diurnal, Ramp, Sequence, Spike, Steps, PAPER_DIURNAL_HOURS};
+pub use presets::{
+    memcached, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS, WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
+};

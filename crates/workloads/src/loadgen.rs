@@ -1,0 +1,360 @@
+//! Load generators: the diurnal pattern of Fig. 1 plus ramps, spikes,
+//! steps and constants.
+//!
+//! The paper drives both services with a Faban generator configured to
+//! "model diurnal load changes, simulating a period of 36 hours; each hour
+//! in the original workload corresponds to one minute in our experiments"
+//! (§4.1). [`Diurnal::paper`] reproduces that 36-minute compressed curve;
+//! [`Ramp`] reproduces the Fig. 8 load ramp (50% → 100% over 175 s).
+
+use hipster_sim::LoadPattern;
+
+/// Piecewise-linear diurnal load curve.
+///
+/// Interpolates a table of hourly load fractions, compressed so one "hour"
+/// lasts `secs_per_hour` simulated seconds.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    hours: Vec<f64>,
+    secs_per_hour: f64,
+}
+
+impl Diurnal {
+    /// The paper's 36-hour diurnal pattern at one minute per hour: load
+    /// swings between ≈5% and ≈80% of max capacity with a morning ramp, a
+    /// midday plateau and an evening peak, then winds down into a second
+    /// night — the shape of Fig. 1.
+    pub fn paper() -> Self {
+        Self::new(PAPER_DIURNAL_HOURS.to_vec(), 60.0)
+    }
+
+    /// Creates a diurnal curve from hourly fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 points are given, any point is outside
+    /// `[0, 1]`, or `secs_per_hour` is not positive.
+    pub fn new(hours: Vec<f64>, secs_per_hour: f64) -> Self {
+        assert!(hours.len() >= 2, "diurnal curve needs at least 2 points");
+        assert!(
+            hours.iter().all(|h| (0.0..=1.0).contains(h)),
+            "load fractions must lie in [0,1]"
+        );
+        assert!(secs_per_hour > 0.0, "hour length must be positive");
+        Diurnal {
+            hours,
+            secs_per_hour,
+        }
+    }
+
+    /// Lowest point of the curve.
+    pub fn min_frac(&self) -> f64 {
+        self.hours.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Highest point of the curve.
+    pub fn max_frac(&self) -> f64 {
+        self.hours.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// The 36 hourly samples of the paper-style diurnal load (fractions of max
+/// capacity). Fig. 1's description: load "varies between about 5% and 80%
+/// of maximum capacity", spending most of the day at low-to-moderate levels
+/// with a distinct evening peak.
+pub const PAPER_DIURNAL_HOURS: [f64; 36] = [
+    0.10, 0.08, 0.06, 0.05, 0.05, 0.06, // night trough
+    0.08, 0.12, 0.18, 0.26, 0.35, 0.44, // morning ramp
+    0.50, 0.52, 0.48, 0.45, 0.42, 0.40, // midday plateau
+    0.42, 0.48, 0.58, 0.70, 0.80, 0.74, // evening peak
+    0.62, 0.50, 0.40, 0.32, 0.25, 0.20, // wind-down
+    0.16, 0.13, 0.11, 0.09, 0.07, 0.06, // second night
+];
+
+impl LoadPattern for Diurnal {
+    fn load_at(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return self.hours[0];
+        }
+        let pos = t / self.secs_per_hour;
+        let i = pos.floor() as usize;
+        if i + 1 >= self.hours.len() {
+            return *self.hours.last().expect("non-empty");
+        }
+        let frac = pos - i as f64;
+        self.hours[i] + (self.hours[i + 1] - self.hours[i]) * frac
+    }
+
+    fn duration(&self) -> f64 {
+        (self.hours.len() - 1) as f64 * self.secs_per_hour
+    }
+}
+
+/// Linear ramp from `from` to `to` over `ramp_s` seconds, then holding.
+///
+/// Fig. 8 uses 50% → 100% over 175 s.
+#[derive(Debug, Clone, Copy)]
+pub struct Ramp {
+    /// Starting load fraction.
+    pub from: f64,
+    /// Final load fraction.
+    pub to: f64,
+    /// Ramp duration, seconds.
+    pub ramp_s: f64,
+}
+
+impl LoadPattern for Ramp {
+    fn load_at(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            self.from
+        } else if t >= self.ramp_s {
+            self.to
+        } else {
+            self.from + (self.to - self.from) * t / self.ramp_s
+        }
+    }
+
+    fn duration(&self) -> f64 {
+        self.ramp_s
+    }
+}
+
+/// A sudden load spike: `base` everywhere except `[at, at + width)`, where
+/// the load jumps to `peak` ("sudden load spikes", §2).
+#[derive(Debug, Clone, Copy)]
+pub struct Spike {
+    /// Baseline load fraction.
+    pub base: f64,
+    /// Spike load fraction.
+    pub peak: f64,
+    /// Spike start, seconds.
+    pub at: f64,
+    /// Spike width, seconds.
+    pub width: f64,
+    /// Total pattern duration, seconds.
+    pub total_s: f64,
+}
+
+impl LoadPattern for Spike {
+    fn load_at(&self, t: f64) -> f64 {
+        if t >= self.at && t < self.at + self.width {
+            self.peak
+        } else {
+            self.base
+        }
+    }
+
+    fn duration(&self) -> f64 {
+        self.total_s
+    }
+}
+
+/// Piecewise-constant load levels, each holding for a duration.
+#[derive(Debug, Clone)]
+pub struct Steps {
+    levels: Vec<(f64, f64)>, // (duration_s, frac)
+}
+
+impl Steps {
+    /// Creates a step pattern from `(duration_s, load_frac)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or contains non-positive durations.
+    pub fn new(levels: Vec<(f64, f64)>) -> Self {
+        assert!(!levels.is_empty(), "step pattern needs at least one level");
+        assert!(
+            levels.iter().all(|&(d, _)| d > 0.0),
+            "durations must be positive"
+        );
+        Steps { levels }
+    }
+}
+
+impl LoadPattern for Steps {
+    fn load_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for &(d, frac) in &self.levels {
+            acc += d;
+            if t < acc {
+                return frac;
+            }
+        }
+        self.levels.last().expect("non-empty").1
+    }
+
+    fn duration(&self) -> f64 {
+        self.levels.iter().map(|&(d, _)| d).sum()
+    }
+}
+
+/// Plays several load patterns back to back, each for its own duration.
+///
+/// Used e.g. to pre-train a policy on a load sweep before the measured
+/// phase of an experiment (Fig. 8 trains HipsterIn before the ramp).
+#[derive(Debug)]
+pub struct Sequence {
+    parts: Vec<Box<dyn LoadPattern>>,
+}
+
+impl Sequence {
+    /// Creates a sequence of patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn new(parts: Vec<Box<dyn LoadPattern>>) -> Self {
+        assert!(!parts.is_empty(), "sequence needs at least one pattern");
+        Sequence { parts }
+    }
+}
+
+impl LoadPattern for Sequence {
+    fn load_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for p in &self.parts {
+            let d = p.duration();
+            if t < acc + d {
+                return p.load_at(t - acc);
+            }
+            acc += d;
+        }
+        self.parts
+            .last()
+            .expect("non-empty")
+            .load_at(t - acc + self.parts.last().expect("non-empty").duration())
+    }
+
+    fn duration(&self) -> f64 {
+        self.parts.iter().map(|p| p.duration()).sum()
+    }
+}
+
+/// Constant offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant {
+    /// Load fraction.
+    pub frac: f64,
+    /// Pattern duration, seconds.
+    pub total_s: f64,
+}
+
+impl Constant {
+    /// Creates a constant load of `frac` for `total_s` seconds.
+    pub fn new(frac: f64, total_s: f64) -> Self {
+        Constant { frac, total_s }
+    }
+}
+
+impl LoadPattern for Constant {
+    fn load_at(&self, _t: f64) -> f64 {
+        self.frac
+    }
+
+    fn duration(&self) -> f64 {
+        self.total_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_diurnal_shape() {
+        let d = Diurnal::paper();
+        assert_eq!(d.duration(), 35.0 * 60.0);
+        // Fig. 1: load varies between about 5% and 80% of max capacity.
+        assert!((d.min_frac() - 0.05).abs() < 1e-12);
+        assert!((d.max_frac() - 0.80).abs() < 1e-12);
+        // Night trough lower than evening peak.
+        assert!(d.load_at(240.0) < d.load_at(22.0 * 60.0));
+        // Most of the day runs at low-to-moderate load.
+        let high_hours = PAPER_DIURNAL_HOURS.iter().filter(|h| **h >= 0.55).count();
+        assert!(high_hours <= 6, "{high_hours} high-load hours");
+    }
+
+    #[test]
+    fn diurnal_interpolates_linearly() {
+        let d = Diurnal::new(vec![0.0, 1.0], 10.0);
+        assert_eq!(d.load_at(0.0), 0.0);
+        assert!((d.load_at(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.load_at(10.0), 1.0);
+        assert_eq!(d.load_at(99.0), 1.0); // clamps past the end
+    }
+
+    #[test]
+    fn ramp_fig8() {
+        let r = Ramp {
+            from: 0.5,
+            to: 1.0,
+            ramp_s: 175.0,
+        };
+        assert_eq!(r.load_at(0.0), 0.5);
+        assert!((r.load_at(87.5) - 0.75).abs() < 1e-12);
+        assert_eq!(r.load_at(175.0), 1.0);
+        assert_eq!(r.load_at(500.0), 1.0);
+    }
+
+    #[test]
+    fn spike_window() {
+        let s = Spike {
+            base: 0.2,
+            peak: 0.9,
+            at: 10.0,
+            width: 5.0,
+            total_s: 60.0,
+        };
+        assert_eq!(s.load_at(9.9), 0.2);
+        assert_eq!(s.load_at(10.0), 0.9);
+        assert_eq!(s.load_at(14.9), 0.9);
+        assert_eq!(s.load_at(15.0), 0.2);
+    }
+
+    #[test]
+    fn steps_sequence() {
+        let s = Steps::new(vec![(10.0, 0.1), (20.0, 0.5), (5.0, 0.9)]);
+        assert_eq!(s.duration(), 35.0);
+        assert_eq!(s.load_at(5.0), 0.1);
+        assert_eq!(s.load_at(15.0), 0.5);
+        assert_eq!(s.load_at(32.0), 0.9);
+        assert_eq!(s.load_at(100.0), 0.9);
+    }
+
+    #[test]
+    fn constant_everywhere() {
+        let c = Constant::new(0.42, 100.0);
+        assert_eq!(c.load_at(0.0), 0.42);
+        assert_eq!(c.load_at(1e6), 0.42);
+        assert_eq!(c.duration(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn diurnal_rejects_single_point() {
+        Diurnal::new(vec![0.5], 60.0);
+    }
+
+    #[test]
+    fn sequence_plays_parts_in_order() {
+        let s = Sequence::new(vec![
+            Box::new(Constant::new(0.2, 10.0)),
+            Box::new(Ramp {
+                from: 0.5,
+                to: 1.0,
+                ramp_s: 10.0,
+            }),
+        ]);
+        assert_eq!(s.duration(), 20.0);
+        assert_eq!(s.load_at(5.0), 0.2);
+        assert_eq!(s.load_at(10.0), 0.5);
+        assert!((s.load_at(15.0) - 0.75).abs() < 1e-12);
+        assert_eq!(s.load_at(25.0), 1.0); // clamps into last part
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn sequence_rejects_empty() {
+        Sequence::new(vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! SPEC CPU2006-style batch program models (the Fig. 11 collocation mix).
+//!
+//! HipsterCo observes batch programs only through per-core instruction
+//! counters, so each model is an IPS function of core kind and frequency:
+//!
+//! ```text
+//! IPS(kind, f) = 1 / ( CPI(kind)/f + MPI )
+//! ```
+//!
+//! where `CPI(kind)` is the core-bound cycles-per-instruction and `MPI` the
+//! memory-stall seconds per instruction (frequency-insensitive). Compute-
+//! bound programs (calculix) scale almost linearly with frequency and gain
+//! the most from big cores; memory-bound ones (lbm, libquantum) barely
+//! scale — reproducing the paper's observation that HipsterCo speeds up
+//! calculix 3.35× over static but libquantum only 1.6×.
+
+use hipster_platform::{CoreKind, Frequency};
+use hipster_sim::BatchProgram;
+
+/// A SPEC CPU2006-style batch program model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecProgram {
+    name: &'static str,
+    ipc_big: f64,
+    ipc_small: f64,
+    /// Memory-stall time per instruction, seconds.
+    mpi_s: f64,
+}
+
+impl SpecProgram {
+    /// Creates a program model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if IPCs are not positive or `mpi_s` is negative.
+    pub fn new(name: &'static str, ipc_big: f64, ipc_small: f64, mpi_s: f64) -> Self {
+        assert!(ipc_big > 0.0 && ipc_small > 0.0, "IPC must be positive");
+        assert!(mpi_s >= 0.0, "MPI must be non-negative");
+        SpecProgram {
+            name,
+            ipc_big,
+            ipc_small,
+            mpi_s,
+        }
+    }
+
+    /// Memory-boundedness indicator: the fraction of runtime spent on
+    /// memory stalls on a big core at 1.15 GHz.
+    pub fn memory_boundedness(&self) -> f64 {
+        let f = Frequency::from_mhz(1150).as_hz();
+        let cpu = 1.0 / (self.ipc_big * f);
+        self.mpi_s / (cpu + self.mpi_s)
+    }
+}
+
+impl BatchProgram for SpecProgram {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn ips(&self, kind: CoreKind, freq: Frequency) -> f64 {
+        let ipc = match kind {
+            CoreKind::Big => self.ipc_big,
+            CoreKind::Small => self.ipc_small,
+        };
+        1.0 / (1.0 / (ipc * freq.as_hz()) + self.mpi_s)
+    }
+}
+
+/// The twelve SPEC CPU2006 programs of Fig. 11, in the paper's plotting
+/// order, with (big IPC, small IPC, memory ns/instruction) calibrated so
+/// compute-bound programs gain ≈3.4–3.8× from a big core at max DVFS and
+/// memory-bound ones ≈1.9–2.1×.
+pub fn programs() -> Vec<SpecProgram> {
+    vec![
+        SpecProgram::new("povray", 1.8, 0.85, 0.02e-9),
+        SpecProgram::new("namd", 1.7, 0.80, 0.03e-9),
+        SpecProgram::new("gromacs", 1.6, 0.75, 0.05e-9),
+        SpecProgram::new("tonto", 1.4, 0.68, 0.08e-9),
+        SpecProgram::new("sjeng", 1.2, 0.62, 0.06e-9),
+        SpecProgram::new("calculix", 1.9, 0.88, 0.01e-9),
+        SpecProgram::new("cactusADM", 1.1, 0.62, 0.20e-9),
+        SpecProgram::new("lbm", 0.9, 0.60, 0.45e-9),
+        SpecProgram::new("astar", 1.1, 0.60, 0.12e-9),
+        SpecProgram::new("soplex", 1.0, 0.58, 0.25e-9),
+        SpecProgram::new("libquantum", 0.9, 0.62, 0.50e-9),
+        SpecProgram::new("zeusmp", 1.3, 0.70, 0.10e-9),
+    ]
+}
+
+/// Looks up a program by name.
+pub fn program(name: &str) -> Option<SpecProgram> {
+    programs().into_iter().find(|p| p.name == name)
+}
+
+/// Measured maximum single-core IPS at the highest DVFS, per core kind, for
+/// a given program — the denominator of Algorithm 1's throughput reward
+/// uses `maxIPS(B) + maxIPS(S)`.
+pub fn max_ips(program: &SpecProgram) -> (f64, f64) {
+    (
+        program.ips(CoreKind::Big, Frequency::from_mhz(1150)),
+        program.ips(CoreKind::Small, Frequency::from_mhz(650)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(p: &SpecProgram) -> f64 {
+        p.ips(CoreKind::Big, Frequency::from_mhz(1150))
+    }
+
+    fn small(p: &SpecProgram) -> f64 {
+        p.ips(CoreKind::Small, Frequency::from_mhz(650))
+    }
+
+    #[test]
+    fn twelve_programs_in_paper_order() {
+        let ps = programs();
+        assert_eq!(ps.len(), 12);
+        assert_eq!(ps[0].name, "povray");
+        assert_eq!(ps[5].name, "calculix");
+        assert_eq!(ps[11].name, "zeusmp");
+    }
+
+    #[test]
+    fn calculix_gains_most_from_big_cores() {
+        let ratio = |p: &SpecProgram| big(p) / small(p);
+        let calculix = program("calculix").unwrap();
+        let libquantum = program("libquantum").unwrap();
+        let lbm = program("lbm").unwrap();
+        assert!(ratio(&calculix) > 3.3, "calculix {}", ratio(&calculix));
+        assert!(ratio(&libquantum) < 2.2, "libquantum {}", ratio(&libquantum));
+        assert!(ratio(&lbm) < 2.3, "lbm {}", ratio(&lbm));
+        for p in programs() {
+            assert!(ratio(&calculix) >= ratio(&p) - 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn memory_bound_programs_insensitive_to_dvfs() {
+        let lbm = program("lbm").unwrap();
+        let calculix = program("calculix").unwrap();
+        let hi = Frequency::from_mhz(1150);
+        let lo = Frequency::from_mhz(600);
+        let lbm_gain = lbm.ips(CoreKind::Big, hi) / lbm.ips(CoreKind::Big, lo);
+        let cal_gain = calculix.ips(CoreKind::Big, hi) / calculix.ips(CoreKind::Big, lo);
+        // Frequency ratio is 1.92; calculix should capture almost all of
+        // it, lbm noticeably less.
+        assert!(cal_gain > 1.85, "calculix {cal_gain}");
+        assert!(lbm_gain < 1.7, "lbm {lbm_gain}");
+        assert!(lbm_gain < cal_gain - 0.2);
+    }
+
+    #[test]
+    fn memory_boundedness_ordering() {
+        let mb = |n: &str| program(n).unwrap().memory_boundedness();
+        assert!(mb("libquantum") > mb("lbm"));
+        assert!(mb("lbm") > mb("astar"));
+        assert!(mb("astar") > mb("calculix"));
+        assert!(mb("calculix") < 0.05);
+        assert!(mb("libquantum") > 0.3);
+    }
+
+    #[test]
+    fn ips_magnitudes_are_plausible() {
+        for p in programs() {
+            let b = big(&p);
+            let s = small(&p);
+            assert!((2.0e8..3.0e9).contains(&b), "{}: big {b}", p.name);
+            assert!((1.0e8..1.0e9).contains(&s), "{}: small {s}", p.name);
+            assert!(b > s, "{}: big must beat small", p.name);
+        }
+    }
+
+    #[test]
+    fn max_ips_uses_top_frequencies() {
+        let p = program("povray").unwrap();
+        let (b, s) = max_ips(&p);
+        assert_eq!(b, big(&p));
+        assert_eq!(s, small(&p));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program("sjeng").is_some());
+        assert!(program("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Calibration checks: where the QoS-met boundary falls for key
+//! configurations, and an exploratory sweep (run with `--ignored
+//! --nocapture` to print the full config × load table).
+
+use hipster_platform::{CoreConfig, Platform};
+use hipster_sim::{Engine, LcModel, MachineConfig};
+use hipster_workloads::{memcached, web_search, Constant, LcWorkload};
+
+fn run_tail(make: fn() -> LcWorkload, label: &str, load: f64, secs: usize, seed: u64) -> f64 {
+    let platform = Platform::juno_r1();
+    let lc: CoreConfig = label.parse().unwrap();
+    let cfg = MachineConfig::interactive(&platform, lc);
+    let w = make();
+    let mut e = Engine::new(
+        platform,
+        Box::new(w),
+        Box::new(Constant::new(load, secs as f64)),
+        seed,
+    );
+    // Warm up 5 intervals, then average the tail over the rest.
+    let mut tails = Vec::new();
+    for i in 0..secs {
+        let s = e.step(cfg);
+        if i >= 5 {
+            tails.push(s.tail_latency_s);
+        }
+    }
+    tails.sort_by(f64::total_cmp);
+    tails[tails.len() / 2] // median interval tail
+}
+
+struct _Check;
+
+#[test]
+fn memcached_2b_max_meets_qos_at_full_load() {
+    let tail = run_tail(memcached, "2B-1.15", 1.0, 25, 42);
+    assert!(tail < 0.010, "p95 at 100% load on 2B-1.15: {} ms", tail * 1e3);
+    // The max load must be tight: the tail should not be trivially small.
+    assert!(tail > 0.0005, "calibration too loose: {} ms", tail * 1e3);
+}
+
+#[test]
+fn memcached_4s_boundary() {
+    let ok = run_tail(memcached, "4S-0.65", 0.55, 25, 43);
+    let bad = run_tail(memcached, "4S-0.65", 0.80, 25, 44);
+    assert!(ok < 0.010, "4S at 55%: {} ms", ok * 1e3);
+    assert!(bad > 0.010, "4S at 80% should violate: {} ms", bad * 1e3);
+}
+
+#[test]
+fn web_search_2b_max_meets_qos_at_full_load() {
+    let tail = run_tail(web_search, "2B-1.15", 1.0, 40, 45);
+    assert!(tail < 0.500, "p90 at 100%: {} ms", tail * 1e3);
+    assert!(tail > 0.050, "calibration too loose: {} ms", tail * 1e3);
+}
+
+#[test]
+fn web_search_4s_boundary() {
+    let ok = run_tail(web_search, "4S-0.65", 0.40, 40, 46);
+    let bad = run_tail(web_search, "4S-0.65", 0.62, 40, 47);
+    assert!(ok < 0.500, "4S at 40%: {} ms", ok * 1e3);
+    assert!(bad > 0.500, "4S at 62% should violate: {} ms", bad * 1e3);
+}
+
+/// Exploratory: prints the tail latency of every configuration at every
+/// load level (the raw material of Fig. 2). Run with:
+/// `cargo test -p hipster-workloads --release --test calibration -- --ignored --nocapture`
+#[test]
+#[ignore = "exploratory; prints the config/load sweep"]
+fn sweep_table() {
+    let platform = Platform::juno_r1();
+    for (make, loads) in [
+        (
+            memcached as fn() -> LcWorkload,
+            vec![0.29, 0.40, 0.51, 0.63, 0.69, 0.71, 0.77, 0.83, 0.89, 0.91, 0.94, 0.97, 1.0],
+        ),
+        (
+            web_search,
+            vec![0.18, 0.25, 0.33, 0.40, 0.47, 0.55, 0.62, 0.69, 0.76, 0.84, 0.91, 0.96, 1.0],
+        ),
+    ] {
+        let w = make();
+        println!("=== {} (target {}) ===", w.name(), w.qos());
+        for cfg in platform.all_configs() {
+            let mut row = format!("{cfg:>12}: ");
+            for &l in &loads {
+                let tail = run_tail(make, &cfg.to_string(), l, 15, 7);
+                let met = tail <= w.qos().target_s;
+                row.push_str(if met { " ok " } else { " -- " });
+            }
+            println!("{row}");
+        }
+        println!("loads: {loads:?}");
+    }
+}

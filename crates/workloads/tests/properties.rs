@@ -1,0 +1,102 @@
+//! Property-based tests on workload models and load generators.
+
+use hipster_platform::{CoreKind, Frequency};
+use hipster_sim::{LcModel, LoadPattern, SimRng};
+use hipster_workloads::{memcached, web_search, Constant, Diurnal, LcWorkload, Ramp, Steps};
+use proptest::prelude::*;
+
+proptest! {
+    /// Demands are always positive and finite for both presets.
+    #[test]
+    fn demands_positive(seed in 0u64..2000) {
+        let mut rng = SimRng::seed(seed);
+        for w in [memcached(), web_search()] {
+            let d = w.sample_demand(&mut rng);
+            prop_assert!(d.work > 0.0 && d.work.is_finite());
+            prop_assert!(d.mem_s >= 0.0 && d.mem_s.is_finite());
+        }
+    }
+
+    /// Burst sizes are ≥ 1 and their long-run mean matches `mean_burst`.
+    #[test]
+    fn burst_mean_consistent(seed in 0u64..50) {
+        let w = memcached();
+        let mut rng = SimRng::seed(seed);
+        let n = 20_000;
+        let mut sum = 0usize;
+        for _ in 0..n {
+            let b = w.sample_burst(&mut rng);
+            prop_assert!(b >= 1);
+            sum += b;
+        }
+        let mean = sum as f64 / n as f64;
+        prop_assert!((mean - w.mean_burst()).abs() / w.mean_burst() < 0.1,
+            "sampled {mean} vs declared {}", w.mean_burst());
+    }
+
+    /// Big cores are faster than small cores at every frequency pairing the
+    /// Juno offers, for both workloads.
+    #[test]
+    fn big_faster_than_small(mhz in prop_oneof![Just(600u32), Just(900), Just(1150)]) {
+        for w in [memcached(), web_search()] {
+            let big = w.service_speed(CoreKind::Big, Frequency::from_mhz(mhz));
+            let small = w.service_speed(CoreKind::Small, Frequency::from_mhz(650));
+            if mhz >= 650 {
+                prop_assert!(big > small, "{}: big {big} ≤ small {small}", w.name());
+            }
+        }
+    }
+
+    /// Capacity scales exactly linearly in core counts.
+    #[test]
+    fn capacity_linear_in_cores(nb in 1usize..=2, ns in 1usize..=4) {
+        let w = web_search();
+        let fb = Frequency::from_mhz(900);
+        let fs = Frequency::from_mhz(650);
+        let unit_b = w.capacity_rps(1, 0, fb, fs);
+        let unit_s = w.capacity_rps(0, 1, fb, fs);
+        let combined = w.capacity_rps(nb, ns, fb, fs);
+        let expect = nb as f64 * unit_b + ns as f64 * unit_s;
+        prop_assert!((combined - expect).abs() < 1e-9 * expect);
+    }
+
+    /// All load patterns stay within [0, 1] over their duration.
+    #[test]
+    fn patterns_bounded(t in 0.0f64..3000.0) {
+        let patterns: Vec<Box<dyn LoadPattern>> = vec![
+            Box::new(Diurnal::paper()),
+            Box::new(Ramp { from: 0.5, to: 1.0, ramp_s: 175.0 }),
+            Box::new(Constant::new(0.42, 100.0)),
+            Box::new(Steps::new(vec![(10.0, 0.2), (20.0, 0.9)])),
+        ];
+        for p in patterns {
+            let l = p.load_at(t);
+            prop_assert!((0.0..=1.0).contains(&l), "{l} at t={t}");
+        }
+    }
+
+    /// The diurnal interpolation never overshoots its control points.
+    #[test]
+    fn diurnal_between_extremes(t in 0.0f64..2100.0) {
+        let d = Diurnal::paper();
+        let l = d.load_at(t);
+        prop_assert!(l >= d.min_frac() - 1e-12);
+        prop_assert!(l <= d.max_frac() + 1e-12);
+    }
+
+    /// Builder-made workloads respect their declared QoS and load knobs.
+    #[test]
+    fn builder_round_trips_knobs(
+        max_rps in 10.0f64..1e6,
+        pctl in 0.5f64..0.999,
+        target_ms in 1.0f64..1000.0,
+    ) {
+        let w = LcWorkload::builder("x")
+            .max_load_rps(max_rps)
+            .qos(hipster_sim::QosTarget::new(pctl, target_ms / 1e3))
+            .build();
+        prop_assert_eq!(w.max_load_rps(), max_rps);
+        prop_assert_eq!(w.qos().percentile, pctl);
+        prop_assert!((w.qos().target_s - target_ms / 1e3).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,80 @@
+//! Collocation (HipsterCo): run Web-Search together with SPEC CPU2006
+//! batch programs and maximize batch throughput while protecting the
+//! latency-critical QoS — the scenario of the paper's Fig. 11.
+//!
+//! ```text
+//! cargo run --release --example colocation [program]
+//! ```
+//!
+//! `program` defaults to `calculix` (the paper's best case); try `lbm` or
+//! `libquantum` for the memory-bound contrast.
+
+use hipster::workloads::spec;
+use hipster::workloads::web_search;
+use hipster::{Diurnal, Engine, Hipster, LcModel, Manager, Platform, StaticPolicy, Trace};
+
+fn run(policy: Box<dyn hipster::Policy>, program: &spec::SpecProgram, secs: usize) -> Trace {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform,
+        Box::new(web_search()),
+        Box::new(Diurnal::paper()),
+        7,
+    )
+    .with_batch_pool(vec![Box::new(program.clone())]);
+    Manager::new(engine, policy).collocated().run(secs)
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "calculix".into());
+    let program = spec::program(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown SPEC program {name:?}; available: {}",
+            spec::programs()
+                .iter()
+                .map(|p| {
+                    use hipster::sim::BatchProgram as _;
+                    p.name().to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    });
+    let platform = Platform::juno_r1();
+    let qos = web_search().qos();
+    let secs = 900;
+    let (max_b, max_s) = spec::max_ips(&program);
+
+    println!("Batch program: {name} (memory-boundedness {:.2})", program.memory_boundedness());
+    println!("Running static mapping (LC on 2 big cores, batch on 4 small)…");
+    let static_trace = run(Box::new(StaticPolicy::all_big(&platform)), &program, secs);
+    println!("Running HipsterCo…");
+    let co_trace = run(
+        Box::new(
+            Hipster::collocated(&platform, max_b + max_s, 7)
+                .learning_intervals(300)
+                .bucket_width(0.06)
+                .build(),
+        ),
+        &program,
+        secs,
+    );
+
+    let report = |label: &str, t: &Trace| {
+        println!(
+            "{label:<10} QoS guarantee {:>5.1}%   batch {:>6.2} GIPS   energy {:>7.1} J",
+            t.qos_guarantee_pct(qos),
+            t.mean_batch_ips() / 1e9,
+            t.total_energy_j()
+        );
+    };
+    println!();
+    report("static", &static_trace);
+    report("HipsterCo", &co_trace);
+    println!(
+        "\nHipsterCo batch speedup over static: {:.2}× (paper mean: 2.3×, \
+         calculix 3.35×, libquantum 1.6×)",
+        co_trace.mean_batch_ips() / static_trace.mean_batch_ips().max(1.0)
+    );
+}

@@ -1,0 +1,77 @@
+//! Beyond the Juno: build a custom big.LITTLE server with
+//! [`PlatformBuilder`] and a custom latency-critical service, then let
+//! Hipster manage it — showing the library is not hard-wired to the
+//! paper's board.
+//!
+//! ```text
+//! cargo run --release --example custom_platform
+//! ```
+
+use hipster::workloads::LcWorkload;
+use hipster::{
+    Constant, Engine, Frequency, Hipster, LcModel, Manager, Platform, PlatformBuilder,
+    PolicySummary, QosTarget,
+};
+
+fn custom_platform() -> Platform {
+    // A hypothetical 4-big + 8-small edge server with wider DVFS ranges.
+    PlatformBuilder::new("edge-4B8S")
+        .big_cores(
+            4,
+            2.2,
+            &[(800, 0.80), (1400, 0.90), (2000, 1.0)],
+            4096,
+        )
+        .small_cores(8, 1.1, &[(600, 0.85), (1000, 1.0)], 2048)
+        .build()
+        .expect("valid platform")
+}
+
+fn rpc_service() -> LcWorkload {
+    // A gRPC-ish service: 200 µs mean on a big core at 2 GHz, p99 ≤ 5 ms.
+    LcWorkload::builder("rpc")
+        .max_load_rps(12_000.0)
+        .qos(QosTarget::new(0.99, 0.005))
+        .work(300.0, 0.8)
+        .mem_seconds(40e-6)
+        .big_speed(2.0e6, Frequency::from_mhz(2000))
+        .small_ipc_penalty(2.4)
+        .burst_mean(4.0)
+        .build()
+}
+
+fn main() {
+    let platform = custom_platform();
+    println!(
+        "platform {:?}: {} configurations in the action space",
+        platform.name(),
+        platform.all_configs().len()
+    );
+    let service = rpc_service();
+    let qos = service.qos();
+    let policy = Hipster::interactive(&platform, 1)
+        .learning_intervals(120)
+        .bucket_width(0.05)
+        .build();
+    let engine = Engine::new(
+        platform,
+        Box::new(service),
+        Box::new(Constant::new(0.55, 400.0)),
+        1,
+    );
+    let trace = Manager::new(engine, Box::new(policy)).run(400);
+    let s = PolicySummary::from_trace("HipsterIn@edge", &trace, qos);
+    println!(
+        "{}: QoS guarantee {:.1}% at {:.2} W mean power, {} migrations over {} s",
+        s.name,
+        s.qos_guarantee_pct,
+        trace.mean_power_w(),
+        s.migrations,
+        trace.len()
+    );
+    let last = trace.intervals().last().expect("non-empty");
+    println!(
+        "steady-state configuration: {} (big cluster at {} GHz)",
+        last.config.lc, last.config.big_freq
+    );
+}

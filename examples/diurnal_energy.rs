@@ -1,0 +1,70 @@
+//! Policy shoot-out on Memcached: every policy of the paper's Table 3 over
+//! a (shortened) diurnal day, reporting QoS guarantee, tardiness and
+//! energy.
+//!
+//! ```text
+//! cargo run --release --example diurnal_energy
+//! ```
+
+use hipster::workloads::memcached;
+use hipster::{
+    Diurnal, Engine, HeuristicMapper, Hipster, LcModel, Manager, Platform, Policy,
+    PolicySummary, StaticPolicy, Trace,
+};
+
+fn run(policy: Box<dyn Policy>, secs: usize) -> Trace {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform,
+        Box::new(memcached()),
+        Box::new(Diurnal::paper()),
+        2024,
+    );
+    Manager::new(engine, policy).run(secs)
+}
+
+fn main() {
+    let platform = Platform::juno_r1();
+    let qos = memcached().qos();
+    let secs = 1050; // half a compressed diurnal "36-hour" day
+    let learn = 300;
+
+    let policies: Vec<(&str, Box<dyn Policy>)> = vec![
+        ("Static (all big)", Box::new(StaticPolicy::all_big(&platform))),
+        ("Static (all small)", Box::new(StaticPolicy::all_small(&platform))),
+        ("Heuristic", Box::new(HeuristicMapper::with_defaults(&platform))),
+        ("Octopus-Man", Box::new(hipster::OctopusMan::with_defaults(&platform))),
+        (
+            "HipsterIn",
+            Box::new(
+                Hipster::interactive(&platform, 2024)
+                    .learning_intervals(learn)
+                    .bucket_width(0.03)
+                    .build(),
+            ),
+        ),
+    ];
+
+    let mut summaries = Vec::new();
+    for (name, policy) in policies {
+        println!("Running {name}…");
+        let trace = run(policy, secs);
+        summaries.push(PolicySummary::from_trace(name, &trace, qos));
+    }
+    let baseline = summaries[0].clone();
+
+    println!("\n{:<20} {:>9} {:>10} {:>10} {:>11}", "policy", "QoS %", "tardiness", "energy J", "vs big");
+    for s in &summaries {
+        println!(
+            "{:<20} {:>8.1}% {:>10} {:>10.1} {:>10.1}%",
+            s.name,
+            s.qos_guarantee_pct,
+            s.mean_tardiness
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            s.total_energy_j,
+            s.energy_reduction_pct_vs(&baseline),
+        );
+    }
+    println!("\n(compare the shape with the paper's Table 3)");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: manage Web-Search with HipsterIn under the paper's diurnal
+//! load, and compare against the static all-big baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hipster::workloads::web_search;
+use hipster::{
+    Diurnal, Engine, Hipster, LcModel, Manager, Platform, PolicySummary, StaticPolicy, Trace,
+};
+
+fn run(policy: Box<dyn hipster::Policy>, secs: usize) -> Trace {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform,
+        Box::new(web_search()),
+        Box::new(Diurnal::paper()),
+        42,
+    );
+    Manager::new(engine, policy).run(secs)
+}
+
+fn main() {
+    let platform = Platform::juno_r1();
+    let qos = web_search().qos();
+    let secs = 900;
+
+    println!("Running static (all big cores) baseline…");
+    let baseline = run(Box::new(StaticPolicy::all_big(&platform)), secs);
+    println!("Running HipsterIn (300 s learning phase)…");
+    let hipster = run(
+        Box::new(
+            Hipster::interactive(&platform, 42)
+                .learning_intervals(300)
+                .bucket_width(0.06)
+                .build(),
+        ),
+        secs,
+    );
+
+    let base = PolicySummary::from_trace("Static(2B-1.15)", &baseline, qos);
+    let hip = PolicySummary::from_trace("HipsterIn", &hipster, qos);
+    for s in [&base, &hip] {
+        println!(
+            "\n{:<16} QoS guarantee {:>5.1}%   energy {:>7.1} J   migrations {}",
+            s.name, s.qos_guarantee_pct, s.total_energy_j, s.migrations
+        );
+    }
+    println!(
+        "\nHipsterIn saves {:.1}% energy vs the static baseline while keeping \
+         QoS ({} target).",
+        hip.energy_reduction_pct_vs(&base),
+        qos
+    );
+}

@@ -1,0 +1,50 @@
+//! **hipster** — a from-scratch reproduction of *Hipster: Hybrid Task
+//! Manager for Latency-Critical Cloud Workloads* (HPCA 2017).
+//!
+//! This facade crate re-exports the four workspace crates:
+//!
+//! * [`platform`] — the heterogeneous big.LITTLE platform model (ARM Juno
+//!   R1 preset, Table 2-calibrated power model, energy meters, perf
+//!   counters);
+//! * [`sim`] — the discrete-event queueing simulator (tail latencies,
+//!   migration/DVFS costs, batch execution, closed-loop clients);
+//! * [`workloads`] — Memcached, Web-Search, SPEC CPU2006 batch models and
+//!   diurnal/ramp/spike load generators;
+//! * [`core`] — the Hipster task manager itself (heuristic mapper,
+//!   Q-learning, HipsterIn/HipsterCo) plus the Octopus-Man and static
+//!   baselines.
+//!
+//! The most common entry points are also re-exported at the crate root.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hipster::{Diurnal, Engine, Hipster, LcModel, Manager, Platform, PolicySummary};
+//! use hipster::workloads::web_search;
+//!
+//! let platform = Platform::juno_r1();
+//! let policy = Hipster::interactive(&platform, 42)
+//!     .learning_intervals(60)
+//!     .build();
+//! let ws = web_search();
+//! let qos = ws.qos();
+//! let engine = Engine::new(platform, Box::new(ws), Box::new(Diurnal::paper()), 42);
+//! let trace = Manager::new(engine, Box::new(policy)).run(120);
+//! let summary = PolicySummary::from_trace("HipsterIn", &trace, qos);
+//! println!("{:.1}% QoS guarantee", summary.qos_guarantee_pct);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hipster_core as core;
+pub use hipster_platform as platform;
+pub use hipster_sim as sim;
+pub use hipster_workloads as workloads;
+
+pub use hipster_core::{
+    HeuristicMapper, Hipster, Manager, Observation, OctopusMan, Policy, PolicySummary,
+    StaticPolicy,
+};
+pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
+pub use hipster_sim::{Engine, IntervalStats, LcModel, MachineConfig, QosTarget, Trace};
+pub use hipster_workloads::{memcached, web_search, Constant, Diurnal, Ramp};

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: full platform × simulator × workload ×
+//! policy stacks.
+
+use hipster::workloads::{spec, LcWorkload};
+use hipster::{
+    Constant, CoreConfig, Diurnal, Engine, Frequency, Hipster, LcModel, MachineConfig, Manager,
+    OctopusMan, Platform, PlatformBuilder, PolicySummary, QosTarget, StaticPolicy,
+};
+
+#[test]
+fn full_stack_hipster_in_on_juno() {
+    let platform = Platform::juno_r1();
+    let qos = hipster::web_search().qos();
+    let policy = Hipster::interactive(&platform, 5)
+        .learning_intervals(100)
+        .build();
+    let engine = Engine::new(
+        platform,
+        Box::new(hipster::web_search()),
+        Box::new(Diurnal::paper()),
+        5,
+    );
+    let trace = Manager::new(engine, Box::new(policy)).run(300);
+    let s = PolicySummary::from_trace("HipsterIn", &trace, qos);
+    assert_eq!(trace.len(), 300);
+    assert!(s.qos_guarantee_pct > 70.0, "{}", s.qos_guarantee_pct);
+    assert!(s.total_energy_j > 0.0);
+}
+
+#[test]
+fn hipster_co_runs_batch_and_reads_counters() {
+    let platform = Platform::juno_r1();
+    let program = spec::program("calculix").unwrap();
+    let (b, s) = spec::max_ips(&program);
+    let policy = Hipster::collocated(&platform, b + s, 6)
+        .learning_intervals(50)
+        .build();
+    let engine = Engine::new(
+        platform,
+        Box::new(hipster::web_search()),
+        Box::new(Constant::new(0.3, 200.0)),
+        6,
+    )
+    .with_batch_pool(vec![Box::new(program)]);
+    let trace = Manager::new(engine, Box::new(policy)).collocated().run(200);
+    // Batch instructions must flow whenever the LC workload leaves cores
+    // free.
+    assert!(trace.mean_batch_ips() > 1.0e8, "{}", trace.mean_batch_ips());
+}
+
+#[test]
+fn collocation_boosts_other_cluster_at_max_dvfs() {
+    let platform = Platform::juno_r1();
+    let lc: CoreConfig = "3S-0.65".parse().unwrap();
+    let cfg = MachineConfig::collocated(&platform, lc);
+    assert_eq!(cfg.big_freq, Frequency::from_mhz(1150));
+    assert!(cfg.batch_enabled);
+    let lc2: CoreConfig = "2B-0.90".parse().unwrap();
+    let cfg2 = MachineConfig::collocated(&platform, lc2);
+    // LC on big only → small cluster at its (single) max point.
+    assert_eq!(cfg2.small_freq, Frequency::from_mhz(650));
+    assert_eq!(cfg2.big_freq, Frequency::from_mhz(900));
+}
+
+#[test]
+fn perf_quirk_with_mitigation_end_to_end() {
+    let platform = Platform::juno_r1();
+    let program = spec::program("povray").unwrap();
+    let mut engine = Engine::new(
+        platform.clone(),
+        Box::new(hipster::web_search()),
+        Box::new(Constant::new(0.1, 100.0)),
+        7,
+    )
+    .with_batch_pool(vec![Box::new(program)])
+    .with_perf_quirk(true);
+    // Without the mitigation, low load ⇒ idle stretches ⇒ garbage windows.
+    let lc: CoreConfig = "2S-0.65".parse().unwrap();
+    let cfg = MachineConfig::collocated(&platform, lc);
+    let s = engine.step(cfg);
+    assert!(!s.counters_valid);
+    // Paper's mitigation: disable cpuidle. Counters clean, power higher.
+    let p_before = s.power.total();
+    engine.disable_cpuidle();
+    let s2 = engine.step(cfg);
+    assert!(s2.counters_valid);
+    assert!(
+        s2.power.total() > p_before,
+        "cpuidle off must burn more idle power: {} vs {p_before}",
+        s2.power.total()
+    );
+}
+
+#[test]
+fn octopus_man_never_mixes_clusters_end_to_end() {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform.clone(),
+        Box::new(hipster::memcached()),
+        Box::new(Diurnal::paper()),
+        8,
+    );
+    let trace = Manager::new(engine, Box::new(OctopusMan::with_defaults(&platform))).run(120);
+    for s in trace.intervals() {
+        assert!(
+            s.config.lc.single_core_type().is_some(),
+            "Octopus-Man produced mixed config {}",
+            s.config.lc
+        );
+    }
+}
+
+#[test]
+fn custom_platform_full_stack() {
+    let platform = PlatformBuilder::new("test-2B2S")
+        .big_cores(2, 2.0, &[(1000, 0.9), (2000, 1.0)], 1024)
+        .small_cores(2, 1.0, &[(1000, 1.0)], 512)
+        .build()
+        .unwrap();
+    let workload = LcWorkload::builder("svc")
+        .max_load_rps(1000.0)
+        .qos(QosTarget::new(0.95, 0.02))
+        .work(1000.0, 0.5)
+        .big_speed(1.0e6, Frequency::from_mhz(2000))
+        .small_ipc_penalty(2.0)
+        .build();
+    let qos = workload.qos();
+    let policy = Hipster::interactive(&platform, 9)
+        .learning_intervals(30)
+        .build();
+    let engine = Engine::new(
+        platform,
+        Box::new(workload),
+        Box::new(Constant::new(0.5, 100.0)),
+        9,
+    );
+    let trace = Manager::new(engine, Box::new(policy)).run(100);
+    assert!(trace.qos_guarantee_pct(qos) > 60.0);
+}
+
+#[test]
+fn static_small_cannot_hold_peak_load() {
+    let platform = Platform::juno_r1();
+    let qos = hipster::memcached().qos();
+    let engine = Engine::new(
+        platform.clone(),
+        Box::new(hipster::memcached()),
+        Box::new(Constant::new(0.95, 60.0)),
+        10,
+    );
+    let trace = Manager::new(engine, Box::new(StaticPolicy::all_small(&platform))).run(60);
+    assert!(
+        trace.qos_guarantee_pct(qos) < 50.0,
+        "4 small cores cannot serve 95% load: {}",
+        trace.qos_guarantee_pct(qos)
+    );
+}
+
+#[test]
+fn trace_csv_is_parseable() {
+    let platform = Platform::juno_r1();
+    let engine = Engine::new(
+        platform.clone(),
+        Box::new(hipster::web_search()),
+        Box::new(Constant::new(0.4, 20.0)),
+        11,
+    );
+    let trace = Manager::new(engine, Box::new(StaticPolicy::all_big(&platform))).run(20);
+    let csv = trace.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 21);
+    let cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+    }
+}
