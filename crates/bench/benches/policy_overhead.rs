@@ -3,9 +3,7 @@
 //! interval. This measures our per-decision cost for each policy.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use hipster_core::{
-    HeuristicMapper, Hipster, Observation, OctopusMan, Policy, StaticPolicy,
-};
+use hipster_core::{HeuristicMapper, Hipster, Observation, OctopusMan, Policy, StaticPolicy};
 use hipster_platform::Platform;
 use hipster_sim::QosTarget;
 
@@ -56,11 +54,7 @@ fn benches(c: &mut Criterion) {
     });
     let p4 = platform.clone();
     bench_policy(c, "decide/hipster_in", move || {
-        Box::new(
-            Hipster::interactive(&p4, 7)
-                .learning_intervals(10)
-                .build(),
-        )
+        Box::new(Hipster::interactive(&p4, 7).learning_intervals(10).build())
     });
 }
 

@@ -11,7 +11,10 @@ use hipster_workloads::{memcached, web_search, Diurnal};
 fn main() {
     let platform = Platform::juno_r1();
     for (wname, make) in [
-        ("Memcached", memcached as fn() -> hipster_workloads::LcWorkload),
+        (
+            "Memcached",
+            memcached as fn() -> hipster_workloads::LcWorkload,
+        ),
         ("Web-Search", web_search),
     ] {
         println!("== {wname} ==");

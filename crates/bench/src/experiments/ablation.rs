@@ -34,8 +34,14 @@ pub fn run(quick: bool) {
 
     let variants: Vec<(&str, hipster_core::Hipster)> = vec![
         ("HipsterIn (hybrid)", base(121).build()),
-        ("pure RL (ε=0.1, no heuristic)", base(121).pure_rl(0.1).build()),
-        ("no stochastic reward band", base(121).stochastic(false).build()),
+        (
+            "pure RL (ε=0.1, no heuristic)",
+            base(121).pure_rl(0.1).build(),
+        ),
+        (
+            "no stochastic reward band",
+            base(121).stochastic(false).build(),
+        ),
         (
             "γ = 0 (myopic rewards)",
             base(121)
@@ -83,7 +89,10 @@ pub fn run(quick: bool) {
     // Octopus-Man with and without reconfiguration costs: how much of its
     // QoS damage is oscillation paying real migration stalls.
     for (name, costs) in [
-        ("Octopus-Man (real migration costs)", ReconfigCosts::juno_defaults()),
+        (
+            "Octopus-Man (real migration costs)",
+            ReconfigCosts::juno_defaults(),
+        ),
         ("Octopus-Man (free migrations)", ReconfigCosts::free()),
     ] {
         let engine = Engine::new(
@@ -95,7 +104,10 @@ pub fn run(quick: bool) {
         .with_costs(costs);
         let trace = hipster_core::Manager::new(
             engine,
-            Box::new(OctopusMan::new(&platform, Workload::WebSearch.tuned_zones())),
+            Box::new(OctopusMan::new(
+                &platform,
+                Workload::WebSearch.tuned_zones(),
+            )),
         )
         .run(secs);
         t.row(vec![

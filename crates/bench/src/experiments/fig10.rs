@@ -14,7 +14,9 @@ use crate::tablefmt::{pct, Table};
 
 /// Runs Fig. 10.
 pub fn run(quick: bool) {
-    println!("== Figure 10: bucket-size sweep (QoS violations & energy reduction vs static big) ==\n");
+    println!(
+        "== Figure 10: bucket-size sweep (QoS violations & energy reduction vs static big) ==\n"
+    );
     let platform = Platform::juno_r1();
     let secs = scaled(2100, quick);
     let learn = scaled(500, quick) as u64;

@@ -17,9 +17,7 @@ fn pool(program: &spec::SpecProgram) -> Vec<Box<dyn BatchProgram>> {
 
 /// Runs Fig. 11.
 pub fn run(quick: bool) {
-    println!(
-        "== Figure 11: HipsterCo vs Octopus-Man vs static — Web-Search + SPEC batch ==\n"
-    );
+    println!("== Figure 11: HipsterCo vs Octopus-Man vs static — Web-Search + SPEC batch ==\n");
     let platform = Platform::juno_r1();
     let secs = scaled(1200, quick);
     let learn = scaled(400, quick) as u64;

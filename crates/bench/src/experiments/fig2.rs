@@ -85,7 +85,9 @@ pub fn run(quick: bool) {
         machines.push((workload, ladder));
     }
 
-    println!("== Figure 2c: per-workload state machines (cheapest QoS-meeting config per load) ==\n");
+    println!(
+        "== Figure 2c: per-workload state machines (cheapest QoS-meeting config per load) ==\n"
+    );
     let mut t = Table::new(vec!["load", "Memcached", "Web-Search"]);
     let (mc, ws) = (&machines[0].1, &machines[1].1);
     for i in 0..mc.len().max(ws.len()) {

@@ -52,7 +52,7 @@ pub fn run(quick: bool) {
     println!("== Figure 5: static vs Octopus-Man vs Hipster's heuristic (diurnal) ==\n");
     let platform = Platform::juno_r1();
     for workload in Workload::BOTH {
-        let secs = scaled(if workload == Workload::Memcached { 2100 } else { 2100 }, quick);
+        let secs = scaled(2100, quick);
         let qos = qos_of(workload);
         println!("-- {} --", workload.name());
         let mut t = Table::new(vec![
@@ -65,13 +65,7 @@ pub fn run(quick: bool) {
             "DVFS levels used",
         ]);
         for (name, policy) in policies(&platform, workload) {
-            let trace = run_interactive(
-                workload,
-                Box::new(Diurnal::paper()),
-                policy,
-                secs,
-                51,
-            );
+            let trace = run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 51);
             let mixed = trace
                 .intervals()
                 .iter()

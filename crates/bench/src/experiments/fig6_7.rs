@@ -15,7 +15,11 @@ use crate::write_csv;
 
 /// Runs one of the two figures.
 pub fn run_one(workload: Workload, quick: bool) {
-    let fig = if workload == Workload::Memcached { 6 } else { 7 };
+    let fig = if workload == Workload::Memcached {
+        6
+    } else {
+        7
+    };
     println!(
         "== Figure {fig}: HipsterIn on {} (diurnal, 500 s learning) ==\n",
         workload.name()
@@ -33,7 +37,13 @@ pub fn run_one(workload: Workload, quick: bool) {
             0.06
         })
         .build();
-    let trace = run_interactive(workload, Box::new(Diurnal::paper()), Box::new(policy), secs, 61);
+    let trace = run_interactive(
+        workload,
+        Box::new(Diurnal::paper()),
+        Box::new(policy),
+        secs,
+        61,
+    );
 
     // Split learning vs exploitation phases.
     let (learn_iv, exploit_iv) = trace.intervals().split_at(learn.min(trace.len()));
@@ -41,7 +51,10 @@ pub fn run_one(workload: Workload, quick: bool) {
         if ivs.is_empty() {
             return 100.0;
         }
-        ivs.iter().filter(|s| !qos.violated(s.tail_latency_s)).count() as f64 / ivs.len() as f64
+        ivs.iter()
+            .filter(|s| !qos.violated(s.tail_latency_s))
+            .count() as f64
+            / ivs.len() as f64
             * 100.0
     };
     let migrations = |ivs: &[hipster_sim::IntervalStats]| {
@@ -76,8 +89,7 @@ pub fn run_one(workload: Workload, quick: bool) {
         trace.total_migrations()
     );
 
-    let mut csv =
-        String::from("t,load_frac,tail_ms,rps,big_ghz,n_big,n_small,migrated\n");
+    let mut csv = String::from("t,load_frac,tail_ms,rps,big_ghz,n_big,n_small,migrated\n");
     for s in trace.intervals() {
         csv.push_str(&format!(
             "{},{:.3},{:.3},{:.1},{},{},{},{}\n",

@@ -38,7 +38,10 @@ pub fn run(quick: bool) {
     let octopus = run_interactive(
         Workload::WebSearch,
         Box::new(Diurnal::paper()),
-        Box::new(OctopusMan::new(&platform, Workload::WebSearch.tuned_zones())),
+        Box::new(OctopusMan::new(
+            &platform,
+            Workload::WebSearch.tuned_zones(),
+        )),
         secs,
         81,
     );

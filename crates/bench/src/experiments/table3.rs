@@ -2,9 +2,7 @@
 //! energy reduction (vs static all-big) for five policies on Memcached and
 //! Web-Search under the diurnal load.
 
-use hipster_core::{
-    HeuristicMapper, Hipster, OctopusMan, Policy, PolicySummary, StaticPolicy,
-};
+use hipster_core::{HeuristicMapper, Hipster, OctopusMan, Policy, PolicySummary, StaticPolicy};
 use hipster_platform::Platform;
 use hipster_workloads::Diurnal;
 
@@ -67,12 +65,15 @@ pub fn run(quick: bool) {
 
     for workload in Workload::BOTH {
         let qos = qos_of(workload);
-        let bucket = if workload == Workload::Memcached { 0.03 } else { 0.06 };
+        let bucket = if workload == Workload::Memcached {
+            0.03
+        } else {
+            0.06
+        };
         println!("-- {} --", workload.name());
         let mut summaries = Vec::new();
         for (name, policy) in policy_list(&platform, workload, learn, bucket) {
-            let trace =
-                run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 111);
+            let trace = run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 111);
             summaries.push(PolicySummary::from_trace(name, &trace, qos));
         }
         let baseline = summaries[0].clone();
@@ -104,7 +105,9 @@ pub fn run(quick: bool) {
                 s.name.clone(),
                 pct(s.qos_guarantee_pct),
                 pct(paper_g),
-                s.mean_tardiness.map(|v| f(v, 2)).unwrap_or_else(|| "-".into()),
+                s.mean_tardiness
+                    .map(|v| f(v, 2))
+                    .unwrap_or_else(|| "-".into()),
                 reduction,
                 paper_e.to_string(),
                 s.migrations.to_string(),

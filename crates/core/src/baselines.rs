@@ -27,14 +27,24 @@ impl StaticPolicy {
     pub fn all_big(platform: &Platform) -> Self {
         let big = platform.cluster(CoreKind::Big);
         let small = platform.cluster(CoreKind::Small);
-        Self::new(CoreConfig::new(big.len(), 0, big.max_freq(), small.max_freq()))
+        Self::new(CoreConfig::new(
+            big.len(),
+            0,
+            big.max_freq(),
+            small.max_freq(),
+        ))
     }
 
     /// All small cores at their maximum DVFS.
     pub fn all_small(platform: &Platform) -> Self {
         let big = platform.cluster(CoreKind::Big);
         let small = platform.cluster(CoreKind::Small);
-        Self::new(CoreConfig::new(0, small.len(), big.min_freq(), small.max_freq()))
+        Self::new(CoreConfig::new(
+            0,
+            small.len(),
+            big.min_freq(),
+            small.max_freq(),
+        ))
     }
 
     /// The pinned configuration.
@@ -87,8 +97,7 @@ impl Policy for OctopusMan {
     }
 
     fn decide(&mut self, obs: &Observation) -> CoreConfig {
-        self.controller
-            .update(obs.tail_latency_s, obs.qos.target_s)
+        self.controller.update(obs.tail_latency_s, obs.qos.target_s)
     }
 }
 
@@ -134,8 +143,7 @@ impl Policy for DvfsOnly {
     }
 
     fn decide(&mut self, obs: &Observation) -> CoreConfig {
-        self.controller
-            .update(obs.tail_latency_s, obs.qos.target_s)
+        self.controller.update(obs.tail_latency_s, obs.qos.target_s)
     }
 }
 
@@ -178,8 +186,7 @@ impl Policy for HeuristicMapper {
     }
 
     fn decide(&mut self, obs: &Observation) -> CoreConfig {
-        self.controller
-            .update(obs.tail_latency_s, obs.qos.target_s)
+        self.controller.update(obs.tail_latency_s, obs.qos.target_s)
     }
 }
 
@@ -252,10 +259,7 @@ mod tests {
         let h = HeuristicMapper::with_defaults(&p);
         assert_eq!(h.ladder().len(), p.all_configs().len());
         // It can express mixed-cluster states Octopus-Man cannot.
-        assert!(h
-            .ladder()
-            .iter()
-            .any(|c| c.n_big > 0 && c.n_small > 0));
+        assert!(h.ladder().iter().any(|c| c.n_big > 0 && c.n_small > 0));
     }
 
     #[test]
@@ -275,7 +279,10 @@ mod tests {
     fn names() {
         let p = Platform::juno_r1();
         assert_eq!(OctopusMan::with_defaults(&p).name(), "Octopus-Man");
-        assert_eq!(HeuristicMapper::with_defaults(&p).name(), "Hipster-heuristic");
+        assert_eq!(
+            HeuristicMapper::with_defaults(&p).name(),
+            "Hipster-heuristic"
+        );
         assert_eq!(StaticPolicy::all_big(&p).name(), "Static(2B-1.15)");
         assert_eq!(DvfsOnly::with_defaults(&p).name(), "DVFS-only");
     }

@@ -112,11 +112,7 @@ impl FeedbackController {
     pub fn seek(&mut self, config: &CoreConfig) {
         if let Some(i) = self.ladder.iter().position(|c| c == config) {
             self.idx = i;
-        } else if let Some(i) = self
-            .ladder
-            .iter()
-            .position(|c| c.same_mapping(config))
-        {
+        } else if let Some(i) = self.ladder.iter().position(|c| c.same_mapping(config)) {
             self.idx = i;
         }
     }

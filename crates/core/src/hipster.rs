@@ -246,7 +246,13 @@ impl Policy for Hipster {
         // Learn from the interval that just finished (Algorithm 1), in both
         // phases (Algorithm 2 line 16).
         if let Some((w, c)) = self.prev {
-            let lambda = reward(obs, self.objective, &self.params, &mut self.rng, self.stochastic);
+            let lambda = reward(
+                obs,
+                self.objective,
+                &self.params,
+                &mut self.rng,
+                self.stochastic,
+            );
             self.qtable.update(
                 w,
                 c,
@@ -274,9 +280,7 @@ impl Policy for Hipster {
         } else {
             match self.phase {
                 Phase::Learning { remaining } => {
-                    let c = self
-                        .heuristic
-                        .update(obs.tail_latency_s, obs.qos.target_s);
+                    let c = self.heuristic.update(obs.tail_latency_s, obs.qos.target_s);
                     self.phase = if remaining <= 1 {
                         self.qos_window.clear();
                         Phase::Exploitation
@@ -315,8 +319,7 @@ impl Policy for Hipster {
                         // Nothing learned anywhere near: let the heuristic
                         // handle it — the hybrid fallback.
                         self.heuristic_fallbacks += 1;
-                        self.heuristic
-                            .update(obs.tail_latency_s, obs.qos.target_s)
+                        self.heuristic.update(obs.tail_latency_s, obs.qos.target_s)
                     };
                     c = self.stabilize(c, obs, w_next);
                     // Keep the heuristic's state machine near the live
@@ -662,9 +665,9 @@ mod tests {
         h.decide(&obs(0.5, 2.0, 2.0)); // leave learning
         assert_eq!(h.phase(), Phase::Exploitation);
         // Three consecutive violations force the ladder top.
-        let mut last = h.decide(&obs(0.5, 30.0, 2.0));
-        last = h.decide(&obs(0.5, 30.0, 2.0));
-        last = h.decide(&obs(0.5, 30.0, 2.0));
+        h.decide(&obs(0.5, 30.0, 2.0));
+        h.decide(&obs(0.5, 30.0, 2.0));
+        let last = h.decide(&obs(0.5, 30.0, 2.0));
         let top = *hipster_platform::power_ladder(&Platform::juno_r1())
             .last()
             .unwrap();
@@ -678,9 +681,7 @@ mod tests {
         let before = h.decide(&obs(0.5, 2.0, 2.0));
         let during = h.decide(&obs(0.5, 30.0, 2.0));
         let actions = hipster_platform::power_ladder(&Platform::juno_r1());
-        let rank = |c: &hipster_platform::CoreConfig| {
-            actions.iter().position(|x| x == c).unwrap()
-        };
+        let rank = |c: &hipster_platform::CoreConfig| actions.iter().position(|x| x == c).unwrap();
         assert!(
             rank(&during) > rank(&before),
             "violation must escalate: {before} -> {during}"
@@ -691,15 +692,13 @@ mod tests {
     fn safe_probe_steps_down_after_quiet_streak() {
         let mut h = hipster_in(1);
         h.decide(&obs(0.5, 2.0, 2.0)); // exploitation
-        // Stable comfortable intervals at the same bucket.
+                                       // Stable comfortable intervals at the same bucket.
         let mut seen = Vec::new();
         for _ in 0..25 {
             seen.push(h.decide(&obs(0.5, 2.0, 2.0)));
         }
         let actions = hipster_platform::power_ladder(&Platform::juno_r1());
-        let rank = |c: &hipster_platform::CoreConfig| {
-            actions.iter().position(|x| x == c).unwrap()
-        };
+        let rank = |c: &hipster_platform::CoreConfig| actions.iter().position(|x| x == c).unwrap();
         let first = rank(&seen[0]);
         let last = rank(seen.last().unwrap());
         assert!(

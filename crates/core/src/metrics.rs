@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn summary_from_trace() {
-        let t: Trace = vec![stats(5.0, 2.0), stats(20.0, 2.0)].into_iter().collect();
+        let t: Trace = vec![stats(5.0, 2.0), stats(20.0, 2.0)]
+            .into_iter()
+            .collect();
         let s = PolicySummary::from_trace("X", &t, qos());
         assert_eq!(s.qos_guarantee_pct, 50.0);
         assert_eq!(s.mean_tardiness, Some(2.0));

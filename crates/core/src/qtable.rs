@@ -245,12 +245,7 @@ mod tests {
     fn tsv_round_trip_preserves_entries() {
         // Canonical configs: idle-cluster frequency at the Juno default
         // (0.60 GHz big when no big cores), as power_ladder produces.
-        let small_only = CoreConfig::new(
-            0,
-            3,
-            Frequency::from_mhz(600),
-            Frequency::from_mhz(650),
-        );
+        let small_only = CoreConfig::new(0, 3, Frequency::from_mhz(600), Frequency::from_mhz(650));
         let mut t = QTable::new();
         let actions = [cfg(1, 0), cfg(2, 0), small_only];
         t.update(0, cfg(1, 0), 3.25, 1, &actions, 0.6, 0.9);

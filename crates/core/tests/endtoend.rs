@@ -3,7 +3,7 @@
 //! `hipster-bench` repro harness).
 
 use hipster_core::{
-    Hipster, HeuristicMapper, Manager, OctopusMan, PolicySummary, Policy, StaticPolicy,
+    HeuristicMapper, Hipster, Manager, OctopusMan, Policy, PolicySummary, StaticPolicy,
 };
 use hipster_platform::Platform;
 use hipster_sim::{Engine, LcModel, Trace};
@@ -92,11 +92,7 @@ fn hipster_in_saves_energy_vs_static_big() {
 #[test]
 fn heuristic_mapper_explores_but_violates_more_than_hipster() {
     let p = platform();
-    let heur = run_policy(
-        Box::new(HeuristicMapper::with_defaults(&p)),
-        RUN_SECS,
-        SEED,
-    );
+    let heur = run_policy(Box::new(HeuristicMapper::with_defaults(&p)), RUN_SECS, SEED);
     let hipster = Hipster::interactive(&p, 99).learning_intervals(200).build();
     let hi = run_policy(Box::new(hipster), RUN_SECS, SEED);
     let g_heur = heur.qos_guarantee_pct(qos());

@@ -133,14 +133,12 @@ impl Cluster {
     /// Returns [`PlatformError::UnsupportedFrequency`] if `freq` is not one
     /// of the cluster's operating points.
     pub fn opp(&self, freq: Frequency) -> Result<OperatingPoint, PlatformError> {
-        self.opps
-            .iter()
-            .copied()
-            .find(|o| o.freq == freq)
-            .ok_or(PlatformError::UnsupportedFrequency {
+        self.opps.iter().copied().find(|o| o.freq == freq).ok_or(
+            PlatformError::UnsupportedFrequency {
                 cluster: self.id,
                 freq,
-            })
+            },
+        )
     }
 
     /// Whether `freq` is a valid operating point of this cluster.
@@ -189,7 +187,10 @@ mod tests {
     #[test]
     fn empty_cluster_rejected() {
         let err = Cluster::new(ClusterId(1), spec(), vec![], vec![opp(600, 0.8)], 512);
-        assert!(matches!(err, Err(PlatformError::EmptyCluster(ClusterId(1)))));
+        assert!(matches!(
+            err,
+            Err(PlatformError::EmptyCluster(ClusterId(1)))
+        ));
     }
 
     #[test]

@@ -236,7 +236,10 @@ mod tests {
             Some(CoreKind::Small)
         );
         assert_eq!(
-            "1B3S-0.60".parse::<CoreConfig>().unwrap().single_core_type(),
+            "1B3S-0.60"
+                .parse::<CoreConfig>()
+                .unwrap()
+                .single_core_type(),
             None
         );
     }

@@ -137,7 +137,10 @@ impl PerfCounters {
     /// Panics if the core index is out of range or `busy` is outside
     /// `[0, 1]`.
     pub fn record(&mut self, core: CoreId, instructions: u64, busy: f64) {
-        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&busy),
+            "busy fraction {busy} not in [0,1]"
+        );
         self.window_instr[core.0] += instructions;
         self.window_busy[core.0] = busy;
     }
@@ -180,10 +183,7 @@ impl PerfCounters {
         self.epoch += 1;
         let bug_fires = self.juno_idle_bug
             && self.cpuidle_enabled
-            && self
-                .idle_stretch_us
-                .iter()
-                .any(|&s| s > CPUIDLE_ENTRY_US);
+            && self.idle_stretch_us.iter().any(|&s| s > CPUIDLE_ENTRY_US);
         let out = (0..self.num_cores())
             .map(|i| CounterSample {
                 core: CoreId(i),

@@ -41,7 +41,10 @@ impl fmt::Display for PlatformError {
                 write!(f, "{id} has no cores or no operating points")
             }
             PlatformError::UnsortedOpps(id) => {
-                write!(f, "{id} operating points must increase strictly in frequency")
+                write!(
+                    f,
+                    "{id} operating points must increase strictly in frequency"
+                )
             }
             PlatformError::UnsupportedFrequency { cluster, freq } => {
                 write!(f, "{cluster} does not support {freq} GHz")
@@ -53,7 +56,10 @@ impl fmt::Display for PlatformError {
                 write!(f, "unparseable core configuration label: {s:?}")
             }
             PlatformError::TooManyCores { big, small } => {
-                write!(f, "configuration {big}B{small}S exceeds platform core counts")
+                write!(
+                    f,
+                    "configuration {big}B{small}S exceeds platform core counts"
+                )
             }
         }
     }

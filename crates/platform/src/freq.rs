@@ -33,7 +33,10 @@ impl Frequency {
     ///
     /// Panics if `ghz` is not finite or is negative.
     pub fn from_ghz(ghz: f64) -> Self {
-        assert!(ghz.is_finite() && ghz >= 0.0, "invalid frequency: {ghz} GHz");
+        assert!(
+            ghz.is_finite() && ghz >= 0.0,
+            "invalid frequency: {ghz} GHz"
+        );
         Frequency((ghz * 1000.0).round() as u32)
     }
 

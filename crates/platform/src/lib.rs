@@ -63,8 +63,7 @@ pub use energy::{EnergyMeter, EnergyReading};
 pub use error::PlatformError;
 pub use freq::Frequency;
 pub use microbench::{
-    characterize, power_ladder, rank_by_power, stress_capacity, stress_power,
-    CharacterizationRow,
+    characterize, power_ladder, rank_by_power, stress_capacity, stress_power, CharacterizationRow,
 };
 pub use power::{ClusterPowerParams, PowerBreakdown, PowerModel};
 pub use topology::{Platform, PlatformBuilder};

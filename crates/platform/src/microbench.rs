@@ -115,9 +115,8 @@ pub fn rank_by_power(platform: &Platform, mut configs: Vec<CoreConfig>) -> Vec<C
     configs.sort_by(|a, b| {
         let pa = stress_power(platform, a);
         let pb = stress_power(platform, b);
-        pa.total_cmp(&pb).then_with(|| {
-            stress_capacity(platform, a).total_cmp(&stress_capacity(platform, b))
-        })
+        pa.total_cmp(&pb)
+            .then_with(|| stress_capacity(platform, a).total_cmp(&stress_capacity(platform, b)))
     });
     configs
 }
@@ -153,7 +152,10 @@ mod tests {
         // "a single big core is 52% more power-efficient than a single small
         // core" (IPS/W, system power).
         let eff_ratio = (big.ips_one / big.power_one) / (small.ips_one / small.power_one);
-        assert!((eff_ratio - 1.52).abs() < 0.02, "per-core ratio {eff_ratio}");
+        assert!(
+            (eff_ratio - 1.52).abs() < 0.02,
+            "per-core ratio {eff_ratio}"
+        );
         // "a small cluster is 25% more power-efficient than a big cluster".
         let cluster_ratio = (small.ips_all / small.power_all) / (big.ips_all / big.power_all);
         assert!(

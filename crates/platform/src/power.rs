@@ -53,7 +53,10 @@ impl ClusterPowerParams {
     ///
     /// Panics if `busy` is outside `[0, 1]`.
     pub fn core_power(&self, op: OperatingPoint, max: OperatingPoint, busy: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&busy),
+            "busy fraction {busy} not in [0,1]"
+        );
         let (_, dyn_scale) = Self::scale(op, max);
         let full = self.core_dyn_at_max * dyn_scale;
         full * (self.idle_frac + (1.0 - self.idle_frac) * busy)
@@ -269,8 +272,7 @@ mod tests {
         // The big cluster idles at its lowest point during the small-core
         // characterization; subtract its static draw to isolate the paper's
         // measurement scenario (cluster powered but negligible).
-        let big_static =
-            m.cluster_power(p.cluster(CoreKind::Big), fb, &[]);
+        let big_static = m.cluster_power(p.cluster(CoreKind::Big), fb, &[]);
         let one = m.system_power(&p, fb, fs, &[], &[1.0]).total() - big_static;
         let all = m
             .system_power(&p, fb, fs, &[], &[1.0, 1.0, 1.0, 1.0])
@@ -313,8 +315,7 @@ mod tests {
         assert!(off.cluster_power(big, f, &[0.0, 0.0]) > on.cluster_power(big, f, &[0.0, 0.0]));
         // Fully-busy power is unchanged.
         assert!(
-            (off.cluster_power(big, f, &[1.0, 1.0]) - on.cluster_power(big, f, &[1.0, 1.0]))
-                .abs()
+            (off.cluster_power(big, f, &[1.0, 1.0]) - on.cluster_power(big, f, &[1.0, 1.0])).abs()
                 < 1e-12
         );
     }

@@ -362,22 +362,12 @@ mod tests {
     #[test]
     fn validate_rejects_bad_configs() {
         let p = Platform::juno_r1();
-        let too_many = CoreConfig::new(
-            3,
-            0,
-            Frequency::from_mhz(1150),
-            Frequency::from_mhz(650),
-        );
+        let too_many = CoreConfig::new(3, 0, Frequency::from_mhz(1150), Frequency::from_mhz(650));
         assert!(matches!(
             p.validate(&too_many),
             Err(PlatformError::TooManyCores { .. })
         ));
-        let bad_freq = CoreConfig::new(
-            1,
-            0,
-            Frequency::from_mhz(1000),
-            Frequency::from_mhz(650),
-        );
+        let bad_freq = CoreConfig::new(1, 0, Frequency::from_mhz(1000), Frequency::from_mhz(650));
         assert!(matches!(
             p.validate(&bad_freq),
             Err(PlatformError::UnsupportedFrequency { .. })

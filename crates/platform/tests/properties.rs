@@ -1,20 +1,22 @@
 //! Property-based tests on the platform model's invariants.
 
 use hipster_platform::{
-    characterize, power_ladder, rank_by_power, stress_capacity, stress_power, CoreConfig,
-    CoreKind, Frequency, Platform, PlatformBuilder, PowerModel,
+    characterize, power_ladder, rank_by_power, stress_capacity, stress_power, CoreConfig, CoreKind,
+    Frequency, Platform, PlatformBuilder, PowerModel,
 };
 use proptest::prelude::*;
 
 fn juno_config() -> impl Strategy<Value = CoreConfig> {
-    (0usize..=2, 0usize..=4, prop_oneof![Just(600u32), Just(900), Just(1150)]).prop_filter_map(
-        "non-empty",
-        |(nb, ns, mhz)| {
+    (
+        0usize..=2,
+        0usize..=4,
+        prop_oneof![Just(600u32), Just(900), Just(1150)],
+    )
+        .prop_filter_map("non-empty", |(nb, ns, mhz)| {
             (nb + ns > 0).then(|| {
                 CoreConfig::new(nb, ns, Frequency::from_mhz(mhz), Frequency::from_mhz(650))
             })
-        },
-    )
+        })
 }
 
 proptest! {

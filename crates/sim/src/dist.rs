@@ -1,7 +1,7 @@
 //! Probability distributions used by the workload models.
 //!
 //! Implemented from scratch on top of [`SimRng`] uniforms so
-//! the simulator has no dependency beyond `rand`'s core generator:
+//! the simulator has no external RNG dependency at all:
 //! exponential (inversion), normal (Box–Muller), lognormal, bounded Pareto
 //! (inversion) and Zipf (rejection-free inversion over a precomputed CDF).
 

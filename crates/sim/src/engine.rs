@@ -41,7 +41,11 @@ impl MachineConfig {
         let small = platform.cluster(CoreKind::Small);
         MachineConfig {
             lc,
-            big_freq: if lc.n_big > 0 { lc.big_freq } else { big.min_freq() },
+            big_freq: if lc.n_big > 0 {
+                lc.big_freq
+            } else {
+                big.min_freq()
+            },
             small_freq: if lc.n_small > 0 {
                 lc.small_freq
             } else {
@@ -62,8 +66,16 @@ impl MachineConfig {
             Some(CoreKind::Big) => (lc.big_freq, small.max_freq()),
             Some(CoreKind::Small) => (big.max_freq(), lc.small_freq),
             None => (
-                if lc.n_big > 0 { lc.big_freq } else { big.min_freq() },
-                if lc.n_small > 0 { lc.small_freq } else { small.min_freq() },
+                if lc.n_big > 0 {
+                    lc.big_freq
+                } else {
+                    big.min_freq()
+                },
+                if lc.n_small > 0 {
+                    lc.small_freq
+                } else {
+                    small.min_freq()
+                },
             ),
         };
         MachineConfig {
@@ -394,10 +406,7 @@ impl Engine {
     }
 
     fn lc_slowdown(&mut self, cfg: &MachineConfig, batch_cores: &[CoreKind]) -> f64 {
-        let on_lc_clusters = batch_cores
-            .iter()
-            .filter(|k| cfg.lc.count(**k) > 0)
-            .count();
+        let on_lc_clusters = batch_cores.iter().filter(|k| cfg.lc.count(**k) > 0).count();
         let mut s = self
             .contention
             .lc_slowdown(on_lc_clusters, batch_cores.len());
@@ -416,7 +425,11 @@ impl Engine {
     }
 
     fn run_events(&mut self, t_end: f64, rate: f64, stall: f64) {
-        let mut kick_at = if stall > 0.0 { Some(self.now + stall) } else { None };
+        let mut kick_at = if stall > 0.0 {
+            Some(self.now + stall)
+        } else {
+            None
+        };
         // Arrival *events* carry bursts of requests; thin the event rate so
         // the request rate equals the offered load.
         let event_rate = rate / self.lc.mean_burst().max(1.0);
@@ -461,8 +474,7 @@ impl Engine {
                         let demand = self.lc.sample_demand(&mut self.demand_rng);
                         self.node.arrive(t, demand);
                     }
-                    next_arrival =
-                        iat.as_ref().map(|d| t + d.sample(&mut self.arrival_rng));
+                    next_arrival = iat.as_ref().map(|d| t + d.sample(&mut self.arrival_rng));
                 }
                 3 => {
                     self.node.kick(t);
@@ -479,11 +491,14 @@ impl Engine {
     /// are retired from the thinking pool (in-flight requests complete
     /// normally).
     fn run_events_closed(&mut self, t_end: f64, frac: f64, stall: f64, cl: ClosedLoop) {
-        let mut kick_at = if stall > 0.0 { Some(self.now + stall) } else { None };
+        let mut kick_at = if stall > 0.0 {
+            Some(self.now + stall)
+        } else {
+            None
+        };
         let think = Exponential::new(1.0 / cl.think_mean_s.max(1e-9));
         let target = (frac * cl.max_clients as f64).round().max(0.0) as usize;
-        let mut population =
-            self.thinking.len() + self.node.queue_len() + self.node.in_flight();
+        let mut population = self.thinking.len() + self.node.queue_len() + self.node.in_flight();
         // Grow: new clients start thinking now.
         while population < target {
             let expiry = self.now + think.sample(&mut self.arrival_rng);
@@ -504,11 +519,7 @@ impl Engine {
 
         let mut completions = Vec::new();
         loop {
-            let next_think = self
-                .thinking
-                .iter()
-                .copied()
-                .min_by(f64::total_cmp);
+            let next_think = self.thinking.iter().copied().min_by(f64::total_cmp);
             let mut t = t_end;
             let mut what = 0u8; // 0 = end, 1 = completion, 2 = think expiry, 3 = kick
             if let Some(x) = self.node.next_completion() {
@@ -623,8 +634,7 @@ impl Engine {
                     .cluster(CoreKind::Big)
                     .spec()
                     .compute_ips(cfg.big_freq);
-                self.counters
-                    .record(CoreId(i), (ips * b * dur) as u64, b);
+                self.counters.record(CoreId(i), (ips * b * dur) as u64, b);
             }
             if b < 0.999 {
                 self.counters
@@ -647,21 +657,19 @@ impl Engine {
             }
         }
 
-        let (batch_ips_big, batch_ips_small, counters_valid) =
-            match self.counters.read_window(dur) {
-                Ok(_) => (true_batch_big_ips, true_batch_small_ips, true),
-                Err(_) => {
-                    // Real perf hands back absurd values; reproduce that.
-                    (1.0e18, 1.0e18, false)
-                }
-            };
+        let (batch_ips_big, batch_ips_small, counters_valid) = match self.counters.read_window(dur)
+        {
+            Ok(_) => (true_batch_big_ips, true_batch_small_ips, true),
+            Err(_) => {
+                // Real perf hands back absurd values; reproduce that.
+                (1.0e18, 1.0e18, false)
+            }
+        };
 
         // A cluster with no latency-critical cores and no batch cores is
         // fully idle: with cpuidle enabled it enters Juno's cluster-off
         // state and its static draw collapses.
-        let model = self
-            .power_override
-            .unwrap_or(*self.platform.power_model());
+        let model = self.power_override.unwrap_or(*self.platform.power_model());
         let big_gated = cfg.lc.n_big == 0 && n_batch_big == 0;
         let small_gated = cfg.lc.n_small == 0 && n_batch_small == 0;
         let power = model.system_power_gated(

@@ -5,10 +5,12 @@
 //! streams (arrivals, service demands, policy exploration, …) are derived
 //! with [`SimRng::fork`], which decorrelates them without sharing state.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Deterministic RNG for the simulator.
+///
+/// Internally an xoshiro256++ generator whose state is expanded from the
+/// 64-bit seed with SplitMix64 (the initialisation the xoshiro authors
+/// recommend), so the crate needs no external RNG dependency and the
+/// stream is stable across platforms and toolchain versions.
 ///
 /// # Examples
 ///
@@ -27,14 +29,28 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -49,17 +65,28 @@ impl SimRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        SimRng::seed(self.inner.next_u64() ^ h)
+        SimRng::seed(self.next_u64() ^ h)
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [a, b, c, d] = self.state;
+        let out = a.wrapping_add(d).rotate_left(23).wrapping_add(a);
+        let t = b << 17;
+        let mut s = [a, b, c, d];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        out
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -79,7 +106,10 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw from empty range");
-        self.inner.gen_range(0..n)
+        // Lemire-style widening multiply, without the rejection step: the
+        // residual bias is O(n / 2^64), negligible for the small `n` the
+        // simulator draws (add rejection before using this for large n).
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.

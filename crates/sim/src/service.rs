@@ -138,7 +138,10 @@ impl ServiceNode {
 
     /// Requests currently being serviced.
     pub fn in_flight(&self) -> usize {
-        self.servers.iter().filter(|s| s.in_flight.is_some()).count()
+        self.servers
+            .iter()
+            .filter(|s| s.in_flight.is_some())
+            .count()
     }
 
     /// Total requests completed since construction.
@@ -295,11 +298,7 @@ impl ServiceNode {
             // Shed timed-out requests from the queue head; their latency is
             // right-censored at the timeout so QoS accounting sees them.
             if let Some(t) = self.timeout_s {
-                while self
-                    .queue
-                    .front()
-                    .is_some_and(|r| r.age(now) > t)
-                {
+                while self.queue.front().is_some_and(|r| r.age(now) > t) {
                     self.queue.pop_front();
                     self.recorder.record(t);
                     self.interval_timeouts += 1;
@@ -499,7 +498,11 @@ mod tests {
         n.advance(10.0);
         let iv = n.end_interval(10.0, 1.0);
         assert_eq!(iv.completions, 1);
-        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+        assert!(
+            (iv.tail_latency_s - 1.5).abs() < 1e-9,
+            "{}",
+            iv.tail_latency_s
+        );
     }
 
     #[test]
@@ -510,7 +513,11 @@ mod tests {
         n.reconfigure(0.0, &[spec(CoreKind::Big, 1.0)], true, 0.5);
         n.advance(10.0);
         let iv = n.end_interval(10.0, 1.0);
-        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+        assert!(
+            (iv.tail_latency_s - 1.5).abs() < 1e-9,
+            "{}",
+            iv.tail_latency_s
+        );
     }
 
     #[test]
@@ -523,7 +530,11 @@ mod tests {
         n.advance(10.0);
         let iv = n.end_interval(10.0, 1.0);
         assert_eq!(iv.completions, 1);
-        assert!((iv.tail_latency_s - 1.5).abs() < 1e-9, "{}", iv.tail_latency_s);
+        assert!(
+            (iv.tail_latency_s - 1.5).abs() < 1e-9,
+            "{}",
+            iv.tail_latency_s
+        );
     }
 
     #[test]
@@ -534,7 +545,10 @@ mod tests {
         n.advance(1.0);
         let iv = n.end_interval(1.0, 0.95);
         assert_eq!(iv.completions, 0);
-        assert!((iv.tail_latency_s - 1.0).abs() < 1e-12, "oldest request age");
+        assert!(
+            (iv.tail_latency_s - 1.0).abs() < 1e-12,
+            "oldest request age"
+        );
     }
 
     #[test]

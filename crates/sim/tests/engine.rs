@@ -2,8 +2,8 @@
 
 use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform};
 use hipster_sim::{
-    BatchProgram, ContentionModel, Demand, Engine, LcModel, LoadPattern, MachineConfig,
-    QosTarget, ReconfigCosts, SimRng, Trace,
+    BatchProgram, ContentionModel, Demand, Engine, LcModel, LoadPattern, MachineConfig, QosTarget,
+    ReconfigCosts, SimRng, Trace,
 };
 
 /// Toy LC workload: each request needs 1 work unit; a big core at max DVFS

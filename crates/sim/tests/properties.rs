@@ -2,8 +2,7 @@
 
 use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform};
 use hipster_sim::{
-    Demand, Engine, LcModel, LoadPattern, MachineConfig, QosTarget, ServerSpec, ServiceNode,
-    SimRng,
+    Demand, Engine, LcModel, LoadPattern, MachineConfig, QosTarget, ServerSpec, ServiceNode, SimRng,
 };
 use proptest::prelude::*;
 
@@ -48,14 +47,16 @@ impl LoadPattern for FixedLoad {
 }
 
 fn any_config() -> impl Strategy<Value = CoreConfig> {
-    (0usize..=2, 0usize..=4, prop_oneof![Just(600u32), Just(900), Just(1150)]).prop_filter_map(
-        "non-empty",
-        |(nb, ns, mhz)| {
+    (
+        0usize..=2,
+        0usize..=4,
+        prop_oneof![Just(600u32), Just(900), Just(1150)],
+    )
+        .prop_filter_map("non-empty", |(nb, ns, mhz)| {
             (nb + ns > 0).then(|| {
                 CoreConfig::new(nb, ns, Frequency::from_mhz(mhz), Frequency::from_mhz(650))
             })
-        },
-    )
+        })
 }
 
 proptest! {

@@ -259,10 +259,7 @@ mod tests {
         let w = toy();
         let mut rng = SimRng::seed(1);
         let n = 100_000;
-        let mean: f64 = (0..n)
-            .map(|_| w.sample_demand(&mut rng).work)
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|_| w.sample_demand(&mut rng).work).sum::<f64>() / n as f64;
         assert!((mean - 50.0).abs() / 50.0 < 0.02, "mean work {mean}");
     }
 

@@ -111,7 +111,11 @@ mod tests {
             let cap = w.capacity_rps(2, 0, f, fs);
             let rho = max / cap;
             assert!(rho < 0.95, "{}: ρ = {rho}", w.name());
-            assert!(rho > 0.70, "{}: ρ = {rho} (max load should be tight)", w.name());
+            assert!(
+                rho > 0.70,
+                "{}: ρ = {rho} (max load should be tight)",
+                w.name()
+            );
         }
     }
 

@@ -131,7 +131,11 @@ mod tests {
         let libquantum = program("libquantum").unwrap();
         let lbm = program("lbm").unwrap();
         assert!(ratio(&calculix) > 3.3, "calculix {}", ratio(&calculix));
-        assert!(ratio(&libquantum) < 2.2, "libquantum {}", ratio(&libquantum));
+        assert!(
+            ratio(&libquantum) < 2.2,
+            "libquantum {}",
+            ratio(&libquantum)
+        );
         assert!(ratio(&lbm) < 2.3, "lbm {}", ratio(&lbm));
         for p in programs() {
             assert!(ratio(&calculix) >= ratio(&p) - 1e-9, "{}", p.name);

@@ -34,7 +34,11 @@ struct _Check;
 #[test]
 fn memcached_2b_max_meets_qos_at_full_load() {
     let tail = run_tail(memcached, "2B-1.15", 1.0, 25, 42);
-    assert!(tail < 0.010, "p95 at 100% load on 2B-1.15: {} ms", tail * 1e3);
+    assert!(
+        tail < 0.010,
+        "p95 at 100% load on 2B-1.15: {} ms",
+        tail * 1e3
+    );
     // The max load must be tight: the tail should not be trivially small.
     assert!(tail > 0.0005, "calibration too loose: {} ms", tail * 1e3);
 }
@@ -72,11 +76,15 @@ fn sweep_table() {
     for (make, loads) in [
         (
             memcached as fn() -> LcWorkload,
-            vec![0.29, 0.40, 0.51, 0.63, 0.69, 0.71, 0.77, 0.83, 0.89, 0.91, 0.94, 0.97, 1.0],
+            vec![
+                0.29, 0.40, 0.51, 0.63, 0.69, 0.71, 0.77, 0.83, 0.89, 0.91, 0.94, 0.97, 1.0,
+            ],
         ),
         (
             web_search,
-            vec![0.18, 0.25, 0.33, 0.40, 0.47, 0.55, 0.62, 0.69, 0.76, 0.84, 0.91, 0.96, 1.0],
+            vec![
+                0.18, 0.25, 0.33, 0.40, 0.47, 0.55, 0.62, 0.69, 0.76, 0.84, 0.91, 0.96, 1.0,
+            ],
         ),
     ] {
         let w = make();

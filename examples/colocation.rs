@@ -46,7 +46,10 @@ fn main() {
     let secs = 900;
     let (max_b, max_s) = spec::max_ips(&program);
 
-    println!("Batch program: {name} (memory-boundedness {:.2})", program.memory_boundedness());
+    println!(
+        "Batch program: {name} (memory-boundedness {:.2})",
+        program.memory_boundedness()
+    );
     println!("Running static mapping (LC on 2 big cores, batch on 4 small)…");
     let static_trace = run(Box::new(StaticPolicy::all_big(&platform)), &program, secs);
     println!("Running HipsterCo…");

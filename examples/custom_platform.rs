@@ -16,12 +16,7 @@ use hipster::{
 fn custom_platform() -> Platform {
     // A hypothetical 4-big + 8-small edge server with wider DVFS ranges.
     PlatformBuilder::new("edge-4B8S")
-        .big_cores(
-            4,
-            2.2,
-            &[(800, 0.80), (1400, 0.90), (2000, 1.0)],
-            4096,
-        )
+        .big_cores(4, 2.2, &[(800, 0.80), (1400, 0.90), (2000, 1.0)], 4096)
         .small_cores(8, 1.1, &[(600, 0.85), (1000, 1.0)], 2048)
         .build()
         .expect("valid platform")

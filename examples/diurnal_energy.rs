@@ -8,8 +8,8 @@
 
 use hipster::workloads::memcached;
 use hipster::{
-    Diurnal, Engine, HeuristicMapper, Hipster, LcModel, Manager, Platform, Policy,
-    PolicySummary, StaticPolicy, Trace,
+    Diurnal, Engine, HeuristicMapper, Hipster, LcModel, Manager, Platform, Policy, PolicySummary,
+    StaticPolicy, Trace,
 };
 
 fn run(policy: Box<dyn Policy>, secs: usize) -> Trace {
@@ -30,10 +30,22 @@ fn main() {
     let learn = 300;
 
     let policies: Vec<(&str, Box<dyn Policy>)> = vec![
-        ("Static (all big)", Box::new(StaticPolicy::all_big(&platform))),
-        ("Static (all small)", Box::new(StaticPolicy::all_small(&platform))),
-        ("Heuristic", Box::new(HeuristicMapper::with_defaults(&platform))),
-        ("Octopus-Man", Box::new(hipster::OctopusMan::with_defaults(&platform))),
+        (
+            "Static (all big)",
+            Box::new(StaticPolicy::all_big(&platform)),
+        ),
+        (
+            "Static (all small)",
+            Box::new(StaticPolicy::all_small(&platform)),
+        ),
+        (
+            "Heuristic",
+            Box::new(HeuristicMapper::with_defaults(&platform)),
+        ),
+        (
+            "Octopus-Man",
+            Box::new(hipster::OctopusMan::with_defaults(&platform)),
+        ),
         (
             "HipsterIn",
             Box::new(
@@ -53,7 +65,10 @@ fn main() {
     }
     let baseline = summaries[0].clone();
 
-    println!("\n{:<20} {:>9} {:>10} {:>10} {:>11}", "policy", "QoS %", "tardiness", "energy J", "vs big");
+    println!(
+        "\n{:<20} {:>9} {:>10} {:>10} {:>11}",
+        "policy", "QoS %", "tardiness", "energy J", "vs big"
+    );
     for s in &summaries {
         println!(
             "{:<20} {:>8.1}% {:>10} {:>10.1} {:>10.1}%",

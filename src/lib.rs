@@ -42,8 +42,7 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    HeuristicMapper, Hipster, Manager, Observation, OctopusMan, Policy, PolicySummary,
-    StaticPolicy,
+    HeuristicMapper, Hipster, Manager, Observation, OctopusMan, Policy, PolicySummary, StaticPolicy,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{Engine, IntervalStats, LcModel, MachineConfig, QosTarget, Trace};

@@ -2,17 +2,18 @@
 //! invariants across the workspace.
 
 use hipster::core::{LoadBuckets, QTable};
-use hipster::platform::{
-    power_ladder, stress_power, CoreConfig, CoreKind, Frequency, Platform,
-};
+use hipster::platform::{power_ladder, stress_power, CoreConfig, CoreKind, Frequency, Platform};
 use hipster::sim::dist::{BoundedPareto, Exponential, LogNormal, Zipf};
 use hipster::sim::{percentile, P2Quantile, Sampler, SimRng};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = CoreConfig> {
-    (0usize..=2, 0usize..=4, prop_oneof![Just(600u32), Just(900), Just(1150)]).prop_filter_map(
-        "non-empty config",
-        |(nb, ns, mhz)| {
+    (
+        0usize..=2,
+        0usize..=4,
+        prop_oneof![Just(600u32), Just(900), Just(1150)],
+    )
+        .prop_filter_map("non-empty config", |(nb, ns, mhz)| {
             if nb + ns == 0 {
                 None
             } else {
@@ -23,8 +24,7 @@ fn arb_config() -> impl Strategy<Value = CoreConfig> {
                     Frequency::from_mhz(650),
                 ))
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,64 @@
+//! Facade smoke test: the re-exports the README and docs promise must
+//! resolve from the crate root, and a minimal end-to-end policy run must
+//! complete.
+
+use hipster::{
+    Constant, Engine, Hipster, LcModel, Manager, OctopusMan, Platform, Policy, PolicySummary,
+    StaticPolicy,
+};
+
+/// The names the facade re-exports at the crate root (and the `web_search`
+/// constructor) must all resolve. Mostly a compile-time assertion; the
+/// bindings below fail to build if a re-export disappears.
+#[test]
+fn facade_reexports_resolve() {
+    // Root re-exports.
+    let platform: Platform = Platform::juno_r1();
+    let _manager_ctor: fn(Engine, Box<dyn Policy>) -> Manager = Manager::new;
+    let _builder = Hipster::interactive(&platform, 1);
+    let _ws = hipster::web_search();
+    let _mc = hipster::memcached();
+
+    // The four sub-crates are reachable under their module aliases.
+    let _ = hipster::platform::Platform::juno_r1();
+    let _ = hipster::sim::SimRng::seed(0);
+    let _ = hipster::workloads::web_search();
+    let _ = hipster::core::QTable::new();
+
+    // And the module path spelling matches the crate-root one.
+    assert_eq!(
+        hipster::workloads::web_search().name(),
+        hipster::web_search().name()
+    );
+}
+
+/// A short end-to-end run through every layer: platform → engine →
+/// workload → policy → manager → trace → summary.
+#[test]
+fn minimal_end_to_end_policy_run() {
+    let platform = Platform::juno_r1();
+    let ws = hipster::web_search();
+    let qos = ws.qos();
+
+    for policy in [
+        Box::new(StaticPolicy::all_big(&platform)) as Box<dyn Policy>,
+        Box::new(OctopusMan::with_defaults(&platform)),
+        Box::new(
+            Hipster::interactive(&platform, 3)
+                .learning_intervals(10)
+                .build(),
+        ),
+    ] {
+        let engine = Engine::new(
+            platform.clone(),
+            Box::new(hipster::web_search()),
+            Box::new(Constant::new(0.5, 60.0)),
+            3,
+        );
+        let trace = Manager::new(engine, policy).run(30);
+        assert_eq!(trace.len(), 30);
+        let summary = PolicySummary::from_trace("smoke", &trace, qos);
+        assert!((0.0..=100.0).contains(&summary.qos_guarantee_pct));
+        assert!(summary.total_energy_j > 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] benchmarking
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate implements the slice of criterion's API the
+//! `hipster-bench` benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on top of a plain
+//! `std::time::Instant` timing loop.
+//!
+//! Reported numbers are wall-clock medians over `sample_size` samples, each
+//! sample timing a batch of iterations auto-sized to roughly
+//! `measurement_time / sample_size`. There is no outlier analysis, no
+//! statistical regression and no HTML report; output is one line per
+//! benchmark:
+//!
+//! ```text
+//! qtable/get                       time: [median 18 ns  min 17 ns  max 24 ns]  (30 samples)
+//! ```
+//!
+//! A positional CLI filter argument is honoured (`cargo bench -- qtable`),
+//! as is `--test`, which runs every routine exactly once (used by CI to
+//! smoke the benches without paying measurement time).
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched benchmark amortises its setup. Only a hint here; every
+/// variant behaves like `PerIteration`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state (criterion would batch many per alloc).
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    config: BenchConfig,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignored.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            config: BenchConfig::default(),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark, unless it is filtered out on the command line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            config: self.config,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            _ if self.test_mode => println!("{name:<40} ok (test mode)"),
+            Some(r) => println!(
+                "{name:<40} time: [median {}  min {}  max {}]  ({} samples)",
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.samples
+            ),
+            None => println!("{name:<40} (no measurement — routine never invoked)"),
+        }
+        self
+    }
+
+    /// Criterion compatibility no-op (report finalisation).
+    pub fn final_summary(&mut self) {}
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Times a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    config: BenchConfig,
+    test_mode: bool,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` with no per-iteration setup. The whole batch is
+    /// timed with a single `Instant` pair, so clock-read overhead does not
+    /// pollute nanosecond-scale routines.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|iters| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            t.elapsed()
+        });
+    }
+
+    /// Benchmarks `routine` with an untimed `setup` before each call. Setup
+    /// forces per-iteration timing, so clock-read overhead (tens of ns per
+    /// iteration) is included — fine for the µs-scale routines this
+    /// workspace batches.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|iters| {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            spent
+        });
+    }
+
+    /// Core loop: `timed_batch` runs the routine `iters` times and returns
+    /// the time spent in the timed region only.
+    fn run<F>(&mut self, mut timed_batch: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        if self.test_mode {
+            timed_batch(1);
+            return;
+        }
+
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            warm_spent += timed_batch(1);
+            warm_iters += 1;
+        }
+        let est_iter = (warm_spent / warm_iters as u32).max(Duration::from_nanos(1));
+
+        // Size each sample so all samples fit in ~measurement_time.
+        let per_sample = self.config.measurement_time / self.config.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / est_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time * 2;
+        for _ in 0..self.config.sample_size {
+            let spent = timed_batch(iters_per_sample);
+            samples_ns.push(spent.as_nanos() as f64 / iters_per_sample as f64);
+            // Never exceed 2× the configured measurement time, even when
+            // the warm-up estimate was off.
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        self.result = Some(Measurement {
+            median_ns,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+            samples: samples_ns.len(),
+        });
+    }
+}
+
+/// Declares a group of benchmark targets, optionally with a configured
+/// [`Criterion`] (the `name = …; config = …; targets = …` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        c.test_mode = false;
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("trivial", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(3));
+        c.test_mode = false;
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.00 µs");
+        assert_eq!(fmt_ns(1.2e7), "12.00 ms");
+        assert_eq!(fmt_ns(1.2e10), "12.00 s");
+    }
+}
