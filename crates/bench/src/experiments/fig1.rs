@@ -5,23 +5,20 @@
 //! server power never drops proportionally (poor energy proportionality),
 //! which is the opportunity Hipster exploits.
 
-use hipster_core::StaticPolicy;
-use hipster_platform::Platform;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{run_interactive, scaled, Workload};
+use crate::runner::{run_interactive, scaled, static_all_big, Workload};
 use crate::tablefmt::{f, Table};
 use crate::write_csv;
 
 /// Runs Fig. 1 and prints the QPS / power series (percent of max).
 pub fn run(quick: bool) {
     println!("== Figure 1: diurnal load vs server power (Web-Search on 2B-1.15) ==\n");
-    let platform = Platform::juno_r1();
     let secs = scaled(2100, quick);
     let trace = run_interactive(
         Workload::WebSearch,
-        Box::new(Diurnal::paper()),
-        Box::new(StaticPolicy::all_big(&platform)),
+        Diurnal::paper(),
+        static_all_big(),
         secs,
         11,
     );

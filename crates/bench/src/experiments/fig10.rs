@@ -5,19 +5,18 @@
 //! Memcached: smaller buckets give finer control (more energy saved, more
 //! violations); larger buckets the reverse.
 
-use hipster_core::{energy_reduction_pct, Hipster, StaticPolicy};
-use hipster_platform::Platform;
+use hipster_core::energy_reduction_pct;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{hipster_in, qos_of, run_fleet, scaled, scenario, static_all_big, Workload};
 use crate::tablefmt::{pct, Table};
 
-/// Runs Fig. 10.
+/// Runs Fig. 10 — per workload, the static baseline and every bucket
+/// width run as one fleet.
 pub fn run(quick: bool) {
     println!(
         "== Figure 10: bucket-size sweep (QoS violations & energy reduction vs static big) ==\n"
     );
-    let platform = Platform::juno_r1();
     let secs = scaled(2100, quick);
     let learn = scaled(500, quick) as u64;
 
@@ -34,32 +33,32 @@ pub fn run(quick: bool) {
         } else {
             &[0.02, 0.03, 0.04]
         };
-        let baseline = run_interactive(
+        let mut specs = vec![scenario(
+            format!("fig10/{}/baseline", workload.name()),
             workload,
-            Box::new(Diurnal::paper()),
-            Box::new(StaticPolicy::all_big(&platform)),
+            Diurnal::paper(),
+            static_all_big(),
             secs,
             91,
-        );
+        )];
         for &width in widths {
-            let trace = run_interactive(
+            specs.push(scenario(
+                format!("fig10/{}/bucket-{width}", workload.name()),
                 workload,
-                Box::new(Diurnal::paper()),
-                Box::new(
-                    Hipster::interactive(&platform, 91)
-                        .learning_intervals(learn)
-                        .zones(workload.tuned_zones())
-                        .bucket_width(width)
-                        .build(),
-                ),
+                Diurnal::paper(),
+                hipster_in(workload.tuned_zones(), learn, width),
                 secs,
                 91,
-            );
+            ));
+        }
+        let outcomes = run_fleet(specs);
+        let baseline = &outcomes[0].trace;
+        for (outcome, &width) in outcomes[1..].iter().zip(widths) {
             t.row(vec![
                 workload.name().to_string(),
                 pct(width * 100.0),
-                pct(100.0 - trace.qos_guarantee_pct(qos)),
-                pct(energy_reduction_pct(&trace, &baseline)),
+                pct(100.0 - outcome.trace.qos_guarantee_pct(qos)),
+                pct(energy_reduction_pct(&outcome.trace, baseline)),
             ]);
         }
     }

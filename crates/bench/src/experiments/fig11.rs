@@ -3,22 +3,17 @@
 //! energy, all normalized to a static mapping (Web-Search on the two big
 //! cores at top DVFS, batch on the four small cores).
 
-use hipster_core::{Hipster, OctopusMan, Policy, StaticPolicy};
-use hipster_platform::Platform;
-use hipster_sim::{BatchProgram, Trace};
 use hipster_workloads::{spec, Diurnal};
 
-use crate::runner::{qos_of, run_collocated, scaled, Workload};
+use crate::runner::{
+    collocated_scenario, hipster_co, octopus_man, qos_of, run_fleet, scaled, static_all_big,
+    PolicyFn, Workload,
+};
 use crate::tablefmt::{f, pct, Table};
 
-fn pool(program: &spec::SpecProgram) -> Vec<Box<dyn BatchProgram>> {
-    vec![Box::new(program.clone())]
-}
-
-/// Runs Fig. 11.
+/// Runs Fig. 11 — 12 programs × 3 policies, one fleet of 36 scenarios.
 pub fn run(quick: bool) {
     println!("== Figure 11: HipsterCo vs Octopus-Man vs static — Web-Search + SPEC batch ==\n");
-    let platform = Platform::juno_r1();
     let secs = scaled(1200, quick);
     let learn = scaled(400, quick) as u64;
     let qos = qos_of(Workload::WebSearch);
@@ -34,32 +29,32 @@ pub fn run(quick: bool) {
     ]);
     let mut sums = [0.0f64; 6];
     let programs = spec::programs();
+    let zones = Workload::WebSearch.tuned_zones();
+    let mut specs = Vec::new();
     for program in &programs {
+        use hipster_sim::BatchProgram as _;
         let (max_b, max_s) = spec::max_ips(program);
-        let run_one = |policy: Box<dyn Policy>, seed: u64| -> Trace {
-            run_collocated(
+        let mut one = |label: &str, policy: PolicyFn| {
+            specs.push(collocated_scenario(
+                format!("fig11/{}/{label}", program.name()),
                 Workload::WebSearch,
-                Box::new(Diurnal::paper()),
+                Diurnal::paper(),
                 policy,
-                pool(program),
+                vec![program.clone()],
                 secs,
-                seed,
-            )
+                101,
+            ));
         };
-        let zones = Workload::WebSearch.tuned_zones();
-        let static_trace = run_one(Box::new(StaticPolicy::all_big(&platform)), 101);
-        let om_trace = run_one(Box::new(OctopusMan::new(&platform, zones)), 101);
-        let co_trace = run_one(
-            Box::new(
-                Hipster::collocated(&platform, max_b + max_s, 101)
-                    .learning_intervals(learn)
-                    .zones(zones)
-                    .bucket_width(0.06)
-                    .build(),
-            ),
-            101,
-        );
+        one("static", static_all_big());
+        one("octopus", octopus_man(zones));
+        one("hipsterco", hipster_co(zones, learn, 0.06, max_b + max_s));
+    }
+    let outcomes = run_fleet(specs);
 
+    for (program, chunk) in programs.iter().zip(outcomes.chunks(3)) {
+        use hipster_sim::BatchProgram as _;
+        let (static_trace, om_trace, co_trace) =
+            (&chunk[0].trace, &chunk[1].trace, &chunk[2].trace);
         let base_ips = static_trace.mean_batch_ips().max(1.0);
         let base_energy = static_trace.total_energy_j().max(1e-9);
         let base_qos = static_trace.qos_guarantee_pct(qos).max(1e-9);

@@ -7,24 +7,22 @@
 //! heuristic explores DVFS and mixed-cluster configurations; static has the
 //! fewest violations.
 
-use hipster_core::{HeuristicMapper, OctopusMan, Policy, StaticPolicy};
-use hipster_platform::Platform;
 use hipster_sim::Trace;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{
+    heuristic_mapper, octopus_man, qos_of, run_fleet, scaled, scenario, static_all_big, PolicyFn,
+    Workload,
+};
 use crate::tablefmt::{f, pct, Table};
 use crate::write_csv;
 
-fn policies(platform: &Platform, workload: Workload) -> Vec<(&'static str, Box<dyn Policy>)> {
+fn policies(workload: Workload) -> Vec<(&'static str, PolicyFn)> {
     let zones = workload.tuned_zones();
     vec![
-        ("Static(2B-1.15)", Box::new(StaticPolicy::all_big(platform))),
-        ("Octopus-Man", Box::new(OctopusMan::new(platform, zones))),
-        (
-            "Hipster-heuristic",
-            Box::new(HeuristicMapper::new(platform, zones)),
-        ),
+        ("Static(2B-1.15)", static_all_big()),
+        ("Octopus-Man", octopus_man(zones)),
+        ("Hipster-heuristic", heuristic_mapper(zones)),
     ]
 }
 
@@ -47,12 +45,33 @@ fn series_csv(trace: &Trace) -> String {
     csv
 }
 
-/// Runs Fig. 5 (six panels: 3 policies × 2 workloads).
+/// Runs Fig. 5 (six panels: 3 policies × 2 workloads) — one fleet of six
+/// scenarios, executed in parallel.
 pub fn run(quick: bool) {
     println!("== Figure 5: static vs Octopus-Man vs Hipster's heuristic (diurnal) ==\n");
-    let platform = Platform::juno_r1();
+    let secs = scaled(2100, quick);
+    let mut names = Vec::new();
+    let mut specs = Vec::new();
     for workload in Workload::BOTH {
-        let secs = scaled(2100, quick);
+        for (name, policy) in policies(workload) {
+            names.push((workload, name));
+            specs.push(scenario(
+                format!("fig5/{}/{name}", workload.name()),
+                workload,
+                Diurnal::paper(),
+                policy,
+                secs,
+                51,
+            ));
+        }
+    }
+    let outcomes = run_fleet(specs);
+
+    for workload in Workload::BOTH {
+        let mut rows = names
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|((w, _), _)| *w == workload);
         let qos = qos_of(workload);
         println!("-- {} --", workload.name());
         let mut t = Table::new(vec![
@@ -64,8 +83,8 @@ pub fn run(quick: bool) {
             "mixed-cluster cfgs",
             "DVFS levels used",
         ]);
-        for (name, policy) in policies(&platform, workload) {
-            let trace = run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 51);
+        while let Some((&(_, name), outcome)) = rows.next() {
+            let trace = &outcome.trace;
             let mixed = trace
                 .intervals()
                 .iter()

@@ -5,11 +5,9 @@
 //! oscillatory effect between core mappings is greatly reduced and the QoS
 //! guarantee improves relative to the learning phase.
 
-use hipster_core::Hipster;
-use hipster_platform::Platform;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{hipster_in, qos_of, run_interactive, scaled, Workload};
 use crate::tablefmt::{f, pct, Table};
 use crate::write_csv;
 
@@ -24,23 +22,18 @@ pub fn run_one(workload: Workload, quick: bool) {
         "== Figure {fig}: HipsterIn on {} (diurnal, 500 s learning) ==\n",
         workload.name()
     );
-    let platform = Platform::juno_r1();
     let secs = scaled(2100, quick);
     let learn = scaled(500, quick);
     let qos = qos_of(workload);
-    let policy = Hipster::interactive(&platform, 61)
-        .learning_intervals(learn as u64)
-        .zones(workload.tuned_zones())
-        .bucket_width(if workload == Workload::Memcached {
-            0.03
-        } else {
-            0.06
-        })
-        .build();
+    let bucket = if workload == Workload::Memcached {
+        0.03
+    } else {
+        0.06
+    };
     let trace = run_interactive(
         workload,
-        Box::new(Diurnal::paper()),
-        Box::new(policy),
+        Diurnal::paper(),
+        hipster_in(workload.tuned_zones(), learn as u64, bucket),
         secs,
         61,
     );

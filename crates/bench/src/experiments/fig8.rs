@@ -5,12 +5,10 @@
 //! HipsterIn is pre-trained on a load sweep so the ramp hits a populated
 //! table (the paper runs it after its learning phase).
 
-use hipster_core::{Hipster, OctopusMan, Policy};
-use hipster_platform::Platform;
-use hipster_sim::{LoadPattern, Trace};
+use hipster_sim::LoadPattern;
 use hipster_workloads::{Ramp, Sequence, Steps};
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{hipster_in, octopus_man, qos_of, run_fleet, scaled, scenario_with, Workload};
 use crate::tablefmt::{f, Table};
 use crate::write_csv;
 
@@ -35,32 +33,29 @@ fn pattern(train_secs: f64) -> Box<dyn LoadPattern> {
     ]))
 }
 
-/// Runs Fig. 8.
+/// Runs Fig. 8 — the two policies race as a two-scenario fleet.
 pub fn run(quick: bool) {
     println!("== Figure 8: Memcached load ramp 50%→100% over 175 s (QoS tardiness) ==\n");
-    let platform = Platform::juno_r1();
     let train = scaled(500, quick);
     let qos = qos_of(Workload::Memcached);
     let total = train + 175;
 
-    let run_one = |policy: Box<dyn Policy>| -> Trace {
-        run_interactive(
+    let zones = Workload::Memcached.tuned_zones();
+    let spec = |name: &str, policy| {
+        scenario_with(
+            format!("fig8/{name}"),
             Workload::Memcached,
-            pattern(train as f64),
+            move || pattern(train as f64),
             policy,
             total,
             71,
         )
     };
-    let zones = Workload::Memcached.tuned_zones();
-    let hipster = run_one(Box::new(
-        Hipster::interactive(&platform, 71)
-            .learning_intervals(train as u64)
-            .zones(zones)
-            .bucket_width(0.03)
-            .build(),
-    ));
-    let octopus = run_one(Box::new(OctopusMan::new(&platform, zones)));
+    let outcomes = run_fleet(vec![
+        spec("hipster", hipster_in(zones, train as u64, 0.03)),
+        spec("octopus", octopus_man(zones)),
+    ]);
+    let (hipster, octopus) = (&outcomes[0].trace, &outcomes[1].trace);
 
     let mut t = Table::new(vec![
         "t (s)",

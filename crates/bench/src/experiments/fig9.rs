@@ -6,48 +6,40 @@
 //! while Octopus-Man hovers around 80% because it never learns from past
 //! decisions.
 
-use hipster_core::{Hipster, OctopusMan};
-use hipster_platform::Platform;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{hipster_in, octopus_man, qos_of, run_fleet, scaled, scenario, Workload};
 use crate::tablefmt::{pct, Table};
 use crate::write_csv;
 
-/// Runs Fig. 9.
+/// Runs Fig. 9 — a two-scenario fleet.
 pub fn run(quick: bool) {
     println!("== Figure 9: QoS guarantee per 100 s window (Web-Search, 200 s learning) ==\n");
-    let platform = Platform::juno_r1();
     let secs = scaled(1500, quick);
     let window = 100.min(secs / 5).max(10);
     let qos = qos_of(Workload::WebSearch);
+    let zones = Workload::WebSearch.tuned_zones();
 
-    let hipster = run_interactive(
-        Workload::WebSearch,
-        Box::new(Diurnal::paper()),
-        Box::new(
-            Hipster::interactive(&platform, 81)
-                .learning_intervals(scaled(200, quick) as u64)
-                .zones(Workload::WebSearch.tuned_zones())
-                .bucket_width(0.06)
-                .build(),
+    let spec = |name: &str, policy| {
+        scenario(
+            format!("fig9/{name}"),
+            Workload::WebSearch,
+            Diurnal::paper(),
+            policy,
+            secs,
+            81,
+        )
+    };
+    let outcomes = run_fleet(vec![
+        spec(
+            "hipster",
+            hipster_in(zones, scaled(200, quick) as u64, 0.06),
         ),
-        secs,
-        81,
-    );
-    let octopus = run_interactive(
-        Workload::WebSearch,
-        Box::new(Diurnal::paper()),
-        Box::new(OctopusMan::new(
-            &platform,
-            Workload::WebSearch.tuned_zones(),
-        )),
-        secs,
-        81,
-    );
+        spec("octopus", octopus_man(zones)),
+    ]);
 
-    let h = hipster.windowed_qos_guarantee_pct(qos, window);
-    let o = octopus.windowed_qos_guarantee_pct(qos, window);
+    let h = outcomes[0].trace.windowed_qos_guarantee_pct(qos, window);
+    let o = outcomes[1].trace.windowed_qos_guarantee_pct(qos, window);
     let mut t = Table::new(vec!["window", "HipsterIn", "Octopus-Man"]);
     let mut csv = String::from("window,hipster,octopus\n");
     for i in 0..h.len().min(o.len()) {

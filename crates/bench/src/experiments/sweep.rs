@@ -6,12 +6,17 @@
 //! a configuration "meets QoS at load L" when the median tail is within the
 //! target. The per-load choice of the cheapest QoS-meeting configuration is
 //! the state machine of Fig. 2c.
+//!
+//! Cells are declared as pinned-policy [`ScenarioSpec`]s; a whole
+//! candidate set is measured as one fleet, so sweeps parallelize across
+//! cores without giving up per-cell determinism.
 
-use hipster_platform::{CoreConfig, Platform};
-use hipster_sim::{Engine, LcModel, MachineConfig};
+use hipster_core::{ScenarioOutcome, ScenarioSpec};
+use hipster_platform::CoreConfig;
+use hipster_sim::{LcModel, Trace};
 use hipster_workloads::Constant;
 
-use crate::runner::Workload;
+use crate::runner::{pinned, run_fleet, scenario, Workload};
 
 /// Measurement of one (config, load) cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,35 +33,38 @@ pub struct Cell {
     pub meets_qos: bool,
 }
 
-/// Runs one cell: `secs` intervals at constant `load` under `config`
-/// (5 warm-up intervals are discarded).
-pub fn measure_cell(
+/// Intervals discarded from the start of each cell before measuring.
+const WARMUP: usize = 5;
+
+/// Declares one cell as a scenario: `secs` intervals at constant `load`
+/// pinned to `config`.
+fn cell_spec(
     workload: Workload,
     config: CoreConfig,
     load: f64,
     secs: usize,
     seed: u64,
-) -> Cell {
-    let platform = Platform::juno_r1();
-    let model = workload.model();
-    let qos = model.qos();
-    let mcfg = MachineConfig::interactive(&platform, config);
-    let mut engine = Engine::new(
-        platform,
-        Box::new(model),
-        Box::new(Constant::new(load, secs as f64)),
+) -> ScenarioSpec {
+    scenario(
+        format!("sweep/{}/{config}@{load}", workload.name()),
+        workload,
+        Constant::new(load, secs as f64),
+        pinned(config),
+        secs,
         seed,
-    );
+    )
+}
+
+/// Reduces a finished cell run to its [`Cell`] measurement.
+fn cell_of(workload: Workload, config: CoreConfig, load: f64, trace: &Trace) -> Cell {
+    let qos = workload.model().qos();
     let mut tails = Vec::new();
     let mut power = 0.0;
     let mut n = 0;
-    for i in 0..secs {
-        let s = engine.step(mcfg);
-        if i >= 5 {
-            tails.push(s.tail_latency_s);
-            power += s.power.total();
-            n += 1;
-        }
+    for s in trace.intervals().iter().skip(WARMUP) {
+        tails.push(s.tail_latency_s);
+        power += s.power.total();
+        n += 1;
     }
     tails.sort_by(f64::total_cmp);
     let tail_s = tails[tails.len() / 2];
@@ -70,6 +78,42 @@ pub fn measure_cell(
     }
 }
 
+/// Runs one cell: `secs` intervals at constant `load` under `config`
+/// (the first `WARMUP` intervals are discarded).
+pub fn measure_cell(
+    workload: Workload,
+    config: CoreConfig,
+    load: f64,
+    secs: usize,
+    seed: u64,
+) -> Cell {
+    let name = format!("{config}@{load}");
+    let outcome = cell_spec(workload, config, load, secs, seed)
+        .run()
+        .unwrap_or_else(|e| panic!("sweep cell {name} invalid: {e}"));
+    cell_of(workload, config, load, &outcome.trace)
+}
+
+/// Measures every candidate configuration at `load` as one fleet.
+pub fn measure_cells(
+    workload: Workload,
+    candidates: &[CoreConfig],
+    load: f64,
+    secs: usize,
+    seed: u64,
+) -> Vec<Cell> {
+    let specs: Vec<ScenarioSpec> = candidates
+        .iter()
+        .map(|&c| cell_spec(workload, c, load, secs, seed))
+        .collect();
+    let outcomes: Vec<ScenarioOutcome> = run_fleet(specs);
+    candidates
+        .iter()
+        .zip(outcomes.iter())
+        .map(|(&c, o)| cell_of(workload, c, load, &o.trace))
+        .collect()
+}
+
 /// The per-load choice of the cheapest QoS-meeting configuration from a
 /// candidate set (the "state machine" builder). Returns `None` for loads no
 /// candidate can serve.
@@ -80,9 +124,8 @@ pub fn best_config(
     secs: usize,
     seed: u64,
 ) -> Option<Cell> {
-    candidates
-        .iter()
-        .map(|&c| measure_cell(workload, c, load, secs, seed))
+    measure_cells(workload, candidates, load, secs, seed)
+        .into_iter()
         .filter(|cell| cell.meets_qos)
         .min_by(|a, b| a.power_w.total_cmp(&b.power_w))
 }
@@ -103,4 +146,34 @@ pub fn paper_loads(workload: Workload) -> Vec<f64> {
 pub fn efficiency(workload: Workload, cell: &Cell) -> f64 {
     let max = workload.model().max_load_rps();
     cell.load * max / cell.power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipster_platform::Platform;
+
+    #[test]
+    fn fleet_sweep_equals_cell_by_cell() {
+        let platform = Platform::juno_r1();
+        let candidates: Vec<CoreConfig> = platform.baseline_configs();
+        let batch = measure_cells(Workload::Memcached, &candidates, 0.4, 10, 21);
+        for (cell, &config) in batch.iter().zip(candidates.iter()) {
+            let single = measure_cell(Workload::Memcached, config, 0.4, 10, 21);
+            assert_eq!(*cell, single);
+        }
+    }
+
+    #[test]
+    fn best_config_prefers_cheapest_qos_met() {
+        let platform = Platform::juno_r1();
+        let candidates = platform.baseline_configs();
+        let best =
+            best_config(Workload::Memcached, &candidates, 0.3, 12, 21).expect("some config serves");
+        assert!(best.meets_qos);
+        let all = measure_cells(Workload::Memcached, &candidates, 0.3, 12, 21);
+        for cell in all.iter().filter(|c| c.meets_qos) {
+            assert!(best.power_w <= cell.power_w);
+        }
+    }
 }

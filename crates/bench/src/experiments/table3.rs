@@ -2,47 +2,23 @@
 //! energy reduction (vs static all-big) for five policies on Memcached and
 //! Web-Search under the diurnal load.
 
-use hipster_core::{HeuristicMapper, Hipster, OctopusMan, Policy, PolicySummary, StaticPolicy};
-use hipster_platform::Platform;
+use hipster_core::PolicySummary;
 use hipster_workloads::Diurnal;
 
-use crate::runner::{qos_of, run_interactive, scaled, Workload};
+use crate::runner::{
+    heuristic_mapper, hipster_in, octopus_man, qos_of, run_fleet, scaled, scenario, static_all_big,
+    static_all_small, PolicyFn, Workload,
+};
 use crate::tablefmt::{f, pct, Table};
 
-fn policy_list(
-    platform: &Platform,
-    workload: Workload,
-    learn: u64,
-    bucket: f64,
-) -> Vec<(String, Box<dyn Policy>)> {
+fn policy_list(workload: Workload, learn: u64, bucket: f64) -> Vec<(String, PolicyFn)> {
     let zones = workload.tuned_zones();
     vec![
-        (
-            "Static (all big cores)".into(),
-            Box::new(StaticPolicy::all_big(platform)),
-        ),
-        (
-            "Static (all small cores)".into(),
-            Box::new(StaticPolicy::all_small(platform)),
-        ),
-        (
-            "Hipster's Heuristic".into(),
-            Box::new(HeuristicMapper::new(platform, zones)),
-        ),
-        (
-            "Octopus-Man".into(),
-            Box::new(OctopusMan::new(platform, zones)),
-        ),
-        (
-            "HipsterIn".into(),
-            Box::new(
-                Hipster::interactive(platform, 111)
-                    .learning_intervals(learn)
-                    .zones(zones)
-                    .bucket_width(bucket)
-                    .build(),
-            ),
-        ),
+        ("Static (all big cores)".into(), static_all_big()),
+        ("Static (all small cores)".into(), static_all_small()),
+        ("Hipster's Heuristic".into(), heuristic_mapper(zones)),
+        ("Octopus-Man".into(), octopus_man(zones)),
+        ("HipsterIn".into(), hipster_in(zones, learn, bucket)),
     ]
 }
 
@@ -56,10 +32,9 @@ const PAPER: [(&str, f64, f64, &str, &str); 5] = [
     ("HipsterIn", 99.4, 96.5, "14.3%", "17.8%"),
 ];
 
-/// Runs Table 3.
+/// Runs Table 3 — each workload's five policies run as one fleet.
 pub fn run(quick: bool) {
     println!("== Table 3: HipsterIn summary (diurnal runs) ==\n");
-    let platform = Platform::juno_r1();
     let secs = scaled(2100, quick);
     let learn = scaled(500, quick) as u64;
 
@@ -71,11 +46,24 @@ pub fn run(quick: bool) {
             0.06
         };
         println!("-- {} --", workload.name());
-        let mut summaries = Vec::new();
-        for (name, policy) in policy_list(&platform, workload, learn, bucket) {
-            let trace = run_interactive(workload, Box::new(Diurnal::paper()), policy, secs, 111);
-            summaries.push(PolicySummary::from_trace(name, &trace, qos));
+        let mut names = Vec::new();
+        let mut specs = Vec::new();
+        for (name, policy) in policy_list(workload, learn, bucket) {
+            specs.push(scenario(
+                format!("table3/{}/{name}", workload.name()),
+                workload,
+                Diurnal::paper(),
+                policy,
+                secs,
+                111,
+            ));
+            names.push(name);
         }
+        let summaries: Vec<PolicySummary> = run_fleet(specs)
+            .iter()
+            .zip(&names)
+            .map(|(outcome, name)| PolicySummary::from_trace(name.clone(), &outcome.trace, qos))
+            .collect();
         let baseline = summaries[0].clone();
         let mut t = Table::new(vec![
             "policy",

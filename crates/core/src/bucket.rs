@@ -6,6 +6,17 @@
 //! buckets give fine-grained control (more energy savings, more QoS
 //! violations from frequent reconfiguration), large buckets the opposite.
 
+/// Upper bound on the load fraction a [`Manager`](crate::Manager) reports
+/// to a policy, as a multiple of the workload's maximum load.
+///
+/// Offered load can exceed 1.0 when the generator pushes past the
+/// calibrated capacity (overload experiments drive up to ~150%); capping
+/// the observation here keeps the MDP state finite without aliasing every
+/// overload level onto exactly 1.0. The quantizer maps the whole
+/// `[1.0, MAX_OBSERVABLE_LOAD_FRAC]` overload band onto its top bucket —
+/// see [`LoadBuckets::bucket`].
+pub const MAX_OBSERVABLE_LOAD_FRAC: f64 = 1.5;
+
 /// Quantizes load fractions into buckets of a fixed width.
 ///
 /// # Examples
@@ -52,7 +63,11 @@ impl LoadBuckets {
         self.count
     }
 
-    /// Quantizes a load fraction (clamped to `[0, 1]`) into a bucket index.
+    /// Quantizes a load fraction into a bucket index.
+    ///
+    /// Everything at or above 100% load — including the overload band up
+    /// to [`MAX_OBSERVABLE_LOAD_FRAC`] that the manager may report —
+    /// lands in the top bucket; negative fractions land in bucket 0.
     pub fn bucket(&self, load_frac: f64) -> u32 {
         let clamped = load_frac.clamp(0.0, 1.0);
         ((clamped / self.width).floor() as usize).min(self.count - 1) as u32
@@ -84,6 +99,15 @@ mod tests {
         let b = LoadBuckets::new(0.1);
         assert_eq!(b.bucket(-0.5), 0);
         assert_eq!(b.bucket(7.0), 10);
+    }
+
+    #[test]
+    fn whole_overload_band_maps_to_top_bucket() {
+        let b = LoadBuckets::new(0.05);
+        let top = (b.num_buckets() - 1) as u32;
+        assert_eq!(b.bucket(1.0), top);
+        assert_eq!(b.bucket(MAX_OBSERVABLE_LOAD_FRAC), top);
+        assert_eq!(b.bucket(1.2), top);
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Multi-machine experiment execution: a [`Fleet`] runs many
+//! [`ScenarioSpec`]s across OS threads — one simulated machine per
+//! scenario — and collects their outcomes in declaration order.
+//!
+//! Determinism is the contract: every scenario owns its own engine and
+//! seed, so a fleet run is byte-identical to running the same specs one by
+//! one (the determinism regression test in `tests/` pins this). Scenarios
+//! without a pinned seed get a *split seed* derived from the fleet's base
+//! seed and their index ([`split_seed`]), so one `base` reproduces a whole
+//! sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use hipster_core::{Fleet, ScenarioSpec, StaticPolicy};
+//! use hipster_platform::Platform;
+//! use hipster_workloads::{memcached, Constant};
+//!
+//! let fleet: Fleet = [0.3, 0.6]
+//!     .into_iter()
+//!     .map(|load| {
+//!         ScenarioSpec::new(format!("load-{load}"), Platform::juno_r1())
+//!             .workload_with(|| Box::new(memcached()))
+//!             .load(Constant::new(load, 30.0))
+//!             .policy(|p: &Platform, _| {
+//!                 Box::new(StaticPolicy::all_big(p)) as Box<dyn hipster_core::Policy>
+//!             })
+//!             .intervals(30)
+//!     })
+//!     .collect();
+//! let outcomes = fleet.run().expect("valid fleet");
+//! assert_eq!(outcomes.len(), 2);
+//! assert_eq!(outcomes[0].name, "load-0.3"); // declaration order
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::scenario::{ScenarioError, ScenarioOutcome, ScenarioSpec};
+
+/// Derives a scenario's seed from a fleet-level base seed and the
+/// scenario's **declaration index** in the fleet (scenarios with pinned
+/// seeds keep them, but still occupy their index — so reordering or
+/// inserting scenarios changes the seeds of later unseeded ones).
+///
+/// SplitMix64 over `base` and `index` — the standard way to expand one
+/// seed into decorrelated streams (it is also how
+/// [`SimRng`](hipster_sim::SimRng) expands its own state). Deterministic
+/// across platforms and runs.
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Why a [`Fleet`] refused to run or failed mid-run.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet contains no scenarios.
+    Empty,
+    /// A scenario failed validation before anything ran.
+    InvalidScenario {
+        /// Position of the offending scenario.
+        index: usize,
+        /// Its name.
+        name: String,
+        /// What was wrong with it.
+        error: ScenarioError,
+    },
+    /// A scenario panicked on its worker thread (e.g. a policy returned a
+    /// configuration the platform rejects).
+    ScenarioPanicked {
+        /// Position of the offending scenario.
+        index: usize,
+        /// Its name.
+        name: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Empty => f.write_str("fleet has no scenarios"),
+            FleetError::InvalidScenario { index, name, error } => {
+                write!(f, "scenario #{index} ({name:?}) is invalid: {error}")
+            }
+            FleetError::ScenarioPanicked {
+                index,
+                name,
+                message,
+            } => {
+                write!(f, "scenario #{index} ({name:?}) panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::InvalidScenario { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A set of scenarios executed in parallel across OS threads.
+pub struct Fleet {
+    scenarios: Vec<ScenarioSpec>,
+    threads: usize,
+    base_seed: u64,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("scenarios", &self.scenarios.len())
+            .field("threads", &self.threads)
+            .field("base_seed", &self.base_seed)
+            .finish()
+    }
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::new()
+    }
+}
+
+impl FromIterator<ScenarioSpec> for Fleet {
+    fn from_iter<T: IntoIterator<Item = ScenarioSpec>>(iter: T) -> Self {
+        let mut fleet = Fleet::new();
+        for spec in iter {
+            fleet.push(spec);
+        }
+        fleet
+    }
+}
+
+impl Fleet {
+    /// An empty fleet (threads default to the machine's parallelism).
+    pub fn new() -> Self {
+        Fleet {
+            scenarios: Vec::new(),
+            threads: 0,
+            base_seed: 0,
+        }
+    }
+
+    /// Adds a scenario (builder style).
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.push(spec);
+        self
+    }
+
+    /// Adds a scenario.
+    pub fn push(&mut self, spec: ScenarioSpec) {
+        self.scenarios.push(spec);
+    }
+
+    /// Caps the worker-thread count (0 = one per available core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets the base seed from which unseeded scenarios get their
+    /// [`split_seed`]. Scenarios with a pinned seed are unaffected.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Number of scenarios queued.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the fleet is empty (an empty fleet refuses to run).
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Validates every scenario, then executes them all across worker
+    /// threads, returning outcomes **in declaration order** regardless of
+    /// which thread finished first.
+    ///
+    /// All validation happens before any simulation starts: an invalid
+    /// scenario anywhere in the fleet means nothing runs.
+    pub fn run(mut self) -> Result<Vec<ScenarioOutcome>, FleetError> {
+        if self.scenarios.is_empty() {
+            return Err(FleetError::Empty);
+        }
+        for (index, spec) in self.scenarios.iter().enumerate() {
+            spec.validate()
+                .map_err(|error| FleetError::InvalidScenario {
+                    index,
+                    name: spec.name().to_owned(),
+                    error,
+                })?;
+        }
+        for (index, spec) in self.scenarios.iter_mut().enumerate() {
+            spec.assign_seed_if_unset(split_seed(self.base_seed, index as u64));
+        }
+
+        let n = self.scenarios.len();
+        let workers = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+        .min(n)
+        .max(1);
+
+        type Slot = Option<Result<ScenarioOutcome, String>>;
+        let queue: Mutex<VecDeque<(usize, String, ScenarioSpec)>> = Mutex::new(
+            self.scenarios
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.name().to_owned(), s))
+                .collect(),
+        );
+        let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+        let names: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n]);
+        // Fail fast: once any scenario fails, the whole run is lost (the
+        // fleet returns an error), so workers stop picking up new jobs
+        // rather than burning CPU on outcomes that would be discarded.
+        let failed = std::sync::atomic::AtomicBool::new(false);
+
+        let work = || loop {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            let (index, name, spec) = match queue.lock().expect("queue poisoned").pop_front() {
+                Some(job) => job,
+                None => return,
+            };
+            names.lock().expect("names poisoned")[index] = name;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run()))
+                .map_err(|payload| panic_message(payload.as_ref()))
+                .and_then(|r| r.map_err(|e| e.to_string()));
+            if outcome.is_err() {
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            results.lock().expect("results poisoned")[index] = Some(outcome);
+        };
+
+        if workers == 1 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(work);
+                }
+            });
+        }
+
+        let slots = results.into_inner().expect("results poisoned");
+        let names = names.into_inner().expect("names poisoned");
+        // Report the first (lowest-index) failure; later slots may be
+        // empty because workers stopped early once a failure was flagged.
+        for (index, slot) in slots.iter().enumerate() {
+            if let Some(Err(message)) = slot {
+                return Err(FleetError::ScenarioPanicked {
+                    index,
+                    name: names[index].clone(),
+                    message: message.clone(),
+                });
+            }
+        }
+        let mut outcomes = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.expect("no failure was flagged, so every slot ran") {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => unreachable!("failures returned above"),
+            }
+        }
+        Ok(outcomes)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticPolicy;
+    use crate::policy::Policy;
+    use hipster_platform::{CoreKind, Frequency, Platform};
+    use hipster_sim::{Demand, LcModel, LoadPattern, QosTarget, SimRng};
+
+    #[derive(Debug)]
+    struct Toy;
+    impl LcModel for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn max_load_rps(&self) -> f64 {
+            100.0
+        }
+        fn qos(&self) -> QosTarget {
+            QosTarget::new(0.95, 0.010)
+        }
+        fn sample_demand(&self, _rng: &mut SimRng) -> Demand {
+            Demand::new(1.0, 0.0)
+        }
+        fn service_speed(&self, kind: CoreKind, _f: Frequency) -> f64 {
+            match kind {
+                CoreKind::Big => 1000.0,
+                CoreKind::Small => 400.0,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Half;
+    impl LoadPattern for Half {
+        fn load_at(&self, _t: f64) -> f64 {
+            0.5
+        }
+        fn duration(&self) -> f64 {
+            10.0
+        }
+    }
+
+    fn spec(name: &str) -> ScenarioSpec {
+        ScenarioSpec::new(name, Platform::juno_r1())
+            .workload_with(|| Box::new(Toy))
+            .load(Half)
+            .policy(|p: &Platform, _| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+            .intervals(4)
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error() {
+        assert!(matches!(Fleet::new().run(), Err(FleetError::Empty)));
+    }
+
+    #[test]
+    fn invalid_scenario_stops_the_whole_fleet() {
+        let err = Fleet::new()
+            .scenario(spec("ok"))
+            .scenario(spec("broken").intervals(0))
+            .run()
+            .unwrap_err();
+        match err {
+            FleetError::InvalidScenario { index, name, error } => {
+                assert_eq!(index, 1);
+                assert_eq!(name, "broken");
+                assert_eq!(error, ScenarioError::ZeroIntervals);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn outcomes_come_back_in_declaration_order() {
+        let names: Vec<String> = (0..8).map(|i| format!("s{i}")).collect();
+        let fleet: Fleet = names.iter().map(|n| spec(n)).collect();
+        let outcomes = fleet.threads(4).run().expect("valid");
+        let got: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(got, names.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..16).map(|i| split_seed(7, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| split_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let unique: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(unique.len(), a.len());
+        assert_ne!(split_seed(7, 0), split_seed(8, 0));
+    }
+
+    #[test]
+    fn unseeded_scenarios_get_split_seeds_pinned_ones_keep_theirs() {
+        let outcomes = Fleet::new()
+            .scenario(spec("auto"))
+            .scenario(spec("pinned").seed(99))
+            .base_seed(7)
+            .run()
+            .expect("valid");
+        assert_eq!(outcomes[0].seed, split_seed(7, 0));
+        assert_eq!(outcomes[1].seed, 99);
+    }
+
+    #[test]
+    fn panicking_scenario_reported_not_propagated() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl Policy for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn decide(&mut self, _obs: &crate::Observation) -> hipster_platform::CoreConfig {
+                panic!("boom");
+            }
+        }
+        let err = Fleet::new()
+            .scenario(spec("fine"))
+            .scenario(spec("bomb").policy(|_: &Platform, _| Box::new(Bomb) as Box<dyn Policy>))
+            .run()
+            .unwrap_err();
+        match err {
+            FleetError::ScenarioPanicked { index, message, .. } => {
+                assert_eq!(index, 1);
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

@@ -19,7 +19,13 @@
 //!
 //! The [`Manager`] drives any [`Policy`] against a `hipster-sim`
 //! [`Engine`](hipster_sim::Engine), standing in for the user-space runtime
-//! (sched_setaffinity + acpi-cpufreq + SIGSTOP/SIGCONT) of §3.7.
+//! (sched_setaffinity + acpi-cpufreq + SIGSTOP/SIGCONT) of §3.7, and
+//! streams per-interval statistics to pluggable [`TelemetrySink`]s.
+//!
+//! Whole experiments are declared rather than hand-wired: a
+//! [`ScenarioSpec`] validates and builds one (platform × workload × load ×
+//! policy) run, and a [`Fleet`] executes many scenarios across OS threads
+//! with split seeds and deterministically ordered results.
 //!
 //! # Example: HipsterIn on Memcached under a diurnal load
 //!
@@ -48,19 +54,27 @@
 mod baselines;
 mod bucket;
 mod feedback;
+mod fleet;
 mod hipster;
 mod manager;
 mod metrics;
 mod policy;
 mod qtable;
 mod reward;
+mod scenario;
+mod telemetry;
 
 pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
-pub use bucket::LoadBuckets;
+pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
 pub use feedback::{FeedbackController, Zones};
+pub use fleet::{split_seed, Fleet, FleetError};
 pub use hipster::{Hipster, HipsterBuilder, Phase};
 pub use manager::Manager;
 pub use metrics::{energy_reduction_pct, PolicySummary};
 pub use policy::{Observation, Policy};
 pub use qtable::QTable;
 pub use reward::{reward, Objective, RewardParams};
+pub use scenario::{PolicyFactory, ScenarioError, ScenarioOutcome, ScenarioSpec};
+pub use telemetry::{
+    CsvSink, JsonLinesSink, RunMeta, SinkHandle, SummarySink, TelemetrySink, TraceSink,
+};

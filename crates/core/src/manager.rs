@@ -8,28 +8,61 @@
 //! into a full [`MachineConfig`] — interactive (clusters the LC workload
 //! does not use are clocked down) or collocated (remaining cores run batch,
 //! Algorithm 2 lines 8–13) — and (4) steps the engine.
+//!
+//! Any number of [`TelemetrySink`]s can be attached; the manager streams
+//! every interval's [`IntervalStats`] to them as it runs, so traces, CSV
+//! artifacts and summaries fall out of a run without the driver loop
+//! collecting anything by hand.
 
 use hipster_sim::{Engine, IntervalStats, MachineConfig, Trace};
 
+use crate::bucket::MAX_OBSERVABLE_LOAD_FRAC;
 use crate::policy::{Observation, Policy};
+use crate::telemetry::{RunMeta, TelemetrySink};
 
 /// Drives one policy over one engine, producing a [`Trace`].
-#[derive(Debug)]
 pub struct Manager {
     engine: Engine,
     policy: Box<dyn Policy>,
     collocate: bool,
     last: Option<IntervalStats>,
+    meta: RunMeta,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    started: bool,
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("engine", &self.engine)
+            .field("policy", &self.policy)
+            .field("collocate", &self.collocate)
+            .field("meta", &self.meta)
+            .field("sinks", &self.sinks.len())
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Manager {
     /// Creates an interactive-mode manager (no batch collocation).
     pub fn new(engine: Engine, policy: Box<dyn Policy>) -> Self {
+        let meta = RunMeta {
+            scenario: policy.name().to_owned(),
+            policy: policy.name().to_owned(),
+            workload: engine.lc_model().name().to_owned(),
+            qos: engine.lc_model().qos(),
+            seed: 0,
+            interval_s: engine.interval_s(),
+        };
         Manager {
             engine,
             policy,
             collocate: false,
             last: None,
+            meta,
+            sinks: Vec::new(),
+            started: false,
         }
     }
 
@@ -38,6 +71,39 @@ impl Manager {
     pub fn collocated(mut self) -> Self {
         self.collocate = true;
         self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.attach_sink(sink);
+        self
+    }
+
+    /// Attaches a telemetry sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started — sinks must see it whole.
+    pub fn attach_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        assert!(!self.started, "cannot attach a sink mid-run");
+        self.sinks.push(sink);
+    }
+
+    /// The run metadata handed to telemetry sinks.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+
+    /// Overrides the scenario name and seed recorded in the run metadata
+    /// (the policy and workload names always come from the live objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn set_run_identity(&mut self, scenario: impl Into<String>, seed: u64) {
+        assert!(!self.started, "cannot relabel a run mid-flight");
+        self.meta.scenario = scenario.into();
+        self.meta.seed = seed;
     }
 
     /// The policy's name.
@@ -63,7 +129,7 @@ impl Manager {
                 // stall mid-wait), which would alias overloaded states
                 // onto low-load buckets.
                 Observation {
-                    load_frac: s.offered_load_frac.clamp(0.0, 1.5),
+                    load_frac: s.offered_load_frac.clamp(0.0, MAX_OBSERVABLE_LOAD_FRAC),
                     tail_latency_s: s.tail_latency_s,
                     qos,
                     power_w: s.power.total(),
@@ -78,6 +144,12 @@ impl Manager {
 
     /// Runs one monitoring interval.
     pub fn step(&mut self) -> IntervalStats {
+        if !self.started {
+            self.started = true;
+            for sink in &mut self.sinks {
+                sink.on_run_start(&self.meta);
+            }
+        }
         let obs = self.observation();
         let lc = self.policy.decide(&obs);
         let cfg = if self.collocate {
@@ -86,6 +158,9 @@ impl Manager {
             MachineConfig::interactive(self.engine.platform(), lc)
         };
         let stats = self.engine.step(cfg);
+        for sink in &mut self.sinks {
+            sink.on_interval(&self.meta, &stats);
+        }
         self.last = Some(stats.clone());
         stats
     }
@@ -95,10 +170,19 @@ impl Manager {
         (0..intervals).map(|_| self.step()).collect()
     }
 
-    /// Consumes the manager after a run, returning the engine (e.g. to
-    /// inspect cumulative energy).
-    pub fn into_engine(self) -> Engine {
+    /// Ends the run: fires [`TelemetrySink::on_run_end`] on every sink and
+    /// returns the engine (e.g. to inspect cumulative energy).
+    pub fn finish(mut self) -> Engine {
+        for sink in &mut self.sinks {
+            sink.on_run_end(&self.meta);
+        }
         self.engine
+    }
+
+    /// Consumes the manager after a run, returning the engine. Equivalent
+    /// to [`Manager::finish`] (sinks are flushed).
+    pub fn into_engine(self) -> Engine {
+        self.finish()
     }
 }
 
@@ -106,6 +190,7 @@ impl Manager {
 mod tests {
     use super::*;
     use crate::baselines::StaticPolicy;
+    use crate::telemetry::{SummarySink, TraceSink};
     use hipster_platform::{CoreKind, Frequency, Platform};
     use hipster_sim::{Demand, LcModel, LoadPattern, QosTarget, SimRng};
 
@@ -187,5 +272,60 @@ mod tests {
         // operating point, but batch is off.
         assert!(!s.config.batch_enabled);
         assert_eq!(s.batch_ips_big, 0.0);
+    }
+
+    #[test]
+    fn sinks_observe_every_interval() {
+        let (trace_sink, trace_handle) = TraceSink::new();
+        let (summary_sink, summary_handle) = SummarySink::new();
+        let mut m = manager()
+            .with_sink(Box::new(trace_sink))
+            .with_sink(Box::new(summary_sink));
+        let direct = m.run(6);
+        assert!(
+            summary_handle.snapshot().is_none(),
+            "summary only lands after finish()"
+        );
+        let _engine = m.finish();
+        let streamed = trace_handle.take();
+        assert_eq!(streamed.len(), 6);
+        assert_eq!(streamed.to_csv(), direct.to_csv());
+        let summary = summary_handle.take().expect("summary after finish");
+        assert_eq!(summary.name, "Static(2B-1.15)");
+    }
+
+    #[test]
+    fn default_meta_reflects_engine_and_policy() {
+        let m = manager();
+        assert_eq!(m.meta().workload, "toy");
+        assert_eq!(m.meta().policy, "Static(2B-1.15)");
+        assert_eq!(m.meta().interval_s, 1.0);
+    }
+
+    #[test]
+    fn run_identity_overrides_scenario_and_seed() {
+        let mut m = manager();
+        m.set_run_identity("fig5/memcached", 51);
+        assert_eq!(m.meta().scenario, "fig5/memcached");
+        assert_eq!(m.meta().seed, 51);
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-run")]
+    fn attaching_sink_mid_run_panics() {
+        let (sink, _handle) = TraceSink::new();
+        let mut m = manager();
+        m.step();
+        m.attach_sink(Box::new(sink));
+    }
+
+    #[test]
+    fn observation_load_clamps_at_named_cap() {
+        use crate::bucket::MAX_OBSERVABLE_LOAD_FRAC;
+        let mut m = manager();
+        let mut s = m.step();
+        s.offered_load_frac = 7.0;
+        m.last = Some(s);
+        assert_eq!(m.observation().load_frac, MAX_OBSERVABLE_LOAD_FRAC);
     }
 }

@@ -12,6 +12,11 @@ use crate::rng::{Sampler, SimRng};
 use crate::service::{ServerSpec, ServiceNode};
 use crate::traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};
 
+/// Default lognormal sigma of the per-interval background-interference
+/// slowdown (see [`Engine::with_jitter`]): ±10% noise, roughly what OS
+/// housekeeping costs an undisturbed Linux box.
+pub const DEFAULT_JITTER_SIGMA: f64 = 0.10;
+
 /// The full machine configuration applied for one monitoring interval.
 ///
 /// `lc` is the configuration chosen by the policy for the latency-critical
@@ -206,7 +211,7 @@ impl Engine {
             total_migrations: 0,
             power_override: None,
             thinking: Vec::new(),
-            jitter_sigma: 0.10,
+            jitter_sigma: DEFAULT_JITTER_SIGMA,
             jitter_rng: root.fork("jitter"),
         }
     }

@@ -1,0 +1,433 @@
+//! JSON-lines serialization of [`IntervalStats`] — the wire format of the
+//! `JsonLinesSink` telemetry sink.
+//!
+//! One flat JSON object per monitoring interval, one interval per line.
+//! Numbers are written with Rust's shortest-round-trip `f64` formatting,
+//! so `parse → serialize` reproduces the original line byte for byte; the
+//! reverse direction (`serialize → parse`) recovers every field exactly.
+//! The module carries its own minimal parser because the build environment
+//! vendors no JSON dependency — the grammar is restricted to what
+//! [`interval_to_jsonl`] emits (flat objects of numbers, booleans and
+//! number arrays).
+
+use hipster_platform::{CoreConfig, Frequency, PowerBreakdown};
+
+use crate::engine::{IntervalStats, MachineConfig};
+
+/// Serializes one interval as a single JSON line (no trailing newline).
+///
+/// Key order is fixed, so equal stats always produce identical bytes.
+/// Non-finite numbers (which the engine never produces, but a custom model
+/// could) serialize as `null` and parse back as NaN, keeping every emitted
+/// line valid JSON.
+pub fn interval_to_jsonl(s: &IntervalStats) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    push_num(&mut out, "index", s.index as f64);
+    push_num(&mut out, "start_s", s.start_s);
+    push_num(&mut out, "duration_s", s.duration_s);
+    push_num(&mut out, "n_big", s.config.lc.n_big as f64);
+    push_num(&mut out, "n_small", s.config.lc.n_small as f64);
+    push_num(
+        &mut out,
+        "lc_big_mhz",
+        f64::from(s.config.lc.big_freq.as_mhz()),
+    );
+    push_num(
+        &mut out,
+        "lc_small_mhz",
+        f64::from(s.config.lc.small_freq.as_mhz()),
+    );
+    push_num(&mut out, "big_mhz", f64::from(s.config.big_freq.as_mhz()));
+    push_num(
+        &mut out,
+        "small_mhz",
+        f64::from(s.config.small_freq.as_mhz()),
+    );
+    push_bool(&mut out, "batch_enabled", s.config.batch_enabled);
+    push_num(&mut out, "offered_load_frac", s.offered_load_frac);
+    push_num(&mut out, "offered_rps", s.offered_rps);
+    push_num(&mut out, "arrivals", s.arrivals as f64);
+    push_num(&mut out, "completions", s.completions as f64);
+    push_num(&mut out, "timeouts", s.timeouts as f64);
+    push_num(&mut out, "throughput_rps", s.throughput_rps);
+    push_num(&mut out, "tail_latency_s", s.tail_latency_s);
+    push_num(&mut out, "mean_latency_s", s.mean_latency_s);
+    push_num(&mut out, "queue_len", s.queue_len as f64);
+    push_arr(&mut out, "lc_busy", &s.lc_busy);
+    push_num(&mut out, "power_big", s.power.big);
+    push_num(&mut out, "power_small", s.power.small);
+    push_num(&mut out, "power_rest", s.power.rest);
+    push_num(&mut out, "energy_j", s.energy_j);
+    push_num(&mut out, "batch_ips_big", s.batch_ips_big);
+    push_num(&mut out, "batch_ips_small", s.batch_ips_small);
+    push_bool(&mut out, "counters_valid", s.counters_valid);
+    push_num(&mut out, "migrated_cores", s.migrated_cores as f64);
+    // Strip the trailing comma.
+    out.pop();
+    out.push('}');
+    out
+}
+
+/// Parses a line produced by [`interval_to_jsonl`] back into stats.
+///
+/// Returns `None` on malformed JSON, a missing field, or a value of the
+/// wrong type — never panics.
+pub fn interval_from_jsonl(line: &str) -> Option<IntervalStats> {
+    let fields = parse_flat_object(line)?;
+    let num = |k: &str| -> Option<f64> {
+        fields
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                JsonValue::Num(x) => Some(*x),
+                _ => None,
+            })
+    };
+    let boolean = |k: &str| -> Option<bool> {
+        fields
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            })
+    };
+    let arr = |k: &str| -> Option<Vec<f64>> {
+        fields
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                JsonValue::Arr(xs) => Some(xs.clone()),
+                _ => None,
+            })
+    };
+    let as_usize = |x: f64| -> Option<usize> {
+        (x.is_finite() && x >= 0.0 && x.fract() == 0.0).then_some(x as usize)
+    };
+    let mhz = |k: &str| -> Option<Frequency> {
+        let x = num(k)?;
+        (x.is_finite() && x >= 0.0 && x <= f64::from(u32::MAX))
+            .then(|| Frequency::from_mhz(x as u32))
+    };
+
+    let lc = CoreConfig::new(
+        as_usize(num("n_big")?)?,
+        as_usize(num("n_small")?)?,
+        mhz("lc_big_mhz")?,
+        mhz("lc_small_mhz")?,
+    );
+    Some(IntervalStats {
+        index: as_usize(num("index")?)? as u64,
+        start_s: num("start_s")?,
+        duration_s: num("duration_s")?,
+        config: MachineConfig {
+            lc,
+            big_freq: mhz("big_mhz")?,
+            small_freq: mhz("small_mhz")?,
+            batch_enabled: boolean("batch_enabled")?,
+        },
+        offered_load_frac: num("offered_load_frac")?,
+        offered_rps: num("offered_rps")?,
+        arrivals: as_usize(num("arrivals")?)?,
+        completions: as_usize(num("completions")?)?,
+        timeouts: as_usize(num("timeouts")?)?,
+        throughput_rps: num("throughput_rps")?,
+        tail_latency_s: num("tail_latency_s")?,
+        mean_latency_s: num("mean_latency_s")?,
+        queue_len: as_usize(num("queue_len")?)?,
+        lc_busy: arr("lc_busy")?,
+        power: PowerBreakdown {
+            big: num("power_big")?,
+            small: num("power_small")?,
+            rest: num("power_rest")?,
+        },
+        energy_j: num("energy_j")?,
+        batch_ips_big: num("batch_ips_big")?,
+        batch_ips_small: num("batch_ips_small")?,
+        counters_valid: boolean("counters_valid")?,
+        migrated_cores: as_usize(num("migrated_cores")?)?,
+    })
+}
+
+fn push_num(out: &mut String, key: &str, v: f64) {
+    use std::fmt::Write as _;
+    // Display would print `NaN`/`inf`, which is not JSON; non-finite
+    // values (never produced by the engine, but possible from custom
+    // models) serialize as `null` and parse back as NaN.
+    if v.is_finite() {
+        let _ = write!(out, "\"{key}\":{v},");
+    } else {
+        let _ = write!(out, "\"{key}\":null,");
+    }
+}
+
+fn push_bool(out: &mut String, key: &str, v: bool) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "\"{key}\":{v},");
+}
+
+fn push_arr(out: &mut String, key: &str, vs: &[f64]) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "\"{key}\":[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if v.is_finite() {
+            let _ = write!(out, "{v}");
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push_str("],");
+}
+
+/// A parsed JSON value in the flat-object grammar the sink emits.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Num(f64),
+    Bool(bool),
+    Arr(Vec<f64>),
+}
+
+/// Parses `{"key":value,...}` where values are numbers, booleans or arrays
+/// of numbers. Whitespace between tokens is tolerated.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        (self.next_byte()? == b).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Keys never contain escapes in this grammar.
+        while self.peek()? != b'"' {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .to_owned();
+        self.pos += 1;
+        Some(s)
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        if self.peek() == Some(b'n') {
+            let end = self.pos + 4;
+            if self.bytes.get(self.pos..end) == Some(b"null".as_slice()) {
+                self.pos = end;
+                return Some(f64::NAN);
+            }
+            return None;
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b't' | b'f' => {
+                let want: &[u8] = if self.peek() == Some(b't') {
+                    b"true"
+                } else {
+                    b"false"
+                };
+                let end = self.pos + want.len();
+                if self.bytes.get(self.pos..end) == Some(want) {
+                    self.pos = end;
+                    Some(JsonValue::Bool(want == b"true"))
+                } else {
+                    None
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Some(JsonValue::Arr(xs));
+                }
+                loop {
+                    xs.push(self.number()?);
+                    self.skip_ws();
+                    match self.next_byte()? {
+                        b',' => continue,
+                        b']' => break,
+                        _ => return None,
+                    }
+                }
+                Some(JsonValue::Arr(xs))
+            }
+            _ => Some(JsonValue::Num(self.number()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tail_ms: f64) -> IntervalStats {
+        let f = Frequency::from_mhz(1150);
+        let fs = Frequency::from_mhz(650);
+        IntervalStats {
+            index: 7,
+            start_s: 7.0,
+            duration_s: 1.0,
+            config: MachineConfig {
+                lc: CoreConfig::new(2, 1, f, fs),
+                big_freq: f,
+                small_freq: fs,
+                batch_enabled: true,
+            },
+            offered_load_frac: 0.51234,
+            offered_rps: 18_444.2,
+            arrivals: 18_551,
+            completions: 18_490,
+            timeouts: 3,
+            throughput_rps: 18_490.0,
+            tail_latency_s: tail_ms / 1e3,
+            mean_latency_s: tail_ms / 2.7e3,
+            queue_len: 12,
+            lc_busy: vec![0.81, 0.79, 0.33],
+            power: PowerBreakdown {
+                big: 1.701,
+                small: 0.42,
+                rest: 1.2,
+            },
+            energy_j: 3.321,
+            batch_ips_big: 2.0e9,
+            batch_ips_small: 8.25e8,
+            counters_valid: false,
+            migrated_cores: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_every_field() {
+        let s = sample(9.87654321);
+        let line = interval_to_jsonl(&s);
+        let back = interval_from_jsonl(&line).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn reserialization_is_byte_identical() {
+        let s = sample(3.14159);
+        let line = interval_to_jsonl(&s);
+        let again = interval_to_jsonl(&interval_from_jsonl(&line).unwrap());
+        assert_eq!(line, again);
+    }
+
+    #[test]
+    fn line_is_single_flat_json_object() {
+        let line = interval_to_jsonl(&sample(1.0));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"tail_latency_s\":"));
+        assert!(line.contains("\"counters_valid\":false"));
+    }
+
+    #[test]
+    fn malformed_lines_return_none() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"index\":}",
+            "{\"index\":1}",                        // missing fields
+            "{\"index\":\"one\"}",                  // unsupported string value
+            "[1,2,3]",                              // not an object
+            "{\"index\":1,\"start_s\":0.0,} extra", // trailing garbage
+        ] {
+            assert!(interval_from_jsonl(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_stay_valid_json() {
+        let mut s = sample(1.0);
+        s.offered_rps = f64::INFINITY;
+        s.tail_latency_s = f64::NAN;
+        s.lc_busy[1] = f64::NAN;
+        let line = interval_to_jsonl(&s);
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        assert!(line.contains("\"offered_rps\":null"));
+        let back = interval_from_jsonl(&line).expect("null parses");
+        assert!(back.offered_rps.is_nan());
+        assert!(back.tail_latency_s.is_nan());
+        // Byte-identical re-serialization still holds (null -> NaN -> null).
+        assert_eq!(interval_to_jsonl(&back), line);
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let line = interval_to_jsonl(&sample(2.0))
+            .replace(":", ": ")
+            .replace(",\"", ", \"");
+        assert_eq!(interval_from_jsonl(&line), Some(sample(2.0)));
+    }
+}

@@ -57,8 +57,10 @@
 
 pub mod dist;
 
+mod config;
 mod costs;
 mod engine;
+mod jsonl;
 mod latency;
 mod request;
 mod rng;
@@ -66,11 +68,13 @@ mod service;
 mod trace;
 mod traits;
 
+pub use config::{EngineSpec, EngineSpecError};
 pub use costs::{ContentionModel, ReconfigCosts};
-pub use engine::{Engine, IntervalStats, MachineConfig};
+pub use engine::{Engine, IntervalStats, MachineConfig, DEFAULT_JITTER_SIGMA};
+pub use jsonl::{interval_from_jsonl, interval_to_jsonl};
 pub use latency::{percentile, LatencyRecorder, P2Quantile};
 pub use request::{Demand, QosTarget, Request, RequestId};
 pub use rng::{Sampler, SimRng};
 pub use service::{NodeInterval, ServerSpec, ServiceNode};
-pub use trace::Trace;
+pub use trace::{csv_header, csv_row, Trace};
 pub use traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};

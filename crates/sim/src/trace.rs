@@ -133,30 +133,43 @@ impl Trace {
 
     /// Serializes the trace as CSV (one row per interval) for plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "t,config,load_frac,offered_rps,throughput_rps,tail_ms,mean_ms,\
-             power_w,energy_j,batch_ips_big,batch_ips_small,migrated,queue\n",
-        );
+        let mut out = String::from(csv_header());
+        out.push('\n');
         for s in &self.intervals {
-            out.push_str(&format!(
-                "{:.1},{},{:.4},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.0},{:.0},{},{}\n",
-                s.start_s,
-                s.config.lc,
-                s.offered_load_frac,
-                s.offered_rps,
-                s.throughput_rps,
-                s.tail_latency_s * 1e3,
-                s.mean_latency_s * 1e3,
-                s.power.total(),
-                s.energy_j,
-                s.batch_ips_big,
-                s.batch_ips_small,
-                s.migrated_cores,
-                s.queue_len,
-            ));
+            out.push_str(&csv_row(s));
+            out.push('\n');
         }
         out
     }
+}
+
+/// The column header matching [`csv_row`] (no trailing newline).
+///
+/// Shared by [`Trace::to_csv`] and streaming CSV telemetry sinks so all
+/// trace CSVs in the workspace carry the same schema.
+pub fn csv_header() -> &'static str {
+    "t,config,load_frac,offered_rps,throughput_rps,tail_ms,mean_ms,\
+     power_w,energy_j,batch_ips_big,batch_ips_small,migrated,queue"
+}
+
+/// One interval as a [`csv_header`]-schema CSV row (no trailing newline).
+pub fn csv_row(s: &IntervalStats) -> String {
+    format!(
+        "{:.1},{},{:.4},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.0},{:.0},{},{}",
+        s.start_s,
+        s.config.lc,
+        s.offered_load_frac,
+        s.offered_rps,
+        s.throughput_rps,
+        s.tail_latency_s * 1e3,
+        s.mean_latency_s * 1e3,
+        s.power.total(),
+        s.energy_j,
+        s.batch_ips_big,
+        s.batch_ips_small,
+        s.migrated_cores,
+        s.queue_len,
+    )
 }
 
 impl FromIterator<IntervalStats> for Trace {

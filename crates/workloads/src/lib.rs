@@ -32,7 +32,10 @@ mod presets;
 pub mod spec;
 
 pub use lc::{LcWorkload, LcWorkloadBuilder};
-pub use loadgen::{Constant, Diurnal, Ramp, Sequence, Spike, Steps, PAPER_DIURNAL_HOURS};
+pub use loadgen::{
+    load_preset, Constant, Diurnal, Ramp, Sequence, Spike, Steps, PAPER_DIURNAL_HOURS,
+};
 pub use presets::{
-    memcached, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS, WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
+    memcached, preset, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS, PRESET_NAMES,
+    WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
 };

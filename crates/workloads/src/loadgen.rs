@@ -256,9 +256,86 @@ impl LoadPattern for Constant {
     }
 }
 
+/// Parses a named load-pattern spec, so scenarios can be declared from
+/// strings (CLIs, config files, fleet sweeps). Returns `None` for unknown
+/// names or malformed parameters — never panics.
+///
+/// Accepted forms (all numbers are `f64`, loads are fractions of max):
+///
+/// | spec | pattern |
+/// |---|---|
+/// | `diurnal` | [`Diurnal::paper`] |
+/// | `constant:FRAC:SECS` | [`Constant`] |
+/// | `ramp:FROM:TO:SECS` | [`Ramp`] |
+/// | `spike:BASE:PEAK:AT:WIDTH:TOTAL` | [`Spike`] |
+///
+/// # Examples
+///
+/// ```
+/// use hipster_sim::LoadPattern;
+///
+/// let p = hipster_workloads::load_preset("ramp:0.5:1.0:175").unwrap();
+/// assert_eq!(p.load_at(175.0), 1.0);
+/// assert!(hipster_workloads::load_preset("constant:not-a-number:60").is_none());
+/// ```
+pub fn load_preset(spec: &str) -> Option<Box<dyn LoadPattern>> {
+    let mut parts = spec.split(':');
+    let kind = parts.next()?.to_ascii_lowercase();
+    let args: Vec<f64> = parts
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    let finite = args.iter().all(|x| x.is_finite());
+    match (kind.as_str(), args.as_slice(), finite) {
+        ("diurnal", [], _) => Some(Box::new(Diurnal::paper())),
+        ("constant", &[frac, secs], true) if secs > 0.0 => {
+            Some(Box::new(Constant::new(frac, secs)))
+        }
+        ("ramp", &[from, to, ramp_s], true) if ramp_s > 0.0 => {
+            Some(Box::new(Ramp { from, to, ramp_s }))
+        }
+        ("spike", &[base, peak, at, width, total_s], true) if total_s > 0.0 && width >= 0.0 => {
+            Some(Box::new(Spike {
+                base,
+                peak,
+                at,
+                width,
+                total_s,
+            }))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn load_preset_parses_each_form() {
+        assert!((load_preset("diurnal").unwrap().load_at(22.0 * 60.0) - 0.80).abs() < 0.1);
+        assert_eq!(load_preset("constant:0.4:60").unwrap().load_at(10.0), 0.4);
+        assert_eq!(load_preset("RAMP:0.5:1.0:175").unwrap().load_at(0.0), 0.5);
+        let s = load_preset("spike:0.2:0.9:10:5:60").unwrap();
+        assert_eq!(s.load_at(12.0), 0.9);
+        assert_eq!(s.duration(), 60.0);
+    }
+
+    #[test]
+    fn load_preset_rejects_garbage() {
+        for bad in [
+            "",
+            "unknown",
+            "diurnal:1.0",        // stray argument
+            "constant:0.4",       // missing duration
+            "constant:0.4:0",     // zero duration
+            "constant:x:60",      // not a number
+            "ramp:0.5:1.0",       // missing duration
+            "spike:0.2:0.9:10:5", // missing total
+            "constant:inf:60",    // non-finite
+        ] {
+            assert!(load_preset(bad).is_none(), "{bad:?}");
+        }
+    }
 
     #[test]
     fn paper_diurnal_shape() {

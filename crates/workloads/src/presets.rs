@@ -26,6 +26,31 @@ pub const WEB_SEARCH_MAX_QPS: f64 = 44.0;
 /// Web-Search tail-latency target: 500 ms at the 90th percentile (Table 1).
 pub const WEB_SEARCH_QOS: (f64, f64) = (0.90, 0.500);
 
+/// Names accepted by [`preset`], in the paper's presentation order.
+pub const PRESET_NAMES: [&str; 2] = ["memcached", "web-search"];
+
+/// Looks up a calibrated workload preset by name, so scenarios can be
+/// declared from strings (CLIs, config files, fleet sweeps).
+///
+/// Matching is case-insensitive and treats `-`/`_` alike: `"Memcached"`,
+/// `"web-search"` and `"WEB_SEARCH"` all resolve. Returns `None` for
+/// unknown names.
+///
+/// # Examples
+///
+/// ```
+/// use hipster_sim::LcModel;
+/// assert_eq!(hipster_workloads::preset("Web-Search").unwrap().name(), "Web-Search");
+/// assert!(hipster_workloads::preset("redis").is_none());
+/// ```
+pub fn preset(name: &str) -> Option<LcWorkload> {
+    match name.to_ascii_lowercase().replace('_', "-").as_str() {
+        "memcached" => Some(memcached()),
+        "web-search" | "websearch" => Some(web_search()),
+        _ => None,
+    }
+}
+
 /// The Memcached model (Table 1 row 1).
 ///
 /// Calibration notes:

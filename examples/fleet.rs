@@ -1,0 +1,95 @@
+//! Fleet orchestration: a 3-policy × 2-load scenario matrix runs in
+//! parallel across OS threads, with JSON-lines telemetry streamed under
+//! `results/` and results collected in declaration order.
+//!
+//! ```text
+//! cargo run --release --example fleet
+//! ```
+
+use hipster::core::Zones;
+use hipster::workloads::{load_preset, memcached};
+use hipster::{
+    Fleet, Hipster, JsonLinesSink, OctopusMan, Platform, Policy, ScenarioSpec, StaticPolicy,
+};
+
+type PolicyFn = Box<dyn Fn(&Platform, u64) -> Box<dyn Policy> + Send + Sync>;
+
+/// Builds one of the matrix's policy factories; each scenario gets its own
+/// factory so stochastic policies draw from the scenario's split seed.
+fn make_policy(name: &str, zones: Zones) -> PolicyFn {
+    match name {
+        "static-big" => Box::new(|p, _| Box::new(StaticPolicy::all_big(p))),
+        "octopus-man" => Box::new(move |p, _| Box::new(OctopusMan::new(p, zones))),
+        "hipster-in" => Box::new(move |p, seed| {
+            Box::new(
+                Hipster::interactive(p, seed)
+                    .learning_intervals(200)
+                    .zones(zones)
+                    .bucket_width(0.03)
+                    .build(),
+            )
+        }),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn main() {
+    let qos = {
+        use hipster::LcModel as _;
+        memcached().qos()
+    };
+    let zones = Zones::new(0.50, 0.15);
+    let secs = 600;
+
+    // The matrix: every policy under every load pattern, loads declared by
+    // name (the string form scenario sweeps and CLIs use).
+    let policies = ["static-big", "octopus-man", "hipster-in"];
+    let loads = ["diurnal", "ramp:0.3:0.9:300"];
+
+    let mut fleet = Fleet::new().base_seed(2026);
+    for policy_name in policies {
+        for load in loads {
+            let name = format!("{policy_name}/{load}");
+            let jsonl = JsonLinesSink::create(format!(
+                "results/fleet_{}.jsonl",
+                name.replace([':', '/'], "_")
+            ))
+            .expect("results/ is writable");
+            fleet.push(
+                ScenarioSpec::new(&name, Platform::juno_r1())
+                    .workload_with(|| Box::new(memcached()))
+                    .load_with({
+                        let load = load.to_string();
+                        move || load_preset(&load).expect("known load preset")
+                    })
+                    .policy(make_policy(policy_name, zones))
+                    .intervals(secs)
+                    .sink(Box::new(jsonl)),
+            );
+        }
+    }
+
+    println!(
+        "running {} scenarios ({} policies × {} loads, {secs} s each)…\n",
+        fleet.len(),
+        policies.len(),
+        loads.len()
+    );
+    let outcomes = fleet.run().expect("all scenarios valid");
+
+    println!(
+        "{:<28} {:>20} {:>14} {:>12} {:>11}",
+        "scenario", "seed", "QoS guarantee", "energy (J)", "migrations"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<28} {:>20} {:>13.1}% {:>12.0} {:>11}",
+            o.name,
+            o.seed,
+            o.trace.qos_guarantee_pct(qos),
+            o.trace.total_energy_j(),
+            o.trace.total_migrations()
+        );
+    }
+    println!("\nper-interval telemetry: results/fleet_*.jsonl (one JSON object per interval)");
+}

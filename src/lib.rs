@@ -16,23 +16,36 @@
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
-//! # Quick start
+//! # Quick start: one scenario
+//!
+//! A [`ScenarioSpec`] declares a complete run — platform, workload, load,
+//! policy, duration, seed — validates itself, and wires the
+//! `Engine`/[`Manager`] stack for you:
 //!
 //! ```
-//! use hipster::{Diurnal, Engine, Hipster, LcModel, Manager, Platform, PolicySummary};
+//! use hipster::{Diurnal, Hipster, Platform, Policy, ScenarioSpec};
 //! use hipster::workloads::web_search;
 //!
-//! let platform = Platform::juno_r1();
-//! let policy = Hipster::interactive(&platform, 42)
-//!     .learning_intervals(60)
-//!     .build();
-//! let ws = web_search();
-//! let qos = ws.qos();
-//! let engine = Engine::new(platform, Box::new(ws), Box::new(Diurnal::paper()), 42);
-//! let trace = Manager::new(engine, Box::new(policy)).run(120);
-//! let summary = PolicySummary::from_trace("HipsterIn", &trace, qos);
-//! println!("{:.1}% QoS guarantee", summary.qos_guarantee_pct);
+//! let outcome = ScenarioSpec::new("quickstart", Platform::juno_r1())
+//!     .workload_with(|| Box::new(web_search()))
+//!     .load(Diurnal::paper())
+//!     .policy(|p: &Platform, seed| {
+//!         Box::new(Hipster::interactive(p, seed).learning_intervals(60).build())
+//!             as Box<dyn Policy>
+//!     })
+//!     .intervals(120)
+//!     .seed(42)
+//!     .run()
+//!     .expect("valid scenario");
+//! println!("{:.1}% QoS guarantee", outcome.summary.qos_guarantee_pct);
 //! ```
+//!
+//! # Scaling out: a fleet
+//!
+//! A [`Fleet`] executes many scenarios across OS threads (one simulated
+//! machine each) with per-scenario split seeds and deterministically
+//! ordered results; [`TelemetrySink`]s tap per-interval statistics without
+//! touching the driver (see `examples/fleet.rs`).
 
 #![warn(missing_docs)]
 
@@ -42,8 +55,13 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    HeuristicMapper, Hipster, Manager, Observation, OctopusMan, Policy, PolicySummary, StaticPolicy,
+    split_seed, CsvSink, Fleet, FleetError, HeuristicMapper, Hipster, JsonLinesSink, Manager,
+    Observation, OctopusMan, Policy, PolicyFactory, PolicySummary, RunMeta, ScenarioError,
+    ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, SummarySink, TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
-pub use hipster_sim::{Engine, IntervalStats, LcModel, MachineConfig, QosTarget, Trace};
-pub use hipster_workloads::{memcached, web_search, Constant, Diurnal, Ramp};
+pub use hipster_sim::{
+    interval_from_jsonl, interval_to_jsonl, Engine, EngineSpec, EngineSpecError, IntervalStats,
+    LcModel, MachineConfig, QosTarget, Trace,
+};
+pub use hipster_workloads::{load_preset, memcached, preset, web_search, Constant, Diurnal, Ramp};

@@ -1,0 +1,89 @@
+//! Determinism regression: the same `ScenarioSpec` produces byte-identical
+//! traces whether it runs serially or through a multi-threaded `Fleet`.
+
+use hipster::workloads::web_search;
+use hipster::{Diurnal, Fleet, Hipster, Platform, Policy, ScenarioSpec};
+use hipster_core::Zones;
+
+/// One scenario, reconstructed identically on every call (specs are
+/// single-use: they own their telemetry sinks).
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::new("determinism", Platform::juno_r1())
+        .workload_with(|| Box::new(web_search()))
+        .load(Diurnal::paper())
+        .policy(|p: &Platform, seed| {
+            Box::new(
+                Hipster::interactive(p, seed)
+                    .learning_intervals(40)
+                    .zones(Zones::new(0.85, 0.35))
+                    .bucket_width(0.06)
+                    .build(),
+            ) as Box<dyn Policy>
+        })
+        .intervals(120)
+        .seed(9)
+}
+
+#[test]
+fn serial_and_fleet_runs_are_byte_identical() {
+    let serial = spec().run().expect("valid scenario");
+    let serial_csv = serial.trace.to_csv();
+    let serial_jsonl: Vec<String> = serial
+        .trace
+        .intervals()
+        .iter()
+        .map(hipster::interval_to_jsonl)
+        .collect();
+
+    // Four copies of the same spec across four worker threads: every copy
+    // must reproduce the serial run exactly, regardless of scheduling.
+    let fleet: Fleet = (0..4).map(|_| spec()).collect();
+    let outcomes = fleet.threads(4).run().expect("valid fleet");
+    assert_eq!(outcomes.len(), 4);
+    for outcome in &outcomes {
+        assert_eq!(outcome.seed, serial.seed);
+        assert_eq!(
+            outcome.trace.to_csv().into_bytes(),
+            serial_csv.clone().into_bytes()
+        );
+        let jsonl: Vec<String> = outcome
+            .trace
+            .intervals()
+            .iter()
+            .map(hipster::interval_to_jsonl)
+            .collect();
+        assert_eq!(jsonl, serial_jsonl);
+    }
+}
+
+#[test]
+fn fleet_split_seeds_reproduce_across_runs() {
+    let run = |threads: usize| {
+        let fleet: Fleet = (0..3).map(|_| spec_unseeded()).collect();
+        fleet
+            .threads(threads)
+            .base_seed(77)
+            .run()
+            .expect("valid fleet")
+    };
+    let a = run(1);
+    let b = run(3);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.seed, y.seed);
+        assert_eq!(x.trace.to_csv(), y.trace.to_csv());
+    }
+    // Different indices → different split seeds → different traces.
+    assert_ne!(a[0].seed, a[1].seed);
+    assert_ne!(a[0].trace.to_csv(), a[1].trace.to_csv());
+}
+
+fn spec_unseeded() -> ScenarioSpec {
+    ScenarioSpec::new("unseeded", Platform::juno_r1())
+        .workload_with(|| Box::new(web_search()))
+        .load(Diurnal::paper())
+        .policy(|p: &Platform, seed| {
+            Box::new(Hipster::interactive(p, seed).learning_intervals(20).build())
+                as Box<dyn Policy>
+        })
+        .intervals(60)
+}

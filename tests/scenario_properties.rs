@@ -1,0 +1,143 @@
+//! Property tests for `ScenarioSpec` validation: malformed scenarios are
+//! rejected with typed errors — construction and validation never panic.
+
+use hipster::workloads::memcached;
+use hipster::{
+    Constant, EngineSpecError, Fleet, FleetError, Platform, Policy, ScenarioError, ScenarioSpec,
+    StaticPolicy,
+};
+use proptest::prelude::*;
+
+/// A structurally complete scenario whose numeric knobs come from the
+/// property inputs.
+fn spec(intervals: usize, jitter: f64, interval_s: f64) -> ScenarioSpec {
+    ScenarioSpec::new("prop", Platform::juno_r1())
+        .workload_with(|| Box::new(memcached()))
+        .load(Constant::new(0.3, 10.0))
+        .policy(|p: &Platform, _| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+        .intervals(intervals)
+        .seed(1)
+        .jitter(jitter)
+        .interval_s(interval_s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Validation classifies every input as Ok or a typed error and never
+    /// panics, across the whole knob space (including NaN and negatives).
+    #[test]
+    fn validation_total_over_knob_space(
+        intervals in 0usize..4,
+        jitter in prop_oneof![
+            Just(f64::NAN),
+            Just(-1.0f64),
+            Just(f64::INFINITY),
+            -0.5f64..0.5
+        ],
+        interval_s in prop_oneof![
+            Just(f64::NAN),
+            Just(0.0f64),
+            Just(-2.0f64),
+            0.001f64..10.0
+        ],
+    ) {
+        let s = spec(intervals, jitter, interval_s);
+        match s.validate() {
+            Ok(()) => {
+                prop_assert!(intervals > 0);
+                prop_assert!(jitter.is_finite() && jitter >= 0.0);
+                prop_assert!(interval_s.is_finite() && interval_s > 0.0);
+            }
+            Err(ScenarioError::ZeroIntervals) => prop_assert_eq!(intervals, 0),
+            Err(ScenarioError::Engine(EngineSpecError::InvalidJitter { sigma })) => {
+                prop_assert!(!(sigma.is_finite() && sigma >= 0.0));
+            }
+            Err(ScenarioError::Engine(EngineSpecError::NonPositiveInterval { seconds })) => {
+                prop_assert!(!(seconds.is_finite() && seconds > 0.0));
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// Zero intervals are always rejected, regardless of the other knobs.
+    #[test]
+    fn zero_intervals_always_rejected(seed in proptest::arbitrary::any::<u64>()) {
+        let s = spec(0, 0.1, 1.0).seed(seed);
+        prop_assert_eq!(s.validate(), Err(ScenarioError::ZeroIntervals));
+        prop_assert!(matches!(s.run(), Err(ScenarioError::ZeroIntervals)));
+    }
+
+    /// Inconsistent collocation settings are rejected both ways: enabling
+    /// collocation without batch programs, and supplying batch programs
+    /// without enabling collocation.
+    #[test]
+    fn inconsistent_collocation_rejected(collocate in proptest::arbitrary::any::<bool>()) {
+        #[derive(Debug, Clone)]
+        struct FixedIps;
+        impl hipster::sim::BatchProgram for FixedIps {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn ips(
+                &self,
+                _kind: hipster::CoreKind,
+                _freq: hipster::Frequency,
+            ) -> f64 {
+                1.0e9
+            }
+        }
+        let s = spec(5, 0.1, 1.0);
+        let (s, expected) = if collocate {
+            (s.collocated(), ScenarioError::CollocationWithoutBatch)
+        } else {
+            (
+                s.batch_with(|| Box::new(FixedIps)),
+                ScenarioError::BatchWithoutCollocation,
+            )
+        };
+        prop_assert_eq!(s.validate(), Err(expected));
+    }
+
+    /// An incomplete spec reports exactly which piece is missing.
+    #[test]
+    fn missing_pieces_reported(which in 0u8..3) {
+        let s = ScenarioSpec::new("partial", Platform::juno_r1());
+        let s = match which {
+            0 => s,
+            1 => s.workload_with(|| Box::new(memcached())),
+            _ => s
+                .workload_with(|| Box::new(memcached()))
+                .load(Constant::new(0.3, 10.0)),
+        };
+        let expected = match which {
+            0 => ScenarioError::MissingWorkload,
+            1 => ScenarioError::MissingLoad,
+            _ => ScenarioError::MissingPolicy,
+        };
+        prop_assert_eq!(s.intervals(5).validate(), Err(expected));
+    }
+}
+
+#[test]
+fn empty_fleet_is_typed_error_not_panic() {
+    match Fleet::new().run() {
+        Err(FleetError::Empty) => {}
+        other => panic!("expected FleetError::Empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn fleet_reports_invalid_member_without_running() {
+    let fleet = Fleet::new()
+        .scenario(spec(5, 0.1, 1.0))
+        .scenario(spec(0, 0.1, 1.0));
+    match fleet.run() {
+        Err(FleetError::InvalidScenario {
+            index: 1, error, ..
+        }) => {
+            assert_eq!(error, ScenarioError::ZeroIntervals);
+        }
+        other => panic!("expected InvalidScenario, got {other:?}"),
+    }
+}

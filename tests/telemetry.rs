@@ -1,0 +1,87 @@
+//! Telemetry sink round-trips through a real run: the JSON-lines sink's
+//! file parses back into the exact trace the run produced, and the CSV
+//! sink reproduces `Trace::to_csv` byte for byte.
+
+use hipster::workloads::memcached;
+use hipster::{
+    interval_from_jsonl, interval_to_jsonl, Constant, CsvSink, Diurnal, Hipster, JsonLinesSink,
+    Platform, Policy, ScenarioSpec, SummarySink, TraceSink,
+};
+
+fn unique_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hipster-telemetry-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn jsonl_sink_round_trips_a_real_run() {
+    let path = unique_path("roundtrip.jsonl");
+    let sink = JsonLinesSink::create(&path).expect("temp file");
+    let outcome = ScenarioSpec::new("jsonl-roundtrip", Platform::juno_r1())
+        .workload_with(|| Box::new(memcached()))
+        .load(Diurnal::paper())
+        .policy(|p: &Platform, seed| {
+            Box::new(Hipster::interactive(p, seed).learning_intervals(30).build())
+                as Box<dyn Policy>
+        })
+        .intervals(90)
+        .seed(4)
+        .sink(Box::new(sink))
+        .run()
+        .expect("valid scenario");
+
+    let text = std::fs::read_to_string(&path).expect("sink wrote the file");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), outcome.trace.len(), "one line per interval");
+    for (line, stats) in lines.iter().zip(outcome.trace.intervals()) {
+        let parsed = interval_from_jsonl(line).expect("every line parses");
+        assert_eq!(&parsed, stats, "parse recovers the exact interval");
+        assert_eq!(
+            interval_to_jsonl(&parsed),
+            *line,
+            "re-serialization is byte-identical"
+        );
+    }
+}
+
+#[test]
+fn csv_sink_matches_trace_to_csv() {
+    let path = unique_path("trace.csv");
+    let sink = CsvSink::create(&path).expect("temp file");
+    let outcome = ScenarioSpec::new("csv", Platform::juno_r1())
+        .workload_with(|| Box::new(memcached()))
+        .load(Constant::new(0.5, 40.0))
+        .policy(|p: &Platform, _| Box::new(hipster::StaticPolicy::all_big(p)) as Box<dyn Policy>)
+        .intervals(40)
+        .seed(5)
+        .sink(Box::new(sink))
+        .run()
+        .expect("valid scenario");
+
+    let text = std::fs::read_to_string(&path).expect("sink wrote the file");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(text, outcome.trace.to_csv());
+}
+
+#[test]
+fn trace_and_summary_sinks_agree_with_outcome() {
+    let (trace_sink, trace_handle) = TraceSink::new();
+    let (summary_sink, summary_handle) = SummarySink::new();
+    let outcome = ScenarioSpec::new("handles", Platform::juno_r1())
+        .workload_with(|| Box::new(memcached()))
+        .load(Constant::new(0.4, 30.0))
+        .policy(|p: &Platform, _| Box::new(hipster::StaticPolicy::all_big(p)) as Box<dyn Policy>)
+        .intervals(30)
+        .seed(6)
+        .sink(Box::new(trace_sink))
+        .sink(Box::new(summary_sink))
+        .run()
+        .expect("valid scenario");
+
+    assert_eq!(trace_handle.take().to_csv(), outcome.trace.to_csv());
+    let summary = summary_handle.take().expect("summary after run");
+    assert_eq!(summary.total_energy_j, outcome.summary.total_energy_j);
+    assert_eq!(summary.qos_guarantee_pct, outcome.summary.qos_guarantee_pct);
+}
