@@ -4,6 +4,8 @@
 //! repro all            # everything (several minutes in release mode)
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
+//! repro bench          # event-core throughput baseline → BENCH_PR3.json
+//! repro bench --smoke  # same cells, seconds (CI)
 //! ```
 
 use hipster_bench::experiments as exp;
@@ -26,7 +28,8 @@ const EXPERIMENTS: &[(&str, fn(bool))] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n\nexperiments: {}",
+        "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n       \
+         repro bench [--smoke]\n\nexperiments: {} bench",
         EXPERIMENTS
             .iter()
             .map(|(n, _)| *n)
@@ -39,6 +42,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -47,8 +51,17 @@ fn main() {
     if selected.is_empty() {
         usage();
     }
+    // `bench` is not a paper experiment: it benchmarks the event core
+    // itself (and is deliberately excluded from `all`, which reproduces
+    // the paper's tables/figures).
     let run_all = selected.contains(&"all");
     let mut matched = false;
+    if selected.contains(&"bench") {
+        matched = true;
+        let start = std::time::Instant::now();
+        hipster_bench::perfbench::run(smoke);
+        println!("[bench done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
     for (name, runner) in EXPERIMENTS {
         if run_all || selected.contains(name) {
             matched = true;
@@ -58,7 +71,7 @@ fn main() {
         }
     }
     for want in &selected {
-        if *want != "all" && !EXPERIMENTS.iter().any(|(n, _)| n == want) {
+        if *want != "all" && *want != "bench" && !EXPERIMENTS.iter().any(|(n, _)| n == want) {
             eprintln!("unknown experiment: {want}");
             matched = false;
         }

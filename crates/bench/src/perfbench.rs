@@ -1,0 +1,574 @@
+//! `repro bench` — event-core throughput baseline (`BENCH_PR3.json`).
+//!
+//! Steps canonical open- and closed-loop scenarios at several server /
+//! client scales through the *same* generic driver, once with the
+//! heap-indexed [`ServiceNode`] (+ [`ThinkPool`]) and once with the frozen
+//! pre-PR3 linear-scan implementation ([`ReferenceNode`] +
+//! [`ReferenceThinkPool`]), and reports events/sec and intervals/sec for
+//! both. Because the driver feeds both implementations identical RNG
+//! streams, their per-interval statistics must agree exactly — the bench
+//! doubles as an at-scale equivalence check and panics on any divergence.
+//!
+//! Results are written to `BENCH_PR3.json` in the current directory (the
+//! repo root, when run via `cargo run`), giving future PRs a recorded perf
+//! trajectory. `--smoke` runs the same cells with fewer simulated
+//! intervals so CI can validate the harness in seconds.
+
+use std::time::Instant;
+
+use hipster_platform::{CoreKind, Frequency};
+use hipster_sim::dist::Exponential;
+use hipster_sim::reference::{ReferenceNode, ReferenceThinkPool};
+use hipster_sim::{
+    Demand, LcModel, NodeInterval, Sampler, ServerSpec, ServiceNode, SimRng, ThinkPool,
+};
+use hipster_workloads::{memcached, web_search, LcWorkload};
+
+/// Tail percentile used by every bench interval (Memcached's QoS point).
+const TAIL_P: f64 = 0.95;
+
+/// Target per-server utilization of each cell: high enough that queues and
+/// completions dominate, low enough that the open-loop system is stable.
+const UTILIZATION: f64 = 0.8;
+
+/// The queueing-node API surface the bench driver needs, implemented by
+/// both the production node and the frozen reference.
+trait EventNode {
+    fn reconfigure(&mut self, now: f64, specs: &[ServerSpec], preempt: bool, stall_s: f64);
+    fn begin_interval(&mut self, t: f64);
+    fn arrive(&mut self, now: f64, demand: Demand);
+    fn next_completion(&self) -> Option<f64>;
+    fn advance(&mut self, to: f64);
+    fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>);
+    fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval;
+}
+
+impl EventNode for ServiceNode {
+    fn reconfigure(&mut self, now: f64, specs: &[ServerSpec], preempt: bool, stall_s: f64) {
+        ServiceNode::reconfigure(self, now, specs, preempt, stall_s);
+    }
+    fn begin_interval(&mut self, t: f64) {
+        ServiceNode::begin_interval(self, t);
+    }
+    fn arrive(&mut self, now: f64, demand: Demand) {
+        ServiceNode::arrive(self, now, demand);
+    }
+    fn next_completion(&self) -> Option<f64> {
+        ServiceNode::next_completion(self)
+    }
+    fn advance(&mut self, to: f64) {
+        ServiceNode::advance(self, to);
+    }
+    fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
+        ServiceNode::advance_collect(self, to, out);
+    }
+    fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
+        ServiceNode::end_interval(self, t_end, p)
+    }
+}
+
+impl EventNode for ReferenceNode {
+    fn reconfigure(&mut self, now: f64, specs: &[ServerSpec], preempt: bool, stall_s: f64) {
+        ReferenceNode::reconfigure(self, now, specs, preempt, stall_s);
+    }
+    fn begin_interval(&mut self, t: f64) {
+        ReferenceNode::begin_interval(self, t);
+    }
+    fn arrive(&mut self, now: f64, demand: Demand) {
+        ReferenceNode::arrive(self, now, demand);
+    }
+    fn next_completion(&self) -> Option<f64> {
+        ReferenceNode::next_completion(self)
+    }
+    fn advance(&mut self, to: f64) {
+        ReferenceNode::advance(self, to);
+    }
+    fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
+        ReferenceNode::advance_collect(self, to, out);
+    }
+    fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
+        ReferenceNode::end_interval(self, t_end, p)
+    }
+}
+
+/// The thinking-pool API surface of the closed-loop driver.
+trait Pool {
+    fn push(&mut self, expiry: f64);
+    fn peek_min(&self) -> Option<f64>;
+    fn pop_min(&mut self) -> Option<f64>;
+    fn len(&self) -> usize;
+}
+
+impl Pool for ThinkPool {
+    fn push(&mut self, expiry: f64) {
+        ThinkPool::push(self, expiry);
+    }
+    fn peek_min(&self) -> Option<f64> {
+        ThinkPool::peek_min(self)
+    }
+    fn pop_min(&mut self) -> Option<f64> {
+        ThinkPool::pop_min(self)
+    }
+    fn len(&self) -> usize {
+        ThinkPool::len(self)
+    }
+}
+
+impl Pool for ReferenceThinkPool {
+    fn push(&mut self, expiry: f64) {
+        ReferenceThinkPool::push(self, expiry);
+    }
+    fn peek_min(&self) -> Option<f64> {
+        ReferenceThinkPool::peek_min(self)
+    }
+    fn pop_min(&mut self) -> Option<f64> {
+        ReferenceThinkPool::pop_min(self)
+    }
+    fn len(&self) -> usize {
+        ReferenceThinkPool::len(self)
+    }
+}
+
+/// One measured run of one implementation over one cell.
+struct Measured {
+    /// Processed simulation events (arrivals + completions + timeouts).
+    events: u64,
+    intervals: usize,
+    wall_s: f64,
+    /// Per-interval `(arrivals, completions, timeouts, tail bit pattern)` —
+    /// compared across implementations to guarantee both ran the *same*
+    /// simulation.
+    checksum: Vec<(usize, usize, usize, u64)>,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+    fn intervals_per_sec(&self) -> f64 {
+        self.intervals as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn big_specs(model: &LcWorkload, servers: usize) -> Vec<ServerSpec> {
+    let freq = Frequency::from_mhz(1150);
+    let speed = model.service_speed(CoreKind::Big, freq);
+    vec![
+        ServerSpec {
+            kind: CoreKind::Big,
+            freq,
+            speed,
+            slowdown: 1.0,
+        };
+        servers
+    ]
+}
+
+/// Mean service time of one request on one big server (sampled — the
+/// demand distribution is lognormal, so closed-form means are per-model).
+fn mean_service_s(model: &LcWorkload) -> f64 {
+    let freq = Frequency::from_mhz(1150);
+    let speed = model.service_speed(CoreKind::Big, freq);
+    let mut rng = SimRng::seed(7);
+    let n = 20_000;
+    let total: f64 = (0..n)
+        .map(|_| {
+            let d = model.sample_demand(&mut rng);
+            d.work / speed + d.mem_s
+        })
+        .sum();
+    total / n as f64
+}
+
+/// Open-loop driver: Poisson arrival events carrying workload bursts, one
+/// static configuration, `intervals` monitoring intervals of `interval_s`.
+/// Mirrors `Engine::run_events` without the platform measurement apparatus.
+fn drive_open<N: EventNode>(
+    node: &mut N,
+    model: &LcWorkload,
+    servers: usize,
+    rate_rps: f64,
+    interval_s: f64,
+    intervals: usize,
+    seed: u64,
+) -> Measured {
+    let specs = big_specs(model, servers);
+    let mut arrival_rng = SimRng::seed(seed);
+    let mut demand_rng = SimRng::seed(seed ^ 0x9e3779b97f4a7c15);
+    let event_rate = rate_rps / model.mean_burst().max(1.0);
+    let iat = Exponential::new(event_rate);
+    let start = Instant::now();
+    node.reconfigure(0.0, &specs, true, 0.0);
+    let mut now = 0.0f64;
+    let mut next_arrival = now + iat.sample(&mut arrival_rng);
+    let mut checksum = Vec::with_capacity(intervals);
+    let mut events = 0u64;
+    for _ in 0..intervals {
+        node.begin_interval(now);
+        let t_end = now + interval_s;
+        loop {
+            let t = match node.next_completion() {
+                Some(tc) if tc < next_arrival => tc.min(t_end),
+                _ => next_arrival.min(t_end),
+            };
+            node.advance(t);
+            if t >= t_end {
+                break;
+            }
+            if t == next_arrival {
+                let burst = model.sample_burst(&mut demand_rng).max(1);
+                for _ in 0..burst {
+                    let demand = model.sample_demand(&mut demand_rng);
+                    node.arrive(t, demand);
+                }
+                next_arrival = t + iat.sample(&mut arrival_rng);
+            }
+        }
+        now = t_end;
+        let iv = node.end_interval(t_end, TAIL_P);
+        events += (iv.arrivals + iv.completions + iv.timeouts) as u64;
+        checksum.push((
+            iv.arrivals,
+            iv.completions,
+            iv.timeouts,
+            iv.tail_latency_s.to_bits(),
+        ));
+    }
+    Measured {
+        events,
+        intervals,
+        wall_s: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Closed-loop driver: a fixed population of `clients` in a submit → wait →
+/// think cycle. Mirrors `Engine::run_events_closed` without the platform
+/// measurement apparatus.
+fn drive_closed<N: EventNode, P: Pool>(
+    node: &mut N,
+    pool: &mut P,
+    model: &LcWorkload,
+    servers: usize,
+    clients: usize,
+    think_mean_s: f64,
+    interval_s: f64,
+    intervals: usize,
+    seed: u64,
+) -> Measured {
+    let specs = big_specs(model, servers);
+    let mut arrival_rng = SimRng::seed(seed);
+    let mut demand_rng = SimRng::seed(seed ^ 0x9e3779b97f4a7c15);
+    let think = Exponential::new(1.0 / think_mean_s.max(1e-9));
+    let start = Instant::now();
+    node.reconfigure(0.0, &specs, true, 0.0);
+    let mut now = 0.0f64;
+    while pool.len() < clients {
+        pool.push(now + think.sample(&mut arrival_rng));
+    }
+    let mut checksum = Vec::with_capacity(intervals);
+    let mut events = 0u64;
+    let mut completions = Vec::new();
+    for _ in 0..intervals {
+        node.begin_interval(now);
+        let t_end = now + interval_s;
+        loop {
+            let mut t = t_end;
+            let mut submit = false;
+            if let Some(tc) = node.next_completion() {
+                if tc < t {
+                    t = tc;
+                }
+            }
+            if let Some(tk) = pool.peek_min() {
+                if tk < t {
+                    t = tk;
+                    submit = true;
+                }
+            }
+            completions.clear();
+            node.advance_collect(t, &mut completions);
+            for &ct in &completions {
+                pool.push(ct + think.sample(&mut arrival_rng));
+            }
+            if t >= t_end && !submit {
+                break;
+            }
+            if submit {
+                pool.pop_min().expect("think expiry exists");
+                let demand = model.sample_demand(&mut demand_rng);
+                node.arrive(t, demand);
+            }
+        }
+        now = t_end;
+        let iv = node.end_interval(t_end, TAIL_P);
+        events += (iv.arrivals + iv.completions + iv.timeouts) as u64;
+        checksum.push((
+            iv.arrivals,
+            iv.completions,
+            iv.timeouts,
+            iv.tail_latency_s.to_bits(),
+        ));
+    }
+    Measured {
+        events,
+        intervals,
+        wall_s: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// One scenario cell of the bench matrix.
+struct Cell {
+    name: String,
+    mode: &'static str,
+    servers: usize,
+    clients: Option<usize>,
+    offered_rps: f64,
+    interval_s: f64,
+    intervals: usize,
+    new: Measured,
+    reference: Measured,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.new.events_per_sec() / self.reference.events_per_sec().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"mode\":\"{}\",\"servers\":{},\"clients\":{},",
+                "\"offered_rps\":{:.1},\"interval_s\":{},\"intervals\":{},",
+                "\"events\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},",
+                "\"intervals_per_sec\":{:.3},",
+                "\"reference\":{{\"events\":{},\"wall_s\":{:.6},",
+                "\"events_per_sec\":{:.1},\"intervals_per_sec\":{:.3}}},",
+                "\"speedup\":{:.2}}}"
+            ),
+            self.name,
+            self.mode,
+            self.servers,
+            self.clients.map_or("null".into(), |c| c.to_string()),
+            self.offered_rps,
+            self.interval_s,
+            self.intervals,
+            self.new.events,
+            self.new.wall_s,
+            self.new.events_per_sec(),
+            self.new.intervals_per_sec(),
+            self.reference.events,
+            self.reference.wall_s,
+            self.reference.events_per_sec(),
+            self.reference.intervals_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+fn check_equivalence(name: &str, new: &Measured, reference: &Measured) {
+    assert_eq!(
+        new.checksum, reference.checksum,
+        "{name}: heap-indexed and reference implementations diverged — \
+         the bench drove two different simulations"
+    );
+}
+
+/// Runs the bench matrix and writes `BENCH_PR3.json`. With `smoke`, runs
+/// the same cells over fewer simulated intervals (seconds, for CI).
+pub fn run(smoke: bool) {
+    let open_model = memcached();
+    let closed_model = web_search();
+    let open_intervals = if smoke { 2 } else { 10 };
+    let closed_intervals = if smoke { 2 } else { 10 };
+    // Open-loop cells: interval length chosen so the largest cell stays
+    // around a million requests per run (Memcached requests are ~50 µs).
+    let open_interval_s = 0.1;
+    let closed_interval_s = 1.0;
+    let t_mean_open = mean_service_s(&open_model);
+    let t_mean_closed = mean_service_s(&closed_model);
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &servers in &[4usize, 16, 64] {
+        let rate = UTILIZATION * servers as f64 / t_mean_open;
+        let name = format!("open/memcached/s{servers}");
+        print!("  {name} ...");
+        let mut node = ServiceNode::new();
+        let new = drive_open(
+            &mut node,
+            &open_model,
+            servers,
+            rate,
+            open_interval_s,
+            open_intervals,
+            42,
+        );
+        let mut refnode = ReferenceNode::new();
+        let reference = drive_open(
+            &mut refnode,
+            &open_model,
+            servers,
+            rate,
+            open_interval_s,
+            open_intervals,
+            42,
+        );
+        check_equivalence(&name, &new, &reference);
+        println!(
+            " {:.2} M events/s (reference {:.2} M) — {:.1}×",
+            new.events_per_sec() / 1e6,
+            reference.events_per_sec() / 1e6,
+            new.events_per_sec() / reference.events_per_sec().max(1e-9),
+        );
+        cells.push(Cell {
+            name,
+            mode: "open",
+            servers,
+            clients: None,
+            offered_rps: rate,
+            interval_s: open_interval_s,
+            intervals: open_intervals,
+            new,
+            reference,
+        });
+    }
+
+    for &(servers, clients) in &[(4usize, 256usize), (16, 1024), (64, 4096)] {
+        // Think time calibrated so offered load ≈ UTILIZATION × capacity:
+        // clients / (think + t̄) = U × servers / t̄.
+        let think = (t_mean_closed * clients as f64 / (UTILIZATION * servers as f64)
+            - t_mean_closed)
+            .max(1e-3);
+        let offered = clients as f64 / (think + t_mean_closed);
+        let name = format!("closed/web-search/c{clients}");
+        print!("  {name} ...");
+        let mut node = ServiceNode::new();
+        let mut pool = ThinkPool::new();
+        let new = drive_closed(
+            &mut node,
+            &mut pool,
+            &closed_model,
+            servers,
+            clients,
+            think,
+            closed_interval_s,
+            closed_intervals,
+            43,
+        );
+        let mut refnode = ReferenceNode::new();
+        let mut refpool = ReferenceThinkPool::new();
+        let reference = drive_closed(
+            &mut refnode,
+            &mut refpool,
+            &closed_model,
+            servers,
+            clients,
+            think,
+            closed_interval_s,
+            closed_intervals,
+            43,
+        );
+        check_equivalence(&name, &new, &reference);
+        println!(
+            " {:.2} M events/s (reference {:.2} M) — {:.1}×",
+            new.events_per_sec() / 1e6,
+            reference.events_per_sec() / 1e6,
+            new.events_per_sec() / reference.events_per_sec().max(1e-9),
+        );
+        cells.push(Cell {
+            name,
+            mode: "closed",
+            servers,
+            clients: Some(clients),
+            offered_rps: offered,
+            interval_s: closed_interval_s,
+            intervals: closed_intervals,
+            new,
+            reference,
+        });
+    }
+
+    let body: Vec<String> = cells.iter().map(Cell::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hipster event-core throughput\",\"pr\":\"PR3\",\
+         \"smoke\":{smoke},\"tail_percentile\":{TAIL_P},\
+         \"utilization\":{UTILIZATION},\"cells\":[\n  {}\n]}}\n",
+        body.join(",\n  ")
+    );
+    let path = "BENCH_PR3.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+
+    let largest = cells.last().expect("cells are non-empty");
+    println!(
+        "\nlargest closed-loop cell ({}): {:.2}× events/sec over the pre-PR3 engine",
+        largest.name,
+        largest.speedup()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_driver_equivalent_across_impls() {
+        let model = memcached();
+        let t = mean_service_s(&model);
+        let rate = 0.7 * 3.0 / t;
+        let mut a = ServiceNode::new();
+        let new = drive_open(&mut a, &model, 3, rate, 0.02, 3, 5);
+        let mut b = ReferenceNode::new();
+        let reference = drive_open(&mut b, &model, 3, rate, 0.02, 3, 5);
+        assert_eq!(new.checksum, reference.checksum);
+        assert!(new.events > 0);
+    }
+
+    #[test]
+    fn closed_driver_equivalent_across_impls() {
+        let model = web_search();
+        let mut a = ServiceNode::new();
+        let mut pa = ThinkPool::new();
+        let new = drive_closed(&mut a, &mut pa, &model, 3, 48, 0.05, 0.25, 3, 5);
+        let mut b = ReferenceNode::new();
+        let mut pb = ReferenceThinkPool::new();
+        let reference = drive_closed(&mut b, &mut pb, &model, 3, 48, 0.05, 0.25, 3, 5);
+        assert_eq!(new.checksum, reference.checksum);
+        assert!(new.events > 0);
+    }
+
+    #[test]
+    fn cell_json_is_well_formed() {
+        let m = Measured {
+            events: 10,
+            intervals: 2,
+            wall_s: 0.5,
+            checksum: Vec::new(),
+        };
+        let r = Measured {
+            events: 10,
+            intervals: 2,
+            wall_s: 1.0,
+            checksum: Vec::new(),
+        };
+        let cell = Cell {
+            name: "open/x/s4".into(),
+            mode: "open",
+            servers: 4,
+            clients: None,
+            offered_rps: 100.0,
+            interval_s: 0.1,
+            intervals: 2,
+            new: m,
+            reference: r,
+        };
+        let j = cell.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"clients\":null"));
+        assert!(j.contains("\"speedup\":2.00"));
+    }
+}

@@ -1,0 +1,160 @@
+//! An in-repo Fx-style hasher for hot-path hash maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 with per-map random
+//! keys: great DoS resistance, but ~10× slower than necessary for the
+//! small, trusted, fixed-shape keys the Hipster runtime hashes on every
+//! monitoring interval (load bucket × core configuration in the
+//! [`QTable`](crate::QTable)). This module implements the well-known "Fx"
+//! multiply-rotate hash used throughout the Rust compiler: one rotate, one
+//! xor and one multiply per word of input, deterministic (no random state),
+//! and plenty good for keys we generate ourselves.
+//!
+//! The build environment is offline, so this is written here rather than
+//! pulled from crates.io — it is an independent implementation of the
+//! algorithm, not a vendored copy.
+//!
+//! Hash-flooding is a non-concern for these maps: every key is produced by
+//! the simulator itself (bucket indices, enumerated core configurations),
+//! never by untrusted input. Do not use this hasher on attacker-controlled
+//! keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio (same constant family the rustc Fx
+/// hasher uses): odd, high bit-diffusion under wrapping multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied before mixing each word; decorrelates consecutive
+/// words without an extra multiply.
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher (Fx algorithm).
+///
+/// Implements [`Hasher`] by folding the input into a single `u64` with a
+/// rotate–xor–multiply step per 8-byte word. Use it through
+/// [`FxBuildHasher`] / [`FxHashMap`] / [`FxHashSet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                word.try_into().expect("4 bytes"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s (no random state, so
+/// iteration order is deterministic for a given insertion sequence).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(x: &T) -> u64 {
+        FxBuildHasher::default().hash_one(x)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Unlike RandomState, two independent builders agree.
+        let a = FxBuildHasher::default().hash_one(&(3u32, 17u64));
+        let b = FxBuildHasher::default().hash_one(&(3u32, 17u64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h = |w: u32, c: u64| hash_of(&(w, c));
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..32u32 {
+            for c in 0..64u64 {
+                assert!(seen.insert(h(w, c)), "collision at ({w},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_chunking_covers_all_widths() {
+        // 0..8-byte tails exercise the 8/4/1-byte paths of `write`. Bytes
+        // start at 1: Fx folds a zero word into a zero state, so an
+        // all-zero prefix would legitimately collide with the empty input.
+        let mut hashes = std::collections::HashSet::new();
+        for len in 0..=17usize {
+            let bytes: Vec<u8> = (1..=len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            assert!(hashes.insert(h.finish()), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<(u32, u8), f64> = FxHashMap::default();
+        m.insert((1, 2), 0.5);
+        assert_eq!(m.get(&(1, 2)), Some(&0.5));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

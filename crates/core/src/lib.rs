@@ -55,6 +55,7 @@ mod baselines;
 mod bucket;
 mod feedback;
 mod fleet;
+mod fxhash;
 mod hipster;
 mod manager;
 mod metrics;
@@ -68,6 +69,7 @@ pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
 pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
 pub use feedback::{FeedbackController, Zones};
 pub use fleet::{split_seed, Fleet, FleetError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hipster::{Hipster, HipsterBuilder, Phase};
 pub use manager::Manager;
 pub use metrics::{energy_reduction_pct, PolicySummary};

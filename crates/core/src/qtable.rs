@@ -2,10 +2,15 @@
 //!
 //! §3.7: "the lookup table was implemented using a Python dictionary, which
 //! uses open addressing … having a computational complexity of O(1)". The
-//! Rust equivalent is a `HashMap` keyed on (load bucket, configuration);
-//! absent entries read as 0 (unexplored).
+//! Rust equivalent is a hash map keyed on (load bucket, configuration);
+//! absent entries read as 0 (unexplored). The map uses the in-repo
+//! [`FxHashMap`] rather than std's SipHash: the keys are small, trusted and
+//! self-generated, and `get`/`update`/`best_action` run on every monitoring
+//! interval of every scenario in a fleet, so the cheaper hash is a direct
+//! hot-path win with no behavioural change (tie-breaking in
+//! [`QTable::best_action`] scans the caller's action slice, never the map).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use hipster_platform::CoreConfig;
 
@@ -15,7 +20,7 @@ use hipster_platform::CoreConfig;
 /// estimates the total discounted reward from taking `c` in state `w`.
 #[derive(Debug, Clone, Default)]
 pub struct QTable {
-    table: HashMap<(u32, CoreConfig), f64>,
+    table: FxHashMap<(u32, CoreConfig), f64>,
 }
 
 impl QTable {

@@ -8,8 +8,10 @@ use hipster_platform::{
 
 use crate::costs::{ContentionModel, ReconfigCosts};
 use crate::dist::Exponential;
+use crate::request::QosTarget;
 use crate::rng::{Sampler, SimRng};
 use crate::service::{ServerSpec, ServiceNode};
+use crate::think::ThinkPool;
 use crate::traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};
 
 /// Default lognormal sigma of the per-interval background-interference
@@ -171,11 +173,38 @@ pub struct Engine {
     cold_this_interval: bool,
     total_migrations: u64,
     power_override: Option<hipster_platform::PowerModel>,
-    /// Closed-loop clients currently thinking (absolute expiry times).
-    thinking: Vec<f64>,
+    /// Closed-loop clients currently thinking (min-heap of expiry times).
+    thinking: ThinkPool,
     /// Lognormal σ of the per-interval background-interference slowdown.
     jitter_sigma: f64,
     jitter_rng: SimRng,
+    // Constants of the LC model, hoisted out of the per-interval loop (they
+    // are virtual calls on a boxed trait object, and `step` is the hot
+    // path).
+    /// Cached `lc.max_load_rps()`.
+    lc_max_load_rps: f64,
+    /// Cached `lc.mean_burst().max(1.0)`.
+    lc_mean_burst: f64,
+    /// Cached `lc.qos()`.
+    lc_qos: QosTarget,
+    /// Cached `lc.closed_loop()`.
+    lc_closed_loop: Option<ClosedLoop>,
+    /// Last inter-arrival distribution, keyed by its event rate; rebuilt
+    /// only when the offered load changes between intervals.
+    iat_cache: Option<(f64, Exponential)>,
+    /// Last think-time distribution, keyed by its rate.
+    think_cache: Option<(f64, Exponential)>,
+    // Reusable per-interval buffers (no allocation in steady state).
+    /// Server specs handed to `ServiceNode::reconfigure`.
+    specs_buf: Vec<ServerSpec>,
+    /// Core kinds of this interval's batch cores.
+    batch_kinds_buf: Vec<CoreKind>,
+    /// Per-core busy fractions of the big cluster.
+    big_busy_buf: Vec<f64>,
+    /// Per-core busy fractions of the small cluster.
+    small_busy_buf: Vec<f64>,
+    /// Completion times collected by the closed-loop event loop.
+    completions_buf: Vec<f64>,
 }
 
 impl Engine {
@@ -191,6 +220,10 @@ impl Engine {
         let num_cores = platform.num_cores();
         let mut node = ServiceNode::new();
         node.set_timeout(lc.timeout_s());
+        let lc_max_load_rps = lc.max_load_rps();
+        let lc_mean_burst = lc.mean_burst().max(1.0);
+        let lc_qos = lc.qos();
+        let lc_closed_loop = lc.closed_loop();
         Engine {
             platform,
             lc,
@@ -210,9 +243,20 @@ impl Engine {
             cold_this_interval: false,
             total_migrations: 0,
             power_override: None,
-            thinking: Vec::new(),
+            thinking: ThinkPool::new(),
             jitter_sigma: DEFAULT_JITTER_SIGMA,
             jitter_rng: root.fork("jitter"),
+            lc_max_load_rps,
+            lc_mean_burst,
+            lc_qos,
+            lc_closed_loop,
+            iat_cache: None,
+            think_cache: None,
+            specs_buf: Vec::new(),
+            batch_kinds_buf: Vec::new(),
+            big_busy_buf: Vec::new(),
+            small_busy_buf: Vec::new(),
+            completions_buf: Vec::new(),
         }
     }
 
@@ -334,13 +378,17 @@ impl Engine {
         self.cold_this_interval = migrated > 0;
 
         // Batch allocation for this interval: remaining cores, big first.
-        let batch_cores = self.batch_core_kinds(&cfg);
-        let slowdown = self.lc_slowdown(&cfg, &batch_cores);
+        // The kinds buffer is moved out for the duration of the step so it
+        // can be borrowed alongside `&mut self`, then returned for reuse.
+        let mut batch_cores = std::mem::take(&mut self.batch_kinds_buf);
+        self.fill_batch_kinds(&cfg, &mut batch_cores);
+        let on_lc_clusters = batch_cores.iter().filter(|k| cfg.lc.count(**k) > 0).count();
+        let slowdown = self.lc_slowdown(on_lc_clusters, batch_cores.len());
 
-        // LC server specs: big servers first, then small.
-        let mut specs = Vec::with_capacity(cfg.lc.total_cores());
+        // LC server specs: big servers first, then small (reused buffer).
+        self.specs_buf.clear();
         for _ in 0..cfg.lc.n_big {
-            specs.push(ServerSpec {
+            self.specs_buf.push(ServerSpec {
                 kind: CoreKind::Big,
                 freq: cfg.big_freq,
                 speed: self.lc.service_speed(CoreKind::Big, cfg.big_freq),
@@ -348,30 +396,31 @@ impl Engine {
             });
         }
         for _ in 0..cfg.lc.n_small {
-            specs.push(ServerSpec {
+            self.specs_buf.push(ServerSpec {
                 kind: CoreKind::Small,
                 freq: cfg.small_freq,
                 speed: self.lc.service_speed(CoreKind::Small, cfg.small_freq),
                 slowdown,
             });
         }
-        self.node.reconfigure(self.now, &specs, preempt, stall);
+        self.node
+            .reconfigure(self.now, &self.specs_buf, preempt, stall);
         self.node.begin_interval(self.now);
 
         // Event loop for the interval.
         let t_end = self.now + self.interval_s;
         let frac = self.load.load_at(self.now).max(0.0);
-        let rate = frac * self.lc.max_load_rps();
-        match self.lc.closed_loop() {
+        let rate = frac * self.lc_max_load_rps;
+        match self.lc_closed_loop {
             Some(cl) => self.run_events_closed(t_end, frac, stall, cl),
             None => self.run_events(t_end, rate, stall),
         }
 
-        let qos = self.lc.qos();
-        let node_iv = self.node.end_interval(t_end, qos.percentile);
+        let node_iv = self.node.end_interval(t_end, self.lc_qos.percentile);
 
         // Measurement: power, energy, counters.
         let stats = self.measure(cfg, frac, rate, node_iv, &batch_cores);
+        self.batch_kinds_buf = batch_cores;
         self.current = Some(cfg);
         self.now = t_end;
         self.index += 1;
@@ -397,24 +446,21 @@ impl Engine {
         }
     }
 
-    /// Core kinds of the batch cores for this config (big cores first).
-    fn batch_core_kinds(&self, cfg: &MachineConfig) -> Vec<CoreKind> {
+    /// Fills `out` with the core kinds of the batch cores for this config
+    /// (big cores first). `out` is a reused buffer; it is cleared first.
+    fn fill_batch_kinds(&self, cfg: &MachineConfig, out: &mut Vec<CoreKind>) {
+        out.clear();
         if !cfg.batch_enabled || self.batch_pool.is_empty() {
-            return Vec::new();
+            return;
         }
         let big_total = self.platform.cluster(CoreKind::Big).len();
         let small_total = self.platform.cluster(CoreKind::Small).len();
-        let mut kinds = Vec::new();
-        kinds.extend(std::iter::repeat(CoreKind::Big).take(big_total - cfg.lc.n_big));
-        kinds.extend(std::iter::repeat(CoreKind::Small).take(small_total - cfg.lc.n_small));
-        kinds
+        out.extend(std::iter::repeat(CoreKind::Big).take(big_total - cfg.lc.n_big));
+        out.extend(std::iter::repeat(CoreKind::Small).take(small_total - cfg.lc.n_small));
     }
 
-    fn lc_slowdown(&mut self, cfg: &MachineConfig, batch_cores: &[CoreKind]) -> f64 {
-        let on_lc_clusters = batch_cores.iter().filter(|k| cfg.lc.count(**k) > 0).count();
-        let mut s = self
-            .contention
-            .lc_slowdown(on_lc_clusters, batch_cores.len());
+    fn lc_slowdown(&mut self, on_lc_clusters: usize, n_batch: usize) -> f64 {
+        let mut s = self.contention.lc_slowdown(on_lc_clusters, n_batch);
         if self.cold_this_interval {
             s *= self.costs.cold_cache_penalty;
         }
@@ -436,10 +482,12 @@ impl Engine {
             None
         };
         // Arrival *events* carry bursts of requests; thin the event rate so
-        // the request rate equals the offered load.
-        let event_rate = rate / self.lc.mean_burst().max(1.0);
+        // the request rate equals the offered load. The distribution is
+        // cached across intervals and only rebuilt when the offered load
+        // actually changes.
+        let event_rate = rate / self.lc_mean_burst;
         let iat = if event_rate > 0.0 {
-            Some(Exponential::new(event_rate))
+            Some(cached_exp(&mut self.iat_cache, event_rate))
         } else {
             None
         };
@@ -495,13 +543,19 @@ impl Engine {
     /// The population is adjusted at interval boundaries; surplus clients
     /// are retired from the thinking pool (in-flight requests complete
     /// normally).
+    ///
+    /// The pool is a binary min-heap ([`ThinkPool`]): each think expiry is
+    /// an O(log clients) pop instead of the O(clients) scan the pre-indexed
+    /// engine performed per event, and population shrink is one selection
+    /// pass per boundary. Clients are indistinguishable, so the heap
+    /// reproduces the scan-based traces bit-for-bit.
     fn run_events_closed(&mut self, t_end: f64, frac: f64, stall: f64, cl: ClosedLoop) {
         let mut kick_at = if stall > 0.0 {
             Some(self.now + stall)
         } else {
             None
         };
-        let think = Exponential::new(1.0 / cl.think_mean_s.max(1e-9));
+        let think = cached_exp(&mut self.think_cache, 1.0 / cl.think_mean_s.max(1e-9));
         let target = (frac * cl.max_clients as f64).round().max(0.0) as usize;
         let mut population = self.thinking.len() + self.node.queue_len() + self.node.in_flight();
         // Grow: new clients start thinking now.
@@ -511,20 +565,13 @@ impl Engine {
             population += 1;
         }
         // Shrink: retire the clients that would submit last.
-        while population > target && !self.thinking.is_empty() {
-            let (idx, _) = self
-                .thinking
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty");
-            self.thinking.swap_remove(idx);
-            population -= 1;
+        if population > target {
+            self.thinking
+                .retire_latest((population - target).min(self.thinking.len()));
         }
 
-        let mut completions = Vec::new();
+        let mut completions = std::mem::take(&mut self.completions_buf);
         loop {
-            let next_think = self.thinking.iter().copied().min_by(f64::total_cmp);
             let mut t = t_end;
             let mut what = 0u8; // 0 = end, 1 = completion, 2 = think expiry, 3 = kick
             if let Some(x) = self.node.next_completion() {
@@ -533,7 +580,7 @@ impl Engine {
                     what = 1;
                 }
             }
-            if let Some(x) = next_think {
+            if let Some(x) = self.thinking.peek_min() {
                 if x < t {
                     t = x;
                     what = 2;
@@ -555,14 +602,7 @@ impl Engine {
                 0 => break,
                 1 => {}
                 2 => {
-                    let idx = self
-                        .thinking
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(i, _)| i)
-                        .expect("think expiry exists");
-                    self.thinking.swap_remove(idx);
+                    self.thinking.pop_min().expect("think expiry exists");
                     let demand = self.lc.sample_demand(&mut self.demand_rng);
                     self.node.arrive(t, demand);
                 }
@@ -573,6 +613,7 @@ impl Engine {
                 _ => unreachable!(),
             }
         }
+        self.completions_buf = completions;
     }
 
     fn measure(
@@ -588,9 +629,14 @@ impl Engine {
         let small_total = self.platform.cluster(CoreKind::Small).len();
 
         // Per-core busy fractions in cluster order: LC cores first within
-        // each cluster, then batch cores (100% busy), then idle.
-        let mut big_busy = vec![0.0; big_total];
-        let mut small_busy = vec![0.0; small_total];
+        // each cluster, then batch cores (100% busy), then idle. The
+        // buffers are engine-owned and reused across intervals.
+        let mut big_busy = std::mem::take(&mut self.big_busy_buf);
+        let mut small_busy = std::mem::take(&mut self.small_busy_buf);
+        big_busy.clear();
+        big_busy.resize(big_total, 0.0);
+        small_busy.clear();
+        small_busy.resize(small_total, 0.0);
         for i in 0..cfg.lc.n_big {
             big_busy[i] = node_iv.busy[i];
         }
@@ -687,6 +733,8 @@ impl Engine {
             small_gated,
         );
         self.meter.advance(dur, power);
+        self.big_busy_buf = big_busy;
+        self.small_busy_buf = small_busy;
 
         IntervalStats {
             index: self.index,
@@ -718,6 +766,20 @@ impl Engine {
             Some(prev) => {
                 prev.lc.n_big.abs_diff(cfg.lc.n_big) + prev.lc.n_small.abs_diff(cfg.lc.n_small)
             }
+        }
+    }
+}
+
+/// Returns the exponential distribution for `rate`, reusing `cache` when
+/// the rate is unchanged from the previous interval (so steady-load runs
+/// construct each distribution exactly once).
+fn cached_exp(cache: &mut Option<(f64, Exponential)>, rate: f64) -> Exponential {
+    match *cache {
+        Some((r, d)) if r == rate => d,
+        _ => {
+            let d = Exponential::new(rate);
+            *cache = Some((rate, d));
+            d
         }
     }
 }

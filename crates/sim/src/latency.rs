@@ -2,14 +2,25 @@
 //!
 //! The QoS Monitor samples the tail latency (95th/99th/90th percentile) of
 //! the requests completed in each monitoring interval. [`LatencyRecorder`]
-//! collects exact per-interval samples; [`percentile`] computes exact order
-//! statistics; [`P2Quantile`] is a constant-memory streaming estimator used
-//! where exact collection would be wasteful (long-horizon monitoring).
+//! collects exact per-interval samples into a buffer that is reused across
+//! intervals; [`percentile`] computes exact order statistics by selection
+//! (expected O(n), no full sort); [`P2Quantile`] is a constant-memory
+//! streaming estimator used where exact collection would be wasteful
+//! (long-horizon monitoring).
 
 /// Exact percentile of a sample set using linear interpolation between order
 /// statistics (the same convention as `numpy.percentile(..., 'linear')`).
 ///
-/// Returns `None` on an empty slice. `samples` is sorted in place.
+/// Implemented with [`slice::select_nth_unstable_by`] rather than a full
+/// sort: expected O(n) instead of O(n log n). Order statistics under the
+/// `total_cmp` order are unique values, so the result is bit-identical to
+/// the sort-based computation for the samples this crate produces (finite,
+/// non-negative latencies; the lone exception is a `-0.0` sample at an
+/// integral rank, where the sort-based interpolation formula would
+/// normalize it to `+0.0`). `samples` is only *partially reordered* in
+/// place — callers must not rely on it being sorted afterwards.
+///
+/// Returns `None` on an empty slice.
 ///
 /// # Panics
 ///
@@ -30,7 +41,6 @@ pub fn percentile(samples: &mut [f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    samples.sort_by(f64::total_cmp);
     let n = samples.len();
     if n == 1 {
         return Some(samples[0]);
@@ -39,7 +49,19 @@ pub fn percentile(samples: &mut [f64], p: f64) -> Option<f64> {
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    Some(samples[lo] + (samples[hi] - samples[lo]) * frac)
+    let (_, &mut lo_v, above) = samples.select_nth_unstable_by(lo, f64::total_cmp);
+    let hi_v = if hi == lo {
+        lo_v
+    } else {
+        // `hi == lo + 1`: the next order statistic is the minimum of the
+        // partition above the pivot (all its elements are ≥ `lo_v`).
+        above
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .expect("hi > lo implies a non-empty upper partition")
+    };
+    Some(lo_v + (hi_v - lo_v) * frac)
 }
 
 /// Collects latency samples for the current monitoring interval.
@@ -79,8 +101,11 @@ impl LatencyRecorder {
 
     /// Computes interval statistics and clears the recorder.
     ///
-    /// Returns `(tail, mean, count)` where `tail` is the `p`-th percentile.
-    /// With no samples, both latencies are `None`.
+    /// Returns `(tail, mean, count)` where `tail` is the `p`-th percentile,
+    /// computed by selection (see [`percentile`]). With no samples, both
+    /// latencies are `None`. The sample buffer's capacity is retained, so a
+    /// recorder that is reused interval after interval stops allocating once
+    /// it has seen its high-water-mark completion count.
     pub fn take_interval(&mut self, p: f64) -> (Option<f64>, Option<f64>, usize) {
         let n = self.samples.len();
         if n == 0 {

@@ -56,15 +56,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dist;
+pub mod reference;
 
 mod config;
 mod costs;
 mod engine;
 mod jsonl;
 mod latency;
+mod ordf64;
 mod request;
 mod rng;
 mod service;
+mod think;
 mod trace;
 mod traits;
 
@@ -76,5 +79,6 @@ pub use latency::{percentile, LatencyRecorder, P2Quantile};
 pub use request::{Demand, QosTarget, Request, RequestId};
 pub use rng::{Sampler, SimRng};
 pub use service::{NodeInterval, ServerSpec, ServiceNode};
+pub use think::ThinkPool;
 pub use trace::{csv_header, csv_row, Trace};
 pub use traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};

@@ -1,0 +1,49 @@
+//! A totally ordered `f64` newtype for heap keys.
+
+use std::cmp::Ordering;
+
+/// An `f64` ordered by [`f64::total_cmp`], so it can serve as (part of) a
+/// `BinaryHeap` key. Deriving `Ord` on a struct whose first field is a
+/// `TotalF64` yields the lexicographic order the event heaps rely on.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_on_floats() {
+        let mut xs = [TotalF64(2.0), TotalF64(-1.0), TotalF64(0.5)];
+        xs.sort();
+        assert_eq!(xs[0].0, -1.0);
+        assert_eq!(xs[2].0, 2.0);
+        assert!(TotalF64(-0.0) < TotalF64(0.0));
+        assert!(TotalF64(1.0) == TotalF64(1.0));
+    }
+
+    #[test]
+    fn lexicographic_derives_compose() {
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Key(TotalF64, usize);
+        assert!(Key(TotalF64(1.0), 5) < Key(TotalF64(2.0), 0));
+        assert!(Key(TotalF64(1.0), 0) < Key(TotalF64(1.0), 1));
+    }
+}

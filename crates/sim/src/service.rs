@@ -12,12 +12,35 @@
 //! or rescale them (for pure DVFS changes), charging the corresponding
 //! stall; this is how the paper's observation that "core-transitions are
 //! far more costly relative to DVFS changes" enters the model.
+//!
+//! # Event-count scalability
+//!
+//! The node is indexed so per-event cost is O(log n) in the server count
+//! rather than O(n):
+//!
+//! * pending completions live in a min-heap of `(finish, server)` — finding
+//!   and retiring the earliest completion is a heap pop, not a scan plus a
+//!   float-equality re-scan;
+//! * free servers live in a max-heap ordered by effective speed
+//!   (`speed / slowdown`, ties toward the higher server index), so
+//!   `dispatch` pops the preferred server instead of re-scanning all of
+//!   them; servers still inside a reconfiguration stall wait in a side list
+//!   and are promoted when their stall elapses;
+//! * the in-flight count is tracked incrementally.
+//!
+//! Heap tie-breaking reproduces the order the old linear scans produced
+//! (completions: lowest server index first; dispatch: highest server index
+//! among equally fast servers), so traces are bit-identical to the
+//! pre-indexed implementation — property-tested against the frozen copy in
+//! [`crate::reference`].
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use hipster_platform::{CoreKind, Frequency};
 
 use crate::latency::LatencyRecorder;
+use crate::ordf64::TotalF64;
 use crate::request::{Demand, Request, RequestId};
 
 /// Specification of one server (one core allocated to the LC workload).
@@ -45,6 +68,9 @@ struct InFlight {
 #[derive(Debug, Clone)]
 struct Server {
     spec: ServerSpec,
+    /// Effective dispatch speed, `spec.speed / spec.slowdown` (precomputed
+    /// at reconfiguration; the free-heap ordering key).
+    eff: f64,
     /// Earliest time this server may start (end of a reconfiguration stall).
     available_at: f64,
     in_flight: Option<InFlight>,
@@ -55,6 +81,25 @@ impl Server {
     fn service_time(&self, req: &Request) -> f64 {
         (req.work_left / self.spec.speed + req.mem_left) * self.spec.slowdown
     }
+}
+
+/// Pending-completion heap entry; min-heap order on `(finish, server)` so
+/// equal finish times retire the lowest server index first — the order the
+/// old `position(..finish == t)` scan produced. The derived `Ord` is
+/// lexicographic over ([`TotalF64`], `usize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Completion {
+    finish: TotalF64,
+    server: usize,
+}
+
+/// Free-server heap entry; max-heap order on `(eff, server)` so dispatch
+/// pops the fastest free server, ties toward the *highest* index — the
+/// element the old `Iterator::max_by` scan (last maximal) selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FreeServer {
+    eff: TotalF64,
+    server: usize,
 }
 
 /// Statistics of one completed monitoring interval of the service node.
@@ -81,11 +126,36 @@ pub struct NodeInterval {
 }
 
 /// FIFO multi-server queueing node for the latency-critical workload.
+///
+/// Indexed for event-count scalability: pending completions in a
+/// `(finish, server)` min-heap, free servers in an effective-speed max-heap
+/// and an incremental in-flight count keep per-event cost at O(log n) in
+/// the server count, with tie-breaking that reproduces the pre-indexed
+/// linear scans bit-for-bit (see [`crate::reference`]).
 #[derive(Debug, Clone)]
 pub struct ServiceNode {
     queue: VecDeque<Request>,
     servers: Vec<Server>,
+    /// Min-heap of pending completions, one entry per busy server. Entries
+    /// are never stale: reconfigurations rebuild the heap and completions
+    /// pop their own entry.
+    completions: BinaryHeap<Reverse<Completion>>,
+    /// Max-heap of free servers whose reconfiguration stall has elapsed.
+    free: BinaryHeap<FreeServer>,
+    /// Free servers not (yet) proven eligible: reconfigurations park every
+    /// idle server here, and dispatch demotes popped servers whose stall
+    /// has not elapsed at its (non-monotonic) timestamp. Drained into
+    /// `free` by the first dispatch with a non-empty queue that finds them
+    /// eligible, so on the steady-state hot path the emptiness check is
+    /// all that runs.
+    stalled: Vec<usize>,
+    /// Number of busy servers (kept incrementally; also the size of
+    /// `completions`).
+    in_flight_count: usize,
     recorder: LatencyRecorder,
+    /// Reused buffer for preempted in-flight requests (no allocation per
+    /// reconfiguration once warm).
+    preempt_scratch: Vec<Request>,
     next_id: u64,
     interval_start: f64,
     interval_arrivals: usize,
@@ -103,7 +173,12 @@ impl ServiceNode {
         ServiceNode {
             queue: VecDeque::new(),
             servers: Vec::new(),
+            completions: BinaryHeap::new(),
+            free: BinaryHeap::new(),
+            stalled: Vec::new(),
+            in_flight_count: 0,
             recorder: LatencyRecorder::new(),
+            preempt_scratch: Vec::new(),
             next_id: 0,
             interval_start: 0.0,
             interval_arrivals: 0,
@@ -136,12 +211,9 @@ impl ServiceNode {
         self.queue.len()
     }
 
-    /// Requests currently being serviced.
+    /// Requests currently being serviced (O(1)).
     pub fn in_flight(&self) -> usize {
-        self.servers
-            .iter()
-            .filter(|s| s.in_flight.is_some())
-            .count()
+        self.in_flight_count
     }
 
     /// Total requests completed since construction.
@@ -158,6 +230,9 @@ impl ServiceNode {
     /// * `stall_s` — servers may not start work before `now + stall_s`
     ///   (migration or DVFS transition latency).
     ///
+    /// Rebuilds the completion and free-server heaps (O(n log n) per
+    /// reconfiguration — once per monitoring interval, not per event).
+    ///
     /// # Panics
     ///
     /// Panics if `specs` is empty, if any spec has a non-positive speed or a
@@ -171,15 +246,14 @@ impl ServiceNode {
         }
         if preempt {
             self.preempt_all(now);
-            self.servers = specs
-                .iter()
-                .map(|&spec| Server {
-                    spec,
-                    available_at: now + stall_s,
-                    in_flight: None,
-                    busy_in_interval: 0.0,
-                })
-                .collect();
+            self.servers.clear();
+            self.servers.extend(specs.iter().map(|&spec| Server {
+                spec,
+                eff: spec.speed / spec.slowdown,
+                available_at: now + stall_s,
+                in_flight: None,
+                busy_in_interval: 0.0,
+            }));
         } else {
             assert_eq!(
                 specs.len(),
@@ -200,15 +274,40 @@ impl ServiceNode {
                     fl.finish = (now + stall_s) + t;
                 }
                 server.spec = spec;
+                server.eff = spec.speed / spec.slowdown;
                 server.available_at = server.available_at.max(now + stall_s);
             }
         }
+        self.rebuild_index();
         self.dispatch(now + stall_s);
+    }
+
+    /// Rebuilds the completion heap, free heap and stall list from the
+    /// server array. Free servers all enter `stalled`; the next dispatch
+    /// promotes the ones whose `available_at` has passed.
+    fn rebuild_index(&mut self) {
+        self.completions.clear();
+        self.free.clear();
+        self.stalled.clear();
+        self.in_flight_count = 0;
+        for (i, s) in self.servers.iter().enumerate() {
+            match &s.in_flight {
+                Some(fl) => {
+                    self.completions.push(Reverse(Completion {
+                        finish: TotalF64(fl.finish),
+                        server: i,
+                    }));
+                    self.in_flight_count += 1;
+                }
+                None => self.stalled.push(i),
+            }
+        }
     }
 
     fn preempt_all(&mut self, now: f64) {
         let interval_start = self.interval_start;
-        let mut preempted: Vec<Request> = Vec::new();
+        let mut preempted = std::mem::take(&mut self.preempt_scratch);
+        preempted.clear();
         for server in &mut self.servers {
             if let Some(mut fl) = server.in_flight.take() {
                 server.busy_in_interval += (now - fl.started.max(interval_start)).max(0.0);
@@ -220,9 +319,10 @@ impl ServiceNode {
         }
         // Requeue ahead of waiting requests, preserving arrival order.
         preempted.sort_by_key(|r| r.id);
-        for req in preempted.into_iter().rev() {
+        for req in preempted.drain(..).rev() {
             self.queue.push_front(req);
         }
+        self.preempt_scratch = preempted;
     }
 
     /// Marks the start of a monitoring interval at time `t`.
@@ -246,83 +346,121 @@ impl ServiceNode {
         self.dispatch(now);
     }
 
-    /// Earliest pending completion time, if any request is in flight.
+    /// Earliest pending completion time, if any request is in flight (O(1):
+    /// a peek at the completion heap).
     pub fn next_completion(&self) -> Option<f64> {
-        self.servers
-            .iter()
-            .filter_map(|s| s.in_flight.as_ref().map(|f| f.finish))
-            .min_by(f64::total_cmp)
+        self.completions.peek().map(|Reverse(c)| c.finish.0)
     }
 
     /// Processes all completions up to and including time `to`.
     pub fn advance(&mut self, to: f64) {
-        while let Some(t) = self.next_completion() {
-            if t > to {
+        while let Some(&Reverse(c)) = self.completions.peek() {
+            if c.finish.0 > to {
                 break;
             }
-            self.complete_one(t);
+            self.completions.pop();
+            self.complete_server(c.server, c.finish.0);
         }
     }
 
     /// Like [`ServiceNode::advance`], but appends each completion time to
     /// `out` (closed-loop generators schedule think timers from these).
     pub fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
-        while let Some(t) = self.next_completion() {
-            if t > to {
+        while let Some(&Reverse(c)) = self.completions.peek() {
+            if c.finish.0 > to {
                 break;
             }
-            self.complete_one(t);
-            out.push(t);
+            self.completions.pop();
+            self.complete_server(c.server, c.finish.0);
+            out.push(c.finish.0);
         }
     }
 
-    fn complete_one(&mut self, t: f64) {
-        let idx = self
-            .servers
-            .iter()
-            .position(|s| s.in_flight.as_ref().is_some_and(|f| f.finish == t))
-            .expect("completion time came from a server");
+    /// Retires the request on server `idx` at its finish time `t` (the
+    /// popped completion-heap entry), then dispatches onto the freed server.
+    fn complete_server(&mut self, idx: usize, t: f64) {
         let fl = self.servers[idx].in_flight.take().expect("server busy");
         self.servers[idx].busy_in_interval += t - fl.started.max(self.interval_start);
         self.servers[idx].available_at = t;
+        self.in_flight_count -= 1;
+        self.free.push(FreeServer {
+            eff: TotalF64(self.servers[idx].eff),
+            server: idx,
+        });
         self.recorder.record(fl.req.age(t));
         self.interval_completions += 1;
         self.total_completed += 1;
         self.dispatch(t);
     }
 
+    /// Promotes stalled servers whose `available_at` has passed into the
+    /// free heap. `stalled` is only populated between a reconfiguration and
+    /// its kick, so this is an O(1) emptiness check on the hot path.
+    fn promote_stalled(&mut self, now: f64) {
+        let mut i = 0;
+        while i < self.stalled.len() {
+            let idx = self.stalled[i];
+            if self.servers[idx].available_at <= now {
+                self.free.push(FreeServer {
+                    eff: TotalF64(self.servers[idx].eff),
+                    server: idx,
+                });
+                self.stalled.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Dispatches queued requests to free servers (fastest server first),
     /// dropping requests whose client already timed out.
     fn dispatch(&mut self, now: f64) {
-        loop {
-            // Shed timed-out requests from the queue head; their latency is
-            // right-censored at the timeout so QoS accounting sees them.
-            if let Some(t) = self.timeout_s {
-                while self.queue.front().is_some_and(|r| r.age(now) > t) {
-                    self.queue.pop_front();
-                    self.recorder.record(t);
-                    self.interval_timeouts += 1;
-                }
+        // Shed timed-out requests from the queue head; their latency is
+        // right-censored at the timeout so QoS accounting sees them. One
+        // pass suffices: queued requests are in arrival order, so ages only
+        // decrease toward the tail.
+        if let Some(t) = self.timeout_s {
+            while self.queue.front().is_some_and(|r| r.age(now) > t) {
+                self.queue.pop_front();
+                self.recorder.record(t);
+                self.interval_timeouts += 1;
             }
-            if self.queue.is_empty() {
+        }
+        if self.queue.is_empty() {
+            return;
+        }
+        if !self.stalled.is_empty() {
+            self.promote_stalled(now);
+        }
+        while !self.queue.is_empty() {
+            // Fastest free server whose stall has elapsed: the free-heap
+            // maximum. Dispatch timestamps are not monotonic — a
+            // reconfiguration dispatches at `now + stall` and the event loop
+            // then delivers arrivals *inside* the stall window — so a popped
+            // server may still be stalled at this `now`; demote it back to
+            // the stall list (scanning downward in heap order keeps the
+            // first eligible pop the fastest eligible server).
+            let Some(FreeServer { server: idx, .. }) = self.free.pop() else {
                 return;
+            };
+            if self.servers[idx].available_at > now {
+                self.stalled.push(idx);
+                continue;
             }
-            // Fastest free server whose stall has elapsed.
-            let best = self
-                .servers
-                .iter_mut()
-                .filter(|s| s.in_flight.is_none() && s.available_at <= now)
-                .max_by(|a, b| {
-                    (a.spec.speed / a.spec.slowdown).total_cmp(&(b.spec.speed / b.spec.slowdown))
-                });
-            let Some(server) = best else { return };
             let req = self.queue.pop_front().expect("queue non-empty");
+            let server = &mut self.servers[idx];
             let service = server.service_time(&req);
+            let finish = now + service;
             server.in_flight = Some(InFlight {
                 req,
                 started: now,
-                finish: now + service,
+                finish,
             });
+            self.in_flight_count += 1;
+            self.completions.push(Reverse(Completion {
+                finish: TotalF64(finish),
+                server: idx,
+            }));
         }
     }
 
@@ -335,8 +473,11 @@ impl ServiceNode {
     /// Closes the interval at time `t_end`, returning its statistics.
     ///
     /// The tail latency is the `p`-th percentile of completions in the
-    /// interval; see [`NodeInterval::tail_latency_s`] for the no-completion
-    /// fallback.
+    /// interval, computed by selection rather than a full sort; see
+    /// [`NodeInterval::tail_latency_s`] for the no-completion fallback. The
+    /// returned [`NodeInterval::busy`] vector is the node's only
+    /// per-interval allocation — it is owned by the caller's interval
+    /// record, so it cannot be recycled here.
     pub fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
         // Account in-flight busy time up to the interval boundary.
         for s in &mut self.servers {
@@ -363,6 +504,9 @@ impl ServiceNode {
         }
     }
 
+    /// Age of the oldest request still in the system. Only consulted when
+    /// an interval ends with zero completions (a cold, near-idle or fully
+    /// wedged interval), so the O(n) scan is off the hot path.
     fn oldest_age(&self, now: f64) -> f64 {
         let queued = self.queue.front().map(|r| r.age(now));
         let in_flight = self
@@ -457,6 +601,56 @@ mod tests {
     }
 
     #[test]
+    fn equal_speed_tie_breaks_to_highest_index() {
+        // The old `max_by` scan returned the *last* maximal server; the
+        // free heap must reproduce that.
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[
+                spec(CoreKind::Big, 2.0),
+                spec(CoreKind::Big, 2.0),
+                spec(CoreKind::Big, 2.0),
+            ],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(2.0, 0.0));
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert_eq!(iv.completions, 1);
+        assert!(iv.busy[2] > 0.0, "highest-index server should win the tie");
+        assert!(iv.busy[0] == 0.0 && iv.busy[1] == 0.0);
+    }
+
+    #[test]
+    fn equal_finish_completes_lowest_index_first() {
+        // Two identical servers, two identical requests submitted together:
+        // both finish at the same instant; the completion heap must retire
+        // server 0's request first (the old `position` scan order). The
+        // third request then dispatches onto server 0.
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[spec(CoreKind::Big, 1.0), spec(CoreKind::Big, 1.0)],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(1.0, 0.0)); // server 1 (tie → highest idx)
+        n.arrive(0.0, Demand::new(1.0, 0.0)); // server 0
+        n.arrive(0.0, Demand::new(1.0, 0.0)); // queued
+        n.advance(1.0);
+        assert_eq!(n.in_flight(), 1);
+        let iv = n.end_interval(2.0, 1.0);
+        assert_eq!(iv.completions, 2);
+        // Server 0 freed first at t=1 and picked up the queued request.
+        assert!((iv.busy[0] - 1.0).abs() < 1e-12, "{:?}", iv.busy);
+        assert!((iv.busy[1] - 0.5).abs() < 1e-12, "{:?}", iv.busy);
+    }
+
+    #[test]
     fn two_servers_run_in_parallel() {
         let mut n = ServiceNode::new();
         n.reconfigure(
@@ -513,6 +707,29 @@ mod tests {
         n.reconfigure(0.0, &[spec(CoreKind::Big, 1.0)], true, 0.5);
         n.advance(10.0);
         let iv = n.end_interval(10.0, 1.0);
+        assert!(
+            (iv.tail_latency_s - 1.5).abs() < 1e-9,
+            "{}",
+            iv.tail_latency_s
+        );
+    }
+
+    #[test]
+    fn arrivals_during_stall_wait_for_kick() {
+        let mut n = one_server(1.0);
+        // Remap with a 1 s stall, then let a request arrive mid-stall: it
+        // must not start before the stall elapses.
+        n.reconfigure(0.0, &[spec(CoreKind::Big, 1.0)], true, 1.0);
+        n.arrive(0.5, Demand::new(1.0, 0.0));
+        n.advance(0.9);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.queue_len(), 1);
+        n.kick(1.0);
+        assert_eq!(n.in_flight(), 1);
+        n.advance(10.0);
+        let iv = n.end_interval(10.0, 1.0);
+        assert_eq!(iv.completions, 1);
+        // Arrived at 0.5, started at 1.0, finished at 2.0 → latency 1.5.
         assert!(
             (iv.tail_latency_s - 1.5).abs() < 1e-9,
             "{}",
@@ -599,6 +816,36 @@ mod tests {
         n.advance(20.0);
         let iv = n.end_interval(20.0, 1.0);
         assert_eq!(iv.completions, 3);
+    }
+
+    #[test]
+    fn in_flight_count_tracks_through_reconfigure() {
+        let mut n = ServiceNode::new();
+        n.reconfigure(
+            0.0,
+            &[spec(CoreKind::Big, 1.0), spec(CoreKind::Big, 1.0)],
+            true,
+            0.0,
+        );
+        n.begin_interval(0.0);
+        n.arrive(0.0, Demand::new(5.0, 0.0));
+        n.arrive(0.0, Demand::new(5.0, 0.0));
+        assert_eq!(n.in_flight(), 2);
+        // DVFS rescale keeps both in flight.
+        n.reconfigure(
+            1.0,
+            &[spec(CoreKind::Big, 2.0), spec(CoreKind::Big, 2.0)],
+            false,
+            0.0,
+        );
+        assert_eq!(n.in_flight(), 2);
+        // Preempting remap requeues them, then redispatches one per server.
+        n.reconfigure(2.0, &[spec(CoreKind::Big, 1.0)], true, 0.0);
+        assert_eq!(n.in_flight(), 1);
+        assert_eq!(n.queue_len(), 1);
+        n.advance(100.0);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.total_completed(), 2);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Closed-loop client thinking pool.
+//!
+//! A closed-loop load generator keeps a population of emulated clients in a
+//! submit → wait → think cycle. Between a response and the next request each
+//! client "thinks"; the pool holds the absolute expiry times of all clients
+//! currently thinking. The engine needs three operations per event or
+//! interval boundary:
+//!
+//! * `peek_min` / `pop_min` — who submits next (every think-expiry event);
+//! * `push` — a responding client starts thinking (every completion);
+//! * `retire_latest(k)` — at interval boundaries, shrink the population by
+//!   retiring the clients that would submit last.
+//!
+//! The pre-PR3 engine used a plain `Vec` with an O(n) scan for each of
+//! these; at 4096 clients that scan dominated the whole simulation. This
+//! pool is a binary min-heap: O(log n) push/pop, O(1) peek, and
+//! `retire_latest` uses one O(n) selection per interval boundary instead of
+//! k O(n) scans.
+//!
+//! Clients are indistinguishable — the pool is a multiset of expiry times —
+//! so replacing scan-based extraction with a heap leaves simulation traces
+//! bit-identical: ties between equal expiries remove *a* client with that
+//! expiry either way, and the surviving multiset (all future behaviour
+//! depends only on it) is the same.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ordf64::TotalF64;
+
+/// Min-heap of closed-loop client think-timer expiry times (seconds,
+/// absolute simulation time): O(log n) push/pop-min, O(1) peek, and
+/// one selection pass (not k max-scans) to retire the k latest clients.
+/// The pool is a multiset — clients are indistinguishable — so it
+/// reproduces the pre-PR3 scan-based `Vec` pool bit-identically.
+#[derive(Debug, Clone, Default)]
+pub struct ThinkPool {
+    heap: BinaryHeap<Reverse<TotalF64>>,
+}
+
+impl ThinkPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients currently thinking.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no client is thinking.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Adds a client whose think timer expires at `expiry` (O(log n)).
+    pub fn push(&mut self, expiry: f64) {
+        self.heap.push(Reverse(TotalF64(expiry)));
+    }
+
+    /// Earliest think expiry (O(1)).
+    pub fn peek_min(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(TotalF64(x))| *x)
+    }
+
+    /// Removes and returns the earliest expiry (O(log n)).
+    pub fn pop_min(&mut self) -> Option<f64> {
+        self.heap.pop().map(|Reverse(TotalF64(x))| x)
+    }
+
+    /// Retires the `k` clients that would submit last (the largest
+    /// expiries). One O(n) selection pass — not k max-scans.
+    pub fn retire_latest(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        if k >= self.heap.len() {
+            self.heap.clear();
+            return;
+        }
+        let mut v = std::mem::take(&mut self.heap).into_vec();
+        // `Reverse` inverts the order, so the k *largest* expiries are the k
+        // *smallest* `Reverse` elements: partition them to the front, drop
+        // them, and re-heapify the survivors (O(n)).
+        v.select_nth_unstable(k - 1);
+        v.drain(..k);
+        self.heap = BinaryHeap::from(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_order() {
+        let mut p = ThinkPool::new();
+        for x in [3.0, 1.0, 4.0, 1.5, 9.0, 2.6] {
+            p.push(x);
+        }
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.peek_min(), Some(1.0));
+        let mut got = Vec::new();
+        while let Some(x) = p.pop_min() {
+            got.push(x);
+        }
+        assert_eq!(got, vec![1.0, 1.5, 2.6, 3.0, 4.0, 9.0]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn retire_latest_removes_largest() {
+        let mut p = ThinkPool::new();
+        for x in [5.0, 2.0, 8.0, 1.0, 9.0, 3.0] {
+            p.push(x);
+        }
+        p.retire_latest(2); // drops 8.0 and 9.0
+        let mut got = Vec::new();
+        while let Some(x) = p.pop_min() {
+            got.push(x);
+        }
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn retire_latest_edge_cases() {
+        let mut p = ThinkPool::new();
+        p.retire_latest(3); // empty pool: no-op
+        assert!(p.is_empty());
+        p.push(1.0);
+        p.push(2.0);
+        p.retire_latest(0); // k = 0: no-op
+        assert_eq!(p.len(), 2);
+        p.retire_latest(5); // k ≥ len: clears
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn duplicate_expiries_are_a_multiset() {
+        let mut p = ThinkPool::new();
+        for x in [2.0, 2.0, 2.0, 1.0] {
+            p.push(x);
+        }
+        p.retire_latest(2);
+        assert_eq!(p.pop_min(), Some(1.0));
+        assert_eq!(p.pop_min(), Some(2.0));
+        assert_eq!(p.pop_min(), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Differential property test: the heap-indexed [`ServiceNode`] must
+//! reproduce the frozen pre-PR3 linear-scan [`ReferenceNode`] event for
+//! event — identical completion streams, timeouts, and bit-identical
+//! interval statistics — under arbitrary arrival / advance / preempt /
+//! DVFS-reconfigure / interval-boundary sequences.
+
+use hipster_platform::{CoreKind, Frequency};
+use hipster_sim::reference::ReferenceNode;
+use hipster_sim::{Demand, ServerSpec, ServiceNode};
+use proptest::prelude::*;
+
+/// One step of the driving sequence, generated from raw random draws.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Let `dt` pass, processing completions, then submit a request.
+    Arrive { dt: f64, work: f64, mem: f64 },
+    /// Let `dt` pass, processing completions.
+    Advance { dt: f64 },
+    /// Preempting reconfiguration to `n` servers with speeds drawn from
+    /// `speed_seed`, stalled by `stall`.
+    Remap {
+        n: usize,
+        speed_seed: u64,
+        stall: f64,
+    },
+    /// DVFS-style rescale of the current servers (no count change).
+    Rescale { factor: f64, stall: f64 },
+    /// Close the monitoring interval and open the next one.
+    Interval,
+}
+
+fn specs_for(n: usize, speed_seed: u64) -> Vec<ServerSpec> {
+    (0..n)
+        .map(|i| {
+            // A few equal-speed servers to exercise dispatch ties, plus
+            // distinct speeds to exercise the ordering.
+            let speed = match (speed_seed as usize + i) % 4 {
+                0 | 1 => 2.0,
+                2 => 1.0,
+                _ => 4.0,
+            };
+            ServerSpec {
+                kind: if i % 2 == 0 {
+                    CoreKind::Big
+                } else {
+                    CoreKind::Small
+                },
+                freq: Frequency::from_mhz(1000),
+                speed,
+                slowdown: 1.0 + (i % 3) as f64 * 0.25,
+            }
+        })
+        .collect()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..0.4, 0.1f64..4.0, 0.0f64..0.5).prop_map(|(dt, work, mem)| Op::Arrive {
+            dt,
+            work,
+            mem
+        }),
+        (0.0f64..1.0).prop_map(|dt| Op::Advance { dt }),
+        (1usize..6, 0u64..8, 0.0f64..0.3).prop_map(|(n, speed_seed, stall)| Op::Remap {
+            n,
+            speed_seed,
+            stall
+        }),
+        (0.5f64..2.0, 0.0f64..0.1).prop_map(|(factor, stall)| Op::Rescale { factor, stall }),
+        Just(Op::Interval),
+    ]
+}
+
+/// Applies `ops` to both implementations in lock-step, asserting identical
+/// observable behaviour after every step.
+fn run_differential(ops: &[Op], timeout: Option<f64>) {
+    let mut new = ServiceNode::new();
+    let mut old = ReferenceNode::new();
+    new.set_timeout(timeout);
+    old.set_timeout(timeout);
+    let initial = specs_for(2, 0);
+    let mut current_specs = initial.clone();
+    new.reconfigure(0.0, &initial, true, 0.0);
+    old.reconfigure(0.0, &initial, true, 0.0);
+    new.begin_interval(0.0);
+    old.begin_interval(0.0);
+
+    let mut now = 0.0f64;
+    let mut interval_start = 0.0f64;
+    // Pending kick from the last stalled reconfiguration: delivered (like
+    // the engine's event loop) before the first later event, so arrivals
+    // and advances land *inside* the stall window.
+    let mut kick_at: Option<f64> = None;
+    let mut new_done = Vec::new();
+    let mut old_done = Vec::new();
+    let deliver_kick =
+        |new: &mut ServiceNode, old: &mut ReferenceNode, kick_at: &mut Option<f64>, t: f64| {
+            if let Some(k) = *kick_at {
+                if k <= t {
+                    new.kick(k);
+                    old.kick(k);
+                    *kick_at = None;
+                }
+            }
+        };
+    for op in ops {
+        match *op {
+            Op::Arrive { dt, work, mem } => {
+                now += dt;
+                deliver_kick(&mut new, &mut old, &mut kick_at, now);
+                new_done.clear();
+                old_done.clear();
+                new.advance_collect(now, &mut new_done);
+                old.advance_collect(now, &mut old_done);
+                assert_eq!(new_done, old_done, "completion streams diverged");
+                let d = Demand::new(work, mem);
+                new.arrive(now, d);
+                old.arrive(now, d);
+            }
+            Op::Advance { dt } => {
+                now += dt;
+                deliver_kick(&mut new, &mut old, &mut kick_at, now);
+                new_done.clear();
+                old_done.clear();
+                new.advance_collect(now, &mut new_done);
+                old.advance_collect(now, &mut old_done);
+                assert_eq!(new_done, old_done, "completion streams diverged");
+            }
+            Op::Remap {
+                n,
+                speed_seed,
+                stall,
+            } => {
+                current_specs = specs_for(n, speed_seed);
+                new.reconfigure(now, &current_specs, true, stall);
+                old.reconfigure(now, &current_specs, true, stall);
+                kick_at = if stall > 0.0 { Some(now + stall) } else { None };
+            }
+            Op::Rescale { factor, stall } => {
+                for s in &mut current_specs {
+                    s.speed *= factor;
+                }
+                new.reconfigure(now, &current_specs, false, stall);
+                old.reconfigure(now, &current_specs, false, stall);
+                kick_at = if stall > 0.0 { Some(now + stall) } else { None };
+            }
+            Op::Interval => {
+                now = now.max(interval_start + 1e-6);
+                deliver_kick(&mut new, &mut old, &mut kick_at, now);
+                let a = new.end_interval(now, 0.95);
+                let b = old.end_interval(now, 0.95);
+                assert_eq!(a, b, "interval stats diverged");
+                interval_start = now;
+                new.begin_interval(now);
+                old.begin_interval(now);
+            }
+        }
+        assert_eq!(new.queue_len(), old.queue_len(), "queue length diverged");
+        assert_eq!(new.in_flight(), old.in_flight(), "in-flight diverged");
+        assert_eq!(
+            new.next_completion(),
+            old.next_completion(),
+            "next completion diverged"
+        );
+        assert_eq!(new.total_completed(), old.total_completed());
+    }
+    // Drain both and compare the final interval.
+    now += 1000.0;
+    deliver_kick(&mut new, &mut old, &mut kick_at, now);
+    new_done.clear();
+    old_done.clear();
+    new.advance_collect(now, &mut new_done);
+    old.advance_collect(now, &mut old_done);
+    assert_eq!(new_done, old_done, "drain streams diverged");
+    let a = new.end_interval(now, 0.95);
+    let b = old.end_interval(now, 0.95);
+    assert_eq!(a, b, "final interval stats diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heap_node_matches_reference_node(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+    ) {
+        run_differential(&ops, None);
+    }
+
+    #[test]
+    fn heap_node_matches_reference_node_with_timeouts(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+    ) {
+        run_differential(&ops, Some(0.75));
+    }
+}
