@@ -1,28 +1,42 @@
-//! `repro bench` — event-core throughput baseline (`BENCH_PR3.json`).
+//! `repro bench` — recorded performance baselines.
 //!
-//! Steps canonical open- and closed-loop scenarios at several server /
-//! client scales through the *same* generic driver, once with the
-//! heap-indexed [`ServiceNode`] (+ [`ThinkPool`]) and once with the frozen
-//! pre-PR3 linear-scan implementation ([`ReferenceNode`] +
-//! [`ReferenceThinkPool`]), and reports events/sec and intervals/sec for
-//! both. Because the driver feeds both implementations identical RNG
-//! streams, their per-interval statistics must agree exactly — the bench
-//! doubles as an at-scale equivalence check and panics on any divergence.
+//! Two benchmark families run back to back:
 //!
-//! Results are written to `BENCH_PR3.json` in the current directory (the
-//! repo root, when run via `cargo run`), giving future PRs a recorded perf
-//! trajectory. `--smoke` runs the same cells with fewer simulated
-//! intervals so CI can validate the harness in seconds.
+//! * **Event core** (`BENCH_PR3.json`) — steps canonical open- and
+//!   closed-loop scenarios at several server / client scales through the
+//!   *same* generic driver, once with the heap-indexed [`ServiceNode`]
+//!   (+ [`ThinkPool`]) and once with the frozen pre-PR3 linear-scan
+//!   implementation ([`ReferenceNode`] + [`ReferenceThinkPool`]), and
+//!   reports events/sec and intervals/sec for both.
+//! * **Control plane + fleet scheduling** (`BENCH_PR4.json`) —
+//!   `control/qpath/*` cells drive the interval-granularity control
+//!   kernel (bucketize → Q-update → argmax → rank) through the dense
+//!   [`QTable`] and the frozen map-backed [`ReferenceQTable`] at the
+//!   paper's 3%/5%/10% bucket widths; `fleet/heatmap/*` cells run a
+//!   fig. 2/3-style (configuration × load) sweep at 64/256/1024 scenarios
+//!   through the work-stealing [`Fleet`] and a static-partition
+//!   baseline scheduler, recording wall time and per-worker idle tails.
+//!
+//! Every cell feeds its fast and reference implementations identical
+//! inputs, so their outputs must agree exactly — the bench doubles as an
+//! at-scale equivalence check and panics on any divergence.
+//!
+//! Results are written to the current directory (the repo root, when run
+//! via `cargo run`), giving future PRs a recorded perf trajectory.
+//! `--smoke` runs the same cells with fewer simulated intervals so CI can
+//! validate the harness in seconds.
 
 use std::time::Instant;
 
-use hipster_platform::{CoreKind, Frequency};
+use hipster_core::reference::{run_static_chunked, ReferenceQTable};
+use hipster_core::{ConfigSpace, Fleet, LoadBuckets, Policy, QTable, ScenarioSpec, StaticPolicy};
+use hipster_platform::{power_ladder, CoreConfig, CoreKind, Frequency, Platform};
 use hipster_sim::dist::Exponential;
 use hipster_sim::reference::{ReferenceNode, ReferenceThinkPool};
 use hipster_sim::{
     Demand, LcModel, NodeInterval, Sampler, ServerSpec, ServiceNode, SimRng, ThinkPool,
 };
-use hipster_workloads::{memcached, web_search, LcWorkload};
+use hipster_workloads::{memcached, web_search, Constant, LcWorkload};
 
 /// Tail percentile used by every bench interval (Memcached's QoS point).
 const TAIL_P: f64 = 0.95;
@@ -375,9 +389,16 @@ fn check_equivalence(name: &str, new: &Measured, reference: &Measured) {
     );
 }
 
-/// Runs the bench matrix and writes `BENCH_PR3.json`. With `smoke`, runs
-/// the same cells over fewer simulated intervals (seconds, for CI).
+/// Runs both bench matrices, writing `BENCH_PR3.json` (event core) and
+/// `BENCH_PR4.json` (control plane + fleet scheduling). With `smoke`,
+/// runs the same cells over fewer simulated intervals (seconds, for CI).
 pub fn run(smoke: bool) {
+    run_event_core(smoke);
+    run_control_plane(smoke);
+}
+
+/// The PR3 event-core matrix → `BENCH_PR3.json`.
+fn run_event_core(smoke: bool) {
     let open_model = memcached();
     let closed_model = web_search();
     let open_intervals = if smoke { 2 } else { 10 };
@@ -511,6 +532,398 @@ pub fn run(smoke: bool) {
     );
 }
 
+// ---------------------------------------------------------------------
+// PR4: control-plane + fleet-scheduling cells → BENCH_PR4.json
+// ---------------------------------------------------------------------
+
+/// Q-learning constants of the control kernel (the paper's α, a mid γ).
+const CONTROL_ALPHA: f64 = 0.6;
+const CONTROL_GAMMA: f64 = 0.9;
+
+/// One measured run of the interval-granularity control kernel.
+struct ControlMeasured {
+    intervals: usize,
+    wall_s: f64,
+    /// Chosen action index per interval — must match across
+    /// implementations (the argmax tie-breaks are part of the contract).
+    choices: Vec<u32>,
+    /// Final table serialized — must match bit-for-bit.
+    table_tsv: String,
+}
+
+impl ControlMeasured {
+    fn intervals_per_sec(&self) -> f64 {
+        self.intervals as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Precomputed per-interval inputs, identical for both implementations
+/// (generated outside the timed region so the kernel is all that is
+/// measured).
+fn control_inputs(intervals: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SimRng::seed(seed);
+    let mut loads = Vec::with_capacity(intervals);
+    let mut rewards = Vec::with_capacity(intervals);
+    for i in 0..intervals {
+        // A diurnal-ish load walk with noise, spilling into overload so
+        // the top bucket and the clamp path are exercised.
+        let t = i as f64 / 997.0 * std::f64::consts::TAU;
+        let load = 0.55 + 0.4 * t.sin() + 0.15 * (rng.uniform() - 0.5);
+        loads.push(load.clamp(0.0, 1.2));
+        // Rewards cross zero so `has_positive_entry` flips both ways.
+        rewards.push(rng.uniform_in(-2.0, 8.0));
+    }
+    (loads, rewards)
+}
+
+/// The per-interval control path of the manager+policy stack, dense
+/// edition: bucketize (reciprocal multiply) → indexed Q-update
+/// (bootstrapping over the whole ladder) → `any_positive`/argmax row
+/// scans. Rank arithmetic is the index itself.
+fn drive_control_dense(
+    space: ConfigSpace,
+    width: f64,
+    loads: &[f64],
+    rewards: &[f64],
+) -> ControlMeasured {
+    let n = space.len();
+    let buckets = LoadBuckets::new(width);
+    let mut table = QTable::for_space(space);
+    let mut choices = Vec::with_capacity(loads.len());
+    let mut prev: Option<(u32, usize)> = None;
+    let start = Instant::now();
+    for (i, &load) in loads.iter().enumerate() {
+        let w = buckets.bucket(load);
+        if let Some((pw, pc)) = prev {
+            table.update_indexed(pw, pc, rewards[i], w, CONTROL_ALPHA, CONTROL_GAMMA);
+        }
+        let choice = if table.any_positive(w) {
+            table.best_index(w).expect("non-empty ladder")
+        } else {
+            n - 1 // unexplored: hold the conservative ladder top
+        };
+        choices.push(choice as u32);
+        prev = Some((w, choice));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    ControlMeasured {
+        intervals: loads.len(),
+        wall_s,
+        choices,
+        table_tsv: table.to_tsv(),
+    }
+}
+
+/// The same control path as the pre-PR4 stack ran it: hash-map Q-table
+/// keyed on `(bucket, CoreConfig)`, argmax/positivity scans over the
+/// action slice (a hash per action), and the `position()` rank scan the
+/// old stabilizer paid to turn the chosen configuration back into a
+/// ladder rank.
+fn drive_control_reference(
+    actions: &[CoreConfig],
+    width: f64,
+    loads: &[f64],
+    rewards: &[f64],
+) -> ControlMeasured {
+    let buckets = LoadBuckets::new(width);
+    let mut table = ReferenceQTable::new();
+    let mut choices = Vec::with_capacity(loads.len());
+    let mut prev: Option<(u32, CoreConfig)> = None;
+    let start = Instant::now();
+    for (i, &load) in loads.iter().enumerate() {
+        let w = buckets.bucket(load);
+        if let Some((pw, pc)) = prev {
+            table.update(pw, pc, rewards[i], w, actions, CONTROL_ALPHA, CONTROL_GAMMA);
+        }
+        let choice_cfg = if table.has_positive_entry(w, actions) {
+            table.best_action(w, actions).expect("non-empty ladder")
+        } else {
+            *actions.last().expect("non-empty ladder")
+        };
+        let rank = actions
+            .iter()
+            .position(|c| *c == choice_cfg)
+            .expect("choice comes from the ladder");
+        choices.push(rank as u32);
+        prev = Some((w, choice_cfg));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    ControlMeasured {
+        intervals: loads.len(),
+        wall_s,
+        choices,
+        table_tsv: table.to_tsv(),
+    }
+}
+
+/// One control-plane cell (one bucket width).
+struct ControlCell {
+    name: String,
+    bucket_width: f64,
+    buckets: usize,
+    actions: usize,
+    new: ControlMeasured,
+    reference: ControlMeasured,
+}
+
+impl ControlCell {
+    fn speedup(&self) -> f64 {
+        self.new.intervals_per_sec() / self.reference.intervals_per_sec().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"bucket_width\":{},\"buckets\":{},",
+                "\"actions\":{},\"intervals\":{},\"wall_s\":{:.6},",
+                "\"intervals_per_sec\":{:.1},",
+                "\"reference\":{{\"wall_s\":{:.6},\"intervals_per_sec\":{:.1}}},",
+                "\"speedup\":{:.2}}}"
+            ),
+            self.name,
+            self.bucket_width,
+            self.buckets,
+            self.actions,
+            self.new.intervals,
+            self.new.wall_s,
+            self.new.intervals_per_sec(),
+            self.reference.wall_s,
+            self.reference.intervals_per_sec(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Worker threads the fleet cells request. The scheduler caps at the
+/// scenario count; on boxes with fewer cores the OS time-shares, which
+/// still exercises (and measures) both schedulers' idle tails.
+const FLEET_WORKERS: usize = 4;
+
+/// Declares one (config, load) heatmap cell: Memcached at constant
+/// `load`, pinned to `config` — the fig. 2/3 measurement shape. Cost
+/// scales with `load`, so a sweep is exactly the heterogeneous,
+/// straggler-prone batch a static partition handles worst.
+fn heatmap_spec(config: CoreConfig, load: f64, intervals: usize, interval_s: f64) -> ScenarioSpec {
+    ScenarioSpec::new(
+        format!("bench/heatmap/{config}@{load:.3}"),
+        Platform::juno_r1(),
+    )
+    .workload_with(|| Box::new(memcached()))
+    .load(Constant::new(load, intervals as f64 * interval_s))
+    .policy(move |_: &Platform, _| Box::new(StaticPolicy::new(config)) as Box<dyn Policy>)
+    .intervals(intervals)
+    .interval_s(interval_s)
+}
+
+/// Builds the `scenarios`-cell heatmap fleet (side × side grid over
+/// load levels × ladder configurations). Declared load-major, like the
+/// repo's fig. 2/3 sweeps measure one load level at a time — which means
+/// a static partition hands one worker the near-saturation rows while
+/// another gets the cheap ones.
+fn heatmap_fleet(scenarios: usize, intervals: usize, interval_s: f64) -> Fleet {
+    let ladder = power_ladder(&Platform::juno_r1());
+    let side = (scenarios as f64).sqrt().round() as usize;
+    assert_eq!(side * side, scenarios, "heatmap cells must be square");
+    let mut fleet = Fleet::new();
+    for li in 0..side {
+        let load = 0.1 + 0.9 * li as f64 / (side - 1).max(1) as f64;
+        for ci in 0..side {
+            // Spread across the whole ladder, cheapest to priciest.
+            let config = ladder[ci * (ladder.len() - 1) / (side - 1).max(1)];
+            fleet.push(heatmap_spec(config, load, intervals, interval_s));
+        }
+    }
+    fleet.threads(FLEET_WORKERS).base_seed(4)
+}
+
+/// One measured scheduler run over one fleet size.
+struct FleetMeasured {
+    wall_s: f64,
+    workers: usize,
+    /// Finish-time spread of the workers (`FleetStats::idle_tail_frac`).
+    idle_tail_frac: f64,
+    /// Digest of every outcome (name, seed, trace CSV) in declaration
+    /// order — compared across schedulers to guarantee both ran the same
+    /// sweep.
+    digest: u64,
+}
+
+/// FNV-1a over the outcome stream.
+fn fleet_digest(outcomes: &[hipster_core::ScenarioOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for o in outcomes {
+        eat(o.name.as_bytes());
+        eat(&o.seed.to_le_bytes());
+        eat(o.trace.to_csv().as_bytes());
+    }
+    h
+}
+
+/// One fleet-scheduling cell (one sweep size).
+struct FleetCell {
+    name: String,
+    scenarios: usize,
+    intervals: usize,
+    interval_s: f64,
+    new: FleetMeasured,
+    reference: FleetMeasured,
+}
+
+impl FleetCell {
+    fn speedup(&self) -> f64 {
+        self.reference.wall_s / self.new.wall_s.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"scenarios\":{},\"workers\":{},",
+                "\"intervals_per_scenario\":{},\"interval_s\":{},",
+                "\"wall_s\":{:.6},\"idle_tail_frac\":{:.4},",
+                "\"reference\":{{\"wall_s\":{:.6},\"idle_tail_frac\":{:.4}}},",
+                "\"speedup\":{:.2}}}"
+            ),
+            self.name,
+            self.scenarios,
+            self.new.workers,
+            self.intervals,
+            self.interval_s,
+            self.new.wall_s,
+            self.new.idle_tail_frac,
+            self.reference.wall_s,
+            self.reference.idle_tail_frac,
+            self.speedup(),
+        )
+    }
+}
+
+/// The PR4 matrix → `BENCH_PR4.json`.
+fn run_control_plane(smoke: bool) {
+    // Control-plane cells: the paper deploys 2–4% buckets for Memcached
+    // and 3–9% for Web-Search; 3%/5%/10% spans that range (3% = most
+    // buckets = the largest cell).
+    let control_intervals = if smoke { 20_000 } else { 400_000 };
+    let ladder = power_ladder(&Platform::juno_r1());
+    let mut control_cells: Vec<ControlCell> = Vec::new();
+    for &(tag, width) in &[("b3", 0.03), ("b5", 0.05), ("b10", 0.10)] {
+        let name = format!("control/qpath/{tag}");
+        print!("  {name} ...");
+        let (loads, rewards) = control_inputs(control_intervals, 0x51);
+        let new = drive_control_dense(ConfigSpace::new(ladder.clone()), width, &loads, &rewards);
+        let reference = drive_control_reference(&ladder, width, &loads, &rewards);
+        assert_eq!(
+            new.choices, reference.choices,
+            "{name}: dense and map-backed control paths chose different actions"
+        );
+        assert_eq!(
+            new.table_tsv, reference.table_tsv,
+            "{name}: dense and map-backed tables diverged"
+        );
+        println!(
+            " {:.2} M intervals/s (reference {:.2} M) — {:.1}×",
+            new.intervals_per_sec() / 1e6,
+            reference.intervals_per_sec() / 1e6,
+            new.intervals_per_sec() / reference.intervals_per_sec().max(1e-9),
+        );
+        control_cells.push(ControlCell {
+            name,
+            bucket_width: width,
+            buckets: LoadBuckets::new(width).num_buckets(),
+            actions: ladder.len(),
+            new,
+            reference,
+        });
+    }
+
+    // Fleet cells: 64/256/1024-scenario heatmap sweeps, work-stealing vs
+    // the static-partition baseline scheduler.
+    let (fleet_intervals, fleet_interval_s) = if smoke { (1, 0.02) } else { (6, 0.1) };
+    let mut fleet_cells: Vec<FleetCell> = Vec::new();
+    for &scenarios in &[64usize, 256, 1024] {
+        let name = format!("fleet/heatmap/s{scenarios}");
+        print!("  {name} ...");
+        let start = Instant::now();
+        let (outcomes, stats) = heatmap_fleet(scenarios, fleet_intervals, fleet_interval_s)
+            .run_with_stats()
+            .expect("valid heatmap fleet");
+        let wall = start.elapsed().as_secs_f64();
+        let new = FleetMeasured {
+            wall_s: wall,
+            workers: stats.workers,
+            idle_tail_frac: stats.idle_tail_frac(),
+            digest: fleet_digest(&outcomes),
+        };
+        drop(outcomes);
+        let start = Instant::now();
+        let (ref_outcomes, ref_stats) =
+            run_static_chunked(heatmap_fleet(scenarios, fleet_intervals, fleet_interval_s))
+                .expect("valid heatmap fleet");
+        let wall = start.elapsed().as_secs_f64();
+        let reference = FleetMeasured {
+            wall_s: wall,
+            workers: ref_stats.workers,
+            idle_tail_frac: ref_stats.idle_tail_frac(),
+            digest: fleet_digest(&ref_outcomes),
+        };
+        assert_eq!(
+            new.digest, reference.digest,
+            "{name}: work-stealing and static-chunk schedulers produced different sweeps"
+        );
+        println!(
+            " {:.2}s, idle tail {:.1}% (static chunks {:.2}s, idle tail {:.1}%) — {:.2}×",
+            new.wall_s,
+            new.idle_tail_frac * 100.0,
+            reference.wall_s,
+            reference.idle_tail_frac * 100.0,
+            reference.wall_s / new.wall_s.max(1e-9),
+        );
+        fleet_cells.push(FleetCell {
+            name,
+            scenarios,
+            intervals: fleet_intervals,
+            interval_s: fleet_interval_s,
+            new,
+            reference,
+        });
+    }
+
+    let control_body: Vec<String> = control_cells.iter().map(ControlCell::json).collect();
+    let fleet_body: Vec<String> = fleet_cells.iter().map(FleetCell::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hipster control plane + fleet scheduling\",\"pr\":\"PR4\",\
+         \"smoke\":{smoke},\"alpha\":{CONTROL_ALPHA},\"gamma\":{CONTROL_GAMMA},\
+         \"control_cells\":[\n  {}\n],\"fleet_cells\":[\n  {}\n]}}\n",
+        control_body.join(",\n  "),
+        fleet_body.join(",\n  ")
+    );
+    let path = "BENCH_PR4.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+
+    let largest = control_cells.first().expect("control cells are non-empty");
+    println!(
+        "\nlargest control-plane cell ({}): {:.2}× intervals/sec over the map-backed table",
+        largest.name,
+        largest.speedup()
+    );
+    let largest_fleet = fleet_cells.last().expect("fleet cells are non-empty");
+    println!(
+        "largest fleet cell ({}): idle tail {:.1}% vs {:.1}% static chunking ({:.2}× wall)",
+        largest_fleet.name,
+        largest_fleet.new.idle_tail_frac * 100.0,
+        largest_fleet.reference.idle_tail_frac * 100.0,
+        largest_fleet.speedup()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +983,79 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"clients\":null"));
         assert!(j.contains("\"speedup\":2.00"));
+    }
+
+    #[test]
+    fn control_drivers_equivalent_across_impls() {
+        let ladder = power_ladder(&Platform::juno_r1());
+        let (loads, rewards) = control_inputs(3_000, 7);
+        for width in [0.03, 0.05, 0.10] {
+            let new =
+                drive_control_dense(ConfigSpace::new(ladder.clone()), width, &loads, &rewards);
+            let reference = drive_control_reference(&ladder, width, &loads, &rewards);
+            assert_eq!(new.choices, reference.choices, "width {width}");
+            assert_eq!(new.table_tsv, reference.table_tsv, "width {width}");
+            assert!(new.intervals_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn heatmap_fleets_are_square_and_valid() {
+        for scenarios in [64usize, 256] {
+            let fleet = heatmap_fleet(scenarios, 1, 0.02);
+            assert_eq!(fleet.len(), scenarios);
+        }
+    }
+
+    #[test]
+    fn heatmap_schedulers_agree() {
+        let (outcomes, _) = heatmap_fleet(64, 1, 0.02)
+            .run_with_stats()
+            .expect("valid fleet");
+        let (ref_outcomes, _) =
+            run_static_chunked(heatmap_fleet(64, 1, 0.02)).expect("valid fleet");
+        assert_eq!(fleet_digest(&outcomes), fleet_digest(&ref_outcomes));
+    }
+
+    #[test]
+    fn control_cell_json_is_well_formed() {
+        let m = |wall_s| ControlMeasured {
+            intervals: 100,
+            wall_s,
+            choices: Vec::new(),
+            table_tsv: String::new(),
+        };
+        let cell = ControlCell {
+            name: "control/qpath/b5".into(),
+            bucket_width: 0.05,
+            buckets: 21,
+            actions: 34,
+            new: m(0.5),
+            reference: m(1.0),
+        };
+        let j = cell.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"speedup\":2.00"));
+        let f = FleetCell {
+            name: "fleet/heatmap/s64".into(),
+            scenarios: 64,
+            intervals: 4,
+            interval_s: 0.05,
+            new: FleetMeasured {
+                wall_s: 1.0,
+                workers: 4,
+                idle_tail_frac: 0.01,
+                digest: 1,
+            },
+            reference: FleetMeasured {
+                wall_s: 2.0,
+                workers: 4,
+                idle_tail_frac: 0.25,
+                digest: 1,
+            },
+        };
+        let j = f.json();
+        assert!(j.contains("\"speedup\":2.00"));
+        assert!(j.contains("\"idle_tail_frac\":0.0100"));
     }
 }

@@ -92,12 +92,20 @@ impl FeedbackController {
     /// danger zone → next-higher power state, safe zone → next-lower,
     /// otherwise hold.
     pub fn update(&mut self, tail_latency_s: f64, target_s: f64) -> CoreConfig {
+        let idx = self.update_index(tail_latency_s, target_s);
+        self.ladder[idx]
+    }
+
+    /// [`FeedbackController::update`], returning the new state's ladder
+    /// *index* — the allocation- and scan-free form the hot path uses
+    /// (the ladder is the caller's action set, in the same order).
+    pub fn update_index(&mut self, tail_latency_s: f64, target_s: f64) -> usize {
         if tail_latency_s > target_s * self.zones.danger {
             self.idx = (self.idx + 1).min(self.ladder.len() - 1);
         } else if tail_latency_s < target_s * self.zones.safe {
             self.idx = self.idx.saturating_sub(1);
         }
-        self.current()
+        self.idx
     }
 
     /// Resets to the highest-power state (used when re-entering the
@@ -115,6 +123,20 @@ impl FeedbackController {
         } else if let Some(i) = self.ladder.iter().position(|c| c.same_mapping(config)) {
             self.idx = i;
         }
+    }
+
+    /// Moves the controller directly to ladder index `idx` — the O(1)
+    /// form of [`FeedbackController::seek`] for callers that already know
+    /// the configuration's position (equivalent when the ladder has no
+    /// duplicates, which [`ConfigSpace`](crate::ConfigSpace) guarantees
+    /// for the action sets [`Hipster`](crate::Hipster) builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the ladder.
+    pub fn seek_index(&mut self, idx: usize) {
+        assert!(idx < self.ladder.len(), "ladder index {idx} out of range");
+        self.idx = idx;
     }
 }
 

@@ -1,6 +1,22 @@
 //! Multi-machine experiment execution: a [`Fleet`] runs many
 //! [`ScenarioSpec`]s across OS threads — one simulated machine per
-//! scenario — and collects their outcomes in declaration order.
+//! scenario — and yields their outcomes in declaration order.
+//!
+//! Scheduling is **work-stealing**: every worker claims the next
+//! unstarted scenario from a shared atomic cursor the moment it goes
+//! idle (PR 4 replaced the previous mutex-guarded `VecDeque` job queue —
+//! one lock round-trip per claim — with the lock-free cursor), so
+//! heterogeneous fleets (a fig. 2/3-style heatmap mixes cheap low-load
+//! cells with expensive near-saturation ones) keep all cores busy to the
+//! end instead of leaving them idle behind the slowest statically
+//! assigned shard. Results stream back to the caller *as scenarios
+//! complete*: [`Fleet::run_each`] folds outcomes in declaration order
+//! through a callback (holding only out-of-order stragglers in a reorder
+//! buffer), and [`Fleet::run`] is the collect-everything convenience on
+//! top — the pre-PR4 `run` buffered every `Trace` unconditionally. A
+//! static-partition baseline scheduler lives in
+//! [`reference::run_static_chunked`](crate::reference::run_static_chunked)
+//! for differential tests and scheduling-quality benchmarks.
 //!
 //! Determinism is the contract: every scenario owns its own engine and
 //! seed, so a fleet run is byte-identical to running the same specs one by
@@ -33,8 +49,10 @@
 //! assert_eq!(outcomes[0].name, "load-0.3"); // declaration order
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
 
 use crate::scenario::{ScenarioError, ScenarioOutcome, ScenarioSpec};
 
@@ -106,6 +124,59 @@ impl std::error::Error for FleetError {
             FleetError::InvalidScenario { error, .. } => Some(error),
             _ => None,
         }
+    }
+}
+
+/// Execution statistics of one fleet run — how well the scheduler kept
+/// its workers fed.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// Scenarios executed (or claimed before a failure stopped the run).
+    pub scenarios: usize,
+    /// Wall-clock seconds each worker spent *running scenarios* (the
+    /// rest of its lifetime is scheduler idle tail).
+    pub worker_busy_s: Vec<f64>,
+    /// When each worker ran out of work, in seconds since the run
+    /// started. A well-fed schedule finishes its workers together; a
+    /// static partition strands early finishers while the straggler
+    /// shard drains.
+    pub worker_finish_s: Vec<f64>,
+}
+
+impl FleetStats {
+    /// Total busy seconds across all workers.
+    pub fn busy_total_s(&self) -> f64 {
+        self.worker_busy_s.iter().sum()
+    }
+
+    /// The fraction of `workers × wall_s` spent idle. 0 means every
+    /// worker was busy until the run ended. Note this compares *thread*
+    /// busy spans to wall time, so it is only meaningful when each
+    /// worker has a core to itself.
+    pub fn idle_frac(&self, wall_s: f64) -> f64 {
+        let capacity = self.workers as f64 * wall_s;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.busy_total_s() / capacity).max(0.0)
+    }
+
+    /// The straggler tail as finish-time spread: `1 − mean(finish) /
+    /// max(finish)` over [`FleetStats::worker_finish_s`]. 0 means every
+    /// worker ran out of work at the same moment; large values mean most
+    /// workers sat idle while the last shard drained. Unlike
+    /// [`FleetStats::idle_frac`] this stays meaningful when workers
+    /// time-share cores (CI boxes, laptops), because it only compares
+    /// the workers' finish *instants*.
+    pub fn idle_tail_frac(&self) -> f64 {
+        let last = self.worker_finish_s.iter().copied().fold(0.0_f64, f64::max);
+        if last <= 0.0 || self.worker_finish_s.is_empty() {
+            return 0.0;
+        }
+        let mean = self.worker_finish_s.iter().sum::<f64>() / self.worker_finish_s.len() as f64;
+        (1.0 - mean / last).max(0.0)
     }
 }
 
@@ -186,13 +257,11 @@ impl Fleet {
         self.scenarios.is_empty()
     }
 
-    /// Validates every scenario, then executes them all across worker
-    /// threads, returning outcomes **in declaration order** regardless of
-    /// which thread finished first.
-    ///
-    /// All validation happens before any simulation starts: an invalid
-    /// scenario anywhere in the fleet means nothing runs.
-    pub fn run(mut self) -> Result<Vec<ScenarioOutcome>, FleetError> {
+    /// Validates every scenario and assigns split seeds, returning the
+    /// ready-to-run specs and the resolved worker count. All validation
+    /// happens before any simulation starts: an invalid scenario anywhere
+    /// in the fleet means nothing runs.
+    pub(crate) fn prepare(mut self) -> Result<(Vec<ScenarioSpec>, usize), FleetError> {
         if self.scenarios.is_empty() {
             return Err(FleetError::Empty);
         }
@@ -207,7 +276,6 @@ impl Fleet {
         for (index, spec) in self.scenarios.iter_mut().enumerate() {
             spec.assign_seed_if_unset(split_seed(self.base_seed, index as u64));
         }
-
         let n = self.scenarios.len();
         let workers = if self.threads == 0 {
             std::thread::available_parallelism()
@@ -218,75 +286,183 @@ impl Fleet {
         }
         .min(n)
         .max(1);
+        Ok((self.scenarios, workers))
+    }
 
-        type Slot = Option<Result<ScenarioOutcome, String>>;
-        let queue: Mutex<VecDeque<(usize, String, ScenarioSpec)>> = Mutex::new(
-            self.scenarios
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| (i, s.name().to_owned(), s))
-                .collect(),
-        );
-        let results: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
-        let names: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n]);
-        // Fail fast: once any scenario fails, the whole run is lost (the
-        // fleet returns an error), so workers stop picking up new jobs
-        // rather than burning CPU on outcomes that would be discarded.
-        let failed = std::sync::atomic::AtomicBool::new(false);
+    /// Executes the fleet across worker threads and collects every outcome
+    /// **in declaration order** regardless of which thread finished first.
+    ///
+    /// Equivalent to [`Fleet::run_each`] pushing into a `Vec` — use
+    /// `run_each` when the fleet is large and outcomes can be reduced on
+    /// the fly instead of buffered whole.
+    pub fn run(self) -> Result<Vec<ScenarioOutcome>, FleetError> {
+        self.run_with_stats().map(|(outcomes, _)| outcomes)
+    }
 
-        let work = || loop {
-            if failed.load(std::sync::atomic::Ordering::Relaxed) {
-                return;
-            }
-            let (index, name, spec) = match queue.lock().expect("queue poisoned").pop_front() {
-                Some(job) => job,
-                None => return,
-            };
-            names.lock().expect("names poisoned")[index] = name;
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run()))
-                .map_err(|payload| panic_message(payload.as_ref()))
-                .and_then(|r| r.map_err(|e| e.to_string()));
-            if outcome.is_err() {
-                failed.store(true, std::sync::atomic::Ordering::Relaxed);
-            }
-            results.lock().expect("results poisoned")[index] = Some(outcome);
-        };
+    /// [`Fleet::run`], also returning the scheduler's [`FleetStats`].
+    pub fn run_with_stats(self) -> Result<(Vec<ScenarioOutcome>, FleetStats), FleetError> {
+        let mut outcomes = Vec::with_capacity(self.len());
+        let stats = self.run_each(|outcome| outcomes.push(outcome))?;
+        Ok((outcomes, stats))
+    }
 
+    /// Executes the fleet, streaming each [`ScenarioOutcome`] to `fold`
+    /// **in declaration order** as soon as it (and everything before it)
+    /// has completed. Only out-of-order stragglers are buffered, so a
+    /// thousand-scenario sweep that reduces each outcome to a summary row
+    /// never holds a thousand traces in memory.
+    ///
+    /// Failure semantics match [`Fleet::run`]: the first (lowest-index)
+    /// panic or error is reported, workers stop claiming new scenarios
+    /// once any failure is flagged, and no outcome at or after the failing
+    /// index is delivered. Outcomes *before* the failing index may already
+    /// have been folded when the error returns — a streaming API cannot
+    /// take them back.
+    pub fn run_each<F>(self, mut fold: F) -> Result<FleetStats, FleetError>
+    where
+        F: FnMut(ScenarioOutcome),
+    {
+        let (specs, workers) = self.prepare()?;
+        let n = specs.len();
+
+        let run_started = Instant::now();
         if workers == 1 {
-            work();
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(work);
+            // Serial fast path: declaration order is execution order, so
+            // outcomes stream with no reorder buffer and failure stops
+            // the loop directly.
+            let mut busy = 0.0f64;
+            for (index, spec) in specs.into_iter().enumerate() {
+                let name = spec.name().to_owned();
+                let started = Instant::now();
+                let outcome = run_caught(spec);
+                busy += started.elapsed().as_secs_f64();
+                match outcome {
+                    Ok(outcome) => fold(outcome),
+                    Err(message) => {
+                        return Err(FleetError::ScenarioPanicked {
+                            index,
+                            name,
+                            message,
+                        })
+                    }
                 }
+            }
+            return Ok(FleetStats {
+                workers: 1,
+                scenarios: n,
+                worker_busy_s: vec![busy],
+                worker_finish_s: vec![run_started.elapsed().as_secs_f64()],
             });
         }
 
-        let slots = results.into_inner().expect("results poisoned");
-        let names = names.into_inner().expect("names poisoned");
-        // Report the first (lowest-index) failure; later slots may be
-        // empty because workers stopped early once a failure was flagged.
-        for (index, slot) in slots.iter().enumerate() {
-            if let Some(Err(message)) = slot {
-                return Err(FleetError::ScenarioPanicked {
-                    index,
-                    name: names[index].clone(),
-                    message: message.clone(),
+        // Shared work-stealing state: an atomic cursor hands out scenario
+        // indices; each job slot is locked exactly once, by the single
+        // worker that claimed its index.
+        let jobs: Vec<Mutex<Option<(String, ScenarioSpec)>>> = specs
+            .into_iter()
+            .map(|s| Mutex::new(Some((s.name().to_owned(), s))))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        // Fail fast: once any scenario fails, the whole run is lost (the
+        // fleet returns an error), so workers stop picking up new jobs
+        // rather than burning CPU on outcomes that would be discarded.
+        let failed = AtomicBool::new(false);
+        let busy = Mutex::new(vec![0.0f64; workers]);
+        let finishes = Mutex::new(vec![0.0f64; workers]);
+        let (tx, rx) = mpsc::channel::<(usize, String, Result<ScenarioOutcome, String>)>();
+
+        let mut first_failure: Option<(usize, String, String)> = None;
+        std::thread::scope(|scope| {
+            let jobs = &jobs;
+            let cursor = &cursor;
+            let failed = &failed;
+            let busy = &busy;
+            let finishes = &finishes;
+            for worker in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut my_busy = 0.0f64;
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let (name, spec) = jobs[index]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("index claimed exactly once");
+                        let started = Instant::now();
+                        let outcome = run_caught(spec);
+                        my_busy += started.elapsed().as_secs_f64();
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        if tx.send((index, name, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    busy.lock().expect("busy slots poisoned")[worker] = my_busy;
+                    finishes.lock().expect("finish slots poisoned")[worker] =
+                        run_started.elapsed().as_secs_f64();
                 });
             }
-        }
-        let mut outcomes = Vec::with_capacity(n);
-        for slot in slots {
-            match slot.expect("no failure was flagged, so every slot ran") {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(_) => unreachable!("failures returned above"),
+            drop(tx);
+
+            // The calling thread is the consumer: a reorder buffer turns
+            // completion order into declaration order, and the callback
+            // fires the moment the next expected index is ready.
+            let mut pending: BTreeMap<usize, ScenarioOutcome> = BTreeMap::new();
+            let mut next = 0usize;
+            for (index, name, outcome) in rx {
+                match outcome {
+                    Ok(outcome) => {
+                        pending.insert(index, outcome);
+                        while let Some(ready) = pending.remove(&next) {
+                            fold(ready);
+                            next += 1;
+                        }
+                    }
+                    Err(message) => {
+                        let is_first = first_failure
+                            .as_ref()
+                            .map_or(true, |(lowest, ..)| index < *lowest);
+                        if is_first {
+                            first_failure = Some((index, name, message));
+                        }
+                    }
+                }
             }
+        });
+
+        match first_failure {
+            Some((index, name, message)) => Err(FleetError::ScenarioPanicked {
+                index,
+                name,
+                message,
+            }),
+            None => Ok(FleetStats {
+                workers,
+                scenarios: n,
+                worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
+                worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),
+            }),
         }
-        Ok(outcomes)
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Runs one spec with panic capture, flattening panics and validation
+/// errors into a message.
+pub(crate) fn run_caught(spec: ScenarioSpec) -> Result<ScenarioOutcome, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run()))
+        .map_err(|payload| panic_message(payload.as_ref()))
+        .and_then(|r| r.map_err(|e| e.to_string()))
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -378,6 +554,45 @@ mod tests {
     }
 
     #[test]
+    fn run_each_streams_in_declaration_order() {
+        let names: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
+        let fleet: Fleet = names.iter().map(|n| spec(n)).collect();
+        let mut seen = Vec::new();
+        let stats = fleet
+            .threads(3)
+            .run_each(|o| seen.push(o.name))
+            .expect("valid");
+        assert_eq!(seen, names);
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.scenarios, 10);
+        assert_eq!(stats.worker_busy_s.len(), 3);
+        assert!(stats.busy_total_s() > 0.0);
+    }
+
+    #[test]
+    fn stats_idle_fraction_is_sane() {
+        let stats = FleetStats {
+            workers: 2,
+            scenarios: 4,
+            worker_busy_s: vec![1.0, 0.5],
+            worker_finish_s: vec![1.0, 0.5],
+        };
+        assert!((stats.busy_total_s() - 1.5).abs() < 1e-12);
+        assert!((stats.idle_frac(1.0) - 0.25).abs() < 1e-12);
+        // Measurement jitter cannot drive it negative.
+        assert_eq!(stats.idle_frac(0.5), 0.0);
+        // Finish-time spread: mean 0.75 over max 1.0 → 25% tail.
+        assert!((stats.idle_tail_frac() - 0.25).abs() < 1e-12);
+        let even = FleetStats {
+            workers: 2,
+            scenarios: 4,
+            worker_busy_s: vec![1.0, 1.0],
+            worker_finish_s: vec![1.0, 1.0],
+        };
+        assert_eq!(even.idle_tail_frac(), 0.0);
+    }
+
+    #[test]
     fn split_seeds_are_deterministic_and_distinct() {
         let a: Vec<u64> = (0..16).map(|i| split_seed(7, i)).collect();
         let b: Vec<u64> = (0..16).map(|i| split_seed(7, i)).collect();
@@ -420,6 +635,33 @@ mod tests {
             FleetError::ScenarioPanicked { index, message, .. } => {
                 assert_eq!(index, 1);
                 assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn panicking_scenario_reported_across_worker_threads() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl Policy for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn decide(&mut self, _obs: &crate::Observation) -> hipster_platform::CoreConfig {
+                panic!("threaded boom");
+            }
+        }
+        let mut fleet = Fleet::new();
+        for i in 0..6 {
+            fleet.push(spec(&format!("fine{i}")));
+        }
+        fleet.push(spec("bomb").policy(|_: &Platform, _| Box::new(Bomb) as Box<dyn Policy>));
+        let err = fleet.threads(3).run().unwrap_err();
+        match err {
+            FleetError::ScenarioPanicked { index, message, .. } => {
+                assert_eq!(index, 6);
+                assert!(message.contains("threaded boom"), "{message}");
             }
             other => panic!("wrong error: {other}"),
         }

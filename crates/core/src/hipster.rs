@@ -20,13 +20,15 @@
 //! A pure-RL mode (ε-greedy over the same table, no heuristic) is included
 //! for the ablation the paper argues against in §3.1.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use hipster_platform::{power_ladder, CoreConfig, Platform};
 use hipster_sim::SimRng;
 
 use crate::bucket::LoadBuckets;
+use crate::configspace::ConfigSpace;
 use crate::feedback::{FeedbackController, Zones};
+use crate::fxhash::FxHashSet;
 use crate::policy::{Observation, Policy};
 use crate::qtable::QTable;
 use crate::reward::{reward, Objective, RewardParams};
@@ -44,6 +46,12 @@ pub enum Phase {
 }
 
 /// The Hipster policy (HipsterIn / HipsterCo / pure-RL ablation).
+///
+/// The per-interval control path is index-keyed end to end: the action
+/// set is enumerated once into the [`QTable`]'s [`ConfigSpace`], and
+/// every decision (bucketize → table update → argmax → stabilizers →
+/// heuristic hand-over) works on dense `(bucket, action_index)` offsets —
+/// no hashing, no allocation, no ladder scans.
 #[derive(Debug)]
 pub struct Hipster {
     name: String,
@@ -52,13 +60,13 @@ pub struct Hipster {
     buckets: LoadBuckets,
     params: RewardParams,
     objective: Objective,
-    actions: Vec<CoreConfig>,
     phase: Phase,
     relearn_quantum: u64,
     qos_window: VecDeque<bool>,
     window_size: usize,
     reenter_threshold_pct: f64,
-    prev: Option<(u32, CoreConfig)>,
+    /// Previous interval's (bucket, action index into the space).
+    prev: Option<(u32, u32)>,
     rng: SimRng,
     stochastic: bool,
     pure_rl: bool,
@@ -66,9 +74,9 @@ pub struct Hipster {
     heuristic_fallbacks: u64,
     consecutive_violations: u32,
     consecutive_safe: u32,
-    /// (bucket, config) pairs that initiated a violation — never probed
-    /// again at that bucket (argmax remains free to choose them).
-    probe_blacklist: HashSet<(u32, CoreConfig)>,
+    /// (bucket, action index) pairs that initiated a violation — never
+    /// probed again at that bucket (argmax remains free to choose them).
+    probe_blacklist: FxHashSet<(u32, u32)>,
     /// Intervals left holding a probed configuration so its table entry
     /// converges enough to compete with incumbent values (α = 0.6 needs a
     /// handful of visits).
@@ -111,6 +119,16 @@ impl Hipster {
         &self.qtable
     }
 
+    /// The enumerated action set the policy decides over.
+    pub fn space(&self) -> &ConfigSpace {
+        self.qtable.space()
+    }
+
+    /// Number of actions in the ladder.
+    fn n_actions(&self) -> usize {
+        self.qtable.space().len()
+    }
+
     /// The quantizer in use.
     pub fn buckets(&self) -> LoadBuckets {
         self.buckets
@@ -149,15 +167,18 @@ impl Hipster {
     ///    buckets the learning phase never visited; Algorithm 1's
     ///    earliness + power rewards then make the cheaper entry the argmax
     ///    if it holds QoS.
-    fn stabilize(&mut self, mut choice: CoreConfig, obs: &Observation, w: u32) -> CoreConfig {
-        let rank = |c: &CoreConfig| self.actions.iter().position(|x| x == c);
-        if let Some((_, prev_c)) = self.prev {
+    fn stabilize(&mut self, mut choice: usize, obs: &Observation, w: u32) -> usize {
+        // The action index *is* the ladder rank: the space enumerates the
+        // power ladder in declaration order, so the rank arithmetic below
+        // needs no position scans.
+        if let Some((_, prev_i)) = self.prev {
+            let prev_i = prev_i as usize;
             // Sticky argmax.
-            if choice != prev_c {
-                let vb = self.qtable.get(w, &choice);
-                let vp = self.qtable.get(w, &prev_c);
+            if choice != prev_i {
+                let vb = self.qtable.value_at(w, choice);
+                let vp = self.qtable.value_at(w, prev_i);
                 if vp > 0.0 && vb - vp < 0.02 * vb.abs() {
-                    choice = prev_c;
+                    choice = prev_i;
                 }
             }
             // Violation guard.
@@ -174,11 +195,11 @@ impl Hipster {
                     }
                 }
                 if self.consecutive_violations >= 3 {
-                    choice = *self.actions.last().expect("non-empty action set");
-                } else if let (Some(rc), Some(rp)) = (rank(&choice), rank(&prev_c)) {
-                    let floor = (rp + 1).min(self.actions.len() - 1);
-                    if rc < floor {
-                        choice = self.actions[floor];
+                    choice = self.n_actions() - 1;
+                } else {
+                    let floor = (prev_i + 1).min(self.n_actions() - 1);
+                    if choice < floor {
+                        choice = floor;
                     }
                 }
             } else {
@@ -187,17 +208,15 @@ impl Hipster {
                 // for a while → test one rank cheaper (unless that rank
                 // already initiated a violation at this bucket).
                 let comfortable = obs.tail_latency_s < obs.qos.target_s * 0.5;
-                if comfortable && choice == prev_c {
+                if comfortable && choice == prev_i {
                     self.consecutive_safe += 1;
                 } else {
                     self.consecutive_safe = 0;
                 }
                 if self.consecutive_safe >= 8 {
-                    if let Some(r) = rank(&choice) {
-                        if r > 0 && !self.probe_blacklist.contains(&(w, self.actions[r - 1])) {
-                            choice = self.actions[r - 1];
-                            self.probe_hold = 8;
-                        }
+                    if choice > 0 && !self.probe_blacklist.contains(&(w, choice as u32 - 1)) {
+                        choice -= 1;
+                        self.probe_hold = 8;
                     }
                     self.consecutive_safe = 0;
                 }
@@ -208,29 +227,26 @@ impl Hipster {
 
     /// Looks for a learned answer in nearby load buckets (preferring
     /// higher-load neighbours, whose configurations are safe here).
-    fn generalize_from_neighbors(&self, w: u32) -> Option<CoreConfig> {
+    fn generalize_from_neighbors(&self, w: u32) -> Option<usize> {
         for d in 1..=3i64 {
             for cand in [w as i64 + d, w as i64 - d] {
                 if cand < 0 {
                     continue;
                 }
                 let cand = cand as u32;
-                if self.qtable.has_positive_entry(cand, &self.actions) {
-                    return self.qtable.best_action(cand, &self.actions);
+                if self.qtable.any_positive(cand) {
+                    return self.qtable.best_index(cand);
                 }
             }
         }
         None
     }
 
-    fn epsilon_greedy(&mut self, w: u32) -> CoreConfig {
+    fn epsilon_greedy(&mut self, w: u32) -> usize {
         if self.rng.chance(self.epsilon) {
-            let i = self.rng.index(self.actions.len());
-            self.actions[i]
+            self.rng.index(self.n_actions())
         } else {
-            self.qtable
-                .best_action(w, &self.actions)
-                .expect("action set is non-empty")
+            self.qtable.best_index(w).expect("action set is non-empty")
         }
     }
 }
@@ -245,7 +261,7 @@ impl Policy for Hipster {
 
         // Learn from the interval that just finished (Algorithm 1), in both
         // phases (Algorithm 2 line 16).
-        if let Some((w, c)) = self.prev {
+        if let Some((w, ci)) = self.prev {
             let lambda = reward(
                 obs,
                 self.objective,
@@ -253,12 +269,11 @@ impl Policy for Hipster {
                 &mut self.rng,
                 self.stochastic,
             );
-            self.qtable.update(
+            self.qtable.update_indexed(
                 w,
-                c,
+                ci as usize,
                 lambda,
                 w_next,
-                &self.actions,
                 self.params.alpha,
                 self.params.gamma,
             );
@@ -274,13 +289,15 @@ impl Policy for Hipster {
             }
         }
 
-        // Choose the next configuration.
+        // Choose the next configuration (by action index).
         let choice = if self.pure_rl {
             self.epsilon_greedy(w_next)
         } else {
             match self.phase {
                 Phase::Learning { remaining } => {
-                    let c = self.heuristic.update(obs.tail_latency_s, obs.qos.target_s);
+                    let ci = self
+                        .heuristic
+                        .update_index(obs.tail_latency_s, obs.qos.target_s);
                     self.phase = if remaining <= 1 {
                         self.qos_window.clear();
                         Phase::Exploitation
@@ -289,42 +306,43 @@ impl Policy for Hipster {
                             remaining: remaining - 1,
                         }
                     };
-                    c
+                    ci
                 }
                 Phase::Exploitation => {
                     // Commit to a freshly probed configuration while it
                     // behaves, so its entry converges before argmax judges.
                     if self.probe_hold > 0 && !obs.qos.violated(obs.tail_latency_s) {
-                        if let Some((_, prev_c)) = self.prev {
+                        if let Some((_, prev_i)) = self.prev {
                             self.probe_hold -= 1;
-                            let c = self.stabilize(prev_c, obs, w_next);
-                            self.heuristic.seek(&c);
-                            self.prev = Some((w_next, c));
-                            return c;
+                            let ci = self.stabilize(prev_i as usize, obs, w_next);
+                            self.heuristic.seek_index(ci);
+                            self.prev = Some((w_next, ci as u32));
+                            return self.qtable.space().get(ci);
                         }
                     }
                     self.probe_hold = 0;
-                    let mut c = if self.qtable.has_positive_entry(w_next, &self.actions) {
+                    let mut ci = if self.qtable.any_positive(w_next) {
                         // Algorithm 2 line 7.
                         self.qtable
-                            .best_action(w_next, &self.actions)
+                            .best_index(w_next)
                             .expect("action set is non-empty")
-                    } else if let Some(c) = self.generalize_from_neighbors(w_next) {
+                    } else if let Some(ci) = self.generalize_from_neighbors(w_next) {
                         // Unexplored bucket but a nearby one has a learned
                         // answer: borrow it. Borrowing from *higher* load
                         // buckets first is safe (their configurations have
                         // at least the capacity this bucket needs).
-                        c
+                        ci
                     } else {
                         // Nothing learned anywhere near: let the heuristic
                         // handle it — the hybrid fallback.
                         self.heuristic_fallbacks += 1;
-                        self.heuristic.update(obs.tail_latency_s, obs.qos.target_s)
+                        self.heuristic
+                            .update_index(obs.tail_latency_s, obs.qos.target_s)
                     };
-                    c = self.stabilize(c, obs, w_next);
+                    ci = self.stabilize(ci, obs, w_next);
                     // Keep the heuristic's state machine near the live
                     // configuration so a hand-over is smooth.
-                    self.heuristic.seek(&c);
+                    self.heuristic.seek_index(ci);
                     // Algorithm 2 line 18: re-enter learning on a QoS slump.
                     if self.qos_window.len() >= self.window_size
                         && self.window_guarantee_pct() <= self.reenter_threshold_pct
@@ -334,12 +352,12 @@ impl Policy for Hipster {
                         };
                         self.qos_window.clear();
                     }
-                    c
+                    ci
                 }
             }
         };
-        self.prev = Some((w_next, choice));
-        choice
+        self.prev = Some((w_next, choice as u32));
+        self.qtable.space().get(choice)
     }
 }
 
@@ -454,17 +472,21 @@ impl HipsterBuilder {
         self
     }
 
-    /// Builds the policy.
+    /// Builds the policy. The action set is enumerated once into a
+    /// [`ConfigSpace`] (warm-started tables are re-keyed onto it), so the
+    /// per-interval decision path runs on dense indices.
     ///
     /// # Panics
     ///
-    /// Panics if the action set is empty or the bucket width is invalid.
+    /// Panics if the action set is empty, contains duplicates, or the
+    /// bucket width is invalid.
     pub fn build(self) -> Hipster {
         assert!(!self.actions.is_empty(), "action set must not be empty");
+        let space = ConfigSpace::new(self.actions.clone());
         let (qtable, phase) = match self.warm_table {
-            Some(table) => (table, Phase::Exploitation),
+            Some(table) => (table.rekeyed(space), Phase::Exploitation),
             None => (
-                QTable::new(),
+                QTable::for_space(space),
                 Phase::Learning {
                     remaining: self.learning_intervals.max(1),
                 },
@@ -472,12 +494,11 @@ impl HipsterBuilder {
         };
         Hipster {
             name: self.name,
-            heuristic: FeedbackController::new(self.actions.clone(), self.zones),
+            heuristic: FeedbackController::new(self.actions, self.zones),
             qtable,
             buckets: LoadBuckets::new(self.bucket_width),
             params: self.params,
             objective: self.objective,
-            actions: self.actions,
             phase,
             relearn_quantum: self.relearn_quantum.max(1),
             qos_window: VecDeque::new(),
@@ -491,7 +512,7 @@ impl HipsterBuilder {
             heuristic_fallbacks: 0,
             consecutive_violations: 0,
             consecutive_safe: 0,
-            probe_blacklist: HashSet::new(),
+            probe_blacklist: FxHashSet::default(),
             probe_hold: 0,
         }
     }

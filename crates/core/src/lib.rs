@@ -53,6 +53,7 @@
 
 mod baselines;
 mod bucket;
+mod configspace;
 mod feedback;
 mod fleet;
 mod fxhash;
@@ -61,14 +62,16 @@ mod manager;
 mod metrics;
 mod policy;
 mod qtable;
+pub mod reference;
 mod reward;
 mod scenario;
 mod telemetry;
 
 pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
 pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
+pub use configspace::ConfigSpace;
 pub use feedback::{FeedbackController, Zones};
-pub use fleet::{split_seed, Fleet, FleetError};
+pub use fleet::{split_seed, Fleet, FleetError, FleetStats};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hipster::{Hipster, HipsterBuilder, Phase};
 pub use manager::Manager;

@@ -20,12 +20,39 @@ use crate::bucket::MAX_OBSERVABLE_LOAD_FRAC;
 use crate::policy::{Observation, Policy};
 use crate::telemetry::{RunMeta, TelemetrySink};
 
+/// The handful of scalars [`Manager::observation`] needs from the
+/// previous interval. Copied out of the returned [`IntervalStats`] so the
+/// per-interval path never clones the full stats value (whose per-server
+/// busy vector would allocate every interval).
+#[derive(Debug, Clone, Copy)]
+struct LastSignals {
+    offered_load_frac: f64,
+    tail_latency_s: f64,
+    power_w: f64,
+    batch_ips_big: f64,
+    batch_ips_small: f64,
+    counters_valid: bool,
+}
+
+impl LastSignals {
+    fn of(stats: &IntervalStats) -> Self {
+        LastSignals {
+            offered_load_frac: stats.offered_load_frac,
+            tail_latency_s: stats.tail_latency_s,
+            power_w: stats.power.total(),
+            batch_ips_big: stats.batch_ips_big,
+            batch_ips_small: stats.batch_ips_small,
+            counters_valid: stats.counters_valid,
+        }
+    }
+}
+
 /// Drives one policy over one engine, producing a [`Trace`].
 pub struct Manager {
     engine: Engine,
     policy: Box<dyn Policy>,
     collocate: bool,
-    last: Option<IntervalStats>,
+    last: Option<LastSignals>,
     meta: RunMeta,
     sinks: Vec<Box<dyn TelemetrySink>>,
     started: bool,
@@ -132,7 +159,7 @@ impl Manager {
                     load_frac: s.offered_load_frac.clamp(0.0, MAX_OBSERVABLE_LOAD_FRAC),
                     tail_latency_s: s.tail_latency_s,
                     qos,
-                    power_w: s.power.total(),
+                    power_w: s.power_w,
                     batch_ips_big: s.batch_ips_big,
                     batch_ips_small: s.batch_ips_small,
                     counters_valid: s.counters_valid,
@@ -161,13 +188,17 @@ impl Manager {
         for sink in &mut self.sinks {
             sink.on_interval(&self.meta, &stats);
         }
-        self.last = Some(stats.clone());
+        self.last = Some(LastSignals::of(&stats));
         stats
     }
 
     /// Runs `intervals` monitoring intervals and returns their trace.
     pub fn run(&mut self, intervals: usize) -> Trace {
-        (0..intervals).map(|_| self.step()).collect()
+        let mut trace = Trace::with_capacity(intervals);
+        for _ in 0..intervals {
+            trace.push(self.step());
+        }
+        trace
     }
 
     /// Ends the run: fires [`TelemetrySink::on_run_end`] on every sink and
@@ -323,7 +354,7 @@ mod tests {
     fn observation_load_clamps_at_named_cap() {
         use crate::bucket::MAX_OBSERVABLE_LOAD_FRAC;
         let mut m = manager();
-        let mut s = m.step();
+        let mut s = LastSignals::of(&m.step());
         s.offered_load_frac = 7.0;
         m.last = Some(s);
         assert_eq!(m.observation().load_frac, MAX_OBSERVABLE_LOAD_FRAC);

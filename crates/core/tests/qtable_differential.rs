@@ -1,0 +1,138 @@
+//! Differential property test: the dense `(bucket, action_index)`
+//! [`QTable`] must behave identically to the frozen map-backed
+//! [`ReferenceQTable`] under arbitrary operation interleavings —
+//! `get`/`update`/`max_over`/`best_action`/`has_positive_entry`, the
+//! index-keyed fast paths, tie-breaks and unexplored-state defaults
+//! included. Any drift here would silently change every Hipster policy
+//! decision, so values are compared *bit-for-bit*.
+
+use proptest::prelude::*;
+
+use hipster_core::reference::ReferenceQTable;
+use hipster_core::{ConfigSpace, QTable};
+use hipster_platform::{power_ladder, CoreConfig, Platform};
+
+/// One randomly generated table operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `update(w, actions[a], reward, next_w, all-actions, α, γ)`.
+    Update {
+        w: u32,
+        a: usize,
+        reward: f64,
+        next_w: u32,
+        alpha: f64,
+        gamma: f64,
+    },
+    /// Compare `get(w, actions[a])` / `value_at`.
+    Get { w: u32, a: usize },
+    /// Compare `max_over(w, actions)` / `max_at`.
+    MaxOver { w: u32 },
+    /// Compare `best_action(w, actions)` / `best_index` (tie-breaks!).
+    BestAction { w: u32 },
+    /// Compare `has_positive_entry(w, actions)` / `any_positive`.
+    HasPositive { w: u32 },
+}
+
+fn op_strategy(n_actions: usize, max_w: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0..max_w,
+            0..n_actions,
+            -10.0f64..10.0,
+            0..max_w,
+            0.0f64..=1.0,
+            0.0f64..=1.0,
+        )
+            .prop_map(|(w, a, reward, next_w, alpha, gamma)| Op::Update {
+                w,
+                a,
+                reward,
+                next_w,
+                alpha,
+                gamma,
+            }),
+        (0..max_w, 0..n_actions).prop_map(|(w, a)| Op::Get { w, a }),
+        (0..max_w).prop_map(|w| Op::MaxOver { w }),
+        (0..max_w).prop_map(|w| Op::BestAction { w }),
+        (0..max_w).prop_map(|w| Op::HasPositive { w }),
+    ]
+}
+
+/// A randomly sized prefix of the Juno power ladder — realistic action
+/// sets of varying length, always duplicate-free and in ladder order.
+fn actions_of_len(len: usize) -> Vec<CoreConfig> {
+    let ladder = power_ladder(&Platform::juno_r1());
+    ladder[..len.min(ladder.len())].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_and_reference_tables_agree(
+        len in 1usize..=34,
+        ops in prop::collection::vec(op_strategy(34, 60), 1..200),
+    ) {
+        let actions = actions_of_len(len);
+        let n = actions.len();
+        let mut dense = QTable::for_space(ConfigSpace::new(actions.clone()));
+        let mut reference = ReferenceQTable::new();
+
+        for op in ops {
+            match op {
+                Op::Update { w, a, reward, next_w, alpha, gamma } => {
+                    let a = a % n;
+                    dense.update_indexed(w, a, reward, next_w, alpha, gamma);
+                    reference.update(w, actions[a], reward, next_w, &actions, alpha, gamma);
+                }
+                Op::Get { w, a } => {
+                    let a = a % n;
+                    let d = dense.value_at(w, a);
+                    let r = reference.get(w, &actions[a]);
+                    prop_assert_eq!(d.to_bits(), r.to_bits(), "get({}, {}): {} vs {}", w, a, d, r);
+                    // The config-keyed read is the same cell.
+                    prop_assert_eq!(dense.get(w, &actions[a]).to_bits(), r.to_bits());
+                }
+                Op::MaxOver { w } => {
+                    let d = dense.max_at(w);
+                    let r = reference.max_over(w, &actions);
+                    prop_assert_eq!(d.to_bits(), r.to_bits(), "max_over({}): {} vs {}", w, d, r);
+                    prop_assert_eq!(dense.max_over(w, &actions).to_bits(), r.to_bits());
+                }
+                Op::BestAction { w } => {
+                    let d = dense.best_index(w).map(|i| actions[i]);
+                    let r = reference.best_action(w, &actions);
+                    prop_assert_eq!(d, r, "best_action({}) tie-break drifted", w);
+                    prop_assert_eq!(dense.best_action(w, &actions), r);
+                }
+                Op::HasPositive { w } => {
+                    let d = dense.any_positive(w);
+                    let r = reference.has_positive_entry(w, &actions);
+                    prop_assert_eq!(d, r, "has_positive_entry({})", w);
+                }
+            }
+        }
+
+        // Final state: identical entry sets, bit-identical serialization.
+        prop_assert_eq!(dense.len(), reference.len());
+        prop_assert_eq!(dense.to_tsv(), reference.to_tsv());
+    }
+
+    #[test]
+    fn unexplored_states_default_identically(
+        w in 0u32..100,
+        len in 1usize..=34,
+    ) {
+        let actions = actions_of_len(len);
+        let dense = QTable::for_space(ConfigSpace::new(actions.clone()));
+        let reference = ReferenceQTable::new();
+        prop_assert_eq!(dense.max_at(w), 0.0);
+        prop_assert_eq!(reference.max_over(w, &actions), 0.0);
+        // All-zero rows tie-break to the cheapest (first) action in both.
+        prop_assert_eq!(dense.best_index(w), Some(0));
+        prop_assert_eq!(reference.best_action(w, &actions), Some(actions[0]));
+        prop_assert!(!dense.any_positive(w));
+        prop_assert!(!reference.has_positive_entry(w, &actions));
+    }
+}

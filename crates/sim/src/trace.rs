@@ -20,6 +20,14 @@ impl Trace {
         Self::default()
     }
 
+    /// Creates an empty trace with room for `intervals` entries, so a
+    /// driver that knows its run length appends without reallocating.
+    pub fn with_capacity(intervals: usize) -> Self {
+        Trace {
+            intervals: Vec::with_capacity(intervals),
+        }
+    }
+
     /// Appends one interval.
     pub fn push(&mut self, s: IntervalStats) {
         self.intervals.push(s);

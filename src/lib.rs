@@ -55,9 +55,10 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    split_seed, CsvSink, Fleet, FleetError, HeuristicMapper, Hipster, JsonLinesSink, Manager,
-    Observation, OctopusMan, Policy, PolicyFactory, PolicySummary, RunMeta, ScenarioError,
-    ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, SummarySink, TelemetrySink, TraceSink,
+    split_seed, ConfigSpace, CsvSink, Fleet, FleetError, FleetStats, HeuristicMapper, Hipster,
+    JsonLinesSink, Manager, Observation, OctopusMan, Policy, PolicyFactory, PolicySummary, RunMeta,
+    ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, SummarySink,
+    TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{

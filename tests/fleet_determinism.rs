@@ -1,9 +1,11 @@
 //! Determinism regression: the same `ScenarioSpec` produces byte-identical
-//! traces whether it runs serially or through a multi-threaded `Fleet`.
+//! traces whether it runs serially, through the multi-threaded
+//! work-stealing `Fleet`, or through the static-partition baseline
+//! scheduler (`hipster::core::reference::run_static_chunked`).
 
-use hipster::workloads::web_search;
-use hipster::{Diurnal, Fleet, Hipster, Platform, Policy, ScenarioSpec};
-use hipster_core::Zones;
+use hipster::workloads::{memcached, web_search};
+use hipster::{Diurnal, Fleet, Hipster, OctopusMan, Platform, Policy, Ramp, ScenarioSpec};
+use hipster_core::{reference, HeuristicMapper, StaticPolicy, Zones};
 
 /// One scenario, reconstructed identically on every call (specs are
 /// single-use: they own their telemetry sinks).
@@ -86,4 +88,133 @@ fn spec_unseeded() -> ScenarioSpec {
                 as Box<dyn Policy>
         })
         .intervals(60)
+}
+
+/// A shortened fig. 5-shaped fleet — three policies × two workloads under
+/// the diurnal load — plus the fig. 8 ramp race, all as one heterogeneous
+/// fleet (mixed policies and run lengths, exactly what a scheduler could
+/// get wrong).
+fn fig5_fig8_fleet() -> Fleet {
+    let mut fleet = Fleet::new();
+    let zones_mc = Zones::new(0.50, 0.15);
+    let zones_ws = Zones::new(0.85, 0.35);
+    // fig5-style panels.
+    for (workload, zones) in [("memcached", zones_mc), ("web-search", zones_ws)] {
+        let lc = move || -> Box<dyn hipster::LcModel> {
+            match workload {
+                "memcached" => Box::new(memcached()),
+                _ => Box::new(web_search()),
+            }
+        };
+        fleet.push(
+            ScenarioSpec::new(format!("fig5/{workload}/static"), Platform::juno_r1())
+                .workload_with(lc)
+                .load(Diurnal::paper())
+                .policy(|p: &Platform, _| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+                .intervals(90)
+                .seed(51),
+        );
+        fleet.push(
+            ScenarioSpec::new(format!("fig5/{workload}/octopus"), Platform::juno_r1())
+                .workload_with(lc)
+                .load(Diurnal::paper())
+                .policy(move |p: &Platform, _| {
+                    Box::new(OctopusMan::new(p, zones)) as Box<dyn Policy>
+                })
+                .intervals(120)
+                .seed(51),
+        );
+        fleet.push(
+            ScenarioSpec::new(format!("fig5/{workload}/heuristic"), Platform::juno_r1())
+                .workload_with(lc)
+                .load(Diurnal::paper())
+                .policy(move |p: &Platform, _| {
+                    Box::new(HeuristicMapper::new(p, zones)) as Box<dyn Policy>
+                })
+                .intervals(60)
+                .seed(51),
+        );
+    }
+    // fig8-style ramp race.
+    for (name, learn) in [("hipster", 40u64), ("octopus", 0)] {
+        fleet.push(
+            ScenarioSpec::new(format!("fig8/{name}"), Platform::juno_r1())
+                .workload_with(|| Box::new(memcached()))
+                .load(Ramp {
+                    from: 0.5,
+                    to: 1.0,
+                    ramp_s: 100.0,
+                })
+                .policy(move |p: &Platform, seed| -> Box<dyn Policy> {
+                    if learn > 0 {
+                        Box::new(
+                            Hipster::interactive(p, seed)
+                                .learning_intervals(learn)
+                                .zones(Zones::new(0.50, 0.15))
+                                .bucket_width(0.03)
+                                .build(),
+                        )
+                    } else {
+                        Box::new(OctopusMan::new(p, Zones::new(0.50, 0.15)))
+                    }
+                })
+                .intervals(100)
+                .seed(71),
+        );
+    }
+    fleet
+}
+
+#[test]
+fn work_stealing_matches_serial_and_static_chunking_on_fig5_fig8_fleets() {
+    // Serial execution (one worker) is the ground truth.
+    let serial = fig5_fig8_fleet().threads(1).run().expect("valid fleet");
+    let serial_csv: Vec<(String, u64, String)> = serial
+        .iter()
+        .map(|o| (o.name.clone(), o.seed, o.trace.to_csv()))
+        .collect();
+
+    // Work-stealing across 4 workers must reproduce it byte-for-byte.
+    let stealing = fig5_fig8_fleet().threads(4).run().expect("valid fleet");
+    assert_eq!(stealing.len(), serial_csv.len());
+    for (o, (name, seed, csv)) in stealing.iter().zip(serial_csv.iter()) {
+        assert_eq!(&o.name, name);
+        assert_eq!(&o.seed, seed);
+        assert_eq!(
+            o.trace.to_csv().into_bytes(),
+            csv.clone().into_bytes(),
+            "work-stealing diverged on {name}"
+        );
+    }
+
+    // ... and so must the static-partition baseline scheduler.
+    let (chunked, stats) =
+        reference::run_static_chunked(fig5_fig8_fleet().threads(4)).expect("valid fleet");
+    assert_eq!(stats.workers, 4);
+    assert_eq!(chunked.len(), serial_csv.len());
+    for (o, (name, seed, csv)) in chunked.iter().zip(serial_csv.iter()) {
+        assert_eq!(&o.name, name);
+        assert_eq!(&o.seed, seed);
+        assert_eq!(
+            o.trace.to_csv().into_bytes(),
+            csv.clone().into_bytes(),
+            "static chunking diverged on {name}"
+        );
+    }
+}
+
+#[test]
+fn run_each_streams_the_same_outcomes_as_run() {
+    let collected = fig5_fig8_fleet().threads(2).run().expect("valid fleet");
+    let mut streamed = Vec::new();
+    let stats = fig5_fig8_fleet()
+        .threads(2)
+        .run_each(|o| streamed.push((o.name.clone(), o.trace.to_csv())))
+        .expect("valid fleet");
+    assert_eq!(stats.scenarios, collected.len());
+    assert_eq!(streamed.len(), collected.len());
+    for ((name, csv), o) in streamed.iter().zip(collected.iter()) {
+        assert_eq!(name, &o.name);
+        assert_eq!(csv, &o.trace.to_csv());
+    }
 }
