@@ -4,8 +4,9 @@
 //! repro all            # everything (several minutes in release mode)
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
-//! repro bench          # event-core throughput baseline → BENCH_PR3.json
+//! repro bench          # perf baselines → BENCH_PR{3,4,5}.json
 //! repro bench --smoke  # same cells, seconds (CI)
+//! repro bench --smoke --only open/   # just the cells matching a prefix
 //! ```
 
 use hipster_bench::experiments as exp;
@@ -29,7 +30,7 @@ const EXPERIMENTS: &[(&str, fn(bool))] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n       \
-         repro bench [--smoke]\n\nexperiments: {} bench",
+         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} bench",
         EXPERIMENTS
             .iter()
             .map(|(n, _)| *n)
@@ -43,10 +44,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let smoke = args.iter().any(|a| a == "--smoke");
+    // `--only <prefix>` restricts `bench` to cells whose name starts with
+    // the prefix (the prefix itself must not be treated as an experiment).
+    let only_flag_idx = args.iter().position(|a| a == "--only");
+    let only: Option<&str> = only_flag_idx.map(|i| match args.get(i + 1) {
+        Some(p) if !p.starts_with('-') => p.as_str(),
+        _ => {
+            eprintln!("--only requires a cell-name prefix");
+            usage();
+        }
+    });
+    let only_value_idx = only_flag_idx.map(|i| i + 1);
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with('-') && Some(*i) != only_value_idx)
+        .map(|(_, a)| a.as_str())
         .collect();
     if selected.is_empty() {
         usage();
@@ -59,7 +72,7 @@ fn main() {
     if selected.contains(&"bench") {
         matched = true;
         let start = std::time::Instant::now();
-        hipster_bench::perfbench::run(smoke);
+        hipster_bench::perfbench::run(smoke, only);
         println!("[bench done in {:.1}s]\n", start.elapsed().as_secs_f64());
     }
     for (name, runner) in EXPERIMENTS {

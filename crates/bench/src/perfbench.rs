@@ -1,10 +1,10 @@
 //! `repro bench` — recorded performance baselines.
 //!
-//! Two benchmark families run back to back:
+//! Three benchmark families run back to back:
 //!
 //! * **Event core** (`BENCH_PR3.json`) — steps canonical open- and
 //!   closed-loop scenarios at several server / client scales through the
-//!   *same* generic driver, once with the heap-indexed [`ServiceNode`]
+//!   *same* generic driver, once with the indexed [`ServiceNode`]
 //!   (+ [`ThinkPool`]) and once with the frozen pre-PR3 linear-scan
 //!   implementation ([`ReferenceNode`] + [`ReferenceThinkPool`]), and
 //!   reports events/sec and intervals/sec for both.
@@ -16,6 +16,12 @@
 //!   fig. 2/3-style (configuration × load) sweep at 64/256/1024 scenarios
 //!   through the work-stealing [`Fleet`] and a static-partition
 //!   baseline scheduler, recording wall time and per-worker idle tails.
+//! * **Dispatch at scale** (`BENCH_PR5.json`) — `open/memcached/*` cells
+//!   at 64/256/1024 servers plus a DVFS-churn cell drive the speed-class
+//!   bitmap [`ServiceNode`] against the frozen PR 3/4-era free-server
+//!   max-heap node ([`HeapNode`]), proving per-event cost stays flat in
+//!   machine size (s1024 within 1.3× of s64) and enforcing the ≥1.5×
+//!   speedup floor at 256 servers when recording a full (non-smoke) run.
 //!
 //! Every cell feeds its fast and reference implementations identical
 //! inputs, so their outputs must agree exactly — the bench doubles as an
@@ -24,7 +30,9 @@
 //! Results are written to the current directory (the repo root, when run
 //! via `cargo run`), giving future PRs a recorded perf trajectory.
 //! `--smoke` runs the same cells with fewer simulated intervals so CI can
-//! validate the harness in seconds.
+//! validate the harness in seconds, and `--only <prefix>` restricts the
+//! run to cells whose name starts with the prefix (a JSON file is only
+//! rewritten when at least one of its cells ran).
 
 use std::time::Instant;
 
@@ -32,7 +40,7 @@ use hipster_core::reference::{run_static_chunked, ReferenceQTable};
 use hipster_core::{ConfigSpace, Fleet, LoadBuckets, Policy, QTable, ScenarioSpec, StaticPolicy};
 use hipster_platform::{power_ladder, CoreConfig, CoreKind, Frequency, Platform};
 use hipster_sim::dist::Exponential;
-use hipster_sim::reference::{ReferenceNode, ReferenceThinkPool};
+use hipster_sim::reference::{HeapNode, ReferenceNode, ReferenceThinkPool};
 use hipster_sim::{
     Demand, LcModel, NodeInterval, Sampler, ServerSpec, ServiceNode, SimRng, ThinkPool,
 };
@@ -78,6 +86,30 @@ impl EventNode for ServiceNode {
     }
     fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
         ServiceNode::end_interval(self, t_end, p)
+    }
+}
+
+impl EventNode for HeapNode {
+    fn reconfigure(&mut self, now: f64, specs: &[ServerSpec], preempt: bool, stall_s: f64) {
+        HeapNode::reconfigure(self, now, specs, preempt, stall_s);
+    }
+    fn begin_interval(&mut self, t: f64) {
+        HeapNode::begin_interval(self, t);
+    }
+    fn arrive(&mut self, now: f64, demand: Demand) {
+        HeapNode::arrive(self, now, demand);
+    }
+    fn next_completion(&self) -> Option<f64> {
+        HeapNode::next_completion(self)
+    }
+    fn advance(&mut self, to: f64) {
+        HeapNode::advance(self, to);
+    }
+    fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
+        HeapNode::advance_collect(self, to, out);
+    }
+    fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
+        HeapNode::end_interval(self, t_end, p)
     }
 }
 
@@ -389,16 +421,25 @@ fn check_equivalence(name: &str, new: &Measured, reference: &Measured) {
     );
 }
 
-/// Runs both bench matrices, writing `BENCH_PR3.json` (event core) and
-/// `BENCH_PR4.json` (control plane + fleet scheduling). With `smoke`,
-/// runs the same cells over fewer simulated intervals (seconds, for CI).
-pub fn run(smoke: bool) {
-    run_event_core(smoke);
-    run_control_plane(smoke);
+/// Whether a cell named `name` is selected by the `--only` prefix filter.
+fn selected(only: Option<&str>, name: &str) -> bool {
+    only.is_none_or(|prefix| name.starts_with(prefix))
+}
+
+/// Runs the bench matrices, writing `BENCH_PR3.json` (event core),
+/// `BENCH_PR4.json` (control plane + fleet scheduling) and
+/// `BENCH_PR5.json` (dispatch at scale). With `smoke`, runs the same cells
+/// over fewer simulated intervals (seconds, for CI). With `only`, runs
+/// just the cells whose name starts with the prefix; a JSON file is only
+/// rewritten when at least one of its cells ran.
+pub fn run(smoke: bool, only: Option<&str>) {
+    run_event_core(smoke, only);
+    run_control_plane(smoke, only);
+    run_dispatch_scale(smoke, only);
 }
 
 /// The PR3 event-core matrix → `BENCH_PR3.json`.
-fn run_event_core(smoke: bool) {
+fn run_event_core(smoke: bool, only: Option<&str>) {
     let open_model = memcached();
     let closed_model = web_search();
     let open_intervals = if smoke { 2 } else { 10 };
@@ -415,6 +456,9 @@ fn run_event_core(smoke: bool) {
     for &servers in &[4usize, 16, 64] {
         let rate = UTILIZATION * servers as f64 / t_mean_open;
         let name = format!("open/memcached/s{servers}");
+        if !selected(only, &name) {
+            continue;
+        }
         print!("  {name} ...");
         let mut node = ServiceNode::new();
         let new = drive_open(
@@ -464,6 +508,9 @@ fn run_event_core(smoke: bool) {
             .max(1e-3);
         let offered = clients as f64 / (think + t_mean_closed);
         let name = format!("closed/web-search/c{clients}");
+        if !selected(only, &name) {
+            continue;
+        }
         print!("  {name} ...");
         let mut node = ServiceNode::new();
         let mut pool = ThinkPool::new();
@@ -511,6 +558,9 @@ fn run_event_core(smoke: bool) {
         });
     }
 
+    if cells.is_empty() {
+        return; // --only matched nothing here; leave the file alone
+    }
     let body: Vec<String> = cells.iter().map(Cell::json).collect();
     let json = format!(
         "{{\"bench\":\"hipster event-core throughput\",\"pr\":\"PR3\",\
@@ -526,7 +576,7 @@ fn run_event_core(smoke: bool) {
 
     let largest = cells.last().expect("cells are non-empty");
     println!(
-        "\nlargest closed-loop cell ({}): {:.2}× events/sec over the pre-PR3 engine",
+        "\nlargest cell ({}): {:.2}× events/sec over the pre-PR3 engine",
         largest.name,
         largest.speedup()
     );
@@ -804,7 +854,7 @@ impl FleetCell {
 }
 
 /// The PR4 matrix → `BENCH_PR4.json`.
-fn run_control_plane(smoke: bool) {
+fn run_control_plane(smoke: bool, only: Option<&str>) {
     // Control-plane cells: the paper deploys 2–4% buckets for Memcached
     // and 3–9% for Web-Search; 3%/5%/10% spans that range (3% = most
     // buckets = the largest cell).
@@ -813,6 +863,9 @@ fn run_control_plane(smoke: bool) {
     let mut control_cells: Vec<ControlCell> = Vec::new();
     for &(tag, width) in &[("b3", 0.03), ("b5", 0.05), ("b10", 0.10)] {
         let name = format!("control/qpath/{tag}");
+        if !selected(only, &name) {
+            continue;
+        }
         print!("  {name} ...");
         let (loads, rewards) = control_inputs(control_intervals, 0x51);
         let new = drive_control_dense(ConfigSpace::new(ladder.clone()), width, &loads, &rewards);
@@ -847,6 +900,9 @@ fn run_control_plane(smoke: bool) {
     let mut fleet_cells: Vec<FleetCell> = Vec::new();
     for &scenarios in &[64usize, 256, 1024] {
         let name = format!("fleet/heatmap/s{scenarios}");
+        if !selected(only, &name) {
+            continue;
+        }
         print!("  {name} ...");
         let start = Instant::now();
         let (outcomes, stats) = heatmap_fleet(scenarios, fleet_intervals, fleet_interval_s)
@@ -893,6 +949,9 @@ fn run_control_plane(smoke: bool) {
         });
     }
 
+    if control_cells.is_empty() && fleet_cells.is_empty() {
+        return; // --only matched nothing here; leave the file alone
+    }
     let control_body: Vec<String> = control_cells.iter().map(ControlCell::json).collect();
     let fleet_body: Vec<String> = fleet_cells.iter().map(FleetCell::json).collect();
     let json = format!(
@@ -908,20 +967,420 @@ fn run_control_plane(smoke: bool) {
         Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
     }
 
-    let largest = control_cells.first().expect("control cells are non-empty");
-    println!(
-        "\nlargest control-plane cell ({}): {:.2}× intervals/sec over the map-backed table",
-        largest.name,
-        largest.speedup()
+    if let Some(largest) = control_cells.first() {
+        println!(
+            "\nlargest control-plane cell ({}): {:.2}× intervals/sec over the map-backed table",
+            largest.name,
+            largest.speedup()
+        );
+    }
+    if let Some(largest_fleet) = fleet_cells.last() {
+        println!(
+            "largest fleet cell ({}): idle tail {:.1}% vs {:.1}% static chunking ({:.2}× wall)",
+            largest_fleet.name,
+            largest_fleet.new.idle_tail_frac * 100.0,
+            largest_fleet.reference.idle_tail_frac * 100.0,
+            largest_fleet.speedup()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR5: dispatch-at-scale cells → BENCH_PR5.json
+// ---------------------------------------------------------------------
+
+/// Multiplicative DVFS ladder the churn cell cycles through, one step per
+/// monitoring interval (every step changes every server's effective speed,
+/// forcing a speed-class-table rebuild / free-heap rebuild per interval).
+const DVFS_CHURN_STEPS: &[f64] = &[1.0, 0.85, 0.7, 0.85];
+
+/// DVFS transition stall of the churn cell, seconds (a slice of the
+/// interval, so arrivals land inside the stall window and exercise the
+/// demote/promote path).
+const DVFS_CHURN_STALL_S: f64 = 2e-4;
+
+/// Timed passes per PR5 cell; the best pass is recorded (the cells time
+/// the event core only, and a single pass on a shared runner is noisy).
+const PR5_REPS: usize = 5;
+
+/// Pre-generates the open-loop arrival stream one interval at a time —
+/// the same RNG draw sequence as [`drive_open`], but outside the timed
+/// region, so the PR5 cells measure the event core rather than the
+/// workload sampler (the same hoist the PR4 control cells make with
+/// [`control_inputs`]).
+struct OpenStreamGen<'m> {
+    model: &'m LcWorkload,
+    arrival_rng: SimRng,
+    demand_rng: SimRng,
+    iat: Exponential,
+    next_arrival: f64,
+}
+
+impl<'m> OpenStreamGen<'m> {
+    fn new(model: &'m LcWorkload, rate_rps: f64, seed: u64) -> Self {
+        let mut arrival_rng = SimRng::seed(seed);
+        let iat = Exponential::new(rate_rps / model.mean_burst().max(1.0));
+        let next_arrival = iat.sample(&mut arrival_rng);
+        OpenStreamGen {
+            model,
+            arrival_rng,
+            demand_rng: SimRng::seed(seed ^ 0x9e3779b97f4a7c15),
+            iat,
+            next_arrival,
+        }
+    }
+
+    /// Fills `out` with every `(arrival time, demand)` of the interval
+    /// ending at `t_end` (bursts flattened; all requests of a burst share
+    /// the burst's arrival time, exactly as the inline driver delivers
+    /// them). An arrival landing on `t_end` is deferred to the next
+    /// interval, as the inline driver's `t >= t_end` break does.
+    fn gen_interval(&mut self, t_end: f64, out: &mut Vec<(f64, Demand)>) {
+        out.clear();
+        while self.next_arrival < t_end {
+            let t = self.next_arrival;
+            let burst = self.model.sample_burst(&mut self.demand_rng).max(1);
+            for _ in 0..burst {
+                out.push((t, self.model.sample_demand(&mut self.demand_rng)));
+            }
+            self.next_arrival = t + self.iat.sample(&mut self.arrival_rng);
+        }
+    }
+}
+
+/// One timed pass of the PR5 open-loop replay: identical event delivery to
+/// [`drive_open`] (same completion-vs-arrival precedence, same boundary
+/// semantics), but consuming a pre-generated arrival stream. When
+/// `dvfs_specs` is non-empty, every interval boundary after the first
+/// applies the next ladder step as a DVFS-style rescale (no preemption,
+/// [`DVFS_CHURN_STALL_S`] stall) *inside* the timed region — per-interval
+/// reconfiguration cost is exactly what the churn cell measures.
+fn replay_open<N: EventNode>(
+    node: &mut N,
+    specs: &[ServerSpec],
+    dvfs_specs: &[Vec<ServerSpec>],
+    gen: &mut OpenStreamGen<'_>,
+    buf: &mut Vec<(f64, Demand)>,
+    interval_s: f64,
+    intervals: usize,
+) -> Measured {
+    node.reconfigure(0.0, specs, true, 0.0);
+    let mut now = 0.0f64;
+    let mut wall_s = 0.0f64;
+    let mut checksum = Vec::with_capacity(intervals);
+    let mut events = 0u64;
+    for iv_idx in 0..intervals {
+        let t_end = now + interval_s;
+        gen.gen_interval(t_end, buf);
+        let start = Instant::now();
+        node.begin_interval(now);
+        if iv_idx > 0 && !dvfs_specs.is_empty() {
+            node.reconfigure(
+                now,
+                &dvfs_specs[iv_idx % dvfs_specs.len()],
+                false,
+                DVFS_CHURN_STALL_S,
+            );
+        }
+        let mut i = 0;
+        loop {
+            let a = if i < buf.len() {
+                buf[i].0
+            } else {
+                f64::INFINITY
+            };
+            let t = match node.next_completion() {
+                Some(tc) if tc < a => tc.min(t_end),
+                _ => a.min(t_end),
+            };
+            node.advance(t);
+            if t >= t_end {
+                break;
+            }
+            if t == a {
+                while i < buf.len() && buf[i].0 == t {
+                    node.arrive(t, buf[i].1);
+                    i += 1;
+                }
+            }
+        }
+        let iv = node.end_interval(t_end, TAIL_P);
+        wall_s += start.elapsed().as_secs_f64();
+        now = t_end;
+        events += (iv.arrivals + iv.completions + iv.timeouts) as u64;
+        checksum.push((
+            iv.arrivals,
+            iv.completions,
+            iv.timeouts,
+            iv.tail_latency_s.to_bits(),
+        ));
+    }
+    Measured {
+        events,
+        intervals,
+        wall_s,
+        checksum,
+    }
+}
+
+/// Folds one more timed pass into the best-so-far slot (streams and event
+/// sequences are deterministic, so every pass of a cell must produce the
+/// same checksum).
+fn keep_best(best: &mut Option<Measured>, m: Measured) {
+    *best = Some(match best.take() {
+        Some(b) => {
+            assert_eq!(b.checksum, m.checksum, "nondeterministic replay");
+            if b.wall_s <= m.wall_s {
+                b
+            } else {
+                m
+            }
+        }
+        None => m,
+    });
+}
+
+/// Mean offered capacity (requests/sec) of a churn spec ladder: the
+/// average over its steps of the sum of per-server service rates. The
+/// churn cell offers [`UTILIZATION`] × this, so the system stays in the
+/// same load regime as the plain cells while speeds move underneath it.
+fn ladder_capacity_rps(model: &LcWorkload, ladder: &[Vec<ServerSpec>]) -> f64 {
+    let mut rng = SimRng::seed(7);
+    let n = 20_000;
+    let (mut work, mut mem) = (0.0f64, 0.0f64);
+    for _ in 0..n {
+        let d = model.sample_demand(&mut rng);
+        work += d.work;
+        mem += d.mem_s;
+    }
+    let (work, mem) = (work / n as f64, mem / n as f64);
+    let total: f64 = ladder
+        .iter()
+        .map(|specs| {
+            specs
+                .iter()
+                .map(|s| 1.0 / ((work / s.speed + mem) * s.slowdown))
+                .sum::<f64>()
+        })
+        .sum();
+    total / ladder.len() as f64
+}
+
+/// The churn cell's per-interval spec ladder: every step rescales all
+/// servers (half of them 25% slower, so each interval has two speed
+/// classes and dispatch exercises the class order).
+fn dvfs_spec_ladder(base: &[ServerSpec]) -> Vec<Vec<ServerSpec>> {
+    DVFS_CHURN_STEPS
+        .iter()
+        .map(|&step| {
+            base.iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let hetero = if i % 2 == 0 { 1.0 } else { 0.75 };
+                    ServerSpec {
+                        speed: s.speed * step * hetero,
+                        ..*s
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The PR5 dispatch-at-scale matrix → `BENCH_PR5.json`: the speed-class
+/// bitmap [`ServiceNode`] vs the frozen free-server max-heap [`HeapNode`]
+/// on identical streams (digest-compared; panics on divergence).
+///
+/// When recording a full (non-smoke, unfiltered) run, enforces the PR 5
+/// floors: ≥1.5× events/sec at 256 servers, and s1024 per-event throughput
+/// within 1.3× of s64 (flat dispatch cost in machine size).
+fn run_dispatch_scale(smoke: bool, only: Option<&str>) {
+    let model = memcached();
+    let t_mean = mean_service_s(&model);
+    // Interval length scales inversely with the server count (same total
+    // simulated time per cell), holding the per-interval completion batch
+    // — and with it the recorder's percentile pass and sample-buffer
+    // footprint — constant across scales, so the cells compare the
+    // *event path* at different machine sizes rather than increasingly
+    // cache-hostile end-of-interval batches.
+    let cell_shape = |servers: usize| {
+        assert!(
+            servers >= 64 && servers % 64 == 0,
+            "PR5 cells scale from the 64-server shape: got {servers}"
+        );
+        let scale = servers / 64;
+        let intervals = if smoke { 2 } else { 10 } * scale;
+        (0.1 / scale as f64, intervals)
+    };
+
+    // Cell plans, all built up front so the timed passes can interleave.
+    struct Plan {
+        name: String,
+        mode: &'static str,
+        servers: usize,
+        rate: f64,
+        interval_s: f64,
+        intervals: usize,
+        specs: Vec<ServerSpec>,
+        dvfs: Vec<Vec<ServerSpec>>,
+        seed: u64,
+    }
+    let mut plans: Vec<Plan> = Vec::new();
+    for &servers in &[64usize, 256, 1024] {
+        let name = format!("open/memcached/s{servers}");
+        if !selected(only, &name) {
+            continue;
+        }
+        let (interval_s, intervals) = cell_shape(servers);
+        plans.push(Plan {
+            name,
+            mode: "open",
+            servers,
+            rate: UTILIZATION * servers as f64 / t_mean,
+            interval_s,
+            intervals,
+            specs: big_specs(&model, servers),
+            dvfs: Vec::new(),
+            seed: 42,
+        });
+    }
+    {
+        let servers = 256usize;
+        let name = format!("open/memcached-dvfs/s{servers}");
+        if selected(only, &name) {
+            let (interval_s, intervals) = cell_shape(servers);
+            let ladder = dvfs_spec_ladder(&big_specs(&model, servers));
+            plans.push(Plan {
+                name,
+                mode: "open-dvfs",
+                servers,
+                rate: UTILIZATION * ladder_capacity_rps(&model, &ladder),
+                interval_s,
+                intervals,
+                specs: ladder[0].clone(),
+                dvfs: ladder,
+                seed: 47,
+            });
+        }
+    }
+
+    // Timed passes interleave round-robin over (cell × implementation), so
+    // slow machine-state drift (thermal throttling, noisy neighbours on a
+    // shared runner) lands on every cell's sample set instead of skewing
+    // the cells that happen to run last — the flatness ratio compares
+    // cells against each other, so drift *between* cells is what matters.
+    let mut buf: Vec<(f64, Demand)> = Vec::new();
+    let mut best_new: Vec<Option<Measured>> = plans.iter().map(|_| None).collect();
+    let mut best_ref: Vec<Option<Measured>> = plans.iter().map(|_| None).collect();
+    for _rep in 0..PR5_REPS {
+        for (i, plan) in plans.iter().enumerate() {
+            let mut node = ServiceNode::new();
+            let mut gen = OpenStreamGen::new(&model, plan.rate, plan.seed);
+            let m = replay_open(
+                &mut node,
+                &plan.specs,
+                &plan.dvfs,
+                &mut gen,
+                &mut buf,
+                plan.interval_s,
+                plan.intervals,
+            );
+            keep_best(&mut best_new[i], m);
+            let mut node = HeapNode::new();
+            let mut gen = OpenStreamGen::new(&model, plan.rate, plan.seed);
+            let m = replay_open(
+                &mut node,
+                &plan.specs,
+                &plan.dvfs,
+                &mut gen,
+                &mut buf,
+                plan.interval_s,
+                plan.intervals,
+            );
+            keep_best(&mut best_ref[i], m);
+        }
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (i, plan) in plans.into_iter().enumerate() {
+        let new = best_new[i].take().expect("every plan ran");
+        let reference = best_ref[i].take().expect("every plan ran");
+        check_equivalence(&plan.name, &new, &reference);
+        println!(
+            "  {} ... {:.2} M events/s (heap node {:.2} M) — {:.1}×",
+            plan.name,
+            new.events_per_sec() / 1e6,
+            reference.events_per_sec() / 1e6,
+            new.events_per_sec() / reference.events_per_sec().max(1e-9),
+        );
+        cells.push(Cell {
+            name: plan.name,
+            mode: plan.mode,
+            servers: plan.servers,
+            clients: None,
+            offered_rps: plan.rate,
+            interval_s: plan.interval_s,
+            intervals: plan.intervals,
+            new,
+            reference,
+        });
+    }
+
+    if cells.is_empty() {
+        return; // --only matched nothing here; leave the file alone
+    }
+
+    let find = |n: &str| cells.iter().find(|c| c.name == n);
+    let flat = match (find("open/memcached/s64"), find("open/memcached/s1024")) {
+        (Some(s64), Some(s1024)) => {
+            let ratio = s64.new.events_per_sec() / s1024.new.events_per_sec().max(1e-9);
+            println!(
+                "\nflatness: s64 {:.2} M events/s vs s1024 {:.2} M — ratio {ratio:.2} (floor 1.3)",
+                s64.new.events_per_sec() / 1e6,
+                s1024.new.events_per_sec() / 1e6,
+            );
+            format!(
+                ",\"flatness\":{{\"s64_events_per_sec\":{:.1},\
+                 \"s1024_events_per_sec\":{:.1},\"ratio\":{:.3}}}",
+                s64.new.events_per_sec(),
+                s1024.new.events_per_sec(),
+                ratio
+            )
+        }
+        _ => String::new(),
+    };
+
+    // Enforce the recorded-baseline floors on full runs only: smoke runs
+    // are seconds-long and land on noisy CI machines.
+    if !smoke && only.is_none() {
+        let s256 = find("open/memcached/s256").expect("full run has the s256 cell");
+        assert!(
+            s256.speedup() >= 1.5,
+            "PR5 floor: open/memcached/s256 must be ≥1.5× over the heap node, got {:.2}×",
+            s256.speedup()
+        );
+        let s64 = find("open/memcached/s64").expect("full run has the s64 cell");
+        let s1024 = find("open/memcached/s1024").expect("full run has the s1024 cell");
+        let ratio = s64.new.events_per_sec() / s1024.new.events_per_sec().max(1e-9);
+        assert!(
+            ratio <= 1.3,
+            "PR5 floor: s1024 events/sec must be within 1.3× of s64, got {ratio:.2}×"
+        );
+    }
+
+    let body: Vec<String> = cells.iter().map(Cell::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hipster dispatch at scale\",\"pr\":\"PR5\",\
+         \"smoke\":{smoke},\"tail_percentile\":{TAIL_P},\
+         \"utilization\":{UTILIZATION},\"reference_impl\":\"HeapNode (PR3/4 free-server max-heap)\",\
+         \"cells\":[\n  {}\n]{flat}}}\n",
+        body.join(",\n  ")
     );
-    let largest_fleet = fleet_cells.last().expect("fleet cells are non-empty");
-    println!(
-        "largest fleet cell ({}): idle tail {:.1}% vs {:.1}% static chunking ({:.2}× wall)",
-        largest_fleet.name,
-        largest_fleet.new.idle_tail_frac * 100.0,
-        largest_fleet.reference.idle_tail_frac * 100.0,
-        largest_fleet.speedup()
-    );
+    let path = "BENCH_PR5.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
 }
 
 #[cfg(test)]

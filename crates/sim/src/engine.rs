@@ -678,14 +678,22 @@ impl Engine {
             }
             self.counters.record(core_idx, (ips * dur) as u64, 1.0);
         }
+        // Cluster IPS at this interval's frequency is per-cluster, not
+        // per-core: hoist it out of the busy sweeps.
+        let big_lc_ips = self
+            .platform
+            .cluster(CoreKind::Big)
+            .spec()
+            .compute_ips(cfg.big_freq);
+        let small_lc_ips = self
+            .platform
+            .cluster(CoreKind::Small)
+            .spec()
+            .compute_ips(cfg.small_freq);
         for (i, &b) in big_busy.iter().enumerate() {
             if i < cfg.lc.n_big {
-                let ips = self
-                    .platform
-                    .cluster(CoreKind::Big)
-                    .spec()
-                    .compute_ips(cfg.big_freq);
-                self.counters.record(CoreId(i), (ips * b * dur) as u64, b);
+                self.counters
+                    .record(CoreId(i), (big_lc_ips * b * dur) as u64, b);
             }
             if b < 0.999 {
                 self.counters
@@ -695,12 +703,8 @@ impl Engine {
         for (i, &b) in small_busy.iter().enumerate() {
             let core = CoreId(big_total + i);
             if i < cfg.lc.n_small {
-                let ips = self
-                    .platform
-                    .cluster(CoreKind::Small)
-                    .spec()
-                    .compute_ips(cfg.small_freq);
-                self.counters.record(core, (ips * b * dur) as u64, b);
+                self.counters
+                    .record(core, (small_lc_ips * b * dur) as u64, b);
             }
             if b < 0.999 {
                 self.counters

@@ -1,0 +1,419 @@
+//! Speed-class bitmap free lists for the service node's dispatch path.
+//!
+//! Hipster's action space (big/small core mixes × a few DVFS steps) yields
+//! only a handful of *distinct effective speeds*, so ordering free servers
+//! in a max-heap mostly compares equal keys. [`SpeedClassFreeList`] exploits
+//! that: a small table of distinct effective speeds, sorted fastest-first
+//! and rebuilt only when a reconfiguration actually changes the per-server
+//! speed sequence, where each class holds a **two-level u64 bitset** over
+//! its member servers. Dispatch is "first non-empty class, find set bit" —
+//! O(1) in the server count — and promoting stalled servers whose
+//! reconfiguration stall elapsed is a word-wise bitmap merge.
+//!
+//! Tie-breaking replicates the free-server max-heap it replaced exactly:
+//! the fastest class wins, and within a class the *highest* server index
+//! wins (members are stored in ascending index order, so the leading set
+//! bit of the highest non-zero word is the highest index).
+
+/// Where one server lives in the class table: its class index and its rank
+/// (bit position) within that class's bitmaps.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    class: u32,
+    rank: u32,
+}
+
+/// One distinct effective speed and the free/stalled bitmaps over the
+/// servers running at that speed.
+#[derive(Debug, Clone, Default)]
+struct SpeedClass {
+    /// Effective speed (`speed / slowdown`) shared by all members.
+    eff: f64,
+    /// Member server indices, ascending (rank → server index).
+    members: Vec<u32>,
+    /// Free bitmap over ranks (leaf level).
+    free: Vec<u64>,
+    /// Occupancy of `free`'s words (summary level): bit `w` set when
+    /// `free[w] != 0`.
+    free_summary: Vec<u64>,
+    /// Stalled bitmap over ranks (servers parked until their
+    /// reconfiguration stall elapses).
+    stalled: Vec<u64>,
+    /// Number of set bits in `free` (drives the class-occupancy bit).
+    free_count: usize,
+}
+
+/// Free-server index bucketed by effective speed, bitmap-backed.
+///
+/// Replaces the `BinaryHeap<(eff, server)>` + stalled `Vec` pair of the
+/// PR 3/4-era node (frozen as [`crate::reference::HeapNode`]):
+///
+/// * [`pop_best`](SpeedClassFreeList::pop_best) — fastest free server,
+///   ties toward the highest index — is O(1): find-first-set over the
+///   class-occupancy words, then leading-bit selection in the winning
+///   class's two-level bitset.
+/// * [`mark_free`](SpeedClassFreeList::mark_free) /
+///   [`mark_stalled`](SpeedClassFreeList::mark_stalled) are O(1) bit sets.
+/// * [`promote`](SpeedClassFreeList::promote) merges every stalled server
+///   into the free bitmaps word-wise when the latest stall has elapsed
+///   (the common case — one reconfiguration stalls all idle servers until
+///   the same instant), falling back to a per-bit eligibility check only
+///   while inside a stall window.
+/// * [`rebuild`](SpeedClassFreeList::rebuild) re-derives the class table
+///   only when the per-server effective-speed sequence actually changed;
+///   otherwise it just clears the bitmaps (a few word fills).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpeedClassFreeList {
+    /// Distinct effective speeds, fastest first.
+    classes: Vec<SpeedClass>,
+    /// Bit `c` set when class `c` has at least one free server.
+    class_occ: Vec<u64>,
+    /// Per-server (class, rank) lookup.
+    slot: Vec<Slot>,
+    /// Per-server effective-speed bit patterns of the current table, for
+    /// change detection in [`rebuild`](SpeedClassFreeList::rebuild).
+    eff_seq: Vec<u64>,
+    /// Scratch for the distinct-speed sort (reused across rebuilds).
+    distinct: Vec<f64>,
+    /// Total stalled servers across all classes.
+    stalled_count: usize,
+    /// Latest `available_at` among stalled servers; once `now` passes it,
+    /// promotion is a word-wise merge with no per-server checks.
+    stalled_max_avail: f64,
+}
+
+impl SpeedClassFreeList {
+    /// Creates an empty free list (no servers, no classes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the free list for a new server array whose effective speeds
+    /// are `effs` (indexed by server). Every server starts neither free nor
+    /// stalled; the caller marks each idle server stalled afterwards.
+    ///
+    /// When the speed sequence is unchanged from the previous rebuild (the
+    /// steady-state interval boundary), the class table, membership lists
+    /// and slots are kept and only the bitmaps are cleared.
+    pub fn rebuild<I>(&mut self, effs: I)
+    where
+        I: Iterator<Item = f64> + Clone,
+    {
+        let mut changed = false;
+        let mut n = 0usize;
+        for (i, e) in effs.clone().enumerate() {
+            if self.eff_seq.get(i).copied() != Some(e.to_bits()) {
+                changed = true;
+            }
+            n += 1;
+        }
+        changed |= n != self.eff_seq.len();
+
+        if changed {
+            self.rebuild_classes(effs, n);
+        } else {
+            for cls in &mut self.classes {
+                cls.free.fill(0);
+                cls.free_summary.fill(0);
+                cls.stalled.fill(0);
+                cls.free_count = 0;
+            }
+            self.class_occ.fill(0);
+        }
+        self.stalled_count = 0;
+        self.stalled_max_avail = f64::NEG_INFINITY;
+    }
+
+    /// Full class-table rebuild: sort + dedup the distinct speeds, assign
+    /// every server a (class, rank) slot, size the bitmaps. O(n log C).
+    fn rebuild_classes<I>(&mut self, effs: I, n: usize)
+    where
+        I: Iterator<Item = f64> + Clone,
+    {
+        self.eff_seq.clear();
+        self.eff_seq.extend(effs.clone().map(f64::to_bits));
+
+        self.distinct.clear();
+        self.distinct.extend(effs.clone());
+        // Fastest first; equal speeds share one bit pattern (speeds are
+        // positive finite quotients), so bit-equality dedup is exact.
+        self.distinct.sort_by(|a, b| b.total_cmp(a));
+        self.distinct.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+        // Reuse existing class entries (and their bitmap capacity).
+        while self.classes.len() < self.distinct.len() {
+            self.classes.push(SpeedClass::default());
+        }
+        self.classes.truncate(self.distinct.len());
+        for (cls, &eff) in self.classes.iter_mut().zip(&self.distinct) {
+            cls.eff = eff;
+            cls.members.clear();
+            cls.free_count = 0;
+        }
+
+        self.slot.clear();
+        self.slot.resize(n, Slot::default());
+        for (i, e) in effs.enumerate() {
+            let c = self
+                .distinct
+                .binary_search_by(|probe| e.total_cmp(probe))
+                .expect("every server speed is in the distinct table");
+            let cls = &mut self.classes[c];
+            self.slot[i] = Slot {
+                class: c as u32,
+                rank: cls.members.len() as u32,
+            };
+            cls.members.push(i as u32);
+        }
+
+        for cls in &mut self.classes {
+            let words = cls.members.len().div_ceil(64);
+            let summary_words = words.div_ceil(64).max(1);
+            cls.free.clear();
+            cls.free.resize(words, 0);
+            cls.free_summary.clear();
+            cls.free_summary.resize(summary_words, 0);
+            cls.stalled.clear();
+            cls.stalled.resize(words, 0);
+        }
+        self.class_occ.clear();
+        self.class_occ
+            .resize(self.classes.len().div_ceil(64).max(1), 0);
+    }
+
+    /// Number of distinct speed classes in the current table.
+    #[cfg(test)]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether any server is parked in a stall window.
+    #[inline]
+    pub fn has_stalled(&self) -> bool {
+        self.stalled_count != 0
+    }
+
+    /// Marks `server` free and eligible for dispatch. O(1).
+    ///
+    /// The caller guarantees the server is currently neither free nor
+    /// stalled.
+    #[inline]
+    pub fn mark_free(&mut self, server: usize) {
+        let Slot { class, rank } = self.slot[server];
+        let (c, r) = (class as usize, rank as usize);
+        let cls = &mut self.classes[c];
+        cls.free[r / 64] |= 1u64 << (r % 64);
+        cls.free_summary[r / 64 / 64] |= 1u64 << (r / 64 % 64);
+        cls.free_count += 1;
+        self.class_occ[c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// Parks `server` (idle, but inside a reconfiguration stall until
+    /// `available_at`). O(1).
+    ///
+    /// The caller guarantees the server is currently neither free nor
+    /// stalled.
+    #[inline]
+    pub fn mark_stalled(&mut self, server: usize, available_at: f64) {
+        let Slot { class, rank } = self.slot[server];
+        let (c, r) = (class as usize, rank as usize);
+        self.classes[c].stalled[r / 64] |= 1u64 << (r % 64);
+        self.stalled_count += 1;
+        if available_at > self.stalled_max_avail {
+            self.stalled_max_avail = available_at;
+        }
+    }
+
+    /// Removes and returns the preferred free server: fastest class, ties
+    /// toward the highest server index. O(1): find-first-set over the
+    /// class-occupancy words, then leading-bit selection within the class.
+    #[inline]
+    pub fn pop_best(&mut self) -> Option<usize> {
+        let mut c = None;
+        for (wi, &w) in self.class_occ.iter().enumerate() {
+            if w != 0 {
+                c = Some(wi * 64 + w.trailing_zeros() as usize);
+                break;
+            }
+        }
+        let c = c?;
+        let cls = &mut self.classes[c];
+        let swi = cls
+            .free_summary
+            .iter()
+            .rposition(|&w| w != 0)
+            .expect("occupied class has a summary bit");
+        let wi = swi * 64 + (63 - cls.free_summary[swi].leading_zeros() as usize);
+        let r = wi * 64 + (63 - cls.free[wi].leading_zeros() as usize);
+        cls.free[wi] &= !(1u64 << (r % 64));
+        if cls.free[wi] == 0 {
+            cls.free_summary[swi] &= !(1u64 << (wi % 64));
+        }
+        cls.free_count -= 1;
+        if cls.free_count == 0 {
+            self.class_occ[c / 64] &= !(1u64 << (c % 64));
+        }
+        Some(cls.members[r] as usize)
+    }
+
+    /// Promotes stalled servers whose stall has elapsed at `now` into the
+    /// free bitmaps. When `now` has passed the *latest* stall deadline —
+    /// the common case, since one reconfiguration stalls every idle server
+    /// until the same instant — this is a word-wise `free |= stalled` merge
+    /// with no per-server work. Inside a stall window it falls back to a
+    /// per-bit check of `avail_of(server)`.
+    pub fn promote(&mut self, now: f64, avail_of: impl Fn(usize) -> f64) {
+        if self.stalled_count == 0 {
+            return;
+        }
+        let merge_all = now >= self.stalled_max_avail;
+        for (c, cls) in self.classes.iter_mut().enumerate() {
+            let mut gained = 0usize;
+            for w in 0..cls.stalled.len() {
+                let mut st = cls.stalled[w];
+                if st == 0 {
+                    continue;
+                }
+                if merge_all {
+                    cls.free[w] |= st;
+                    cls.free_summary[w / 64] |= 1u64 << (w % 64);
+                    gained += st.count_ones() as usize;
+                    cls.stalled[w] = 0;
+                    continue;
+                }
+                while st != 0 {
+                    let b = st.trailing_zeros() as usize;
+                    st &= st - 1;
+                    let server = cls.members[w * 64 + b] as usize;
+                    if avail_of(server) <= now {
+                        cls.stalled[w] &= !(1u64 << b);
+                        cls.free[w] |= 1u64 << b;
+                        cls.free_summary[w / 64] |= 1u64 << (w % 64);
+                        gained += 1;
+                        self.stalled_count -= 1;
+                    }
+                }
+            }
+            if gained > 0 {
+                cls.free_count += gained;
+                self.class_occ[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+        if merge_all {
+            self.stalled_count = 0;
+            self.stalled_max_avail = f64::NEG_INFINITY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(effs: &[f64]) -> SpeedClassFreeList {
+        let mut fl = SpeedClassFreeList::new();
+        fl.rebuild(effs.iter().copied());
+        fl
+    }
+
+    #[test]
+    fn pops_fastest_class_then_highest_index() {
+        // Servers 0..6 with speeds: two classes (4.0 fast, 2.0 slow).
+        let mut fl = build(&[2.0, 4.0, 2.0, 4.0, 2.0, 4.0]);
+        for i in 0..6 {
+            fl.mark_free(i);
+        }
+        // Fast class indices descending, then slow class descending —
+        // exactly the (eff, index) max-heap pop order.
+        let order: Vec<usize> = std::iter::from_fn(|| fl.pop_best()).collect();
+        assert_eq!(order, vec![5, 3, 1, 4, 2, 0]);
+        assert_eq!(fl.pop_best(), None);
+    }
+
+    #[test]
+    fn interleaved_free_and_pop() {
+        let mut fl = build(&[1.0, 3.0, 3.0]);
+        fl.mark_free(0);
+        assert_eq!(fl.pop_best(), Some(0));
+        fl.mark_free(1);
+        fl.mark_free(0);
+        assert_eq!(fl.pop_best(), Some(1), "faster class preferred");
+        fl.mark_free(2);
+        fl.mark_free(1);
+        assert_eq!(fl.pop_best(), Some(2), "highest index wins the tie");
+        assert_eq!(fl.pop_best(), Some(1));
+        assert_eq!(fl.pop_best(), Some(0));
+        assert_eq!(fl.pop_best(), None);
+    }
+
+    #[test]
+    fn stalled_merge_promotes_word_wise() {
+        let mut fl = build(&[2.0; 130]); // one class, 3 leaf words
+        for i in 0..130 {
+            fl.mark_stalled(i, 5.0);
+        }
+        assert!(fl.has_stalled());
+        assert_eq!(fl.pop_best(), None, "stalled servers are not dispatchable");
+        fl.promote(4.0, |_| 5.0);
+        assert_eq!(fl.pop_best(), None, "stall not elapsed yet");
+        fl.promote(5.0, |_| {
+            unreachable!("full merge needs no per-server check")
+        });
+        assert!(!fl.has_stalled());
+        assert_eq!(fl.pop_best(), Some(129));
+        assert_eq!(fl.pop_best(), Some(128));
+        let rest: Vec<usize> = std::iter::from_fn(|| fl.pop_best()).collect();
+        assert_eq!(rest.len(), 128);
+        assert_eq!(rest.last(), Some(&0));
+    }
+
+    #[test]
+    fn partial_promotion_checks_each_server() {
+        let mut fl = build(&[2.0, 2.0, 2.0]);
+        fl.mark_stalled(0, 1.0);
+        fl.mark_stalled(1, 3.0);
+        fl.mark_stalled(2, 2.0);
+        fl.promote(2.0, |i| [1.0, 3.0, 2.0][i]);
+        assert!(fl.has_stalled(), "server 1 still stalled");
+        assert_eq!(fl.pop_best(), Some(2));
+        assert_eq!(fl.pop_best(), Some(0));
+        assert_eq!(fl.pop_best(), None);
+        fl.promote(3.0, |_| unreachable!("now past the max deadline"));
+        assert_eq!(fl.pop_best(), Some(1));
+        assert!(!fl.has_stalled());
+    }
+
+    #[test]
+    fn rebuild_detects_speed_changes() {
+        let mut fl = build(&[1.0, 2.0]);
+        assert_eq!(fl.num_classes(), 2);
+        // Same sequence: table kept, bitmaps cleared.
+        fl.mark_free(0);
+        fl.rebuild([1.0, 2.0].into_iter());
+        assert_eq!(fl.pop_best(), None, "rebuild clears the free bitmaps");
+        // Changed sequence: table rebuilt.
+        fl.rebuild([4.0, 4.0].into_iter());
+        assert_eq!(fl.num_classes(), 1);
+        fl.mark_free(0);
+        fl.mark_free(1);
+        assert_eq!(fl.pop_best(), Some(1));
+        // Count change alone is a change.
+        fl.rebuild([4.0, 4.0, 4.0].into_iter());
+        assert_eq!(fl.num_classes(), 1);
+        fl.mark_free(2);
+        assert_eq!(fl.pop_best(), Some(2));
+    }
+
+    #[test]
+    fn wide_class_table_spans_occupancy_words() {
+        // 100 distinct speeds → the class-occupancy bitmap needs 2 words.
+        let effs: Vec<f64> = (0..100).map(|i| 1.0 + i as f64).collect();
+        let mut fl = build(&effs);
+        assert_eq!(fl.num_classes(), 100);
+        fl.mark_free(0); // slowest → class 99, second occupancy word
+        fl.mark_free(99); // fastest → class 0
+        assert_eq!(fl.pop_best(), Some(99));
+        assert_eq!(fl.pop_best(), Some(0));
+        assert_eq!(fl.pop_best(), None);
+    }
+}

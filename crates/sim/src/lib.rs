@@ -58,9 +58,11 @@
 pub mod dist;
 pub mod reference;
 
+mod completion;
 mod config;
 mod costs;
 mod engine;
+mod freelist;
 mod jsonl;
 mod latency;
 mod ordf64;

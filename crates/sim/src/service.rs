@@ -15,32 +15,39 @@
 //!
 //! # Event-count scalability
 //!
-//! The node is indexed so per-event cost is O(log n) in the server count
-//! rather than O(n):
+//! The node is indexed so per-event dispatch cost is flat in the server
+//! count:
 //!
 //! * pending completions live in a min-heap of `(finish, server)` — finding
-//!   and retiring the earliest completion is a heap pop, not a scan plus a
-//!   float-equality re-scan;
-//! * free servers live in a max-heap ordered by effective speed
-//!   (`speed / slowdown`, ties toward the higher server index), so
-//!   `dispatch` pops the preferred server instead of re-scanning all of
-//!   them; servers still inside a reconfiguration stall wait in a side list
-//!   and are promoted when their stall elapses;
-//! * the in-flight count is tracked incrementally.
+//!   and retiring the earliest completion is an O(log n) heap pop, not a
+//!   scan plus a float-equality re-scan;
+//! * free servers live in **speed-class bitmap free lists**
+//!   (`freelist.rs`): a small table of distinct effective speeds
+//!   (`speed / slowdown`), rebuilt only when a reconfiguration changes the
+//!   speed sequence, where each class keeps a two-level u64 bitset of its
+//!   free members — `dispatch` is "first non-empty class, find set bit" in
+//!   O(1), and servers still inside a reconfiguration stall wait in
+//!   parallel stalled bitmaps that are promoted by a word-wise merge when
+//!   the stall elapses;
+//! * the in-flight count is tracked incrementally, and interval-boundary
+//!   busy accounting walks the pending-completion entries (the busy
+//!   servers) rather than every server.
 //!
-//! Heap tie-breaking reproduces the order the old linear scans produced
-//! (completions: lowest server index first; dispatch: highest server index
-//! among equally fast servers), so traces are bit-identical to the
-//! pre-indexed implementation — property-tested against the frozen copy in
-//! [`crate::reference`].
+//! Tie-breaking reproduces the order the free-server max-heap (and the
+//! linear scans before it) produced — completions: lowest server index
+//! first; dispatch: fastest effective speed, ties toward the highest
+//! server index via leading-bit selection — so traces are bit-identical to
+//! both predecessors, property-tested against the frozen copies in
+//! [`crate::reference`] (`ReferenceNode`: pre-PR3 scans; `HeapNode`:
+//! PR 3/4-era heaps).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use hipster_platform::{CoreKind, Frequency};
 
+use crate::completion::CompletionHeap;
+use crate::freelist::SpeedClassFreeList;
 use crate::latency::LatencyRecorder;
-use crate::ordf64::TotalF64;
 use crate::request::{Demand, Request, RequestId};
 
 /// Specification of one server (one core allocated to the LC workload).
@@ -56,50 +63,54 @@ pub struct ServerSpec {
     pub slowdown: f64,
 }
 
-#[derive(Debug, Clone)]
-struct InFlight {
-    req: Request,
-    /// When the current execution (re)started.
-    started: f64,
-    /// Completion time under the current spec.
-    finish: f64,
-}
-
-#[derive(Debug, Clone)]
-struct Server {
-    spec: ServerSpec,
-    /// Effective dispatch speed, `spec.speed / spec.slowdown` (precomputed
-    /// at reconfiguration; the free-heap ordering key).
-    eff: f64,
-    /// Earliest time this server may start (end of a reconfiguration stall).
+/// Per-server state the steady-state event path touches, 32 bytes — two
+/// servers per cache line. Retiring a completion reads and writes only
+/// this record (plus the free-list bit); the in-flight request's arrival
+/// and start are flattened in (`repr(C)` pins the layout).
+///
+/// There is deliberately no "busy" flag and no stored finish time: **the
+/// pending-completion heap is the busy set** — a server is in flight iff
+/// it has a heap entry, and that entry carries the finish time. Cold
+/// paths (preemption, DVFS rescale, the oldest-age fallback) iterate the
+/// heap's entries instead of sweeping every server.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct HotServer {
+    /// Earliest time this server may start (end of a reconfiguration
+    /// stall; its completion time while idle).
     available_at: f64,
-    in_flight: Option<InFlight>,
+    /// Arrival time of the in-flight request (valid while busy).
+    arrival: f64,
+    /// When the current execution (re)started (valid while busy).
+    started: f64,
     busy_in_interval: f64,
 }
 
-impl Server {
+/// Per-server service rate, read by dispatch only (four per cache line).
+#[derive(Debug, Clone, Copy, Default)]
+struct Rate {
+    /// Compute speed of the backing core (work units per second).
+    speed: f64,
+    /// Contention slowdown ≥ 1.
+    slowdown: f64,
+}
+
+impl Rate {
     fn service_time(&self, req: &Request) -> f64 {
-        (req.work_left / self.spec.speed + req.mem_left) * self.spec.slowdown
+        (req.work_left / self.speed + req.mem_left) * self.slowdown
     }
 }
 
-/// Pending-completion heap entry; min-heap order on `(finish, server)` so
-/// equal finish times retire the lowest server index first — the order the
-/// old `position(..finish == t)` scan produced. The derived `Ord` is
-/// lexicographic over ([`TotalF64`], `usize`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Completion {
-    finish: TotalF64,
-    server: usize,
-}
-
-/// Free-server heap entry; max-heap order on `(eff, server)` so dispatch
-/// pops the fastest free server, ties toward the *highest* index — the
-/// element the old `Iterator::max_by` scan (last maximal) selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct FreeServer {
-    eff: TotalF64,
-    server: usize,
+/// Per-server state only reconfigurations touch (dispatch writes the
+/// in-flight demand here without ever reading it back on the hot path).
+#[derive(Debug, Clone, Copy, Default)]
+struct ColdServer {
+    /// Remaining compute demand of the in-flight request.
+    work_left: f64,
+    /// Remaining memory demand of the in-flight request.
+    mem_left: f64,
+    /// Id of the in-flight request (preemption requeues in id order).
+    id: u64,
 }
 
 /// Statistics of one completed monitoring interval of the service node.
@@ -128,34 +139,52 @@ pub struct NodeInterval {
 /// FIFO multi-server queueing node for the latency-critical workload.
 ///
 /// Indexed for event-count scalability: pending completions in a
-/// `(finish, server)` min-heap, free servers in an effective-speed max-heap
-/// and an incremental in-flight count keep per-event cost at O(log n) in
-/// the server count, with tie-breaking that reproduces the pre-indexed
-/// linear scans bit-for-bit (see [`crate::reference`]).
+/// `(finish, server)` min-heap (O(log n)), free servers in speed-class
+/// bitmap free lists (O(1) dispatch — `freelist.rs`) and an
+/// incremental in-flight count, with tie-breaking that reproduces both the
+/// PR 3/4-era heap order and the original linear scans bit-for-bit (see
+/// [`crate::reference`]).
 #[derive(Debug, Clone)]
 pub struct ServiceNode {
     queue: VecDeque<Request>,
-    servers: Vec<Server>,
-    /// Min-heap of pending completions, one entry per busy server. Entries
-    /// are never stale: reconfigurations rebuild the heap and completions
-    /// pop their own entry.
-    completions: BinaryHeap<Reverse<Completion>>,
-    /// Max-heap of free servers whose reconfiguration stall has elapsed.
-    free: BinaryHeap<FreeServer>,
-    /// Free servers not (yet) proven eligible: reconfigurations park every
-    /// idle server here, and dispatch demotes popped servers whose stall
-    /// has not elapsed at its (non-monotonic) timestamp. Drained into
-    /// `free` by the first dispatch with a non-empty queue that finds them
-    /// eligible, so on the steady-state hot path the emptiness check is
-    /// all that runs.
-    stalled: Vec<usize>,
-    /// Number of busy servers (kept incrementally; also the size of
-    /// `completions`).
-    in_flight_count: usize,
+    /// Hot per-server records (see [`HotServer`]).
+    hot: Vec<HotServer>,
+    /// Per-server service rates (dispatch read path).
+    rate: Vec<Rate>,
+    /// Cold per-server records (reconfiguration paths).
+    cold: Vec<ColdServer>,
+    /// Per-server effective speed, `speed / slowdown` (the speed-class
+    /// key; read only by the free-list rebuild).
+    eff: Vec<f64>,
+    /// Min-heap of pending completions (packed-key 4-ary heap), one entry
+    /// per busy server. Entries are never stale: reconfigurations rebuild
+    /// the heap and completions pop their own entry.
+    completions: CompletionHeap,
+    /// Free servers bucketed by effective speed: per-class two-level
+    /// bitmaps of dispatchable servers, plus parallel stalled bitmaps for
+    /// servers parked inside a reconfiguration stall. Reconfigurations park
+    /// every idle server stalled, and dispatch demotes popped servers whose
+    /// stall has not elapsed at its (non-monotonic) timestamp; the first
+    /// dispatch with a non-empty queue promotes the eligible ones (usually
+    /// one word-wise merge), so on the steady-state hot path the emptiness
+    /// check is all that runs.
+    free: SpeedClassFreeList,
     recorder: LatencyRecorder,
     /// Reused buffer for preempted in-flight requests (no allocation per
     /// reconfiguration once warm).
     preempt_scratch: Vec<Request>,
+    /// Reused buffer for the completion-heap drain/rebuild at
+    /// reconfiguration (heapified in O(n) rather than pushed in
+    /// O(n log n)).
+    completion_scratch: Vec<(f64, usize)>,
+    /// Reused busy-membership scratch for the free-list rebuild.
+    busy_scratch: Vec<bool>,
+    /// Reused pending-set drain buffer for preemption.
+    preempt_drain_scratch: Vec<(f64, usize)>,
+    /// Set when every server shares one bit-identical `(speed, slowdown)`
+    /// pair — the common at-scale case (a homogeneous allocation at one
+    /// DVFS point) — letting dispatch skip the per-server rate load.
+    uniform_rate: Option<Rate>,
     next_id: u64,
     interval_start: f64,
     interval_arrivals: usize,
@@ -172,13 +201,18 @@ impl ServiceNode {
     pub fn new() -> Self {
         ServiceNode {
             queue: VecDeque::new(),
-            servers: Vec::new(),
-            completions: BinaryHeap::new(),
-            free: BinaryHeap::new(),
-            stalled: Vec::new(),
-            in_flight_count: 0,
+            hot: Vec::new(),
+            rate: Vec::new(),
+            cold: Vec::new(),
+            eff: Vec::new(),
+            completions: CompletionHeap::new(),
+            free: SpeedClassFreeList::new(),
             recorder: LatencyRecorder::new(),
             preempt_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
+            busy_scratch: Vec::new(),
+            preempt_drain_scratch: Vec::new(),
+            uniform_rate: None,
             next_id: 0,
             interval_start: 0.0,
             interval_arrivals: 0,
@@ -203,7 +237,7 @@ impl ServiceNode {
 
     /// Number of servers currently configured.
     pub fn num_servers(&self) -> usize {
-        self.servers.len()
+        self.hot.len()
     }
 
     /// Requests waiting in the queue (excluding in-flight).
@@ -211,9 +245,10 @@ impl ServiceNode {
         self.queue.len()
     }
 
-    /// Requests currently being serviced (O(1)).
+    /// Requests currently being serviced (O(1): the pending-completion
+    /// count *is* the busy-server count).
     pub fn in_flight(&self) -> usize {
-        self.in_flight_count
+        self.completions.len()
     }
 
     /// Total requests completed since construction.
@@ -230,8 +265,9 @@ impl ServiceNode {
     /// * `stall_s` — servers may not start work before `now + stall_s`
     ///   (migration or DVFS transition latency).
     ///
-    /// Rebuilds the completion and free-server heaps (O(n log n) per
-    /// reconfiguration — once per monitoring interval, not per event).
+    /// Rebuilds the completion heap (heapified in O(n)) and the free-list
+    /// bitmaps; the speed-class table itself is re-derived only when the
+    /// per-server effective-speed sequence actually changed.
     ///
     /// # Panics
     ///
@@ -244,80 +280,120 @@ impl ServiceNode {
             assert!(s.speed > 0.0, "server speed must be positive: {s:?}");
             assert!(s.slowdown >= 1.0, "slowdown must be ≥ 1: {s:?}");
         }
+        let mut busy = std::mem::take(&mut self.completion_scratch);
         if preempt {
             self.preempt_all(now);
-            self.servers.clear();
-            self.servers.extend(specs.iter().map(|&spec| Server {
-                spec,
-                eff: spec.speed / spec.slowdown,
-                available_at: now + stall_s,
-                in_flight: None,
-                busy_in_interval: 0.0,
-            }));
+            busy.clear(); // preemption drained the pending set
+            self.hot.clear();
+            self.rate.clear();
+            self.cold.clear();
+            self.eff.clear();
+            for &spec in specs {
+                self.hot.push(HotServer {
+                    available_at: now + stall_s,
+                    ..HotServer::default()
+                });
+                self.rate.push(Rate {
+                    speed: spec.speed,
+                    slowdown: spec.slowdown,
+                });
+                self.cold.push(ColdServer::default());
+                self.eff.push(spec.speed / spec.slowdown);
+            }
         } else {
             assert_eq!(
                 specs.len(),
-                self.servers.len(),
+                self.hot.len(),
                 "DVFS-only reconfiguration cannot change the server count"
             );
+            for (i, &spec) in specs.iter().enumerate() {
+                self.rate[i] = Rate {
+                    speed: spec.speed,
+                    slowdown: spec.slowdown,
+                };
+                self.eff[i] = spec.speed / spec.slowdown;
+                self.hot[i].available_at = self.hot[i].available_at.max(now + stall_s);
+            }
+            // Rescale the in-flight requests — exactly the servers with a
+            // pending completion: consume demand proportionally to elapsed
+            // service time, then recompute the finish under the new spec.
             let interval_start = self.interval_start;
-            for (server, &spec) in self.servers.iter_mut().zip(specs) {
-                if let Some(fl) = server.in_flight.as_mut() {
-                    // Consume demand proportionally to elapsed service time,
-                    // then recompute the finish under the new spec.
-                    let left = remaining_fraction(fl.started, fl.finish, now);
-                    fl.req.work_left *= left;
-                    fl.req.mem_left *= left;
-                    server.busy_in_interval += (now - fl.started.max(interval_start)).max(0.0);
-                    fl.started = now;
-                    let t = (fl.req.work_left / spec.speed + fl.req.mem_left) * spec.slowdown;
-                    fl.finish = (now + stall_s) + t;
-                }
-                server.spec = spec;
-                server.eff = spec.speed / spec.slowdown;
-                server.available_at = server.available_at.max(now + stall_s);
+            self.completions.drain_unordered(&mut busy);
+            for entry in &mut busy {
+                let (finish, i) = *entry;
+                let h = &mut self.hot[i];
+                let left = remaining_fraction(h.started, finish, now);
+                let c = &mut self.cold[i];
+                c.work_left *= left;
+                c.mem_left *= left;
+                h.busy_in_interval += (now - h.started.max(interval_start)).max(0.0);
+                h.started = now;
+                let r = self.rate[i];
+                let t = (c.work_left / r.speed + c.mem_left) * r.slowdown;
+                *entry = ((now + stall_s) + t, i);
             }
         }
-        self.rebuild_index();
+        let first = specs[0];
+        self.uniform_rate = specs
+            .iter()
+            .all(|sp| {
+                sp.speed.to_bits() == first.speed.to_bits()
+                    && sp.slowdown.to_bits() == first.slowdown.to_bits()
+            })
+            .then_some(Rate {
+                speed: first.speed,
+                slowdown: first.slowdown,
+            });
+        self.rebuild_index(&mut busy);
+        self.completion_scratch = busy;
         self.dispatch(now + stall_s);
     }
 
-    /// Rebuilds the completion heap, free heap and stall list from the
-    /// server array. Free servers all enter `stalled`; the next dispatch
-    /// promotes the ones whose `available_at` has passed.
-    fn rebuild_index(&mut self) {
-        self.completions.clear();
-        self.free.clear();
-        self.stalled.clear();
-        self.in_flight_count = 0;
-        for (i, s) in self.servers.iter().enumerate() {
-            match &s.in_flight {
-                Some(fl) => {
-                    self.completions.push(Reverse(Completion {
-                        finish: TotalF64(fl.finish),
-                        server: i,
-                    }));
-                    self.in_flight_count += 1;
-                }
-                None => self.stalled.push(i),
+    /// Rebuilds the free-list bitmaps and re-heapifies the pending set
+    /// (`busy`, drained and transformed by the caller; consumed here).
+    /// Free servers all enter the stalled bitmaps; the next dispatch
+    /// promotes the ones whose `available_at` has passed (one word-wise
+    /// merge in the common case).
+    fn rebuild_index(&mut self, busy: &mut Vec<(f64, usize)>) {
+        self.free.rebuild(self.eff.iter().copied());
+        let n = self.hot.len();
+        self.busy_scratch.clear();
+        self.busy_scratch.resize(n, false);
+        for &(_, i) in busy.iter() {
+            self.busy_scratch[i] = true;
+        }
+        for i in 0..n {
+            if !self.busy_scratch[i] {
+                self.free.mark_stalled(i, self.hot[i].available_at);
             }
         }
+        // Heapify in O(n); pop order over distinct `(finish, server)` keys
+        // is the same as for a heap built by pushes.
+        self.completions.rebuild_from(busy);
     }
 
     fn preempt_all(&mut self, now: f64) {
         let interval_start = self.interval_start;
+        let mut busy = std::mem::take(&mut self.preempt_drain_scratch);
+        self.completions.drain_unordered(&mut busy);
         let mut preempted = std::mem::take(&mut self.preempt_scratch);
         preempted.clear();
-        for server in &mut self.servers {
-            if let Some(mut fl) = server.in_flight.take() {
-                server.busy_in_interval += (now - fl.started.max(interval_start)).max(0.0);
-                let left = remaining_fraction(fl.started, fl.finish, now);
-                fl.req.work_left *= left;
-                fl.req.mem_left *= left;
-                preempted.push(fl.req);
-            }
+        for &(finish, i) in &busy {
+            let h = &mut self.hot[i];
+            h.busy_in_interval += (now - h.started.max(interval_start)).max(0.0);
+            let left = remaining_fraction(h.started, finish, now);
+            let c = &self.cold[i];
+            preempted.push(Request {
+                id: RequestId(c.id),
+                arrival: h.arrival,
+                work_left: c.work_left * left,
+                mem_left: c.mem_left * left,
+            });
         }
-        // Requeue ahead of waiting requests, preserving arrival order.
+        self.preempt_drain_scratch = busy;
+        // Requeue ahead of waiting requests, preserving arrival order (ids
+        // are unique, so the sort is a total order regardless of the
+        // unordered drain above).
         preempted.sort_by_key(|r| r.id);
         for req in preempted.drain(..).rev() {
             self.queue.push_front(req);
@@ -331,8 +407,8 @@ impl ServiceNode {
         self.interval_arrivals = 0;
         self.interval_completions = 0;
         self.interval_timeouts = 0;
-        for s in &mut self.servers {
-            s.busy_in_interval = 0.0;
+        for h in &mut self.hot {
+            h.busy_in_interval = 0.0;
         }
     }
 
@@ -342,6 +418,24 @@ impl ServiceNode {
         let req = Request::new(RequestId(self.next_id), now, demand);
         self.next_id += 1;
         self.interval_arrivals += 1;
+        // Fast path: nothing queued and no stall bookkeeping pending —
+        // place the request directly, skipping the queue round-trip and
+        // the timeout/promotion checks `dispatch` would no-op through (a
+        // just-arrived request has age 0, so it can never be shed).
+        if self.queue.is_empty() && !self.free.has_stalled() {
+            loop {
+                match self.free.pop_best() {
+                    Some(idx) if self.hot[idx].available_at > now => {
+                        self.free.mark_stalled(idx, self.hot[idx].available_at);
+                    }
+                    Some(idx) => {
+                        self.start_request(idx, req, now);
+                        return;
+                    }
+                    None => break,
+                }
+            }
+        }
         self.queue.push_back(req);
         self.dispatch(now);
     }
@@ -349,67 +443,37 @@ impl ServiceNode {
     /// Earliest pending completion time, if any request is in flight (O(1):
     /// a peek at the completion heap).
     pub fn next_completion(&self) -> Option<f64> {
-        self.completions.peek().map(|Reverse(c)| c.finish.0)
+        self.completions.peek_finish()
     }
 
     /// Processes all completions up to and including time `to`.
     pub fn advance(&mut self, to: f64) {
-        while let Some(&Reverse(c)) = self.completions.peek() {
-            if c.finish.0 > to {
-                break;
-            }
-            self.completions.pop();
-            self.complete_server(c.server, c.finish.0);
+        while let Some((finish, server)) = self.completions.pop_if_le(to) {
+            self.complete_server(server, finish);
         }
     }
 
     /// Like [`ServiceNode::advance`], but appends each completion time to
     /// `out` (closed-loop generators schedule think timers from these).
     pub fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
-        while let Some(&Reverse(c)) = self.completions.peek() {
-            if c.finish.0 > to {
-                break;
-            }
-            self.completions.pop();
-            self.complete_server(c.server, c.finish.0);
-            out.push(c.finish.0);
+        while let Some((finish, server)) = self.completions.pop_if_le(to) {
+            self.complete_server(server, finish);
+            out.push(finish);
         }
     }
 
     /// Retires the request on server `idx` at its finish time `t` (the
     /// popped completion-heap entry), then dispatches onto the freed server.
     fn complete_server(&mut self, idx: usize, t: f64) {
-        let fl = self.servers[idx].in_flight.take().expect("server busy");
-        self.servers[idx].busy_in_interval += t - fl.started.max(self.interval_start);
-        self.servers[idx].available_at = t;
-        self.in_flight_count -= 1;
-        self.free.push(FreeServer {
-            eff: TotalF64(self.servers[idx].eff),
-            server: idx,
-        });
-        self.recorder.record(fl.req.age(t));
+        let h = &mut self.hot[idx];
+        h.busy_in_interval += t - h.started.max(self.interval_start);
+        h.available_at = t;
+        let latency = (t - h.arrival).max(0.0);
+        self.free.mark_free(idx);
+        self.recorder.record(latency);
         self.interval_completions += 1;
         self.total_completed += 1;
         self.dispatch(t);
-    }
-
-    /// Promotes stalled servers whose `available_at` has passed into the
-    /// free heap. `stalled` is only populated between a reconfiguration and
-    /// its kick, so this is an O(1) emptiness check on the hot path.
-    fn promote_stalled(&mut self, now: f64) {
-        let mut i = 0;
-        while i < self.stalled.len() {
-            let idx = self.stalled[i];
-            if self.servers[idx].available_at <= now {
-                self.free.push(FreeServer {
-                    eff: TotalF64(self.servers[idx].eff),
-                    server: idx,
-                });
-                self.stalled.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
     }
 
     /// Dispatches queued requests to free servers (fastest server first),
@@ -429,39 +493,50 @@ impl ServiceNode {
         if self.queue.is_empty() {
             return;
         }
-        if !self.stalled.is_empty() {
-            self.promote_stalled(now);
+        // Stalled bitmaps are only populated between a reconfiguration and
+        // its kick, so this is an O(1) emptiness check on the hot path.
+        if self.free.has_stalled() {
+            let hot = &self.hot;
+            self.free.promote(now, |i| hot[i].available_at);
         }
         while !self.queue.is_empty() {
-            // Fastest free server whose stall has elapsed: the free-heap
-            // maximum. Dispatch timestamps are not monotonic — a
+            // Fastest free server whose stall has elapsed: the best set
+            // bit. Dispatch timestamps are not monotonic — a
             // reconfiguration dispatches at `now + stall` and the event loop
             // then delivers arrivals *inside* the stall window — so a popped
             // server may still be stalled at this `now`; demote it back to
-            // the stall list (scanning downward in heap order keeps the
+            // the stalled bitmaps (popping in (speed, index) order keeps the
             // first eligible pop the fastest eligible server).
-            let Some(FreeServer { server: idx, .. }) = self.free.pop() else {
+            let Some(idx) = self.free.pop_best() else {
                 return;
             };
-            if self.servers[idx].available_at > now {
-                self.stalled.push(idx);
+            if self.hot[idx].available_at > now {
+                self.free.mark_stalled(idx, self.hot[idx].available_at);
                 continue;
             }
             let req = self.queue.pop_front().expect("queue non-empty");
-            let server = &mut self.servers[idx];
-            let service = server.service_time(&req);
-            let finish = now + service;
-            server.in_flight = Some(InFlight {
-                req,
-                started: now,
-                finish,
-            });
-            self.in_flight_count += 1;
-            self.completions.push(Reverse(Completion {
-                finish: TotalF64(finish),
-                server: idx,
-            }));
+            self.start_request(idx, req, now);
         }
+    }
+
+    /// Starts `req` on free, eligible server `idx` at time `now`.
+    #[inline]
+    fn start_request(&mut self, idx: usize, req: Request, now: f64) {
+        // Same bits in either branch; the uniform fast path just avoids
+        // touching the rate array.
+        let service = match self.uniform_rate {
+            Some(r) => r.service_time(&req),
+            None => self.rate[idx].service_time(&req),
+        };
+        let finish = now + service;
+        let h = &mut self.hot[idx];
+        h.arrival = req.arrival;
+        h.started = now;
+        let c = &mut self.cold[idx];
+        c.work_left = req.work_left;
+        c.mem_left = req.mem_left;
+        c.id = req.id.0;
+        self.completions.push(finish, idx);
     }
 
     /// Called by the engine when servers stalled until `t` become free, to
@@ -479,17 +554,19 @@ impl ServiceNode {
     /// per-interval allocation — it is owned by the caller's interval
     /// record, so it cannot be recycled here.
     pub fn end_interval(&mut self, t_end: f64, p: f64) -> NodeInterval {
-        // Account in-flight busy time up to the interval boundary.
-        for s in &mut self.servers {
-            if let Some(fl) = &s.in_flight {
-                s.busy_in_interval += t_end - fl.started.max(self.interval_start);
-            }
+        // Account in-flight busy time up to the interval boundary. The
+        // pending-completion entries are exactly the busy servers (one
+        // entry each), so this walks O(in-flight) servers, not all of them.
+        let interval_start = self.interval_start;
+        for i in self.completions.servers() {
+            let h = &mut self.hot[i];
+            h.busy_in_interval += t_end - h.started.max(interval_start);
         }
         let dur = (t_end - self.interval_start).max(f64::EPSILON);
         let busy: Vec<f64> = self
-            .servers
+            .hot
             .iter()
-            .map(|s| (s.busy_in_interval / dur).clamp(0.0, 1.0))
+            .map(|h| (h.busy_in_interval / dur).clamp(0.0, 1.0))
             .collect();
         let (tail, mean, _n) = self.recorder.take_interval(p);
         let tail = tail.unwrap_or_else(|| self.oldest_age(t_end));
@@ -510,9 +587,9 @@ impl ServiceNode {
     fn oldest_age(&self, now: f64) -> f64 {
         let queued = self.queue.front().map(|r| r.age(now));
         let in_flight = self
-            .servers
-            .iter()
-            .filter_map(|s| s.in_flight.as_ref().map(|f| f.req.age(now)))
+            .completions
+            .servers()
+            .map(|i| (now - self.hot[i].arrival).max(0.0))
             .max_by(f64::total_cmp);
         match (queued, in_flight) {
             (Some(a), Some(b)) => a.max(b),
