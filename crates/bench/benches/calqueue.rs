@@ -1,0 +1,78 @@
+//! Enqueue/dequeue kernel of the raw event queues: the per-event cost of
+//! the calendar queue vs the frozen PR 5 packed-`u128` binary heap, at
+//! 256 / 4096 / 65536 in-flight events — the pair recorded in
+//! `BENCH_PR6.json`, isolated from the service node entirely.
+//!
+//! The kernel is the steady-state hold model every event loop reduces to:
+//! pop the earliest event, push a replacement a pseudo-exponential delta
+//! later, keeping the population constant. The calendar's cost should be
+//! flat across the three sizes; the heap pays an extra log₂(n) sift per
+//! event (≈8 → ≈16 levels over this range).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hipster_sim::dist::Exponential;
+use hipster_sim::reference::PackedHeap;
+use hipster_sim::{CalendarQueue, CompletionQueue, Sampler, SimRng};
+
+/// Pop+push pairs replayed per routine call.
+const STEPS: usize = 4096;
+
+/// Pre-generated hold deltas (mean 1.0), so the kernel times the queue,
+/// not the sampler.
+fn deltas(n: usize) -> Vec<f64> {
+    let exp = Exponential::new(1.0);
+    let mut rng = SimRng::seed(11);
+    (0..n).map(|_| exp.sample(&mut rng)).collect()
+}
+
+/// A queue pre-filled to `inflight` events spread over one mean-delta
+/// window (the steady-state population of a machine with that many
+/// in-flight requests).
+fn warm<Q: CompletionQueue>(inflight: usize, ds: &[f64]) -> Q {
+    let mut q = Q::default();
+    for (i, d) in ds.iter().cycle().take(inflight).enumerate() {
+        q.push(*d, i);
+    }
+    q
+}
+
+/// Replays `STEPS` pop-earliest + push-replacement pairs.
+fn replay<Q: CompletionQueue>(mut q: Q, ds: &[f64]) -> Q {
+    for d in ds.iter().cycle().take(STEPS) {
+        let (t, s) = q.pop_if_le(f64::INFINITY).expect("population is constant");
+        q.push(t + d, s); // re-key the popped server one delta out
+    }
+    q
+}
+
+fn benches(c: &mut Criterion) {
+    let ds = deltas(STEPS);
+    for &inflight in &[256usize, 4096, 65536] {
+        let proto: CalendarQueue = warm(inflight, &ds);
+        let ds_c = ds.clone();
+        c.bench_function(&format!("calqueue/calendar/n{inflight}"), move |b| {
+            b.iter_batched(
+                || proto.clone(),
+                |q| criterion::black_box(replay(q, &ds_c)),
+                BatchSize::LargeInput,
+            )
+        });
+
+        let proto: PackedHeap = warm(inflight, &ds);
+        let ds_h = ds.clone();
+        c.bench_function(&format!("calqueue/packed-heap/n{inflight}"), move |b| {
+            b.iter_batched(
+                || proto.clone(),
+                |q| criterion::black_box(replay(q, &ds_h)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    name = group;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+);
+criterion_main!(group);

@@ -4,7 +4,7 @@
 //! repro all            # everything (several minutes in release mode)
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
-//! repro bench          # perf baselines → BENCH_PR{3,4,5}.json
+//! repro bench          # perf baselines → BENCH_PR{3,4,5,6}.json
 //! repro bench --smoke  # same cells, seconds (CI)
 //! repro bench --smoke --only open/   # just the cells matching a prefix
 //! ```

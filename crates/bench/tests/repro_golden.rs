@@ -1,0 +1,112 @@
+//! Byte-identity regression for the repro driver: `repro table2 fig5 fig8
+//! fig10 --quick` must produce bit-for-bit the stdout and `results/*`
+//! files recorded in `tests/golden/repro_quick.txt` — the determinism the
+//! README promises, asserted in `cargo test` instead of eyeballed.
+//!
+//! The golden file stores FNV-1a 64 hashes (not the full outputs) of the
+//! timing-stripped stdout and of every results file. When an intentional
+//! output change lands, regenerate with:
+//!
+//! ```text
+//! REPRO_GOLDEN_REGEN=1 cargo test --release -p hipster-bench --test repro_golden
+//! ```
+//!
+//! The experiments are deterministic by construction (seeded xoshiro
+//! streams, no time/thread dependence — see `tests/fleet_determinism.rs`),
+//! so the only lines that vary run to run are the `[name done in Xs]`
+//! progress lines, which are stripped before hashing. Debug builds skip
+//! the test (the quick matrix is release-speed); CI runs it under
+//! `--release`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drops the wall-clock progress lines (`[table2 done in 1.23s]`); every
+/// other byte of stdout is covered by the hash.
+fn strip_timing(stdout: &str) -> String {
+    let mut out = String::new();
+    for line in stdout.lines() {
+        if line.starts_with('[') && line.ends_with("s]") && line.contains(" done in ") {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn repro_quick_outputs_match_committed_goldens() {
+    if cfg!(debug_assertions) {
+        // The quick matrix is sized for release; CI runs this test with
+        // `--release` explicitly.
+        eprintln!("repro_golden: skipped in debug build (CI runs it under --release)");
+        return;
+    }
+
+    let tmp = std::env::temp_dir().join(format!("repro_golden_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(&tmp).expect("create temp cwd");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["table2", "fig5", "fig8", "fig10", "--quick"])
+        .current_dir(&tmp)
+        .output()
+        .expect("run repro");
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Hash the stripped stdout plus every results file, in sorted order.
+    let mut entries: Vec<(String, u64)> = Vec::new();
+    let stdout = strip_timing(&String::from_utf8(output.stdout).expect("utf-8 stdout"));
+    entries.push(("stdout".into(), fnv1a(stdout.as_bytes())));
+    let results = tmp.join("results");
+    let mut files: Vec<PathBuf> = fs::read_dir(&results)
+        .expect("repro must write results/")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    files.sort();
+    for f in &files {
+        let name = format!(
+            "results/{}",
+            f.file_name().expect("file name").to_string_lossy()
+        );
+        entries.push((name, fnv1a(&fs::read(f).expect("readable results file"))));
+    }
+    let _ = fs::remove_dir_all(&tmp);
+
+    let mut actual = String::new();
+    for (name, hash) in &entries {
+        writeln!(actual, "{name} {hash:016x}").unwrap();
+    }
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/repro_quick.txt");
+    if std::env::var_os("REPRO_GOLDEN_REGEN").is_some() {
+        fs::write(&golden_path, &actual).expect("write golden");
+        eprintln!("repro_golden: regenerated {}", golden_path.display());
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path).expect("committed golden file");
+    assert_eq!(
+        actual, golden,
+        "repro --quick output diverged from the committed goldens; if the \
+         change is intentional, regenerate with REPRO_GOLDEN_REGEN=1 \
+         cargo test --release -p hipster-bench --test repro_golden"
+    );
+}

@@ -1,123 +1,87 @@
-//! Packed-key min-heap of pending completions.
+//! The pending-completion index: one `(finish, server)` event per busy
+//! server, earliest finish (ties: lowest server index) first.
 //!
-//! The completion index is inherently a priority queue — O(log n) — but
-//! its constants matter at 256–1024 servers, where it holds one entry per
-//! busy server and every event pays a pop or a push. This heap packs each
-//! entry into one `u128` — the high 64 bits are the finish time mapped
-//! through the order-preserving [`f64::total_cmp`] bit trick, the low 64
-//! bits the server index — so every probe during a sift is a single
-//! integer compare instead of a two-field struct compare that re-derives
-//! the `total_cmp` mapping each time. The sift machinery itself is
-//! `std`'s `BinaryHeap` (Floyd sift-down, already optimal for the
-//! pop-heavy pattern here).
+//! Since PR 6 the production index is the [`CalendarQueue`] — rotating
+//! time buckets with O(1) amortized push/pop and an O(1) cached minimum —
+//! replacing the packed-`u128` binary heap of PR 5, which paid an
+//! O(log n) sift per event. The queue stores the same packed entries (the
+//! finish time mapped through the order-preserving [`f64::total_cmp`] bit
+//! trick in the high 64 bits, the server index in the low 64), so the pop
+//! order over distinct `(finish, server)` keys — and server indices make
+//! every key distinct — is bit-for-bit the heap's: earliest finish first,
+//! ties to the lowest server index.
 //!
-//! Pop order over distinct `(finish, server)` keys — and server indices
-//! make every key distinct — is the min for any correct priority queue, so
-//! traces are bit-identical to the `BinaryHeap<Reverse<(TotalF64, usize)>>`
-//! this replaces (covered by the differential tests against both frozen
-//! nodes in [`crate::reference`]).
+//! [`CompletionQueue`] is that index's API surface, kept exactly as the
+//! PR 5 `CompletionHeap` exposed it. [`ServiceNode`](crate::ServiceNode)
+//! is generic over it, which is how the frozen
+//! [`PackedHeap`](crate::reference::PackedHeap) still powers a whole
+//! PR 5-era node ([`reference::PackedHeapNode`](crate::reference::PackedHeapNode))
+//! for the differential battery (`tests/calendar_equivalence.rs`) and the
+//! `BENCH_PR6.json` matrix without duplicating the node.
 
-/// Maps a finish time to a `u64` whose unsigned order equals
-/// [`f64::total_cmp`] order. Exact for every float (including negatives,
-/// zeros and NaNs), so equivalence holds under arbitrary test inputs.
-#[inline]
-fn key_of(finish: f64) -> u64 {
-    let b = finish.to_bits();
-    b ^ ((((b as i64) >> 63) as u64) >> 1) ^ (1u64 << 63)
-}
+use crate::calendar::CalendarQueue;
 
-/// Inverse of [`key_of`] (bit-exact round trip).
-#[inline]
-fn finish_of(key: u64) -> f64 {
-    let b = if key >> 63 == 1 {
-        key ^ (1u64 << 63)
-    } else {
-        !key
-    };
-    f64::from_bits(b)
-}
-
-#[inline]
-fn pack(finish: f64, server: usize) -> u128 {
-    ((key_of(finish) as u128) << 64) | server as u128
-}
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// Pending-completion min-heap: one `(finish, server)` entry per busy
-/// server, earliest finish (ties: lowest server index) at the root.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct CompletionHeap {
-    entries: BinaryHeap<Reverse<u128>>,
-}
-
-impl CompletionHeap {
-    /// Creates an empty heap.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+/// The pending-completion index API the service node dispatches through:
+/// a min-queue of `(finish, server)` events keyed by
+/// (`total_cmp`-mapped finish, server index).
+///
+/// Implemented by the production [`CalendarQueue`] (O(1) amortized) and
+/// the frozen [`PackedHeap`](crate::reference::PackedHeap) (PR 5's binary
+/// heap, O(log n)); both pop bit-identical sequences, so a node
+/// instantiated with either produces the same simulation.
+pub trait CompletionQueue: Clone + std::fmt::Debug + Default {
     /// Number of pending completions (= busy servers).
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
+    fn len(&self) -> usize;
 
     /// Earliest pending finish time, if any.
-    #[inline]
-    pub fn peek_finish(&self) -> Option<f64> {
-        self.entries
-            .peek()
-            .map(|&Reverse(e)| finish_of((e >> 64) as u64))
-    }
+    fn peek_finish(&self) -> Option<f64>;
 
-    /// Inserts the completion `(finish, server)`. O(log n).
-    #[inline]
-    pub fn push(&mut self, finish: f64, server: usize) {
-        self.entries.push(Reverse(pack(finish, server)));
-    }
+    /// Inserts the completion `(finish, server)`.
+    fn push(&mut self, finish: f64, server: usize);
 
     /// Pops the earliest completion if its finish time is ≤ `to` (under
-    /// `f64` `>` semantics: a NaN root never compares later, matching the
-    /// scan/heap implementations this replaces).
-    #[inline]
-    pub fn pop_if_le(&mut self, to: f64) -> Option<(f64, usize)> {
-        let &Reverse(root) = self.entries.peek()?;
-        let finish = finish_of((root >> 64) as u64);
-        if finish > to {
-            return None;
-        }
-        self.entries.pop();
-        Some((finish, root as u64 as usize))
-    }
+    /// `f64` `>` semantics: a NaN root never compares later).
+    fn pop_if_le(&mut self, to: f64) -> Option<(f64, usize)>;
 
-    /// Rebuilds the heap from scratch entries in O(n) (heapify), reusing
-    /// both allocations. `scratch` is left cleared for reuse.
-    pub fn rebuild_from(&mut self, scratch: &mut Vec<(f64, usize)>) {
-        let mut buf = std::mem::take(&mut self.entries).into_vec();
-        buf.clear();
-        buf.extend(scratch.iter().map(|&(f, s)| Reverse(pack(f, s))));
-        scratch.clear();
-        self.entries = BinaryHeap::from(buf);
-    }
+    /// Rebuilds the queue from scratch entries in O(n), reusing
+    /// allocations. `scratch` is left cleared for reuse.
+    fn rebuild_from(&mut self, scratch: &mut Vec<(f64, usize)>);
 
     /// The busy servers, in unspecified order (one entry each).
-    pub fn servers(&self) -> impl Iterator<Item = usize> + '_ {
-        self.entries.iter().map(|&Reverse(e)| e as u64 as usize)
-    }
+    fn servers(&self) -> impl Iterator<Item = usize> + '_;
 
-    /// Moves every `(finish, server)` entry into `out` (unspecified order)
-    /// and empties the heap, in O(n) — reconfigurations drain the pending
-    /// set, transform it, and heapify it back via
-    /// [`rebuild_from`](CompletionHeap::rebuild_from).
-    pub fn drain_unordered(&mut self, out: &mut Vec<(f64, usize)>) {
-        out.clear();
-        out.extend(
-            self.entries
-                .iter()
-                .map(|&Reverse(e)| (finish_of((e >> 64) as u64), e as u64 as usize)),
-        );
-        self.entries.clear();
+    /// Moves every `(finish, server)` entry into `out` (unspecified
+    /// order) and empties the queue, in O(n) — reconfigurations drain the
+    /// pending set, transform it, and rebuild it via
+    /// [`rebuild_from`](CompletionQueue::rebuild_from).
+    fn drain_unordered(&mut self, out: &mut Vec<(f64, usize)>);
+}
+
+impl CompletionQueue for CalendarQueue {
+    #[inline]
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    #[inline]
+    fn peek_finish(&self) -> Option<f64> {
+        self.peek_min_time()
+    }
+    #[inline]
+    fn push(&mut self, finish: f64, server: usize) {
+        CalendarQueue::push(self, finish, server);
+    }
+    #[inline]
+    fn pop_if_le(&mut self, to: f64) -> Option<(f64, usize)> {
+        CalendarQueue::pop_if_le(self, to)
+    }
+    fn rebuild_from(&mut self, scratch: &mut Vec<(f64, usize)>) {
+        self.rebuild_from_unpacked(scratch);
+    }
+    fn servers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.payloads()
+    }
+    fn drain_unordered(&mut self, out: &mut Vec<(f64, usize)>) {
+        CalendarQueue::drain_unordered(self, out);
     }
 }
 
@@ -126,36 +90,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn key_roundtrip_and_order() {
-        let xs = [
-            f64::NEG_INFINITY,
-            -1.5,
-            -0.0,
-            0.0,
-            1e-300,
-            1.0,
-            1e300,
-            f64::INFINITY,
-            f64::NAN,
-        ];
-        for &x in &xs {
-            assert_eq!(finish_of(key_of(x)).to_bits(), x.to_bits(), "{x}");
-        }
-        for w in xs.windows(2) {
-            assert!(key_of(w[0]) < key_of(w[1]), "{} !< {}", w[0], w[1]);
-        }
-    }
-
-    #[test]
     fn pops_in_finish_then_server_order() {
-        let mut h = CompletionHeap::new();
-        h.push(2.0, 7);
-        h.push(1.0, 3);
-        h.push(2.0, 1);
-        h.push(1.0, 9);
-        h.push(0.5, 4);
+        let mut h = CalendarQueue::new();
+        CompletionQueue::push(&mut h, 2.0, 7);
+        CompletionQueue::push(&mut h, 1.0, 3);
+        CompletionQueue::push(&mut h, 2.0, 1);
+        CompletionQueue::push(&mut h, 1.0, 9);
+        CompletionQueue::push(&mut h, 0.5, 4);
         let mut out = Vec::new();
-        while let Some(e) = h.pop_if_le(f64::INFINITY) {
+        while let Some(e) = CompletionQueue::pop_if_le(&mut h, f64::INFINITY) {
             out.push(e);
         }
         assert_eq!(
@@ -166,36 +109,27 @@ mod tests {
     }
 
     #[test]
-    fn pop_if_le_respects_bound() {
-        let mut h = CompletionHeap::new();
-        h.push(1.0, 0);
-        h.push(3.0, 1);
-        assert_eq!(h.pop_if_le(0.5), None);
-        assert_eq!(h.pop_if_le(1.0), Some((1.0, 0)));
-        assert_eq!(h.pop_if_le(2.0), None);
-        assert_eq!(h.len(), 1);
-        assert_eq!(h.peek_finish(), Some(3.0));
-    }
-
-    #[test]
     fn rebuild_matches_pushes() {
         let finishes = [5.0, 1.0, 4.0, 4.0, 2.0, 9.0, 0.25, 4.0];
-        let mut pushed = CompletionHeap::new();
+        let mut pushed = CalendarQueue::new();
         for (s, &f) in finishes.iter().enumerate() {
-            pushed.push(f, s);
+            CompletionQueue::push(&mut pushed, f, s);
         }
         let mut scratch: Vec<(f64, usize)> =
             finishes.iter().copied().zip(0..finishes.len()).collect();
-        let mut rebuilt = CompletionHeap::new();
-        rebuilt.rebuild_from(&mut scratch);
+        let mut rebuilt = CalendarQueue::new();
+        CompletionQueue::rebuild_from(&mut rebuilt, &mut scratch);
         assert!(scratch.is_empty());
-        assert_eq!(rebuilt.len(), pushed.len());
-        let mut servers: Vec<usize> = rebuilt.servers().collect();
+        assert_eq!(
+            CompletionQueue::len(&rebuilt),
+            CompletionQueue::len(&pushed)
+        );
+        let mut servers: Vec<usize> = CompletionQueue::servers(&rebuilt).collect();
         servers.sort_unstable();
         assert_eq!(servers, (0..finishes.len()).collect::<Vec<_>>());
         loop {
-            let a = pushed.pop_if_le(f64::INFINITY);
-            let b = rebuilt.pop_if_le(f64::INFINITY);
+            let a = CompletionQueue::pop_if_le(&mut pushed, f64::INFINITY);
+            let b = CompletionQueue::pop_if_le(&mut rebuilt, f64::INFINITY);
             assert_eq!(a, b, "identical pop sequences");
             if a.is_none() {
                 break;

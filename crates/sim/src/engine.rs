@@ -173,7 +173,8 @@ pub struct Engine {
     cold_this_interval: bool,
     total_migrations: u64,
     power_override: Option<hipster_platform::PowerModel>,
-    /// Closed-loop clients currently thinking (min-heap of expiry times).
+    /// Closed-loop clients currently thinking (calendar queue of expiry
+    /// times).
     thinking: ThinkPool,
     /// Lognormal σ of the per-interval background-interference slowdown.
     jitter_sigma: f64,
@@ -544,11 +545,12 @@ impl Engine {
     /// are retired from the thinking pool (in-flight requests complete
     /// normally).
     ///
-    /// The pool is a binary min-heap ([`ThinkPool`]): each think expiry is
-    /// an O(log clients) pop instead of the O(clients) scan the pre-indexed
-    /// engine performed per event, and population shrink is one selection
-    /// pass per boundary. Clients are indistinguishable, so the heap
-    /// reproduces the scan-based traces bit-for-bit.
+    /// The pool is a calendar queue ([`ThinkPool`]): each think expiry is
+    /// an O(1) amortized bucket pop instead of the O(log clients) heap pop
+    /// of PRs 3–5 or the O(clients) scan before that, and population
+    /// shrink is one selection pass per boundary. Clients are
+    /// indistinguishable, so the calendar pool reproduces the heap- and
+    /// scan-based traces bit-for-bit.
     fn run_events_closed(&mut self, t_end: f64, frac: f64, stall: f64, cl: ClosedLoop) {
         let mut kick_at = if stall > 0.0 {
             Some(self.now + stall)

@@ -58,6 +58,7 @@
 pub mod dist;
 pub mod reference;
 
+mod calendar;
 mod completion;
 mod config;
 mod costs;
@@ -73,6 +74,8 @@ mod think;
 mod trace;
 mod traits;
 
+pub use calendar::CalendarQueue;
+pub use completion::CompletionQueue;
 pub use config::{EngineSpec, EngineSpecError};
 pub use costs::{ContentionModel, ReconfigCosts};
 pub use engine::{Engine, IntervalStats, MachineConfig, DEFAULT_JITTER_SIGMA};
@@ -80,7 +83,7 @@ pub use jsonl::{interval_from_jsonl, interval_to_jsonl};
 pub use latency::{percentile, LatencyRecorder, P2Quantile};
 pub use request::{Demand, QosTarget, Request, RequestId};
 pub use rng::{Sampler, SimRng};
-pub use service::{NodeInterval, ServerSpec, ServiceNode};
+pub use service::{NodeInterval, QueuedNode, ServerSpec, ServiceNode};
 pub use think::ThinkPool;
 pub use trace::{csv_header, csv_row, Trace};
 pub use traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};

@@ -4,19 +4,26 @@
 //! sweeps over every server, float-equality completion lookup, full-sort
 //! percentiles, a `Vec` thinking pool with O(n) scans) with indexed heaps
 //! and order statistics; PR 5 then replaced the free-server max-heap with
-//! speed-class bitmap free lists. This module preserves the *old*
-//! implementations, verbatim in behaviour, for two purposes:
+//! speed-class bitmap free lists; PR 6 replaced the packed-`u128`
+//! completion heap and the binary-heap think pool with the calendar queue.
+//! This module preserves the *old* implementations, verbatim in behaviour,
+//! for two purposes:
 //!
 //! 1. **Differential testing** — property tests drive [`ReferenceNode`]
 //!    (pre-PR3, linear scans) and [`HeapNode`] (PR 3/4-era, free-server
 //!    max-heap) against [`ServiceNode`](crate::ServiceNode) with identical
 //!    event sequences and assert bit-identical completions, timeouts and
 //!    interval statistics (`tests/node_equivalence.rs`,
-//!    `tests/dispatch_equivalence.rs`).
+//!    `tests/dispatch_equivalence.rs`); `tests/calendar_equivalence.rs`
+//!    drives the [`CalendarQueue`](crate::CalendarQueue) against the frozen
+//!    [`PackedHeap`] (and the calendar `ThinkPool` against
+//!    [`HeapThinkPool`]) op-for-op.
 //! 2. **Benchmark baseline** — `repro bench` measures the frozen
 //!    implementations with the same harness so `BENCH_PR3.json` /
-//!    `BENCH_PR5.json` record true speedups, and future PRs inherit a perf
-//!    trajectory anchored at the earlier engines.
+//!    `BENCH_PR5.json` / `BENCH_PR6.json` record true speedups, and future
+//!    PRs inherit a perf trajectory anchored at the earlier engines.
+//!    [`PackedHeapNode`] instantiates the production node body over the
+//!    frozen heap, so the PR 6 matrix varies *only* the event core.
 //!
 //! Nothing here should be used by production code paths; each frozen copy
 //! intentionally keeps the costs its era paid.
@@ -24,10 +31,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::completion::CompletionQueue;
 use crate::latency::LatencyRecorder;
 use crate::ordf64::TotalF64;
 use crate::request::{Demand, Request, RequestId};
-use crate::service::{NodeInterval, ServerSpec};
+use crate::service::{NodeInterval, QueuedNode, ServerSpec};
 
 /// Exact percentile via a full sort — the pre-PR3 implementation of
 /// [`percentile`](crate::percentile) (same linear-interpolation convention,
@@ -822,6 +830,209 @@ impl HeapNode {
 impl Default for HeapNode {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PR 5-era event cores, frozen by PR 6's calendar queue.
+// ---------------------------------------------------------------------------
+
+/// Maps a finish time onto a `u64` whose unsigned order is exactly
+/// [`f64::total_cmp`] order (frozen copy of the PR 5 key mapping; the
+/// calendar queue uses the same bits, which is why their pop orders can
+/// agree bit-for-bit).
+#[inline]
+fn key_of(finish: f64) -> u64 {
+    let b = finish.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) >> 1) ^ (1u64 << 63)
+}
+
+/// Inverse of [`key_of`].
+#[inline]
+fn finish_of(key: u64) -> f64 {
+    let b = if key >> 63 == 1 {
+        key ^ (1u64 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(b)
+}
+
+/// Packs `(finish, server)` into one `u128`: key in the high 64 bits,
+/// server index in the low 64, so entry order = (finish, server) order.
+#[inline]
+fn pack(finish: f64, server: usize) -> u128 {
+    ((key_of(finish) as u128) << 64) | server as u128
+}
+
+/// The PR 5 pending-completion index, frozen verbatim: a binary min-heap
+/// of packed-`u128` `(finish, server)` entries — one `u128` comparison per
+/// sift step, O(log n) per push/pop.
+///
+/// Production code now uses the [`CalendarQueue`](crate::CalendarQueue)
+/// (O(1) amortized); this copy anchors the `BENCH_PR6.json` baseline and
+/// the `tests/calendar_equivalence.rs` differential battery.
+#[derive(Debug, Clone, Default)]
+pub struct PackedHeap {
+    entries: BinaryHeap<Reverse<u128>>,
+}
+
+impl PackedHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending completions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Earliest pending finish time, if any.
+    pub fn peek_finish(&self) -> Option<f64> {
+        self.entries
+            .peek()
+            .map(|&Reverse(e)| finish_of((e >> 64) as u64))
+    }
+
+    /// Inserts the completion `(finish, server)` (O(log n)).
+    pub fn push(&mut self, finish: f64, server: usize) {
+        self.entries.push(Reverse(pack(finish, server)));
+    }
+
+    /// Pops the earliest completion if its finish time is ≤ `to` (under
+    /// `f64` `>` semantics: a NaN root never compares later).
+    pub fn pop_if_le(&mut self, to: f64) -> Option<(f64, usize)> {
+        let &Reverse(root) = self.entries.peek()?;
+        let finish = finish_of((root >> 64) as u64);
+        if finish > to {
+            return None;
+        }
+        self.entries.pop();
+        Some((finish, root as u64 as usize))
+    }
+
+    /// Rebuilds the heap from scratch entries, heapified in O(n); reuses
+    /// the heap's allocation and leaves `scratch` cleared.
+    pub fn rebuild_from(&mut self, scratch: &mut Vec<(f64, usize)>) {
+        let mut buf = std::mem::take(&mut self.entries).into_vec();
+        buf.clear();
+        buf.extend(scratch.iter().map(|&(f, s)| Reverse(pack(f, s))));
+        scratch.clear();
+        self.entries = BinaryHeap::from(buf);
+    }
+
+    /// The busy servers, in unspecified (heap) order.
+    pub fn servers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&Reverse(e)| e as u64 as usize)
+    }
+
+    /// Moves every `(finish, server)` entry into `out` (unspecified order)
+    /// and empties the heap.
+    pub fn drain_unordered(&mut self, out: &mut Vec<(f64, usize)>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .map(|&Reverse(e)| (finish_of((e >> 64) as u64), e as u64 as usize)),
+        );
+        self.entries.clear();
+    }
+}
+
+impl CompletionQueue for PackedHeap {
+    #[inline]
+    fn len(&self) -> usize {
+        PackedHeap::len(self)
+    }
+    #[inline]
+    fn peek_finish(&self) -> Option<f64> {
+        PackedHeap::peek_finish(self)
+    }
+    #[inline]
+    fn push(&mut self, finish: f64, server: usize) {
+        PackedHeap::push(self, finish, server);
+    }
+    #[inline]
+    fn pop_if_le(&mut self, to: f64) -> Option<(f64, usize)> {
+        PackedHeap::pop_if_le(self, to)
+    }
+    fn rebuild_from(&mut self, scratch: &mut Vec<(f64, usize)>) {
+        PackedHeap::rebuild_from(self, scratch);
+    }
+    fn servers(&self) -> impl Iterator<Item = usize> + '_ {
+        PackedHeap::servers(self)
+    }
+    fn drain_unordered(&mut self, out: &mut Vec<(f64, usize)>) {
+        PackedHeap::drain_unordered(self, out);
+    }
+}
+
+/// The production node body instantiated over the frozen [`PackedHeap`]:
+/// a bit-identical PR 5-era service node where *only* the completion index
+/// differs from [`ServiceNode`](crate::ServiceNode). This is the baseline
+/// the `BENCH_PR6.json` matrix races.
+pub type PackedHeapNode = QueuedNode<PackedHeap>;
+
+/// The PR 3–5 closed-loop thinking pool, frozen verbatim: a binary
+/// min-heap of expiry times, O(log n) push/pop and one O(n) selection for
+/// `retire_latest`. Production code now uses the calendar-backed
+/// [`ThinkPool`](crate::ThinkPool).
+#[derive(Debug, Clone, Default)]
+pub struct HeapThinkPool {
+    heap: BinaryHeap<Reverse<TotalF64>>,
+}
+
+impl HeapThinkPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients currently thinking.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no client is thinking.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Adds a client whose think timer expires at `expiry` (O(log n)).
+    pub fn push(&mut self, expiry: f64) {
+        self.heap.push(Reverse(TotalF64(expiry)));
+    }
+
+    /// Earliest think expiry (O(1)).
+    pub fn peek_min(&self) -> Option<f64> {
+        self.heap.peek().map(|&Reverse(TotalF64(x))| x)
+    }
+
+    /// Removes and returns the earliest expiry (O(log n)).
+    pub fn pop_min(&mut self) -> Option<f64> {
+        self.heap.pop().map(|Reverse(TotalF64(x))| x)
+    }
+
+    /// Retires the `k` clients that would submit last (the largest
+    /// expiries) with one O(n) selection pass.
+    pub fn retire_latest(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        if k >= self.heap.len() {
+            self.heap.clear();
+            return;
+        }
+        let mut v = std::mem::take(&mut self.heap).into_vec();
+        v.select_nth_unstable(k - 1);
+        v.drain(..k);
+        self.heap = BinaryHeap::from(v);
     }
 }
 

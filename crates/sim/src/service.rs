@@ -18,9 +18,10 @@
 //! The node is indexed so per-event dispatch cost is flat in the server
 //! count:
 //!
-//! * pending completions live in a min-heap of `(finish, server)` — finding
-//!   and retiring the earliest completion is an O(log n) heap pop, not a
-//!   scan plus a float-equality re-scan;
+//! * pending completions live in a [`CalendarQueue`] of `(finish, server)`
+//!   events — finding and retiring the earliest completion is an O(1)
+//!   amortized bucket pop (PR 6; previously an O(log n) heap pop, and
+//!   before that a scan plus a float-equality re-scan);
 //! * free servers live in **speed-class bitmap free lists**
 //!   (`freelist.rs`): a small table of distinct effective speeds
 //!   (`speed / slowdown`), rebuilt only when a reconfiguration changes the
@@ -39,13 +40,20 @@
 //! server index via leading-bit selection — so traces are bit-identical to
 //! both predecessors, property-tested against the frozen copies in
 //! [`crate::reference`] (`ReferenceNode`: pre-PR3 scans; `HeapNode`:
-//! PR 3/4-era heaps).
+//! PR 3/4-era heaps; `PackedHeapNode`: the PR 5 node around the frozen
+//! packed-`u128` completion heap).
+//!
+//! The node body is written once as [`QueuedNode`], generic over the
+//! [`CompletionQueue`] implementation; [`ServiceNode`] is the production
+//! instantiation over the calendar queue, and the reference node over the
+//! frozen heap shares every other line of code.
 
 use std::collections::VecDeque;
 
 use hipster_platform::{CoreKind, Frequency};
 
-use crate::completion::CompletionHeap;
+use crate::calendar::CalendarQueue;
+use crate::completion::CompletionQueue;
 use crate::freelist::SpeedClassFreeList;
 use crate::latency::LatencyRecorder;
 use crate::request::{Demand, Request, RequestId};
@@ -69,10 +77,10 @@ pub struct ServerSpec {
 /// and start are flattened in (`repr(C)` pins the layout).
 ///
 /// There is deliberately no "busy" flag and no stored finish time: **the
-/// pending-completion heap is the busy set** — a server is in flight iff
-/// it has a heap entry, and that entry carries the finish time. Cold
+/// pending-completion queue is the busy set** — a server is in flight iff
+/// it has a queue entry, and that entry carries the finish time. Cold
 /// paths (preemption, DVFS rescale, the oldest-age fallback) iterate the
-/// heap's entries instead of sweeping every server.
+/// queue's entries instead of sweeping every server.
 #[derive(Debug, Clone, Copy, Default)]
 #[repr(C)]
 struct HotServer {
@@ -136,16 +144,18 @@ pub struct NodeInterval {
     pub queue_len: usize,
 }
 
-/// FIFO multi-server queueing node for the latency-critical workload.
+/// FIFO multi-server queueing node for the latency-critical workload,
+/// generic over its pending-completion index `Q`.
 ///
 /// Indexed for event-count scalability: pending completions in a
-/// `(finish, server)` min-heap (O(log n)), free servers in speed-class
-/// bitmap free lists (O(1) dispatch — `freelist.rs`) and an
-/// incremental in-flight count, with tie-breaking that reproduces both the
-/// PR 3/4-era heap order and the original linear scans bit-for-bit (see
+/// `(finish, server)` min-queue (the production [`CalendarQueue`]: O(1)
+/// amortized), free servers in speed-class bitmap free lists (O(1)
+/// dispatch — `freelist.rs`) and an incremental in-flight count, with
+/// tie-breaking that reproduces the PR 5 packed heap, the PR 3/4-era
+/// heaps, and the original linear scans bit-for-bit (see
 /// [`crate::reference`]).
 #[derive(Debug, Clone)]
-pub struct ServiceNode {
+pub struct QueuedNode<Q: CompletionQueue> {
     queue: VecDeque<Request>,
     /// Hot per-server records (see [`HotServer`]).
     hot: Vec<HotServer>,
@@ -156,10 +166,10 @@ pub struct ServiceNode {
     /// Per-server effective speed, `speed / slowdown` (the speed-class
     /// key; read only by the free-list rebuild).
     eff: Vec<f64>,
-    /// Min-heap of pending completions (packed-key 4-ary heap), one entry
-    /// per busy server. Entries are never stale: reconfigurations rebuild
-    /// the heap and completions pop their own entry.
-    completions: CompletionHeap,
+    /// Min-queue of pending completions, one entry per busy server.
+    /// Entries are never stale: reconfigurations rebuild the queue and
+    /// completions pop their own entry.
+    completions: Q,
     /// Free servers bucketed by effective speed: per-class two-level
     /// bitmaps of dispatchable servers, plus parallel stalled bitmaps for
     /// servers parked inside a reconfiguration stall. Reconfigurations park
@@ -196,16 +206,20 @@ pub struct ServiceNode {
     timeout_s: Option<f64>,
 }
 
-impl ServiceNode {
+/// The production service node: [`QueuedNode`] over the O(1) amortized
+/// [`CalendarQueue`] completion index.
+pub type ServiceNode = QueuedNode<CalendarQueue>;
+
+impl<Q: CompletionQueue> QueuedNode<Q> {
     /// Creates a node with no servers (configure before use).
     pub fn new() -> Self {
-        ServiceNode {
+        QueuedNode {
             queue: VecDeque::new(),
             hot: Vec::new(),
             rate: Vec::new(),
             cold: Vec::new(),
             eff: Vec::new(),
-            completions: CompletionHeap::new(),
+            completions: Q::default(),
             free: SpeedClassFreeList::new(),
             recorder: LatencyRecorder::new(),
             preempt_scratch: Vec::new(),
@@ -265,7 +279,7 @@ impl ServiceNode {
     /// * `stall_s` — servers may not start work before `now + stall_s`
     ///   (migration or DVFS transition latency).
     ///
-    /// Rebuilds the completion heap (heapified in O(n)) and the free-list
+    /// Rebuilds the completion queue (in O(n)) and the free-list
     /// bitmaps; the speed-class table itself is re-derived only when the
     /// per-server effective-speed sequence actually changed.
     ///
@@ -349,7 +363,7 @@ impl ServiceNode {
         self.dispatch(now + stall_s);
     }
 
-    /// Rebuilds the free-list bitmaps and re-heapifies the pending set
+    /// Rebuilds the free-list bitmaps and the pending-completion queue
     /// (`busy`, drained and transformed by the caller; consumed here).
     /// Free servers all enter the stalled bitmaps; the next dispatch
     /// promotes the ones whose `available_at` has passed (one word-wise
@@ -367,8 +381,8 @@ impl ServiceNode {
                 self.free.mark_stalled(i, self.hot[i].available_at);
             }
         }
-        // Heapify in O(n); pop order over distinct `(finish, server)` keys
-        // is the same as for a heap built by pushes.
+        // O(n) rebuild; pop order over distinct `(finish, server)` keys
+        // is the same as for a queue built by pushes.
         self.completions.rebuild_from(busy);
     }
 
@@ -441,7 +455,7 @@ impl ServiceNode {
     }
 
     /// Earliest pending completion time, if any request is in flight (O(1):
-    /// a peek at the completion heap).
+    /// a peek at the completion queue's cached minimum).
     pub fn next_completion(&self) -> Option<f64> {
         self.completions.peek_finish()
     }
@@ -453,7 +467,7 @@ impl ServiceNode {
         }
     }
 
-    /// Like [`ServiceNode::advance`], but appends each completion time to
+    /// Like [`QueuedNode::advance`], but appends each completion time to
     /// `out` (closed-loop generators schedule think timers from these).
     pub fn advance_collect(&mut self, to: f64, out: &mut Vec<f64>) {
         while let Some((finish, server)) = self.completions.pop_if_le(to) {
@@ -463,7 +477,7 @@ impl ServiceNode {
     }
 
     /// Retires the request on server `idx` at its finish time `t` (the
-    /// popped completion-heap entry), then dispatches onto the freed server.
+    /// popped completion entry), then dispatches onto the freed server.
     fn complete_server(&mut self, idx: usize, t: f64) {
         let h = &mut self.hot[idx];
         h.busy_in_interval += t - h.started.max(self.interval_start);
@@ -600,7 +614,7 @@ impl ServiceNode {
     }
 }
 
-impl Default for ServiceNode {
+impl<Q: CompletionQueue> Default for QueuedNode<Q> {
     fn default() -> Self {
         Self::new()
     }

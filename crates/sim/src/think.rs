@@ -12,30 +12,37 @@
 //!   retiring the clients that would submit last.
 //!
 //! The pre-PR3 engine used a plain `Vec` with an O(n) scan for each of
-//! these; at 4096 clients that scan dominated the whole simulation. This
-//! pool is a binary min-heap: O(log n) push/pop, O(1) peek, and
-//! `retire_latest` uses one O(n) selection per interval boundary instead of
-//! k O(n) scans.
+//! these; PR 3 replaced it with a binary min-heap (O(log n) push/pop —
+//! frozen as [`HeapThinkPool`](crate::reference::HeapThinkPool)). Since
+//! PR 6 the pool is a calendar queue — the key-only `TimerCalendar`
+//! instantiation: clients are indistinguishable, so each entry is a bare
+//! `u64` time key (half the size of the completion calendar's packed
+//! pairs). At 4096 thinking clients the heap's pop walked ~12
+//! cache-hostile levels per event, while the calendar's time buckets make
+//! push and pop-min O(1) amortized — think expiries are `now +
+//! Exp(think)` draws, spread over a few mean think times, exactly the
+//! regime the queue's width tracks. `retire_latest` stays one O(n)
+//! selection per interval boundary.
 //!
-//! Clients are indistinguishable — the pool is a multiset of expiry times —
-//! so replacing scan-based extraction with a heap leaves simulation traces
-//! bit-identical: ties between equal expiries remove *a* client with that
-//! expiry either way, and the surviving multiset (all future behaviour
-//! depends only on it) is the same.
+//! Clients are indistinguishable — the pool is a multiset of expiry times
+//! ordered by [`f64::total_cmp`] — so the calendar pool reproduces both
+//! frozen pools bit-identically: ties between equal expiries remove *a*
+//! client with that expiry either way, and the surviving multiset (all
+//! future behaviour depends only on it) is the same (differential
+//! battery: `tests/calendar_equivalence.rs`).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::calendar::TimerCalendar;
 
-use crate::ordf64::TotalF64;
-
-/// Min-heap of closed-loop client think-timer expiry times (seconds,
-/// absolute simulation time): O(log n) push/pop-min, O(1) peek, and
-/// one selection pass (not k max-scans) to retire the k latest clients.
-/// The pool is a multiset — clients are indistinguishable — so it
-/// reproduces the pre-PR3 scan-based `Vec` pool bit-identically.
+/// Calendar-queue pool of closed-loop client think-timer expiry times
+/// (seconds, absolute simulation time): O(1) amortized push/pop-min, O(1)
+/// peek, and one selection pass (not k max-scans) to retire the k latest
+/// clients. The pool is a multiset — clients are indistinguishable — so it
+/// reproduces the frozen heap and scan pools bit-identically.
 #[derive(Debug, Clone, Default)]
 pub struct ThinkPool {
-    heap: BinaryHeap<Reverse<TotalF64>>,
+    queue: TimerCalendar,
+    /// Reused selection buffer for [`ThinkPool::retire_latest`].
+    scratch: Vec<f64>,
 }
 
 impl ThinkPool {
@@ -46,27 +53,28 @@ impl ThinkPool {
 
     /// Number of clients currently thinking.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Whether no client is thinking.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.queue.is_empty()
     }
 
-    /// Adds a client whose think timer expires at `expiry` (O(log n)).
+    /// Adds a client whose think timer expires at `expiry` (O(1)
+    /// amortized).
     pub fn push(&mut self, expiry: f64) {
-        self.heap.push(Reverse(TotalF64(expiry)));
+        self.queue.push(expiry);
     }
 
     /// Earliest think expiry (O(1)).
     pub fn peek_min(&self) -> Option<f64> {
-        self.heap.peek().map(|Reverse(TotalF64(x))| *x)
+        self.queue.peek_min_time()
     }
 
-    /// Removes and returns the earliest expiry (O(log n)).
+    /// Removes and returns the earliest expiry (O(1) amortized).
     pub fn pop_min(&mut self) -> Option<f64> {
-        self.heap.pop().map(|Reverse(TotalF64(x))| x)
+        self.queue.pop_if_le(f64::INFINITY)
     }
 
     /// Retires the `k` clients that would submit last (the largest
@@ -75,17 +83,20 @@ impl ThinkPool {
         if k == 0 {
             return;
         }
-        if k >= self.heap.len() {
-            self.heap.clear();
+        if k >= self.queue.len() {
+            self.queue.clear();
             return;
         }
-        let mut v = std::mem::take(&mut self.heap).into_vec();
-        // `Reverse` inverts the order, so the k *largest* expiries are the k
-        // *smallest* `Reverse` elements: partition them to the front, drop
-        // them, and re-heapify the survivors (O(n)).
-        v.select_nth_unstable(k - 1);
-        v.drain(..k);
-        self.heap = BinaryHeap::from(v);
+        let mut v = std::mem::take(&mut self.scratch);
+        self.queue.drain_times(&mut v);
+        // Partition the k largest expiries to the tail and drop them (the
+        // pivot at `keep` is the smallest of the k), then rebuild the
+        // calendar from the survivors (O(n)).
+        let keep = v.len() - k;
+        v.select_nth_unstable_by(keep, |a, b| a.total_cmp(b));
+        v.truncate(keep);
+        self.queue.rebuild_from_times(&mut v);
+        self.scratch = v;
     }
 }
 
