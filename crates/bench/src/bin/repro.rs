@@ -4,7 +4,8 @@
 //! repro all            # everything (several minutes in release mode)
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
-//! repro bench          # perf baselines → BENCH_PR{3,4,5,6}.json
+//! repro cluster        # beyond-paper 16-1024-node cluster sweep
+//! repro bench          # perf baselines → BENCH_PR{3,4,5,6,7}.json
 //! repro bench --smoke  # same cells, seconds (CI)
 //! repro bench --smoke --only open/   # just the cells matching a prefix
 //! ```
@@ -30,7 +31,8 @@ const EXPERIMENTS: &[(&str, fn(bool))] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n       \
-         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} bench",
+         repro [--quick] cluster\n       \
+         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} cluster bench",
         EXPERIMENTS
             .iter()
             .map(|(n, _)| *n)
@@ -64,9 +66,10 @@ fn main() {
     if selected.is_empty() {
         usage();
     }
-    // `bench` is not a paper experiment: it benchmarks the event core
-    // itself (and is deliberately excluded from `all`, which reproduces
-    // the paper's tables/figures).
+    // `bench` and `cluster` are not paper experiments: `bench` benchmarks
+    // the event core itself and `cluster` extrapolates beyond the paper's
+    // single machine. Both are deliberately excluded from `all`, which
+    // reproduces the paper's tables/figures.
     let run_all = selected.contains(&"all");
     let mut matched = false;
     if selected.contains(&"bench") {
@@ -74,6 +77,12 @@ fn main() {
         let start = std::time::Instant::now();
         hipster_bench::perfbench::run(smoke, only);
         println!("[bench done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    if selected.contains(&"cluster") {
+        matched = true;
+        let start = std::time::Instant::now();
+        exp::cluster::run(quick);
+        println!("[cluster done in {:.1}s]\n", start.elapsed().as_secs_f64());
     }
     for (name, runner) in EXPERIMENTS {
         if run_all || selected.contains(name) {
@@ -84,7 +93,11 @@ fn main() {
         }
     }
     for want in &selected {
-        if *want != "all" && *want != "bench" && !EXPERIMENTS.iter().any(|(n, _)| n == want) {
+        if *want != "all"
+            && *want != "bench"
+            && *want != "cluster"
+            && !EXPERIMENTS.iter().any(|(n, _)| n == want)
+        {
             eprintln!("unknown experiment: {want}");
             matched = false;
         }

@@ -1,0 +1,181 @@
+//! Cluster tier, 16–1024 nodes: Hipster per node behind an O(1)
+//! power-of-two-choices balancer, with burst overflow to priced cloud
+//! nodes — the beyond-paper experiment the ROADMAP's "millions of
+//! users" north star asks for.
+//!
+//! Every node runs its own engine, policy and split-seeded RNG; the
+//! cluster-level MMPP envelope drives bursty offered load; 1/4 of each
+//! cluster is an overflow tier admitted past an 85% occupancy
+//! watermark at a public-cloud-style price. Per (node count × policy)
+//! we report cluster QoS (p95 across nodes vs the 10 ms target),
+//! cluster p99, private-tier energy, cloud dollars and spill fraction —
+//! Hipster vs the paper's static/heuristic baselines, generalizing the
+//! single-machine Table 2 energy/QoS trade-off to fleet scale. The grid
+//! itself runs through the work-stealing task scheduler
+//! ([`run_tasks`]), whose wall-clock/throughput stats are printed per
+//! sweep (and recorded in `BENCH_PR7.json`'s cluster-sweep cells).
+
+use hipster_core::cluster::{ClusterOutcome, ClusterSpec, DispatchPolicy, OverflowSpec};
+use hipster_core::run_tasks;
+use hipster_platform::Platform;
+use hipster_workloads::{memcached_bursty, MmppLoad};
+
+use crate::runner::Workload;
+use crate::runner::{heuristic_mapper, hipster_in, static_all_big, static_all_small, PolicyFn};
+use crate::tablefmt::{f, Table};
+
+/// Node counts swept (private + cloud combined).
+pub const NODE_COUNTS: [usize; 4] = [16, 64, 256, 1024];
+
+/// Cloud price: a public-cloud vCPU-hour (~$0.12) per request-second of
+/// busy capacity.
+pub const USD_PER_REQ_S: f64 = 0.12 / 3600.0;
+
+/// Occupancy watermark past which arrivals spill to the cloud tier.
+pub const WATERMARK: f64 = 0.85;
+
+/// The per-node policies compared, in presentation order.
+fn policies(quick: bool) -> Vec<(&'static str, fn(bool) -> PolicyFn)> {
+    let _ = quick;
+    vec![
+        ("HipsterIn", |q| {
+            hipster_in(
+                Workload::Memcached.tuned_zones(),
+                if q { 2 } else { 4 },
+                0.05,
+            )
+        }),
+        ("Heuristic", |_| {
+            heuristic_mapper(Workload::Memcached.tuned_zones())
+        }),
+        ("Static-Big", |_| static_all_big()),
+        ("Static-Small", |_| static_all_small()),
+    ]
+}
+
+/// Declares one cluster run: `nodes` total (3/4 private, 1/4 cloud,
+/// minimum one cloud node), bursty MMPP load, power-of-two dispatch.
+pub fn cluster_spec(
+    name: impl Into<String>,
+    nodes: usize,
+    policy: PolicyFn,
+    intervals: usize,
+    seed: u64,
+) -> ClusterSpec {
+    let interval_s = 0.05;
+    let cloud = (nodes / 4).max(1);
+    let private = nodes - cloud;
+    ClusterSpec::new(name, Platform::juno_r1())
+        .workload_with(|| Box::new(memcached_bursty()))
+        .load(MmppLoad::new(
+            0.55,
+            10.0 * interval_s,
+            intervals as f64 * interval_s,
+            17,
+        ))
+        .policy(policy)
+        .dispatch(DispatchPolicy::PowerOfTwo)
+        .private_nodes(private)
+        .cloud_nodes(cloud)
+        .overflow(OverflowSpec::new(WATERMARK, USD_PER_REQ_S))
+        .intervals(intervals)
+        .interval_s(interval_s)
+        .seed(seed)
+}
+
+/// Runs the sweep and prints the comparison tables.
+pub fn run(quick: bool) {
+    println!("== Cluster: 16-1024 nodes, two-tier overflow, Hipster vs baselines ==\n");
+    let intervals = if quick { 4 } else { 10 };
+    println!(
+        "{} intervals x 50 ms per cluster; load: MMPP envelope around 55% of \
+         private capacity; dispatch: power-of-two-choices; overflow: \
+         watermark {WATERMARK}, ${USD_PER_REQ_S:.2e}/req-s\n",
+        intervals
+    );
+
+    let mut table = Table::new(vec![
+        "nodes", "policy", "QoS %", "p99 ms", "energy J", "W/node", "cloud $", "spill %",
+    ]);
+    for &nodes in &NODE_COUNTS {
+        let tasks: Vec<(String, _)> = policies(quick)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, make))| {
+                let name = format!("cluster/n{nodes}/{label}");
+                let policy = make(quick);
+                (name.clone(), move || {
+                    cluster_spec(name, nodes, policy, intervals, 90 + i as u64)
+                        .build()
+                        .expect("valid cluster spec")
+                        .run()
+                })
+            })
+            .collect();
+        let (outcomes, stats) = run_tasks(tasks, 0).expect("cluster sweep");
+        let sim_s = intervals as f64 * 0.05;
+        for out in &outcomes {
+            let s = &out.summary;
+            let label = s.name.rsplit('/').next().unwrap_or(&s.name);
+            let watts_per_node = s.total_energy_j / sim_s / (nodes - (nodes / 4).max(1)) as f64;
+            table.row(vec![
+                nodes.to_string(),
+                label.to_string(),
+                f(s.qos_guarantee_pct, 1),
+                f(s.mean_p99_s * 1e3, 2),
+                f(s.total_energy_j, 1),
+                f(watts_per_node, 2),
+                format!("{:.4}", s.total_cloud_usd),
+                f(s.spill_frac * 100.0, 1),
+            ]);
+        }
+        println!(
+            "   [n={nodes}] sweep: {} clusters in {:.2}s ({:.2} scenarios/s, \
+             {} workers, idle tail {:.1}%)",
+            stats.scenarios,
+            stats.wall_s,
+            stats.scenarios_per_sec(),
+            stats.workers,
+            stats.idle_tail_frac() * 100.0,
+        );
+    }
+    println!();
+    table.print();
+
+    println!(
+        "\nReading: per-node watts for Static-Big sit near the paper's Table 2 \
+         big-cluster characterization; Hipster trades some of that power for \
+         QoS-aware small-core intervals, and the overflow tier converts bursts \
+         the private tier cannot absorb into dollars instead of violations. \
+         Dispatch cost is O(1) in node count (see BENCH_PR7.json)."
+    );
+}
+
+/// The determinism hook the cluster tests use: one small fig2-shaped
+/// sweep (node counts × policies), reduced to
+/// `(name, decision digest, decisions, Debug-rendered summary)` rows —
+/// everything an execution strategy could perturb, in byte-comparable
+/// form.
+pub fn sweep_digests(threads: usize) -> Vec<(String, u64, u64, String)> {
+    let tasks: Vec<(String, _)> = [4usize, 8]
+        .into_iter()
+        .flat_map(|nodes| {
+            policies(true)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, (label, make))| {
+                    let name = format!("digest/n{nodes}/{label}");
+                    let policy = make(true);
+                    (name.clone(), move || {
+                        let out: ClusterOutcome = cluster_spec(name, nodes, policy, 3, i as u64)
+                            .build()
+                            .expect("valid cluster spec")
+                            .run();
+                        let summary = format!("{:?}", out.summary);
+                        (out.name, out.decision_digest, out.decisions, summary)
+                    })
+                })
+        })
+        .collect();
+    run_tasks(tasks, threads).expect("digest sweep").0
+}

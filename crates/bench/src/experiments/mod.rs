@@ -1,6 +1,8 @@
-//! One module per table/figure of the paper's evaluation section.
+//! One module per table/figure of the paper's evaluation section, plus
+//! the beyond-paper cluster-tier sweep ([`cluster`]).
 
 pub mod ablation;
+pub mod cluster;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -1,6 +1,6 @@
 //! `repro bench` — recorded performance baselines.
 //!
-//! Four benchmark families run back to back:
+//! Five benchmark families run back to back:
 //!
 //! * **Event core** (`BENCH_PR3.json`) — steps canonical open- and
 //!   closed-loop scenarios at several server / client scales through the
@@ -36,6 +36,20 @@
 //!   issued. Full runs enforce a ≥1.3× core-race floor at c4096, a ≥1.0×
 //!   end-to-end no-regression floor, and a flat (≤1.3×) c1024→c4096
 //!   events/sec ratio.
+//! * **Cluster dispatch at scale** (`BENCH_PR7.json`) —
+//!   `cluster/dispatch/*` cells race the node-class-bitmap cluster
+//!   dispatcher ([`BitmapDispatcher`](hipster_core::cluster::BitmapDispatcher))
+//!   against the naive linear-scan yardstick
+//!   ([`ScanDispatcher`](hipster_core::cluster::ScanDispatcher)) for the
+//!   power-of-two-choices and least-loaded balancing policies at
+//!   64/256/1024 nodes, on identical occupancy churn and RNG streams
+//!   (decision digests must match exactly); `cluster/sweep/*` cells run
+//!   small multi-node [`ClusterSim`](hipster_core::ClusterSim) sweeps
+//!   through the work-stealing task scheduler and record the new
+//!   [`FleetStats`](hipster_core::FleetStats) wall-clock /
+//!   scenarios-per-second accounting. Full runs enforce a flat (≤1.3×)
+//!   n64→n1024 p2c ns/decision ratio and require p2c to be at least as
+//!   fast as least-loaded at 1024 nodes.
 //!
 //! Every cell feeds its fast and reference implementations identical
 //! inputs, so their outputs must agree exactly — the bench doubles as an
@@ -52,7 +66,12 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use hipster_core::reference::{run_static_chunked, ReferenceQTable};
-use hipster_core::{ConfigSpace, Fleet, LoadBuckets, Policy, QTable, ScenarioSpec, StaticPolicy};
+use hipster_core::{
+    run_tasks, ConfigSpace, Fleet, LoadBuckets, Policy, QTable, ScenarioSpec, StaticPolicy,
+};
+
+use crate::experiments::cluster;
+use crate::runner::{heuristic_mapper, hipster_in, static_all_big, static_all_small, Workload};
 use hipster_platform::{power_ladder, CoreConfig, CoreKind, Frequency, Platform};
 use hipster_sim::dist::Exponential;
 use hipster_sim::reference::{
@@ -62,7 +81,10 @@ use hipster_sim::{
     CalendarQueue, CompletionQueue, Demand, LcModel, NodeInterval, QueuedNode, Sampler, ServerSpec,
     ServiceNode, SimRng, ThinkPool,
 };
-use hipster_workloads::{memcached, web_search, Constant, LcWorkload};
+use hipster_workloads::{
+    memcached, web_search, Constant, LcWorkload, MmppStream, MMPP_BURST_FACTOR, MMPP_CALM_FACTOR,
+    MMPP_DUTY,
+};
 
 /// Tail percentile used by every bench interval (Memcached's QoS point).
 const TAIL_P: f64 = 0.95;
@@ -510,16 +532,18 @@ fn selected(only: Option<&str>, name: &str) -> bool {
 }
 
 /// Runs the bench matrices, writing `BENCH_PR3.json` (event core),
-/// `BENCH_PR4.json` (control plane + fleet scheduling) and
-/// `BENCH_PR5.json` (dispatch at scale). With `smoke`, runs the same cells
-/// over fewer simulated intervals (seconds, for CI). With `only`, runs
-/// just the cells whose name starts with the prefix; a JSON file is only
-/// rewritten when at least one of its cells ran.
+/// `BENCH_PR4.json` (control plane + fleet scheduling), `BENCH_PR5.json`
+/// (dispatch at scale), `BENCH_PR6.json` (calendar-queue event core) and
+/// `BENCH_PR7.json` (cluster dispatch at scale). With `smoke`, runs the
+/// same cells over fewer simulated intervals (seconds, for CI). With
+/// `only`, runs just the cells whose name starts with the prefix; a JSON
+/// file is only rewritten when at least one of its cells ran.
 pub fn run(smoke: bool, only: Option<&str>) {
     run_event_core(smoke, only);
     run_control_plane(smoke, only);
     run_dispatch_scale(smoke, only);
     run_calendar_scale(smoke, only);
+    run_cluster_scale(smoke, only);
 }
 
 /// The PR3 event-core matrix → `BENCH_PR3.json`.
@@ -1142,103 +1166,15 @@ impl ArrivalStream for OpenStreamGen<'_> {
     }
 }
 
-/// Duty cycle of the MMPP burst state (fraction of time spent bursting).
-const MMPP_DUTY: f64 = 0.2;
-/// Arrival-rate multiplier while bursting.
-const MMPP_BURST_FACTOR: f64 = 4.0;
-/// Arrival-rate multiplier while calm. With [`MMPP_DUTY`] = 0.2 this
-/// makes the long-run mean rate equal the nominal rate:
-/// 0.2×4 + 0.8×0.25 = 1.
-const MMPP_CALM_FACTOR: f64 = 0.25;
-
-/// Two-state Markov-modulated Poisson arrival stream (CloudCoaster's
-/// bursty regime): exponential sojourns in a *burst* state
-/// ([`MMPP_BURST_FACTOR`]× the nominal rate) and a *calm* state
-/// ([`MMPP_CALM_FACTOR`]×), mean cycle ≈ one monitoring interval. Arrival
-/// candidates that cross the sojourn boundary are redrawn from the
-/// boundary at the new state's rate — valid by memorylessness, and
-/// deterministic given the seed. Demands ride the same per-request
-/// sampler as [`OpenStreamGen`].
-///
-/// Events clump hard inside bursts (many per calendar bucket) and thin
-/// out between them (empty-bucket skips), which is exactly the regime the
-/// `open/memcached-mmpp/*` cell pins.
-struct MmppStreamGen<'m> {
-    model: &'m LcWorkload,
-    arrival_rng: SimRng,
-    demand_rng: SimRng,
-    /// Nominal event rate (bursts/sec before modulation).
-    base_rate: f64,
-    /// Mean sojourn seconds per state: `[burst, calm]`.
-    mean_sojourn: [f64; 2],
-    /// Current state: 0 = burst, 1 = calm.
-    state: usize,
-    /// End of the current sojourn.
-    sojourn_end: f64,
-    /// Next arrival candidate (valid while < `sojourn_end`).
-    next_arrival: f64,
-}
-
-impl<'m> MmppStreamGen<'m> {
-    fn new(model: &'m LcWorkload, rate_rps: f64, cycle_s: f64, seed: u64) -> Self {
-        let mut gen = MmppStreamGen {
-            model,
-            arrival_rng: SimRng::seed(seed),
-            demand_rng: SimRng::seed(seed ^ 0x9e3779b97f4a7c15),
-            base_rate: rate_rps / model.mean_burst().max(1.0),
-            mean_sojourn: [MMPP_DUTY * cycle_s, (1.0 - MMPP_DUTY) * cycle_s],
-            state: 0,
-            sojourn_end: 0.0,
-            next_arrival: 0.0,
-        };
-        gen.sojourn_end = gen.draw_sojourn(0.0);
-        gen.next_arrival = gen.draw_arrival(0.0);
-        gen
-    }
-
-    fn rate(&self) -> f64 {
-        let factor = if self.state == 0 {
-            MMPP_BURST_FACTOR
-        } else {
-            MMPP_CALM_FACTOR
-        };
-        self.base_rate * factor
-    }
-
-    fn draw_sojourn(&mut self, from: f64) -> f64 {
-        from + Exponential::new(1.0 / self.mean_sojourn[self.state]).sample(&mut self.arrival_rng)
-    }
-
-    fn draw_arrival(&mut self, from: f64) -> f64 {
-        from + Exponential::new(self.rate()).sample(&mut self.arrival_rng)
-    }
-
-    /// Advances `next_arrival` past any state switches it straddles.
-    fn settle(&mut self) {
-        while self.next_arrival >= self.sojourn_end {
-            let boundary = self.sojourn_end;
-            self.state = 1 - self.state;
-            self.sojourn_end = self.draw_sojourn(boundary);
-            self.next_arrival = self.draw_arrival(boundary);
-        }
-    }
-}
-
-impl ArrivalStream for MmppStreamGen<'_> {
+/// The MMPP bursty stream (CloudCoaster's regime) now lives in
+/// `hipster_workloads` ([`MmppStream`]), promoted so cluster and
+/// single-node scenarios share one source; the bench keeps only this
+/// delegating adapter. Events clump hard inside bursts (many per
+/// calendar bucket) and thin out between them (empty-bucket skips),
+/// which is exactly the regime the `open/memcached-mmpp/*` cell pins.
+impl ArrivalStream for MmppStream<'_> {
     fn gen_interval(&mut self, t_end: f64, out: &mut Vec<(f64, Demand)>) {
-        out.clear();
-        loop {
-            self.settle();
-            if self.next_arrival >= t_end {
-                break;
-            }
-            let t = self.next_arrival;
-            let burst = self.model.sample_burst(&mut self.demand_rng).max(1);
-            for _ in 0..burst {
-                out.push((t, self.model.sample_demand(&mut self.demand_rng)));
-            }
-            self.next_arrival = self.draw_arrival(t);
-        }
+        self.fill_interval(t_end, out);
     }
 }
 
@@ -1889,7 +1825,7 @@ fn closed_streams(
 /// * `open/memcached/s1024` — the largest open-loop machine, Poisson
 ///   arrivals (1024 in-flight events steady-state);
 /// * `open/memcached-mmpp/s1024` — the same machine under two-state MMPP
-///   bursty arrivals ([`MmppStreamGen`]), clumping events into few
+///   bursty arrivals ([`MmppStream`]), clumping events into few
 ///   calendar buckets and then starving the ring;
 /// * `closed/web-search/c1024`, `closed/web-search/c4096` — closed-loop
 ///   populations where *both* queues are hot: every event pops/pushes
@@ -2040,7 +1976,7 @@ fn run_calendar_scale(smoke: bool, only: Option<&str>) {
             core_trace_take();
             let mut node = QueuedNode::<TraceQueue>::new();
             if let Some(cycle) = plan.mmpp_cycle {
-                let mut gen = MmppStreamGen::new(&open_model, plan.rate, cycle, plan.seed);
+                let mut gen = MmppStream::new(&open_model, plan.rate, cycle, plan.seed);
                 replay_open(
                     &mut node,
                     &plan.specs,
@@ -2099,7 +2035,7 @@ fn run_calendar_scale(smoke: bool, only: Option<&str>) {
         for (i, plan) in open_plans.iter().enumerate() {
             let mut node = ServiceNode::new();
             let m = if let Some(cycle) = plan.mmpp_cycle {
-                let mut gen = MmppStreamGen::new(&open_model, plan.rate, cycle, plan.seed);
+                let mut gen = MmppStream::new(&open_model, plan.rate, cycle, plan.seed);
                 replay_open(
                     &mut node,
                     &plan.specs,
@@ -2124,7 +2060,7 @@ fn run_calendar_scale(smoke: bool, only: Option<&str>) {
             keep_best(&mut open_new[i], m);
             let mut node = PackedHeapNode::new();
             let m = if let Some(cycle) = plan.mmpp_cycle {
-                let mut gen = MmppStreamGen::new(&open_model, plan.rate, cycle, plan.seed);
+                let mut gen = MmppStream::new(&open_model, plan.rate, cycle, plan.seed);
                 replay_open(
                     &mut node,
                     &plan.specs,
@@ -2357,6 +2293,319 @@ fn run_calendar_scale(smoke: bool, only: Option<&str>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PR7: cluster dispatch at scale → BENCH_PR7.json
+// ---------------------------------------------------------------------------
+
+/// One cluster-dispatch race cell: the node-class-bitmap dispatcher vs
+/// the naive linear-scan yardstick, same policy, same RNG stream, same
+/// occupancy churn — decision digests must agree exactly.
+#[derive(Debug)]
+struct DispatchCell {
+    name: String,
+    policy: &'static str,
+    nodes: usize,
+    decisions: u64,
+    new_wall_s: f64,
+    ref_wall_s: f64,
+}
+
+impl DispatchCell {
+    fn ns_per_decision(&self, wall_s: f64) -> f64 {
+        wall_s * 1e9 / (self.decisions.max(1) as f64)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.ref_wall_s / self.new_wall_s.max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"policy\":\"{}\",\"nodes\":{},",
+                "\"decisions\":{},",
+                "\"ns_per_decision\":{:.2},\"ref_ns_per_decision\":{:.2},",
+                "\"speedup\":{:.3}}}"
+            ),
+            self.name,
+            self.policy,
+            self.nodes,
+            self.decisions,
+            self.ns_per_decision(self.new_wall_s),
+            self.ns_per_decision(self.ref_wall_s),
+            self.speedup(),
+        )
+    }
+}
+
+/// One cluster-sweep cell: a small multi-node simulation grid executed
+/// through the work-stealing task scheduler, recording the
+/// wall-clock/throughput side of [`FleetStats`](hipster_core::FleetStats).
+#[derive(Debug)]
+struct SweepCell {
+    name: String,
+    nodes: usize,
+    scenarios: usize,
+    workers: usize,
+    wall_s: f64,
+    scenarios_per_sec: f64,
+    idle_tail_frac: f64,
+    completions: u64,
+}
+
+impl SweepCell {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"nodes\":{},\"scenarios\":{},",
+                "\"workers\":{},\"wall_s\":{:.4},\"scenarios_per_sec\":{:.2},",
+                "\"idle_tail_frac\":{:.4},\"completions\":{}}}"
+            ),
+            self.name,
+            self.nodes,
+            self.scenarios,
+            self.workers,
+            self.wall_s,
+            self.scenarios_per_sec,
+            self.idle_tail_frac,
+            self.completions,
+        )
+    }
+}
+
+/// Drives one dispatcher through `intervals` rounds of occupancy churn
+/// followed by a full placement pass (`nodes × quanta` decisions each),
+/// returning wall seconds and the FNV-folded decision digest. The churn
+/// is a pure hash of (interval, node), so the bitmap and linear-scan
+/// dispatchers see bit-identical inputs.
+fn drive_dispatch(
+    d: &mut dyn hipster_core::cluster::Dispatcher,
+    nodes: usize,
+    cap: u32,
+    quanta: usize,
+    intervals: usize,
+    seed: u64,
+) -> (f64, u64) {
+    let mut rng = SimRng::seed(seed);
+    let mut digest = 0xcbf2_9ce4_8422_2325_u64;
+    let start = Instant::now();
+    for interval in 0..intervals {
+        for node in 0..nodes {
+            let h = (interval as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(node as u64)
+                .wrapping_mul(0xff51_afd7_ed55_8ccd);
+            d.set_occupancy(node, (h % (u64::from(cap) / 2)) as u32);
+        }
+        for _ in 0..nodes * quanta {
+            let pick = d.pick(&mut rng) as u64;
+            digest = (digest ^ pick).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (start.elapsed().as_secs_f64(), digest)
+}
+
+/// The PR7 cluster matrix → `BENCH_PR7.json`: O(1) bitmap dispatch vs
+/// the linear-scan yardstick at 64–1024 nodes, plus work-stealing
+/// cluster sweeps with wall-clock/throughput accounting.
+fn run_cluster_scale(smoke: bool, only: Option<&str>) {
+    use hipster_core::cluster::{build_dispatcher, DispatchPolicy};
+
+    let quanta = 4usize;
+    let cap = 16u32; // matches ClusterSim's (4 × quanta).max(8) occupancy cap
+    let reps = if smoke { 1 } else { 3 };
+    let target_decisions = if smoke { 200_000 } else { 4_000_000 };
+
+    let mut dispatch_cells: Vec<DispatchCell> = Vec::new();
+    for &nodes in &[64usize, 256, 1024] {
+        for (policy, tag) in [
+            (DispatchPolicy::PowerOfTwo, "p2c"),
+            (DispatchPolicy::LeastLoaded, "least-loaded"),
+        ] {
+            let name = format!("cluster/dispatch/{tag}/n{nodes}");
+            if !selected(only, &name) {
+                continue;
+            }
+            let intervals = (target_decisions / (nodes * quanta)).max(8);
+            let decisions = (nodes * quanta * intervals) as u64;
+            let mut best_new = f64::INFINITY;
+            let mut best_ref = f64::INFINITY;
+            for rep in 0..reps {
+                let seed = 0xC105 + rep as u64;
+                let mut fast = build_dispatcher(policy, nodes, cap, false);
+                let (new_wall, new_digest) =
+                    drive_dispatch(fast.as_mut(), nodes, cap, quanta, intervals, seed);
+                let mut scan = build_dispatcher(policy, nodes, cap, true);
+                let (ref_wall, ref_digest) =
+                    drive_dispatch(scan.as_mut(), nodes, cap, quanta, intervals, seed);
+                assert_eq!(
+                    new_digest, ref_digest,
+                    "{name}: bitmap and linear-scan dispatchers placed \
+                     different decision streams"
+                );
+                best_new = best_new.min(new_wall);
+                best_ref = best_ref.min(ref_wall);
+            }
+            let cell = DispatchCell {
+                name: name.clone(),
+                policy: policy.name(),
+                nodes,
+                decisions,
+                new_wall_s: best_new,
+                ref_wall_s: best_ref,
+            };
+            println!(
+                "  {name} ... bitmap {:.1} ns/decision (scan {:.1}) — {:.2}×",
+                cell.ns_per_decision(cell.new_wall_s),
+                cell.ns_per_decision(cell.ref_wall_s),
+                cell.speedup(),
+            );
+            dispatch_cells.push(cell);
+        }
+    }
+
+    let mut sweep_cells: Vec<SweepCell> = Vec::new();
+    let sweep_nodes: &[usize] = if smoke { &[16, 64] } else { &[16, 64, 256] };
+    for &nodes in sweep_nodes {
+        let name = format!("cluster/sweep/n{nodes}");
+        if !selected(only, &name) {
+            continue;
+        }
+        let intervals = if smoke { 2 } else { 4 };
+        let tasks: Vec<(String, _)> = [
+            (
+                "HipsterIn",
+                hipster_in(Workload::Memcached.tuned_zones(), 2, 0.05),
+            ),
+            (
+                "Heuristic",
+                heuristic_mapper(Workload::Memcached.tuned_zones()),
+            ),
+            ("Static-Big", static_all_big()),
+            ("Static-Small", static_all_small()),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, policy))| {
+            let scenario = format!("{name}/{label}");
+            (scenario.clone(), move || {
+                cluster::cluster_spec(scenario, nodes, policy, intervals, 7 + i as u64)
+                    .build()
+                    .expect("valid cluster spec")
+                    .run()
+            })
+        })
+        .collect();
+        let (outcomes, stats) = run_tasks(tasks, 0).expect("cluster sweep");
+        let completions: u64 = outcomes.iter().map(|o| o.summary.completions).sum();
+        let cell = SweepCell {
+            name: name.clone(),
+            nodes,
+            scenarios: stats.scenarios,
+            workers: stats.workers,
+            wall_s: stats.wall_s,
+            scenarios_per_sec: stats.scenarios_per_sec(),
+            idle_tail_frac: stats.idle_tail_frac(),
+            completions,
+        };
+        println!(
+            "  {name} ... {} clusters in {:.2}s ({:.2} scenarios/s, {} workers)",
+            cell.scenarios, cell.wall_s, cell.scenarios_per_sec, cell.workers,
+        );
+        sweep_cells.push(cell);
+    }
+
+    if dispatch_cells.is_empty() && sweep_cells.is_empty() {
+        return;
+    }
+
+    let find = |n: &str| dispatch_cells.iter().find(|c| c.name == n);
+    let p2c_64 = find("cluster/dispatch/p2c/n64");
+    let p2c_1024 = find("cluster/dispatch/p2c/n1024");
+    let ll_1024 = find("cluster/dispatch/least-loaded/n1024");
+
+    let flat = match (p2c_64, p2c_1024) {
+        (Some(small), Some(large)) => {
+            let ratio = large.ns_per_decision(large.new_wall_s)
+                / small.ns_per_decision(small.new_wall_s).max(1e-12);
+            println!(
+                "\nflatness: p2c {:.1} ns/decision at n64 vs {:.1} at n1024 — \
+                 ratio {ratio:.2} (floor 1.3)",
+                small.ns_per_decision(small.new_wall_s),
+                large.ns_per_decision(large.new_wall_s),
+            );
+            format!(
+                ",\"flatness\":{{\"p2c_n64_ns\":{:.2},\"p2c_n1024_ns\":{:.2},\
+                 \"ratio\":{:.3}}}",
+                small.ns_per_decision(small.new_wall_s),
+                large.ns_per_decision(large.new_wall_s),
+                ratio
+            )
+        }
+        _ => String::new(),
+    };
+    let race = match (p2c_1024, ll_1024) {
+        (Some(p2c), Some(ll)) => {
+            let advantage =
+                ll.ns_per_decision(ll.new_wall_s) / p2c.ns_per_decision(p2c.new_wall_s).max(1e-12);
+            println!(
+                "race: n1024 p2c {:.1} ns/decision vs least-loaded {:.1} — {advantage:.2}×",
+                p2c.ns_per_decision(p2c.new_wall_s),
+                ll.ns_per_decision(ll.new_wall_s),
+            );
+            format!(
+                ",\"race\":{{\"p2c_n1024_ns\":{:.2},\"least_loaded_n1024_ns\":{:.2},\
+                 \"advantage\":{:.3}}}",
+                p2c.ns_per_decision(p2c.new_wall_s),
+                ll.ns_per_decision(ll.new_wall_s),
+                advantage
+            )
+        }
+        _ => String::new(),
+    };
+
+    // Enforce the recorded-baseline floors on full runs that produced the
+    // gated cells (so `--only cluster/` regenerations stay honest too).
+    if !smoke {
+        if let (Some(small), Some(large)) = (p2c_64, p2c_1024) {
+            let ratio = large.ns_per_decision(large.new_wall_s)
+                / small.ns_per_decision(small.new_wall_s).max(1e-12);
+            assert!(
+                ratio <= 1.3,
+                "PR7 floor: p2c ns/decision at n1024 must be within 1.3× of n64, \
+                 got {ratio:.2}×"
+            );
+        }
+        if let (Some(p2c), Some(ll)) = (p2c_1024, ll_1024) {
+            assert!(
+                p2c.ns_per_decision(p2c.new_wall_s) <= ll.ns_per_decision(ll.new_wall_s),
+                "PR7 floor: p2c must be at least as fast as least-loaded at n1024, \
+                 got {:.1} vs {:.1} ns/decision",
+                p2c.ns_per_decision(p2c.new_wall_s),
+                ll.ns_per_decision(ll.new_wall_s),
+            );
+        }
+    }
+
+    let dispatch_body: Vec<String> = dispatch_cells.iter().map(DispatchCell::json).collect();
+    let sweep_body: Vec<String> = sweep_cells.iter().map(SweepCell::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hipster cluster tier: O(1) dispatch + two-tier sweeps\",\
+         \"pr\":\"PR7\",\"smoke\":{smoke},\
+         \"quanta_per_node\":{quanta},\"occupancy_cap\":{cap},\
+         \"reference_impl\":\"ScanDispatcher (naive linear scan)\",\
+         \"dispatch_cells\":[\n  {}\n],\
+         \"sweep_cells\":[\n  {}\n]{flat}{race}}}\n",
+        dispatch_body.join(",\n  "),
+        sweep_body.join(",\n  ")
+    );
+    let path = "BENCH_PR7.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2445,7 +2694,7 @@ mod tests {
         let rate = 2000.0;
         let mut counts = Vec::new();
         for _ in 0..2 {
-            let mut gen = MmppStreamGen::new(&model, rate, 0.1, 9);
+            let mut gen = MmppStream::new(&model, rate, 0.1, 9);
             let mut buf = Vec::new();
             let mut all: Vec<(u64, u64)> = Vec::new();
             let mut total = 0usize;
@@ -2507,6 +2756,50 @@ mod tests {
         assert!(j.contains("\"speedup\":2.00"));
         assert!(j.contains("\"core\":{\"ops\":20"));
         assert!(j.contains("\"speedup\":3.00"));
+    }
+
+    #[test]
+    fn cluster_cell_json_is_well_formed() {
+        let d = DispatchCell {
+            name: "cluster/dispatch/p2c/n64".into(),
+            policy: "power-of-two",
+            nodes: 64,
+            decisions: 1000,
+            new_wall_s: 10e-6,
+            ref_wall_s: 20e-6,
+        };
+        let j = d.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ns_per_decision\":10.00"));
+        assert!(j.contains("\"ref_ns_per_decision\":20.00"));
+        assert!(j.contains("\"speedup\":2.000"));
+        let s = SweepCell {
+            name: "cluster/sweep/n16".into(),
+            nodes: 16,
+            scenarios: 4,
+            workers: 2,
+            wall_s: 0.25,
+            scenarios_per_sec: 16.0,
+            idle_tail_frac: 0.125,
+            completions: 999,
+        };
+        let j = s.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"wall_s\":0.2500"));
+        assert!(j.contains("\"scenarios_per_sec\":16.00"));
+        assert!(j.contains("\"completions\":999"));
+    }
+
+    #[test]
+    fn dispatch_race_digests_agree_on_every_policy() {
+        use hipster_core::cluster::{build_dispatcher, DispatchPolicy};
+        for policy in DispatchPolicy::ALL {
+            let mut fast = build_dispatcher(policy, 100, 16, false);
+            let (_, a) = drive_dispatch(fast.as_mut(), 100, 16, 4, 5, 33);
+            let mut scan = build_dispatcher(policy, 100, 16, true);
+            let (_, b) = drive_dispatch(scan.as_mut(), 100, 16, 4, 5, 33);
+            assert_eq!(a, b, "{}", policy.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Cluster determinism regression: a fig2-shaped sweep (node counts ×
+//! per-node policies) must produce byte-identical results no matter how
+//! it is executed — serially, on one work-stealing worker, or across
+//! several workers claiming clusters in whatever order the scheduler
+//! lands on. Each cluster's decision digest folds every (tier, node)
+//! placement, so a single divergent dispatch anywhere in any execution
+//! strategy fails the test.
+
+use hipster_bench::experiments::cluster::{cluster_spec, sweep_digests};
+use hipster_bench::runner::static_all_big;
+
+#[test]
+fn sweep_is_identical_across_execution_strategies() {
+    let serial = sweep_digests(1);
+    let two_workers = sweep_digests(2);
+    let four_workers = sweep_digests(4);
+    assert!(!serial.is_empty(), "the digest sweep ran no clusters");
+    assert_eq!(serial, two_workers, "1 vs 2 workers diverged");
+    assert_eq!(serial, four_workers, "1 vs 4 workers diverged");
+}
+
+#[test]
+fn repeated_runs_of_one_spec_are_byte_identical() {
+    let run = |seed: u64| {
+        let out = cluster_spec("determinism", 6, static_all_big(), 3, seed)
+            .build()
+            .expect("valid cluster spec")
+            .run();
+        (
+            out.decision_digest,
+            out.decisions,
+            format!("{:?}", out.summary),
+            out.trace.to_csv(),
+        )
+    };
+    let first = run(11);
+    assert_eq!(first, run(11), "same seed must reproduce byte-for-byte");
+    assert_ne!(
+        first.0,
+        run(12).0,
+        "a different seed must change the decision stream"
+    );
+}

@@ -1,0 +1,428 @@
+//! Cluster-level request dispatch: four balancing policies over a
+//! two-level-u64 node-occupancy bitmap, plus the naive linear-scan
+//! yardstick they are differentially tested against.
+//!
+//! A [`Dispatcher`] owns one tier's occupancy state (work quanta queued
+//! per node) and answers "which node takes the next quantum?". The
+//! production implementation, [`BitmapDispatcher`], keeps that state in a
+//! [`NodeOccupancyMap`], so least-loaded picks are three bit scans — O(1)
+//! in cluster size, the node-tier analogue of the PR 5 speed-class free
+//! lists. [`ScanDispatcher`] is the frozen O(N) reference: a plain
+//! occupancy array scanned left to right. Both consume *identical* RNG
+//! draws and break ties toward the lowest node index, so a digest over
+//! their decisions must match event for event — the cluster analogue of
+//! the dispatch/calendar equivalence suites.
+
+use hipster_sim::{NodeOccupancyMap, SimRng};
+
+/// The balancing policies the cluster tier ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Uniformly random node. One RNG draw per quantum.
+    Random,
+    /// Cycles through nodes in index order. No RNG draws.
+    RoundRobin,
+    /// The least-occupied node, ties to the lowest index. No RNG draws.
+    LeastLoaded,
+    /// Power-of-two-choices: sample two nodes, keep the less occupied
+    /// (ties to the lower index). One RNG draw per quantum, split into
+    /// two 32-bit probes.
+    PowerOfTwo,
+}
+
+impl DispatchPolicy {
+    /// All policies, in documentation order.
+    pub const ALL: [DispatchPolicy; 4] = [
+        DispatchPolicy::Random,
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::PowerOfTwo,
+    ];
+
+    /// Stable lowercase name (used in traces, benches and CLIs).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::Random => "random",
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::PowerOfTwo => "power-of-two",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back to a policy (`-`/`_` alike,
+    /// case-insensitive; `p2c` is accepted for power-of-two).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().replace('_', "-").as_str() {
+            "random" => Some(DispatchPolicy::Random),
+            "round-robin" | "roundrobin" => Some(DispatchPolicy::RoundRobin),
+            "least-loaded" | "leastloaded" => Some(DispatchPolicy::LeastLoaded),
+            "power-of-two" | "poweroftwo" | "p2c" => Some(DispatchPolicy::PowerOfTwo),
+            _ => None,
+        }
+    }
+}
+
+/// One tier's load balancer: occupancy bookkeeping plus quantum placement.
+///
+/// `pick` both chooses a node **and** charges the quantum to it, so the
+/// occupancy signal the next decision sees already includes this one —
+/// the property that makes least-loaded/P2C self-balancing within an
+/// interval.
+pub trait Dispatcher: std::fmt::Debug + Send {
+    /// The balancing policy in force.
+    fn policy(&self) -> DispatchPolicy;
+
+    /// Number of nodes in the tier.
+    fn len(&self) -> usize;
+
+    /// `true` when the tier has no nodes (never, for the shipped impls).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node's current (clamped) occupancy in quanta.
+    fn occupancy(&self, node: usize) -> u32;
+
+    /// Sum of all clamped occupancies (the admission watermark signal).
+    fn total(&self) -> u64;
+
+    /// Overwrites a node's occupancy — interval-start carry from the
+    /// previous interval's queue backlog.
+    fn set_occupancy(&mut self, node: usize, occ: u32);
+
+    /// Places one quantum: returns the chosen node and increments its
+    /// occupancy. `rng` is consulted only by the randomized policies,
+    /// and each policy draws a fixed number of values per call.
+    fn pick(&mut self, rng: &mut SimRng) -> usize;
+}
+
+/// Shared P2C candidate sampling: one RNG draw, halved into two 32-bit
+/// words, each mapped to `[0, n)` by Lemire's multiply-shift. One draw
+/// (instead of two `index` calls) keeps a P2C pick cheaper than a
+/// least-loaded bitmap walk. Both dispatchers route through this one
+/// function so their RNG consumption can never drift apart.
+#[inline]
+fn p2c_probes(rng: &mut SimRng, n: usize) -> (usize, usize) {
+    debug_assert!(n > 0 && n <= u32::MAX as usize);
+    let bits = rng.next_u64();
+    let a = ((bits >> 32) * n as u64) >> 32;
+    let b = ((bits & 0xffff_ffff) * n as u64) >> 32;
+    (a as usize, b as usize)
+}
+
+/// Shared P2C comparison: the less-occupied candidate, ties toward the
+/// lower index. Both dispatchers route through this one function so the
+/// tie-break can never drift between them.
+#[inline]
+fn p2c_winner(a: usize, b: usize, occ_a: u32, occ_b: u32) -> usize {
+    if occ_b < occ_a {
+        b
+    } else if occ_a < occ_b {
+        a
+    } else {
+        a.min(b)
+    }
+}
+
+/// The production dispatcher. Least-loaded keeps its occupancies in a
+/// [`NodeOccupancyMap`], so the global argmin is three bit scans; the
+/// other policies only ever read *point* occupancies, so they keep a
+/// flat array + running sum and skip the bitmap's summary maintenance.
+/// Either way every pick is O(1) in cluster size.
+#[derive(Debug)]
+pub struct BitmapDispatcher {
+    policy: DispatchPolicy,
+    state: OccState,
+    rr_next: usize,
+}
+
+/// Occupancy bookkeeping, shaped to what the policy actually queries.
+#[derive(Debug)]
+enum OccState {
+    /// Global-argmin state for least-loaded.
+    Bitmap(NodeOccupancyMap),
+    /// Point-read state for random / round-robin / power-of-two.
+    Flat { occ: Vec<u32>, cap: u32, sum: u64 },
+}
+
+impl OccState {
+    fn len(&self) -> usize {
+        match self {
+            OccState::Bitmap(map) => map.len(),
+            OccState::Flat { occ, .. } => occ.len(),
+        }
+    }
+
+    fn occupancy(&self, node: usize) -> u32 {
+        match self {
+            OccState::Bitmap(map) => map.occupancy(node),
+            OccState::Flat { occ, .. } => occ[node],
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            OccState::Bitmap(map) => map.total(),
+            OccState::Flat { sum, .. } => *sum,
+        }
+    }
+
+    fn set(&mut self, node: usize, value: u32) {
+        match self {
+            OccState::Bitmap(map) => map.set(node, value),
+            OccState::Flat { occ, cap, sum } => {
+                let v = value.min(*cap);
+                *sum = *sum - u64::from(occ[node]) + u64::from(v);
+                occ[node] = v;
+            }
+        }
+    }
+
+    fn inc(&mut self, node: usize) {
+        match self {
+            OccState::Bitmap(map) => map.inc(node),
+            OccState::Flat { occ, cap, sum } => {
+                let v = occ[node].saturating_add(1).min(*cap);
+                *sum = *sum - u64::from(occ[node]) + u64::from(v);
+                occ[node] = v;
+            }
+        }
+    }
+}
+
+impl BitmapDispatcher {
+    /// Creates a dispatcher over `nodes` nodes whose occupancies clamp
+    /// at `cap` (see [`NodeOccupancyMap::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(policy: DispatchPolicy, nodes: usize, cap: u32) -> Self {
+        let state = match policy {
+            DispatchPolicy::LeastLoaded => OccState::Bitmap(NodeOccupancyMap::new(nodes, cap)),
+            _ => {
+                assert!(nodes > 0, "a cluster tier needs at least one node");
+                OccState::Flat {
+                    occ: vec![0; nodes],
+                    cap,
+                    sum: 0,
+                }
+            }
+        };
+        BitmapDispatcher {
+            policy,
+            state,
+            rr_next: 0,
+        }
+    }
+}
+
+impl Dispatcher for BitmapDispatcher {
+    fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn occupancy(&self, node: usize) -> u32 {
+        self.state.occupancy(node)
+    }
+
+    fn total(&self) -> u64 {
+        self.state.total()
+    }
+
+    fn set_occupancy(&mut self, node: usize, occ: u32) {
+        self.state.set(node, occ);
+    }
+
+    fn pick(&mut self, rng: &mut SimRng) -> usize {
+        let n = self.state.len();
+        let node = match (self.policy, &mut self.state) {
+            (DispatchPolicy::Random, _) => rng.index(n),
+            (DispatchPolicy::RoundRobin, _) => {
+                let node = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                node
+            }
+            (DispatchPolicy::LeastLoaded, OccState::Bitmap(map)) => {
+                map.min_node().expect("non-empty tier")
+            }
+            (DispatchPolicy::LeastLoaded, OccState::Flat { .. }) => {
+                unreachable!("least-loaded always builds the bitmap state")
+            }
+            (DispatchPolicy::PowerOfTwo, state) => {
+                let (a, b) = p2c_probes(rng, n);
+                p2c_winner(a, b, state.occupancy(a), state.occupancy(b))
+            }
+        };
+        self.state.inc(node);
+        node
+    }
+}
+
+/// The frozen naive yardstick: a plain per-node occupancy array, with
+/// least-loaded as a left-to-right linear scan (strict `<`, so ties keep
+/// the lowest index). O(N) per pick — kept to prove the bitmap
+/// dispatcher's decisions *and* its speed, never used in production
+/// paths.
+#[derive(Debug)]
+pub struct ScanDispatcher {
+    policy: DispatchPolicy,
+    occ: Vec<u32>,
+    cap: u32,
+    sum: u64,
+    rr_next: usize,
+}
+
+impl ScanDispatcher {
+    /// Creates the reference dispatcher; parameters as
+    /// [`BitmapDispatcher::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(policy: DispatchPolicy, nodes: usize, cap: u32) -> Self {
+        assert!(nodes > 0, "a cluster tier needs at least one node");
+        ScanDispatcher {
+            policy,
+            occ: vec![0; nodes],
+            cap,
+            sum: 0,
+            rr_next: 0,
+        }
+    }
+
+    fn bump(&mut self, node: usize) {
+        let v = self.occ[node].saturating_add(1).min(self.cap);
+        self.sum = self.sum - u64::from(self.occ[node]) + u64::from(v);
+        self.occ[node] = v;
+    }
+}
+
+impl Dispatcher for ScanDispatcher {
+    fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    fn len(&self) -> usize {
+        self.occ.len()
+    }
+
+    fn occupancy(&self, node: usize) -> u32 {
+        self.occ[node]
+    }
+
+    fn total(&self) -> u64 {
+        self.sum
+    }
+
+    fn set_occupancy(&mut self, node: usize, occ: u32) {
+        let v = occ.min(self.cap);
+        self.sum = self.sum - u64::from(self.occ[node]) + u64::from(v);
+        self.occ[node] = v;
+    }
+
+    fn pick(&mut self, rng: &mut SimRng) -> usize {
+        let n = self.occ.len();
+        let node = match self.policy {
+            DispatchPolicy::Random => rng.index(n),
+            DispatchPolicy::RoundRobin => {
+                let node = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                node
+            }
+            DispatchPolicy::LeastLoaded => {
+                let mut best = 0;
+                for (i, &o) in self.occ.iter().enumerate() {
+                    if o < self.occ[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            DispatchPolicy::PowerOfTwo => {
+                let (a, b) = p2c_probes(rng, n);
+                p2c_winner(a, b, self.occ[a], self.occ[b])
+            }
+        };
+        self.bump(node);
+        node
+    }
+}
+
+/// Builds the tier's dispatcher: the bitmap implementation, or the scan
+/// yardstick when `reference` is set (differential tests and benches).
+pub fn build_dispatcher(
+    policy: DispatchPolicy,
+    nodes: usize,
+    cap: u32,
+    reference: bool,
+) -> Box<dyn Dispatcher> {
+    if reference {
+        Box::new(ScanDispatcher::new(policy, nodes, cap))
+    } else {
+        Box::new(BitmapDispatcher::new(policy, nodes, cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives both dispatchers through the same churn and asserts every
+    /// decision matches. (The proptest in `cluster_dispatch_differential`
+    /// does this over arbitrary interleavings; this is the smoke case.)
+    #[test]
+    fn bitmap_matches_scan_on_every_policy() {
+        for policy in DispatchPolicy::ALL {
+            let (mut a, mut b) = (
+                BitmapDispatcher::new(policy, 130, 16),
+                ScanDispatcher::new(policy, 130, 16),
+            );
+            let (mut ra, mut rb) = (SimRng::seed(99), SimRng::seed(99));
+            for round in 0..50 {
+                for node in 0..130 {
+                    let carry = ((node * 7 + round) % 19) as u32;
+                    a.set_occupancy(node, carry);
+                    b.set_occupancy(node, carry);
+                }
+                for _ in 0..260 {
+                    assert_eq!(a.pick(&mut ra), b.pick(&mut rb), "{}", policy.name());
+                }
+                assert_eq!(a.total(), b.total());
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_emptiest_then_lowest_index() {
+        let mut d = BitmapDispatcher::new(DispatchPolicy::LeastLoaded, 8, 8);
+        let mut rng = SimRng::seed(1);
+        for node in 0..8 {
+            d.set_occupancy(node, 2);
+        }
+        d.set_occupancy(5, 1);
+        assert_eq!(d.pick(&mut rng), 5); // emptiest
+        assert_eq!(d.pick(&mut rng), 0); // now all tie at 2 → lowest index
+        assert_eq!(d.occupancy(5), 2);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_names_parse() {
+        let mut d = BitmapDispatcher::new(DispatchPolicy::RoundRobin, 3, 4);
+        let mut rng = SimRng::seed(1);
+        let picks: Vec<usize> = (0..4).map(|_| d.pick(&mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0], "round robin order");
+        for p in DispatchPolicy::ALL {
+            assert_eq!(DispatchPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            DispatchPolicy::parse("P2C"),
+            Some(DispatchPolicy::PowerOfTwo)
+        );
+        assert_eq!(DispatchPolicy::parse("weighted"), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cluster-wide per-interval metrics and end-of-run summaries:
+//! tail latency across all nodes (via the selection-based percentiles),
+//! private-tier energy, cloud dollars, and spill accounting.
+
+use hipster_sim::{percentile, QosTarget};
+
+/// One monitoring interval aggregated across every node in the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInterval {
+    /// Zero-based interval index.
+    pub index: u64,
+    /// Interval start time, seconds.
+    pub start_s: f64,
+    /// Interval length, seconds.
+    pub duration_s: f64,
+    /// Cluster-level offered load as a fraction of private-tier capacity.
+    pub offered_frac: f64,
+    /// Work quanta dispatched this interval.
+    pub quanta: usize,
+    /// Quanta that spilled past the watermark to the cloud tier.
+    pub spilled_quanta: usize,
+    /// Requests that arrived, summed over nodes.
+    pub arrivals: usize,
+    /// Requests that completed, summed over nodes.
+    pub completions: usize,
+    /// Requests dropped by client timeouts, summed over nodes.
+    pub timeouts: usize,
+    /// 95th percentile of the per-node tail latencies, seconds.
+    pub p95_s: f64,
+    /// 99th percentile of the per-node tail latencies, seconds.
+    pub p99_s: f64,
+    /// Energy consumed by the private tier, joules.
+    pub private_energy_j: f64,
+    /// Busy cloud capacity consumed, request-seconds.
+    pub cloud_busy_req_s: f64,
+    /// Dollars billed for the cloud tier this interval.
+    pub cloud_cost_usd: f64,
+}
+
+/// Cluster-wide tail percentiles over one interval's per-node tail
+/// latencies. The slice is reordered (selection, not a full sort) —
+/// hand in the scratch buffer, not your stored data. Empty → zeros.
+pub fn cluster_tails(node_tails: &mut [f64]) -> (f64, f64) {
+    let p95 = percentile(node_tails, 0.95).unwrap_or(0.0);
+    let p99 = percentile(node_tails, 0.99).unwrap_or(0.0);
+    (p95, p99)
+}
+
+/// The interval-by-interval record of one cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterTrace {
+    intervals: Vec<ClusterInterval>,
+}
+
+impl ClusterTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ClusterTrace::default()
+    }
+
+    /// Appends one interval.
+    pub fn push(&mut self, interval: ClusterInterval) {
+        self.intervals.push(interval);
+    }
+
+    /// All recorded intervals, in order.
+    pub fn intervals(&self) -> &[ClusterInterval] {
+        &self.intervals
+    }
+
+    /// Fraction of intervals (percent) whose cluster-wide p95 met the
+    /// QoS target — the cluster analogue of `Trace::qos_guarantee_pct`.
+    pub fn qos_guarantee_pct(&self, qos: QosTarget) -> f64 {
+        if self.intervals.is_empty() {
+            return 100.0;
+        }
+        let ok = self
+            .intervals
+            .iter()
+            .filter(|iv| iv.p95_s <= qos.target_s)
+            .count();
+        100.0 * ok as f64 / self.intervals.len() as f64
+    }
+
+    /// Condenses the trace for tables and benches.
+    pub fn summary(&self, name: impl Into<String>, qos: QosTarget) -> ClusterSummary {
+        let n = self.intervals.len().max(1) as f64;
+        ClusterSummary {
+            name: name.into(),
+            intervals: self.intervals.len(),
+            qos_guarantee_pct: self.qos_guarantee_pct(qos),
+            mean_p99_s: self.intervals.iter().map(|iv| iv.p99_s).sum::<f64>() / n,
+            peak_p99_s: self.intervals.iter().map(|iv| iv.p99_s).fold(0.0, f64::max),
+            completions: self.intervals.iter().map(|iv| iv.completions as u64).sum(),
+            timeouts: self.intervals.iter().map(|iv| iv.timeouts as u64).sum(),
+            total_energy_j: self.intervals.iter().map(|iv| iv.private_energy_j).sum(),
+            total_cloud_usd: self.intervals.iter().map(|iv| iv.cloud_cost_usd).sum(),
+            spill_frac: {
+                let quanta: u64 = self.intervals.iter().map(|iv| iv.quanta as u64).sum();
+                let spilled: u64 = self
+                    .intervals
+                    .iter()
+                    .map(|iv| iv.spilled_quanta as u64)
+                    .sum();
+                if quanta == 0 {
+                    0.0
+                } else {
+                    spilled as f64 / quanta as f64
+                }
+            },
+        }
+    }
+
+    /// CSV of every interval (header + one row each), for offline plots.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "interval,start_s,offered_frac,quanta,spilled_quanta,arrivals,completions,\
+             timeouts,p95_s,p99_s,private_energy_j,cloud_busy_req_s,cloud_cost_usd\n",
+        );
+        for iv in &self.intervals {
+            out.push_str(&format!(
+                "{},{:.3},{:.6},{},{},{},{},{},{:.9},{:.9},{:.6},{:.6},{:.9}\n",
+                iv.index,
+                iv.start_s,
+                iv.offered_frac,
+                iv.quanta,
+                iv.spilled_quanta,
+                iv.arrivals,
+                iv.completions,
+                iv.timeouts,
+                iv.p95_s,
+                iv.p99_s,
+                iv.private_energy_j,
+                iv.cloud_busy_req_s,
+                iv.cloud_cost_usd,
+            ));
+        }
+        out
+    }
+}
+
+/// One cluster run condensed to the numbers the experiment tables print.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Run label (cluster name).
+    pub name: String,
+    /// Intervals simulated.
+    pub intervals: usize,
+    /// Percent of intervals whose cluster p95 met the QoS target.
+    pub qos_guarantee_pct: f64,
+    /// Mean cluster p99 latency, seconds.
+    pub mean_p99_s: f64,
+    /// Worst cluster p99 latency, seconds.
+    pub peak_p99_s: f64,
+    /// Requests completed across all nodes.
+    pub completions: u64,
+    /// Requests timed out across all nodes.
+    pub timeouts: u64,
+    /// Private-tier energy, joules.
+    pub total_energy_j: f64,
+    /// Cloud-tier dollars.
+    pub total_cloud_usd: f64,
+    /// Fraction of quanta that overflowed to the cloud tier.
+    pub spill_frac: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(index: u64, p95: f64, p99: f64) -> ClusterInterval {
+        ClusterInterval {
+            index,
+            start_s: index as f64,
+            duration_s: 1.0,
+            offered_frac: 0.5,
+            quanta: 10,
+            spilled_quanta: if index % 2 == 0 { 2 } else { 0 },
+            arrivals: 100,
+            completions: 90,
+            timeouts: 1,
+            p95_s: p95,
+            p99_s: p99,
+            private_energy_j: 5.0,
+            cloud_busy_req_s: 0.5,
+            cloud_cost_usd: 0.01,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_and_qos_counts_intervals() {
+        let mut trace = ClusterTrace::new();
+        trace.push(interval(0, 0.005, 0.02));
+        trace.push(interval(1, 0.015, 0.03)); // violates a 10 ms target
+        let qos = QosTarget::new(0.95, 0.010);
+        let s = trace.summary("test", qos);
+        assert_eq!(s.intervals, 2);
+        assert_eq!(s.qos_guarantee_pct, 50.0);
+        assert_eq!(s.completions, 180);
+        assert_eq!(s.total_energy_j, 10.0);
+        assert!((s.spill_frac - 0.1).abs() < 1e-12);
+        assert_eq!(s.peak_p99_s, 0.03);
+        let csv = trace.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("interval,start_s,"));
+    }
+
+    #[test]
+    fn cluster_tails_handles_empty_and_selects() {
+        assert_eq!(cluster_tails(&mut []), (0.0, 0.0));
+        let mut tails: Vec<f64> = (1..=100).map(|i| i as f64 / 1000.0).collect();
+        let (p95, p99) = cluster_tails(&mut tails);
+        assert!(p95 >= 0.094 && p95 <= 0.096, "p95 {p95}");
+        assert!(p99 >= 0.098 && p99 <= 0.100, "p99 {p99}");
+    }
+}

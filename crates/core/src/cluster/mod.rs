@@ -1,0 +1,766 @@
+//! The cluster tier: N per-node engines behind a load balancer, with
+//! two-tier burst overflow to priced cloud nodes.
+//!
+//! Everything below the ROADMAP's "millions of users" north star so far
+//! simulated one machine. This module scales out: a [`ClusterSim`] owns N
+//! [`Manager`]-wrapped engines (each with its own policy instance and a
+//! split-seeded RNG), a cluster-level [`Dispatcher`] that places work
+//! quanta on nodes — O(1) in cluster size via the node-occupancy bitmap —
+//! and an optional cloud tier that absorbs bursts past an occupancy
+//! watermark at a per-request-second dollar price.
+//!
+//! # Model
+//!
+//! Each monitoring interval, the cluster [`LoadPattern`] yields an offered
+//! fraction `L` of *private-tier* capacity. That volume is discretized
+//! into **quanta** — `round(L · q · N)` of them, each worth `1/q` of one
+//! node-interval at max load, with `q = quanta_per_node`. The dispatcher
+//! places quanta one at a time on its occupancy signal; occupancy carries
+//! across intervals as each node's end-of-interval queue backlog
+//! (quantized to quanta). A node assigned `k` quanta then runs its engine
+//! interval at load fraction `k/q` — per-node queueing, latency, energy
+//! and policy decisions all come from the existing single-machine engine,
+//! untouched. Cluster-wide p95/p99 are selection-based percentiles over
+//! the per-node tails, and admission spills quanta to the cloud tier
+//! whenever private occupancy sits at or above the watermark.
+//!
+//! Every dispatch decision folds into an FNV-1a digest, so two runs (or
+//! two dispatcher implementations) can be compared event for event — the
+//! hook the differential and determinism suites use.
+//!
+//! # Example
+//!
+//! ```
+//! use hipster_core::cluster::{ClusterSpec, DispatchPolicy, OverflowSpec};
+//! use hipster_core::StaticPolicy;
+//! use hipster_platform::Platform;
+//! use hipster_workloads::{memcached, Constant};
+//!
+//! let outcome = ClusterSpec::new("demo", Platform::juno_r1())
+//!     .workload_with(|| Box::new(memcached()))
+//!     .load(Constant::new(0.7, 4.0))
+//!     .policy(|p: &hipster_platform::Platform, _s: u64| {
+//!         Box::new(StaticPolicy::all_big(p)) as Box<dyn hipster_core::Policy>
+//!     })
+//!     .dispatch(DispatchPolicy::PowerOfTwo)
+//!     .private_nodes(8)
+//!     .cloud_nodes(2)
+//!     .overflow(OverflowSpec::new(0.85, 1e-4))
+//!     .intervals(4)
+//!     .interval_s(0.05)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert_eq!(outcome.summary.intervals, 4);
+//! ```
+
+pub mod dispatch;
+pub mod metrics;
+pub mod overflow;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hipster_platform::Platform;
+use hipster_sim::{EngineSpec, EngineSpecError, LcModel, LoadPattern, QosTarget, SimRng};
+
+use crate::fleet::split_seed;
+use crate::manager::Manager;
+use crate::scenario::PolicyFactory;
+
+pub use dispatch::{
+    build_dispatcher, BitmapDispatcher, DispatchPolicy, Dispatcher, ScanDispatcher,
+};
+pub use metrics::{cluster_tails, ClusterInterval, ClusterSummary, ClusterTrace};
+pub use overflow::{CloudBill, OverflowSpec};
+
+/// Why a [`ClusterSpec`] failed to validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No workload factory was supplied.
+    MissingWorkload,
+    /// No cluster load pattern was supplied.
+    MissingLoad,
+    /// No per-node policy factory was supplied.
+    MissingPolicy,
+    /// The private tier has zero nodes.
+    NoPrivateNodes,
+    /// The cluster would run for zero monitoring intervals.
+    ZeroIntervals,
+    /// `quanta_per_node` is zero — no dispatch granularity.
+    ZeroQuanta,
+    /// Cloud nodes were declared without an overflow rule.
+    CloudWithoutOverflow,
+    /// An overflow rule was declared without cloud nodes.
+    OverflowWithoutCloud,
+    /// The overflow watermark is outside `(0, 1]`.
+    InvalidWatermark {
+        /// The rejected watermark.
+        watermark: f64,
+    },
+    /// The cloud price is negative or non-finite.
+    InvalidCost {
+        /// The rejected dollars-per-request-second.
+        usd_per_req_s: f64,
+    },
+    /// A per-node engine knob is invalid (interval length, jitter sigma).
+    Engine(EngineSpecError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::MissingWorkload => f.write_str("cluster has no workload"),
+            ClusterError::MissingLoad => f.write_str("cluster has no load pattern"),
+            ClusterError::MissingPolicy => f.write_str("cluster has no per-node policy"),
+            ClusterError::NoPrivateNodes => f.write_str("cluster needs at least one private node"),
+            ClusterError::ZeroIntervals => {
+                f.write_str("cluster must run for at least one interval")
+            }
+            ClusterError::ZeroQuanta => f.write_str("quanta_per_node must be at least one"),
+            ClusterError::CloudWithoutOverflow => {
+                f.write_str("cloud nodes declared but no overflow rule; call overflow(...)")
+            }
+            ClusterError::OverflowWithoutCloud => {
+                f.write_str("overflow rule declared but cloud_nodes is zero")
+            }
+            ClusterError::InvalidWatermark { watermark } => {
+                write!(f, "overflow watermark {watermark} is outside (0, 1]")
+            }
+            ClusterError::InvalidCost { usd_per_req_s } => {
+                write!(f, "cloud price {usd_per_req_s} $/req-s is invalid")
+            }
+            ClusterError::Engine(e) => write!(f, "per-node engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineSpecError> for ClusterError {
+    fn from(e: EngineSpecError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+/// Declarative description of a cluster run, mirroring
+/// [`ScenarioSpec`](crate::ScenarioSpec): builders accumulate, `build`
+/// validates with typed errors and wires every node.
+pub struct ClusterSpec {
+    name: String,
+    platform: Platform,
+    workload: Option<Box<dyn Fn() -> Box<dyn LcModel> + Send + Sync>>,
+    load: Option<Box<dyn LoadPattern>>,
+    policy: Option<Box<dyn PolicyFactory>>,
+    dispatch: DispatchPolicy,
+    reference_dispatch: bool,
+    private_nodes: usize,
+    cloud_nodes: usize,
+    overflow: Option<OverflowSpec>,
+    quanta_per_node: usize,
+    intervals: usize,
+    interval_s: f64,
+    seed: u64,
+}
+
+impl std::fmt::Debug for ClusterSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSpec")
+            .field("name", &self.name)
+            .field("dispatch", &self.dispatch)
+            .field("private_nodes", &self.private_nodes)
+            .field("cloud_nodes", &self.cloud_nodes)
+            .field("overflow", &self.overflow)
+            .field("quanta_per_node", &self.quanta_per_node)
+            .field("intervals", &self.intervals)
+            .field("interval_s", &self.interval_s)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterSpec {
+    /// Starts a cluster description: power-of-two-choices dispatch, four
+    /// quanta per node, 1 s intervals, seed 0, no cloud tier.
+    pub fn new(name: impl Into<String>, platform: Platform) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            platform,
+            workload: None,
+            load: None,
+            policy: None,
+            dispatch: DispatchPolicy::PowerOfTwo,
+            reference_dispatch: false,
+            private_nodes: 0,
+            cloud_nodes: 0,
+            overflow: None,
+            quanta_per_node: 4,
+            intervals: 0,
+            interval_s: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the per-node workload factory (one fresh model per node).
+    pub fn workload_with(
+        mut self,
+        f: impl Fn() -> Box<dyn LcModel> + Send + Sync + 'static,
+    ) -> Self {
+        self.workload = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the cluster-level load pattern (fraction of private-tier
+    /// capacity).
+    pub fn load(mut self, pattern: impl LoadPattern + 'static) -> Self {
+        self.load = Some(Box::new(pattern));
+        self
+    }
+
+    /// Sets the per-node policy factory; each node gets its own policy
+    /// built from its split seed.
+    pub fn policy(mut self, factory: impl PolicyFactory + 'static) -> Self {
+        self.policy = Some(Box::new(factory));
+        self
+    }
+
+    /// Selects the load-balancing policy (default: power-of-two-choices).
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatch = policy;
+        self
+    }
+
+    /// Routes dispatch through the frozen linear-scan yardstick instead
+    /// of the bitmap — differential tests only.
+    pub fn reference_dispatch(mut self) -> Self {
+        self.reference_dispatch = true;
+        self
+    }
+
+    /// Sets the private-tier node count.
+    pub fn private_nodes(mut self, n: usize) -> Self {
+        self.private_nodes = n;
+        self
+    }
+
+    /// Sets the cloud-tier node count (requires [`overflow`](Self::overflow)).
+    pub fn cloud_nodes(mut self, n: usize) -> Self {
+        self.cloud_nodes = n;
+        self
+    }
+
+    /// Declares the overflow admission rule and cloud price.
+    pub fn overflow(mut self, spec: OverflowSpec) -> Self {
+        self.overflow = Some(spec);
+        self
+    }
+
+    /// Sets the dispatch granularity: quanta per node-interval at max
+    /// load (default 4).
+    pub fn quanta_per_node(mut self, q: usize) -> Self {
+        self.quanta_per_node = q;
+        self
+    }
+
+    /// Sets how many monitoring intervals to simulate.
+    pub fn intervals(mut self, n: usize) -> Self {
+        self.intervals = n;
+        self
+    }
+
+    /// Sets the monitoring interval length in seconds (default 1.0).
+    pub fn interval_s(mut self, s: f64) -> Self {
+        self.interval_s = s;
+        self
+    }
+
+    /// Sets the cluster base seed; node `i` runs on `split_seed(seed, i)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the description without building it.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.workload.is_none() {
+            return Err(ClusterError::MissingWorkload);
+        }
+        if self.load.is_none() {
+            return Err(ClusterError::MissingLoad);
+        }
+        if self.policy.is_none() {
+            return Err(ClusterError::MissingPolicy);
+        }
+        if self.private_nodes == 0 {
+            return Err(ClusterError::NoPrivateNodes);
+        }
+        if self.intervals == 0 {
+            return Err(ClusterError::ZeroIntervals);
+        }
+        if self.quanta_per_node == 0 {
+            return Err(ClusterError::ZeroQuanta);
+        }
+        match (&self.overflow, self.cloud_nodes) {
+            (None, 0) => {}
+            (None, _) => return Err(ClusterError::CloudWithoutOverflow),
+            (Some(_), 0) => return Err(ClusterError::OverflowWithoutCloud),
+            (Some(of), _) => of.validate()?,
+        }
+        // Engine knobs are validated by EngineSpec::build per node; check
+        // the shared interval length up front for a better error.
+        let mut probe = EngineSpec::seeded(self.seed);
+        probe.interval_s = self.interval_s;
+        probe.validate()?;
+        Ok(())
+    }
+
+    /// Validates and wires the cluster: one engine + policy + split seed
+    /// per node, dispatchers per tier.
+    pub fn build(self) -> Result<ClusterSim, ClusterError> {
+        self.validate()?;
+        let workload = self.workload.expect("validated");
+        let policy = self.policy.expect("validated");
+        let load = self.load.expect("validated");
+        let q = self.quanta_per_node;
+        // Carry (backlog) may stack on top of a full interval's quota;
+        // clamp the occupancy signal well above both.
+        let cap = (4 * q).max(8) as u32;
+
+        let probe = workload();
+        let qos = probe.qos();
+        let reqs_per_quantum = probe.max_load_rps() * self.interval_s / q as f64;
+
+        let total = self.private_nodes + self.cloud_nodes;
+        let mut nodes = Vec::with_capacity(total);
+        for i in 0..total {
+            let node_seed = split_seed(self.seed, i as u64);
+            let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
+            let mut espec = EngineSpec::seeded(node_seed);
+            espec.interval_s = self.interval_s;
+            let engine = espec.build(
+                self.platform.clone(),
+                workload(),
+                Box::new(SharedLoad(cell.clone())),
+                Vec::new(),
+            )?;
+            let mut manager = Manager::new(engine, policy.build(&self.platform, node_seed));
+            manager.set_run_identity(format!("{}/node{i}", self.name), node_seed);
+            nodes.push(NodeSlot {
+                manager,
+                cell,
+                carry: 0,
+            });
+        }
+
+        let private_dispatch = build_dispatcher(
+            self.dispatch,
+            self.private_nodes,
+            cap,
+            self.reference_dispatch,
+        );
+        let cloud_dispatch = (self.cloud_nodes > 0).then(|| {
+            build_dispatcher(
+                self.dispatch,
+                self.cloud_nodes,
+                cap,
+                self.reference_dispatch,
+            )
+        });
+
+        Ok(ClusterSim {
+            name: self.name,
+            nodes,
+            n_private: self.private_nodes,
+            private_dispatch,
+            cloud_dispatch,
+            overflow: self.overflow,
+            load,
+            qos,
+            q,
+            reqs_per_quantum,
+            interval_s: self.interval_s,
+            intervals_total: self.intervals,
+            stepped: 0,
+            rng: SimRng::seed(split_seed(self.seed, u64::MAX)),
+            digest: FNV_OFFSET,
+            decisions: 0,
+            bill: CloudBill::default(),
+            trace: ClusterTrace::new(),
+            assigned: vec![0; total],
+            scratch_tails: Vec::with_capacity(total),
+        })
+    }
+}
+
+/// A per-node load cell: the dispatcher writes the node's assigned load
+/// fraction before each engine step, and the engine's [`LoadPattern`]
+/// reads it back. Bits of an `f64` in an `AtomicU64` keep the pattern
+/// `Send` without locks.
+#[derive(Debug, Clone)]
+struct SharedLoad(Arc<AtomicU64>);
+
+impl LoadPattern for SharedLoad {
+    fn load_at(&self, _t: f64) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn duration(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+struct NodeSlot {
+    manager: Manager,
+    cell: Arc<AtomicU64>,
+    /// Backlog carried into the next interval, in quanta.
+    carry: u32,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one value into an FNV-1a digest (little-endian bytes).
+fn fnv_fold(mut hash: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A wired, running cluster: call [`step`](Self::step) interval by
+/// interval or [`run`](Self::run) to completion.
+pub struct ClusterSim {
+    name: String,
+    nodes: Vec<NodeSlot>,
+    n_private: usize,
+    private_dispatch: Box<dyn Dispatcher>,
+    cloud_dispatch: Option<Box<dyn Dispatcher>>,
+    overflow: Option<OverflowSpec>,
+    load: Box<dyn LoadPattern>,
+    qos: QosTarget,
+    q: usize,
+    reqs_per_quantum: f64,
+    interval_s: f64,
+    intervals_total: usize,
+    stepped: usize,
+    rng: SimRng,
+    digest: u64,
+    decisions: u64,
+    bill: CloudBill,
+    trace: ClusterTrace,
+    assigned: Vec<u32>,
+    scratch_tails: Vec<f64>,
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .field("private", &self.n_private)
+            .field("dispatch", &self.private_dispatch.policy())
+            .field("stepped", &self.stepped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterSim {
+    /// The cluster's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count (private + cloud).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Private-tier node count.
+    pub fn private_nodes(&self) -> usize {
+        self.n_private
+    }
+
+    /// Intervals simulated so far.
+    pub fn stepped(&self) -> usize {
+        self.stepped
+    }
+
+    /// FNV-1a digest over every dispatch decision so far (tier tag +
+    /// node index per quantum): byte-identical runs have equal digests.
+    pub fn decision_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &ClusterTrace {
+        &self.trace
+    }
+
+    /// Simulates one monitoring interval across every node and returns
+    /// its cluster-wide aggregate.
+    pub fn step(&mut self) -> ClusterInterval {
+        let now = self.stepped as f64 * self.interval_s;
+        let offered = self.load.load_at(now).max(0.0);
+        let capacity_quanta = (self.n_private * self.q) as u64;
+        let total_quanta = (offered * capacity_quanta as f64).round() as usize;
+
+        // Interval-start occupancy: each node's carried backlog.
+        for i in 0..self.n_private {
+            self.private_dispatch.set_occupancy(i, self.nodes[i].carry);
+        }
+        if let Some(cd) = self.cloud_dispatch.as_mut() {
+            for (j, slot) in self.nodes[self.n_private..].iter().enumerate() {
+                cd.set_occupancy(j, slot.carry);
+            }
+        }
+
+        // Place the interval's quanta one decision at a time.
+        self.assigned.fill(0);
+        let mut spilled = 0usize;
+        for _ in 0..total_quanta {
+            let spill = match (&self.cloud_dispatch, &self.overflow) {
+                (Some(_), Some(of)) => of.spills(self.private_dispatch.total(), capacity_quanta),
+                _ => false,
+            };
+            let (tier_tag, node) = if spill {
+                let cd = self.cloud_dispatch.as_mut().expect("checked above");
+                let local = cd.pick(&mut self.rng);
+                spilled += 1;
+                self.assigned[self.n_private + local] += 1;
+                (1u64, local)
+            } else {
+                let local = self.private_dispatch.pick(&mut self.rng);
+                self.assigned[local] += 1;
+                (0u64, local)
+            };
+            self.digest = fnv_fold(self.digest, (tier_tag << 32) | node as u64);
+            self.decisions += 1;
+        }
+
+        // Run every node's engine interval at its assigned load fraction.
+        let (mut arrivals, mut completions, mut timeouts) = (0usize, 0usize, 0usize);
+        let mut private_energy = 0.0;
+        let mut cloud_busy_req_s = 0.0;
+        self.scratch_tails.clear();
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            let frac = f64::from(self.assigned[i]) / self.q as f64;
+            slot.cell.store(frac.to_bits(), Ordering::Relaxed);
+            let stats = slot.manager.step();
+            arrivals += stats.arrivals;
+            completions += stats.completions;
+            timeouts += stats.timeouts;
+            if stats.completions > 0 {
+                self.scratch_tails.push(stats.tail_latency_s);
+            }
+            if i < self.n_private {
+                private_energy += stats.energy_j;
+            } else {
+                cloud_busy_req_s += stats.lc_busy.iter().sum::<f64>() * stats.duration_s;
+            }
+            slot.carry = quantize_backlog(stats.queue_len, self.reqs_per_quantum);
+        }
+
+        let (p95_s, p99_s) = cluster_tails(&mut self.scratch_tails);
+        let cloud_cost_usd = match &self.overflow {
+            Some(of) => self.bill.charge(cloud_busy_req_s, of),
+            None => 0.0,
+        };
+        let interval = ClusterInterval {
+            index: self.stepped as u64,
+            start_s: now,
+            duration_s: self.interval_s,
+            offered_frac: offered,
+            quanta: total_quanta,
+            spilled_quanta: spilled,
+            arrivals,
+            completions,
+            timeouts,
+            p95_s,
+            p99_s,
+            private_energy_j: private_energy,
+            cloud_busy_req_s,
+            cloud_cost_usd,
+        };
+        self.trace.push(interval.clone());
+        self.stepped += 1;
+        interval
+    }
+
+    /// Runs the remaining intervals and condenses the result.
+    pub fn run(mut self) -> ClusterOutcome {
+        while self.stepped < self.intervals_total {
+            self.step();
+        }
+        let summary = self.trace.summary(self.name.clone(), self.qos);
+        ClusterOutcome {
+            name: self.name,
+            summary,
+            trace: self.trace,
+            decision_digest: self.digest,
+            decisions: self.decisions,
+            cloud_bill: self.bill,
+        }
+    }
+}
+
+/// Converts an end-of-interval queue backlog (requests) into carried
+/// occupancy quanta, rounding up so any backlog registers.
+fn quantize_backlog(queue_len: usize, reqs_per_quantum: f64) -> u32 {
+    if queue_len == 0 {
+        return 0;
+    }
+    (queue_len as f64 / reqs_per_quantum).ceil() as u32
+}
+
+/// Everything a finished cluster run yields.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The cluster's name.
+    pub name: String,
+    /// Condensed result (QoS %, p99s, energy, dollars, spill fraction).
+    pub summary: ClusterSummary,
+    /// Interval-by-interval record.
+    pub trace: ClusterTrace,
+    /// FNV-1a digest over every dispatch decision — the determinism and
+    /// differential hooks compare these.
+    pub decision_digest: u64,
+    /// Total quanta dispatched.
+    pub decisions: u64,
+    /// The cloud tier's final bill.
+    pub cloud_bill: CloudBill,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticPolicy;
+    use crate::policy::Policy;
+    use hipster_workloads::{memcached, Constant};
+
+    fn spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec::new("test", Platform::juno_r1())
+            .workload_with(|| Box::new(memcached()))
+            .load(Constant::new(0.6, 10.0))
+            .policy(|p: &Platform, _s: u64| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+            .private_nodes(nodes)
+            .intervals(3)
+            .interval_s(0.05)
+            .seed(11)
+    }
+
+    #[test]
+    fn validation_catches_each_misdeclaration() {
+        let base = || spec(4);
+        assert_eq!(
+            ClusterSpec::new("x", Platform::juno_r1()).validate(),
+            Err(ClusterError::MissingWorkload)
+        );
+        assert_eq!(
+            base().private_nodes(0).validate(),
+            Err(ClusterError::NoPrivateNodes)
+        );
+        assert_eq!(
+            base().intervals(0).validate(),
+            Err(ClusterError::ZeroIntervals)
+        );
+        assert_eq!(
+            base().quanta_per_node(0).validate(),
+            Err(ClusterError::ZeroQuanta)
+        );
+        assert_eq!(
+            base().cloud_nodes(2).validate(),
+            Err(ClusterError::CloudWithoutOverflow)
+        );
+        assert_eq!(
+            base().overflow(OverflowSpec::new(0.8, 1e-4)).validate(),
+            Err(ClusterError::OverflowWithoutCloud)
+        );
+        assert_eq!(
+            base()
+                .cloud_nodes(2)
+                .overflow(OverflowSpec::new(1.5, 1e-4))
+                .validate(),
+            Err(ClusterError::InvalidWatermark { watermark: 1.5 })
+        );
+        assert!(matches!(
+            base().interval_s(0.0).validate(),
+            Err(ClusterError::Engine(_))
+        ));
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_digest_different_seed_different_digest() {
+        let a = spec(6).build().unwrap().run();
+        let b = spec(6).build().unwrap().run();
+        assert_eq!(a.decision_digest, b.decision_digest);
+        assert_eq!(a.summary, b.summary);
+        let c = spec(6).seed(12).build().unwrap().run();
+        assert_ne!(a.decision_digest, c.decision_digest);
+    }
+
+    #[test]
+    fn work_is_conserved_and_latency_recorded() {
+        let out = spec(8).build().unwrap().run();
+        // 0.6 load × 8 nodes × 4 quanta = ~19 quanta per interval.
+        for iv in out.trace.intervals() {
+            assert_eq!(iv.quanta, 19);
+            assert_eq!(iv.spilled_quanta, 0); // no cloud tier
+            assert!(iv.arrivals > 0);
+            assert!(iv.p95_s > 0.0 && iv.p99_s >= iv.p95_s);
+            assert!(iv.private_energy_j > 0.0);
+            assert_eq!(iv.cloud_cost_usd, 0.0);
+        }
+        assert_eq!(out.decisions, 3 * 19);
+    }
+
+    #[test]
+    fn overload_spills_to_the_cloud_tier_and_is_billed() {
+        // Offered load beyond the watermark with a tiny private tier:
+        // spill must engage and the bill must be positive.
+        let out = ClusterSpec::new("burst", Platform::juno_r1())
+            .workload_with(|| Box::new(memcached()))
+            .load(Constant::new(1.0, 10.0))
+            .policy(|p: &Platform, _s: u64| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+            .private_nodes(2)
+            .cloud_nodes(2)
+            .overflow(OverflowSpec::new(0.5, 1e-3))
+            .intervals(3)
+            .interval_s(0.05)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run();
+        assert!(out.summary.spill_frac > 0.0, "{:?}", out.summary);
+        assert!(out.summary.total_cloud_usd > 0.0);
+        assert!(out.cloud_bill.req_seconds > 0.0);
+    }
+
+    #[test]
+    fn reference_dispatch_produces_identical_decisions() {
+        for policy in DispatchPolicy::ALL {
+            let fast = spec(8).dispatch(policy).build().unwrap().run();
+            let slow = spec(8)
+                .dispatch(policy)
+                .reference_dispatch()
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(
+                fast.decision_digest,
+                slow.decision_digest,
+                "{}",
+                policy.name()
+            );
+            assert_eq!(fast.summary, slow.summary);
+        }
+    }
+}

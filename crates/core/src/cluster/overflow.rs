@@ -1,0 +1,108 @@
+//! Two-tier burst overflow: the admission watermark that spills work from
+//! the private tier to rented cloud nodes, and the dollar-cost model that
+//! makes the spill a trade-off instead of a free lunch.
+//!
+//! The shape follows the hybrid-cloud bag-of-tasks literature (Wang & Sun;
+//! Teylo et al., see PAPERS.md): a fixed private fleet absorbs the base
+//! load at energy cost, and bursts beyond a occupancy watermark overflow
+//! to an elastic "cloud" tier billed per request-second of busy capacity.
+//! Hipster's single-machine energy/QoS trade-off thus generalizes to a
+//! cluster-level energy/QoS/dollars one.
+
+use super::ClusterError;
+
+/// Declares the overflow tier's admission rule and price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverflowSpec {
+    /// Private-tier occupancy fraction (queued quanta over quantum
+    /// capacity) at or above which new quanta spill to the cloud tier.
+    /// Must lie in `(0, 1]`.
+    pub watermark: f64,
+    /// Price of one request-second of busy cloud capacity, dollars.
+    /// Must be finite and non-negative.
+    pub usd_per_req_s: f64,
+}
+
+impl OverflowSpec {
+    /// A spec with the given watermark and price (validated at
+    /// [`ClusterSpec::build`](super::ClusterSpec::build) time).
+    pub fn new(watermark: f64, usd_per_req_s: f64) -> Self {
+        OverflowSpec {
+            watermark,
+            usd_per_req_s,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ClusterError> {
+        if !(self.watermark > 0.0 && self.watermark <= 1.0) {
+            return Err(ClusterError::InvalidWatermark {
+                watermark: self.watermark,
+            });
+        }
+        if !self.usd_per_req_s.is_finite() || self.usd_per_req_s < 0.0 {
+            return Err(ClusterError::InvalidCost {
+                usd_per_req_s: self.usd_per_req_s,
+            });
+        }
+        Ok(())
+    }
+
+    /// The admission rule: does a quantum spill when the private tier
+    /// holds `private_total` of `capacity_quanta` quanta?
+    pub fn spills(&self, private_total: u64, capacity_quanta: u64) -> bool {
+        private_total as f64 >= self.watermark * capacity_quanta as f64
+    }
+}
+
+/// Running bill for the cloud tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CloudBill {
+    /// Busy cloud capacity consumed so far, request-seconds.
+    pub req_seconds: f64,
+    /// Dollars billed so far.
+    pub usd: f64,
+}
+
+impl CloudBill {
+    /// Charges `busy_req_s` request-seconds at the spec's price and
+    /// returns the dollars added.
+    pub fn charge(&mut self, busy_req_s: f64, spec: &OverflowSpec) -> f64 {
+        let usd = busy_req_s * spec.usd_per_req_s;
+        self.req_seconds += busy_req_s;
+        self.usd += usd;
+        usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_gates_admission() {
+        let of = OverflowSpec::new(0.85, 1e-4);
+        assert!(!of.spills(84, 100));
+        assert!(of.spills(85, 100)); // at the watermark: spill
+        assert!(of.spills(100, 100));
+        assert!(!OverflowSpec::new(1.0, 0.0).spills(99, 100));
+    }
+
+    #[test]
+    fn bill_accumulates_linearly() {
+        let of = OverflowSpec::new(0.5, 2.0);
+        let mut bill = CloudBill::default();
+        assert_eq!(bill.charge(3.0, &of), 6.0);
+        bill.charge(1.5, &of);
+        assert_eq!(bill.req_seconds, 4.5);
+        assert_eq!(bill.usd, 9.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(OverflowSpec::new(0.0, 1.0).validate().is_err());
+        assert!(OverflowSpec::new(1.1, 1.0).validate().is_err());
+        assert!(OverflowSpec::new(0.5, -1.0).validate().is_err());
+        assert!(OverflowSpec::new(0.5, f64::NAN).validate().is_err());
+        assert!(OverflowSpec::new(1.0, 0.0).validate().is_ok());
+    }
+}

@@ -135,6 +135,9 @@ pub struct FleetStats {
     pub workers: usize,
     /// Scenarios executed (or claimed before a failure stopped the run).
     pub scenarios: usize,
+    /// Wall-clock seconds the whole run took, from first claim to last
+    /// worker exit.
+    pub wall_s: f64,
     /// Wall-clock seconds each worker spent *running scenarios* (the
     /// rest of its lifetime is scheduler idle tail).
     pub worker_busy_s: Vec<f64>,
@@ -149,6 +152,15 @@ impl FleetStats {
     /// Total busy seconds across all workers.
     pub fn busy_total_s(&self) -> f64 {
         self.worker_busy_s.iter().sum()
+    }
+
+    /// Sweep throughput: scenarios completed per wall-clock second.
+    /// 0 when the run was too fast to time (or ran nothing).
+    pub fn scenarios_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.scenarios as f64 / self.wall_s
     }
 
     /// The fraction of `workers × wall_s` spent idle. 0 means every
@@ -347,11 +359,13 @@ impl Fleet {
                     }
                 }
             }
+            let wall_s = run_started.elapsed().as_secs_f64();
             return Ok(FleetStats {
                 workers: 1,
                 scenarios: n,
+                wall_s,
                 worker_busy_s: vec![busy],
-                worker_finish_s: vec![run_started.elapsed().as_secs_f64()],
+                worker_finish_s: vec![wall_s],
             });
         }
 
@@ -447,6 +461,7 @@ impl Fleet {
             None => Ok(FleetStats {
                 workers,
                 scenarios: n,
+                wall_s: run_started.elapsed().as_secs_f64(),
                 worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
                 worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),
             }),
@@ -470,6 +485,159 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// The Fleet's work-stealing scheduler generalized over *any* named
+/// task — the entry point cluster sweeps use, since a cluster run is not
+/// a [`ScenarioSpec`]. Tasks are claimed from an atomic cursor exactly
+/// like [`Fleet::run_each`], results come back **in declaration order**,
+/// and the first (lowest-index) panic wins with the same fail-fast
+/// semantics. `threads == 0` means one worker per available core;
+/// `threads == 1` runs serially on the calling thread.
+///
+/// Determinism is the caller's contract: a task must not depend on which
+/// worker runs it or when — then `run_tasks(tasks, 1)` and
+/// `run_tasks(tasks, 32)` return identical results.
+///
+/// # Example
+///
+/// ```
+/// use hipster_core::run_tasks;
+///
+/// let tasks: Vec<(String, _)> = (0..8)
+///     .map(|i| (format!("square-{i}"), move || i * i))
+///     .collect();
+/// let (results, stats) = run_tasks(tasks, 0).unwrap();
+/// assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// assert_eq!(stats.scenarios, 8);
+/// ```
+pub fn run_tasks<T, F>(
+    tasks: Vec<(String, F)>,
+    threads: usize,
+) -> Result<(Vec<T>, FleetStats), FleetError>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if tasks.is_empty() {
+        return Err(FleetError::Empty);
+    }
+    let n = tasks.len();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n)
+    .max(1);
+
+    let catch = |name: String, index: usize, task: F| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).map_err(|payload| {
+            FleetError::ScenarioPanicked {
+                index,
+                name,
+                message: panic_message(payload.as_ref()),
+            }
+        })
+    };
+
+    let run_started = Instant::now();
+    if workers == 1 {
+        let mut busy = 0.0f64;
+        let mut results = Vec::with_capacity(n);
+        for (index, (name, task)) in tasks.into_iter().enumerate() {
+            let started = Instant::now();
+            let result = catch(name, index, task);
+            busy += started.elapsed().as_secs_f64();
+            results.push(result?);
+        }
+        let wall_s = run_started.elapsed().as_secs_f64();
+        return Ok((
+            results,
+            FleetStats {
+                workers: 1,
+                scenarios: n,
+                wall_s,
+                worker_busy_s: vec![busy],
+                worker_finish_s: vec![wall_s],
+            },
+        ));
+    }
+
+    // Same shared state as Fleet::run_each: an atomic claim cursor, one
+    // job slot per task (locked exactly once by its claimant) and a
+    // result slot written by the same claimant.
+    let jobs: Vec<Mutex<Option<(String, F)>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<Result<T, FleetError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let busy = Mutex::new(vec![0.0f64; workers]);
+    let finishes = Mutex::new(vec![0.0f64; workers]);
+
+    std::thread::scope(|scope| {
+        let jobs = &jobs;
+        let slots = &slots;
+        let cursor = &cursor;
+        let failed = &failed;
+        let busy = &busy;
+        let finishes = &finishes;
+        let catch = &catch;
+        for worker in 0..workers {
+            scope.spawn(move || {
+                let mut my_busy = 0.0f64;
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let (name, task) = jobs[index]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("index claimed exactly once");
+                    let started = Instant::now();
+                    let result = catch(name, index, task);
+                    my_busy += started.elapsed().as_secs_f64();
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                }
+                busy.lock().expect("busy slots poisoned")[worker] = my_busy;
+                finishes.lock().expect("finish slots poisoned")[worker] =
+                    run_started.elapsed().as_secs_f64();
+            });
+        }
+    });
+
+    // Report the lowest-index failure, like Fleet::run_each.
+    let mut results = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(value)) => results.push(value),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed: the fail-fast flag stopped the run, so some
+            // earlier-or-later slot holds the error — keep scanning.
+            None => {}
+        }
+    }
+    Ok((
+        results,
+        FleetStats {
+            workers,
+            scenarios: n,
+            wall_s: run_started.elapsed().as_secs_f64(),
+            worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
+            worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -574,6 +742,7 @@ mod tests {
         let stats = FleetStats {
             workers: 2,
             scenarios: 4,
+            wall_s: 1.0,
             worker_busy_s: vec![1.0, 0.5],
             worker_finish_s: vec![1.0, 0.5],
         };
@@ -586,10 +755,45 @@ mod tests {
         let even = FleetStats {
             workers: 2,
             scenarios: 4,
+            wall_s: 1.0,
             worker_busy_s: vec![1.0, 1.0],
             worker_finish_s: vec![1.0, 1.0],
         };
         assert_eq!(even.idle_tail_frac(), 0.0);
+        assert_eq!(even.scenarios_per_sec(), 4.0);
+    }
+
+    #[test]
+    fn run_tasks_is_order_stable_and_captures_panics() {
+        let make =
+            || -> Vec<(String, _)> { (0..40).map(|i| (format!("t{i}"), move || i * 3)).collect() };
+        let (serial, s1) = run_tasks(make(), 1).expect("serial");
+        let (stolen, s4) = run_tasks(make(), 4).expect("threaded");
+        assert_eq!(serial, stolen);
+        assert_eq!(serial[7], 21);
+        assert_eq!((s1.workers, s4.workers), (1, 4));
+        assert_eq!(s4.scenarios, 40);
+        assert!(s4.wall_s >= 0.0 && s4.scenarios_per_sec() >= 0.0);
+
+        let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = vec![
+            ("fine".into(), Box::new(|| 1)),
+            ("boom".into(), Box::new(|| panic!("task exploded"))),
+        ];
+        match run_tasks(tasks, 2) {
+            Err(FleetError::ScenarioPanicked {
+                index,
+                name,
+                message,
+            }) => {
+                assert_eq!((index, name.as_str()), (1, "boom"));
+                assert!(message.contains("task exploded"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        assert!(matches!(
+            run_tasks(Vec::<(String, fn() -> u8)>::new(), 2),
+            Err(FleetError::Empty)
+        ));
     }
 
     #[test]

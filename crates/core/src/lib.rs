@@ -27,6 +27,11 @@
 //! policy) run, and a [`Fleet`] executes many scenarios across OS threads
 //! with split seeds and deterministically ordered results.
 //!
+//! Beyond one machine, the [`cluster`] module scales out: a
+//! [`ClusterSpec`] declares N nodes (each with its own engine, policy and
+//! split seed) behind an O(1) load-balancing [`cluster::Dispatcher`],
+//! with optional burst overflow to priced cloud nodes.
+//!
 //! # Example: HipsterIn on Memcached under a diurnal load
 //!
 //! ```
@@ -53,6 +58,7 @@
 
 mod baselines;
 mod bucket;
+pub mod cluster;
 mod configspace;
 mod feedback;
 mod fleet;
@@ -69,9 +75,13 @@ mod telemetry;
 
 pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
 pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
+pub use cluster::{
+    ClusterError, ClusterInterval, ClusterOutcome, ClusterSim, ClusterSpec, ClusterSummary,
+    ClusterTrace, DispatchPolicy, OverflowSpec,
+};
 pub use configspace::ConfigSpace;
 pub use feedback::{FeedbackController, Zones};
-pub use fleet::{split_seed, Fleet, FleetError, FleetStats};
+pub use fleet::{run_tasks, split_seed, Fleet, FleetError, FleetStats};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hipster::{Hipster, HipsterBuilder, Phase};
 pub use manager::Manager;

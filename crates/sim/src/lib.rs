@@ -66,6 +66,7 @@ mod engine;
 mod freelist;
 mod jsonl;
 mod latency;
+mod nodemap;
 mod ordf64;
 mod request;
 mod rng;
@@ -81,6 +82,7 @@ pub use costs::{ContentionModel, ReconfigCosts};
 pub use engine::{Engine, IntervalStats, MachineConfig, DEFAULT_JITTER_SIGMA};
 pub use jsonl::{interval_from_jsonl, interval_to_jsonl};
 pub use latency::{percentile, LatencyRecorder, P2Quantile};
+pub use nodemap::NodeOccupancyMap;
 pub use request::{Demand, QosTarget, Request, RequestId};
 pub use rng::{Sampler, SimRng};
 pub use service::{NodeInterval, QueuedNode, ServerSpec, ServiceNode};

@@ -33,9 +33,10 @@ pub mod spec;
 
 pub use lc::{LcWorkload, LcWorkloadBuilder};
 pub use loadgen::{
-    load_preset, Constant, Diurnal, Ramp, Sequence, Spike, Steps, PAPER_DIURNAL_HOURS,
+    load_preset, Constant, Diurnal, MmppLoad, MmppStream, Ramp, Sequence, Spike, Steps,
+    MMPP_BURST_FACTOR, MMPP_CALM_FACTOR, MMPP_DUTY, PAPER_DIURNAL_HOURS,
 };
 pub use presets::{
-    memcached, preset, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS, PRESET_NAMES,
-    WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
+    memcached, memcached_bursty, preset, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS,
+    PRESET_NAMES, WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
 };

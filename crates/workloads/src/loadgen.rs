@@ -7,7 +7,8 @@
 //! (§4.1). [`Diurnal::paper`] reproduces that 36-minute compressed curve;
 //! [`Ramp`] reproduces the Fig. 8 load ramp (50% → 100% over 175 s).
 
-use hipster_sim::LoadPattern;
+use hipster_sim::dist::Exponential;
+use hipster_sim::{Demand, LcModel, LoadPattern, Sampler, SimRng};
 
 /// Piecewise-linear diurnal load curve.
 ///
@@ -256,6 +257,178 @@ impl LoadPattern for Constant {
     }
 }
 
+/// Fraction of each MMPP cycle spent in the burst state.
+pub const MMPP_DUTY: f64 = 0.2;
+/// Arrival-rate multiplier while the MMPP is bursting.
+pub const MMPP_BURST_FACTOR: f64 = 4.0;
+/// Arrival-rate multiplier while the MMPP is calm.
+pub const MMPP_CALM_FACTOR: f64 = 0.25;
+
+/// A two-state Markov-modulated Poisson arrival stream: exponential
+/// sojourns alternate between a *burst* state (arrival rate ×
+/// [`MMPP_BURST_FACTOR`]) and a *calm* state (× [`MMPP_CALM_FACTOR`]),
+/// with a [`MMPP_DUTY`] fraction of each mean cycle spent bursting. The
+/// constants are chosen so the long-run mean rate equals the nominal
+/// rate (`0.2·4 + 0.8·0.25 = 1`): the stream stresses queueing dynamics
+/// without changing offered volume.
+///
+/// This is the CloudCoaster-style bursty source named in the ROADMAP,
+/// promoted from the PR 6 bench harness so cluster and single-node
+/// scenarios share one generator. Arrival times come from one RNG and
+/// request demands from a second (split from the same seed), so demand
+/// sampling never perturbs the arrival process. Each arrival event draws
+/// a burst of [`LcModel::sample_burst`] requests sharing one timestamp.
+///
+/// # Example
+///
+/// ```
+/// use hipster_workloads::{memcached, MmppStream};
+///
+/// let model = memcached();
+/// let mut gen = MmppStream::new(&model, 2_000.0, 0.1, 9);
+/// let mut out = Vec::new();
+/// gen.fill_interval(0.1, &mut out); // arrivals in [0, 0.1)
+/// assert!(out.iter().all(|&(t, _)| t < 0.1));
+/// ```
+#[derive(Debug)]
+pub struct MmppStream<'m> {
+    model: &'m dyn LcModel,
+    arrival_rng: SimRng,
+    demand_rng: SimRng,
+    base_rate: f64,
+    mean_sojourn: [f64; 2],
+    state: usize,
+    sojourn_end: f64,
+    next_arrival: f64,
+}
+
+impl<'m> MmppStream<'m> {
+    /// Creates a stream offering `rate_rps` *requests* per second on
+    /// average (arrival events are divided by the model's mean burst
+    /// size), with a mean burst/calm cycle of `cycle_s` seconds.
+    pub fn new(model: &'m dyn LcModel, rate_rps: f64, cycle_s: f64, seed: u64) -> Self {
+        let mut gen = MmppStream {
+            model,
+            arrival_rng: SimRng::seed(seed),
+            demand_rng: SimRng::seed(seed ^ 0x9e3779b97f4a7c15),
+            base_rate: rate_rps / model.mean_burst().max(1.0),
+            mean_sojourn: [MMPP_DUTY * cycle_s, (1.0 - MMPP_DUTY) * cycle_s],
+            state: 0,
+            sojourn_end: 0.0,
+            next_arrival: 0.0,
+        };
+        gen.sojourn_end = gen.draw_sojourn(0.0);
+        gen.next_arrival = gen.draw_arrival(0.0);
+        gen
+    }
+
+    fn rate(&self) -> f64 {
+        self.base_rate
+            * if self.state == 0 {
+                MMPP_BURST_FACTOR
+            } else {
+                MMPP_CALM_FACTOR
+            }
+    }
+
+    fn draw_sojourn(&mut self, from: f64) -> f64 {
+        from + Exponential::new(1.0 / self.mean_sojourn[self.state]).sample(&mut self.arrival_rng)
+    }
+
+    fn draw_arrival(&mut self, from: f64) -> f64 {
+        from + Exponential::new(self.rate()).sample(&mut self.arrival_rng)
+    }
+
+    /// Advances state transitions until the pending arrival falls inside
+    /// the current sojourn; a pending arrival past a state boundary is
+    /// redrawn from the boundary at the new state's rate.
+    fn settle(&mut self) {
+        while self.next_arrival >= self.sojourn_end {
+            let boundary = self.sojourn_end;
+            self.state = 1 - self.state;
+            self.sojourn_end = self.draw_sojourn(boundary);
+            self.next_arrival = self.draw_arrival(boundary);
+        }
+    }
+
+    /// Replaces `out` with the `(arrival_s, demand)` pairs strictly
+    /// before `t_end`; an arrival exactly at `t_end` is deferred to the
+    /// next call. Bursts share their arrival timestamp.
+    pub fn fill_interval(&mut self, t_end: f64, out: &mut Vec<(f64, Demand)>) {
+        out.clear();
+        loop {
+            self.settle();
+            if self.next_arrival >= t_end {
+                break;
+            }
+            let t = self.next_arrival;
+            let burst = self.model.sample_burst(&mut self.demand_rng).max(1);
+            for _ in 0..burst {
+                out.push((t, self.model.sample_demand(&mut self.demand_rng)));
+            }
+            self.next_arrival = self.draw_arrival(t);
+        }
+    }
+}
+
+/// The MMPP burst/calm envelope as a [`LoadPattern`]: a piecewise-constant
+/// load fraction that alternates between `base · MMPP_BURST_FACTOR` and
+/// `base · MMPP_CALM_FACTOR` (clamped to `[0, 1]`) on exponential sojourns
+/// drawn at construction, so interval-level simulations see the same
+/// bursty shape that [`MmppStream`] gives event-level ones.
+///
+/// The schedule is fixed by `seed`: two `MmppLoad`s with equal parameters
+/// are identical, which keeps cluster sweeps deterministic.
+#[derive(Debug, Clone)]
+pub struct MmppLoad {
+    /// Segment start times; `segments[0] == 0.0`.
+    starts: Vec<f64>,
+    /// Load fraction in force from `starts[i]` until the next start.
+    levels: Vec<f64>,
+    total_s: f64,
+}
+
+impl MmppLoad {
+    /// Builds an envelope around `base` (fraction of max load) with mean
+    /// cycle `cycle_s`, covering `total_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not in `[0, 1]` or a duration is not positive.
+    pub fn new(base: f64, cycle_s: f64, total_s: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&base), "base load must be in [0, 1]");
+        assert!(cycle_s > 0.0, "cycle must be positive");
+        assert!(total_s > 0.0, "duration must be positive");
+        let mut rng = SimRng::seed(seed);
+        let mean_sojourn = [MMPP_DUTY * cycle_s, (1.0 - MMPP_DUTY) * cycle_s];
+        let factor = [MMPP_BURST_FACTOR, MMPP_CALM_FACTOR];
+        let (mut starts, mut levels) = (Vec::new(), Vec::new());
+        let (mut t, mut state) = (0.0, 0);
+        while t < total_s {
+            starts.push(t);
+            levels.push((base * factor[state]).clamp(0.0, 1.0));
+            t += Exponential::new(1.0 / mean_sojourn[state]).sample(&mut rng);
+            state = 1 - state;
+        }
+        MmppLoad {
+            starts,
+            levels,
+            total_s,
+        }
+    }
+}
+
+impl LoadPattern for MmppLoad {
+    fn load_at(&self, t: f64) -> f64 {
+        let i = self.starts.partition_point(|&s| s <= t).saturating_sub(1);
+        self.levels[i]
+    }
+
+    fn duration(&self) -> f64 {
+        self.total_s
+    }
+}
+
 /// Parses a named load-pattern spec, so scenarios can be declared from
 /// strings (CLIs, config files, fleet sweeps). Returns `None` for unknown
 /// names or malformed parameters — never panics.
@@ -268,6 +441,7 @@ impl LoadPattern for Constant {
 /// | `constant:FRAC:SECS` | [`Constant`] |
 /// | `ramp:FROM:TO:SECS` | [`Ramp`] |
 /// | `spike:BASE:PEAK:AT:WIDTH:TOTAL` | [`Spike`] |
+/// | `mmpp:BASE:CYCLE:SECS:SEED` | [`MmppLoad`] (seed truncated to `u64`) |
 ///
 /// # Examples
 ///
@@ -302,6 +476,11 @@ pub fn load_preset(spec: &str) -> Option<Box<dyn LoadPattern>> {
                 total_s,
             }))
         }
+        ("mmpp", &[base, cycle_s, total_s, seed], true)
+            if (0.0..=1.0).contains(&base) && cycle_s > 0.0 && total_s > 0.0 && seed >= 0.0 =>
+        {
+            Some(Box::new(MmppLoad::new(base, cycle_s, total_s, seed as u64)))
+        }
         _ => None,
     }
 }
@@ -332,9 +511,53 @@ mod tests {
             "ramp:0.5:1.0",       // missing duration
             "spike:0.2:0.9:10:5", // missing total
             "constant:inf:60",    // non-finite
+            "mmpp:0.5:6:60",      // missing seed
+            "mmpp:1.5:6:60:1",    // base out of range
+            "mmpp:0.5:0:60:1",    // zero cycle
         ] {
             assert!(load_preset(bad).is_none(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn mmpp_load_is_deterministic_and_mean_preserving() {
+        let a = MmppLoad::new(0.2, 6.0, 600.0, 11);
+        let b = MmppLoad::new(0.2, 6.0, 600.0, 11);
+        // Same seed → identical schedule; every level is one of the two
+        // envelope states.
+        let mut mean = 0.0;
+        let n = 6000;
+        for i in 0..n {
+            let t = 600.0 * i as f64 / n as f64;
+            assert_eq!(a.load_at(t), b.load_at(t));
+            let l = a.load_at(t);
+            assert!(l == 0.2 * MMPP_BURST_FACTOR || l == 0.2 * MMPP_CALM_FACTOR);
+            mean += l / n as f64;
+        }
+        // Long-run mean ≈ base (duty · burst + (1-duty) · calm = 1).
+        assert!((mean - 0.2).abs() < 0.05, "mean {mean}");
+        assert_eq!(a.duration(), 600.0);
+        assert!(load_preset("mmpp:0.2:6:600:11").is_some());
+    }
+
+    #[test]
+    fn mmpp_stream_respects_interval_bounds() {
+        let model = crate::memcached();
+        let mut gen = MmppStream::new(&model, 2_000.0, 0.1, 9);
+        let mut out = Vec::new();
+        let mut last_end = 0.0;
+        let mut total = 0usize;
+        for i in 1..=20 {
+            let t_end = 0.1 * i as f64;
+            gen.fill_interval(t_end, &mut out);
+            for &(t, _) in &out {
+                assert!(t >= last_end && t < t_end, "arrival {t} outside window");
+            }
+            total += out.len();
+            last_end = t_end;
+        }
+        // 2 s at 2 kRPS nominal: bursty, but the volume is sane.
+        assert!(total > 500 && total < 20_000, "total {total}");
     }
 
     #[test]

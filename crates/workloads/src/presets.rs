@@ -26,8 +26,9 @@ pub const WEB_SEARCH_MAX_QPS: f64 = 44.0;
 /// Web-Search tail-latency target: 500 ms at the 90th percentile (Table 1).
 pub const WEB_SEARCH_QOS: (f64, f64) = (0.90, 0.500);
 
-/// Names accepted by [`preset`], in the paper's presentation order.
-pub const PRESET_NAMES: [&str; 2] = ["memcached", "web-search"];
+/// Names accepted by [`preset`], in the paper's presentation order
+/// followed by the beyond-paper variants.
+pub const PRESET_NAMES: [&str; 3] = ["memcached", "web-search", "memcached-bursty"];
 
 /// Looks up a calibrated workload preset by name, so scenarios can be
 /// declared from strings (CLIs, config files, fleet sweeps).
@@ -47,6 +48,7 @@ pub fn preset(name: &str) -> Option<LcWorkload> {
     match name.to_ascii_lowercase().replace('_', "-").as_str() {
         "memcached" => Some(memcached()),
         "web-search" | "websearch" => Some(web_search()),
+        "memcached-bursty" => Some(memcached_bursty()),
         _ => None,
     }
 }
@@ -74,6 +76,29 @@ pub fn memcached() -> LcWorkload {
         .burst_mean(10.0)
         // Memcached clients give up quickly — 100 ms is a typical
         // client-library deadline for a 10 ms-SLA cache tier.
+        .timeout(0.1)
+        .build()
+}
+
+/// The Memcached calibration under bursty traffic: identical service
+/// model to [`memcached`], but with doubled multiget clumping (mean burst
+/// 20 instead of 10). It is meant to be driven by the promoted MMPP
+/// source — [`crate::MmppStream`] for event-level simulations,
+/// [`crate::MmppLoad`] (or `load_preset("mmpp:...")`) for interval-level
+/// ones — so cluster and single-node scenarios share one bursty source.
+///
+/// This is a beyond-paper workload (the ROADMAP's CloudCoaster-style
+/// bursty regime), not a Table 1 row: same capacity, same QoS target,
+/// fatter arrival clumps.
+pub fn memcached_bursty() -> LcWorkload {
+    LcWorkload::builder("Memcached-Bursty")
+        .max_load_rps(MEMCACHED_MAX_RPS)
+        .qos(QosTarget::new(MEMCACHED_QOS.0, MEMCACHED_QOS.1))
+        .work(37.0, 0.7)
+        .mem_seconds(9e-6)
+        .big_speed(1.0e6, Frequency::from_mhz(1150))
+        .small_ipc_penalty(2.37)
+        .burst_mean(20.0)
         .timeout(0.1)
         .build()
 }
@@ -124,6 +149,17 @@ mod tests {
         assert_eq!(ws.max_load_rps(), 44.0);
         assert_eq!(ws.qos().percentile, 0.90);
         assert_eq!(ws.qos().target_s, 0.500);
+    }
+
+    #[test]
+    fn bursty_preset_keeps_the_memcached_calibration() {
+        let mb = preset("Memcached_Bursty").unwrap();
+        assert_eq!(mb.name(), "Memcached-Bursty");
+        assert_eq!(mb.max_load_rps(), MEMCACHED_MAX_RPS);
+        assert_eq!(mb.qos().target_s, MEMCACHED_QOS.1);
+        // Only the arrival clumping differs from the Table 1 row.
+        assert_eq!(mb.mean_burst(), 2.0 * memcached().mean_burst());
+        assert!(PRESET_NAMES.contains(&"memcached-bursty"));
     }
 
     #[test]

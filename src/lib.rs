@@ -46,6 +46,15 @@
 //! machine each) with per-scenario split seeds and deterministically
 //! ordered results; [`TelemetrySink`]s tap per-interval statistics without
 //! touching the driver (see `examples/fleet.rs`).
+//!
+//! # Scaling further: a cluster
+//!
+//! A [`ClusterSpec`] declares N nodes — each its own engine, policy and
+//! split seed — behind an O(1) load-balancing dispatcher
+//! ([`DispatchPolicy`]), with optional burst overflow to priced cloud
+//! nodes past an occupancy watermark ([`OverflowSpec`]); the resulting
+//! [`ClusterSim`](core::ClusterSim) accumulates cluster-wide p95/p99,
+//! energy and dollar cost per interval (see `examples/cluster.rs`).
 
 #![warn(missing_docs)]
 
@@ -55,14 +64,17 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    split_seed, ConfigSpace, CsvSink, Fleet, FleetError, FleetStats, HeuristicMapper, Hipster,
-    JsonLinesSink, Manager, Observation, OctopusMan, Policy, PolicyFactory, PolicySummary, RunMeta,
-    ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, SummarySink,
-    TelemetrySink, TraceSink,
+    run_tasks, split_seed, ClusterError, ClusterOutcome, ClusterSpec, ClusterSummary, ConfigSpace,
+    CsvSink, DispatchPolicy, Fleet, FleetError, FleetStats, HeuristicMapper, Hipster,
+    JsonLinesSink, Manager, Observation, OctopusMan, OverflowSpec, Policy, PolicyFactory,
+    PolicySummary, RunMeta, ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy,
+    SummarySink, TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{
     interval_from_jsonl, interval_to_jsonl, Engine, EngineSpec, EngineSpecError, IntervalStats,
     LcModel, MachineConfig, QosTarget, Trace,
 };
-pub use hipster_workloads::{load_preset, memcached, preset, web_search, Constant, Diurnal, Ramp};
+pub use hipster_workloads::{
+    load_preset, memcached, memcached_bursty, preset, web_search, Constant, Diurnal, MmppLoad, Ramp,
+};
