@@ -5,6 +5,7 @@
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
 //! repro cluster        # beyond-paper 16-1024-node cluster sweep
+//! repro faults         # fault injection + mitigation ablation → BENCH_PR8.json
 //! repro bench          # perf baselines → BENCH_PR{3,4,5,6,7}.json
 //! repro bench --smoke  # same cells, seconds (CI)
 //! repro bench --smoke --only open/   # just the cells matching a prefix
@@ -32,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n       \
          repro [--quick] cluster\n       \
-         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} cluster bench",
+         repro [--quick] faults\n       \
+         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} cluster faults bench",
         EXPERIMENTS
             .iter()
             .map(|(n, _)| *n)
@@ -84,6 +86,12 @@ fn main() {
         exp::cluster::run(quick);
         println!("[cluster done in {:.1}s]\n", start.elapsed().as_secs_f64());
     }
+    if selected.contains(&"faults") {
+        matched = true;
+        let start = std::time::Instant::now();
+        exp::faults::run(quick);
+        println!("[faults done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
     for (name, runner) in EXPERIMENTS {
         if run_all || selected.contains(name) {
             matched = true;
@@ -96,6 +104,7 @@ fn main() {
         if *want != "all"
             && *want != "bench"
             && *want != "cluster"
+            && *want != "faults"
             && !EXPERIMENTS.iter().any(|(n, _)| n == want)
         {
             eprintln!("unknown experiment: {want}");

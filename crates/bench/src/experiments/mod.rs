@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod faults;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

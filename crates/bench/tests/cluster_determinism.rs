@@ -7,6 +7,7 @@
 //! strategy fails the test.
 
 use hipster_bench::experiments::cluster::{cluster_spec, sweep_digests};
+use hipster_bench::experiments::faults;
 use hipster_bench::runner::static_all_big;
 
 #[test]
@@ -17,6 +18,61 @@ fn sweep_is_identical_across_execution_strategies() {
     assert!(!serial.is_empty(), "the digest sweep ran no clusters");
     assert_eq!(serial, two_workers, "1 vs 2 workers diverged");
     assert_eq!(serial, four_workers, "1 vs 4 workers diverged");
+}
+
+/// PR 8: the same property under fault injection. Fault timelines ride
+/// dedicated split-seeded RNG streams and the resilience layer (masking,
+/// retries, backoff) adds its own digest folds — all of it must replay
+/// byte-for-byte whether the faulted grid runs serially or across 2 or 4
+/// work-stealing workers.
+#[test]
+fn fault_sweep_is_identical_across_execution_strategies() {
+    let serial = faults::sweep_digests(1);
+    let two_workers = faults::sweep_digests(2);
+    let four_workers = faults::sweep_digests(4);
+    assert!(!serial.is_empty(), "the fault digest sweep ran no clusters");
+    assert_eq!(serial, two_workers, "1 vs 2 workers diverged under faults");
+    assert_eq!(serial, four_workers, "1 vs 4 workers diverged under faults");
+    // Mitigation on/off must differ: the ablation compares two genuinely
+    // different decision streams, not a no-op toggle.
+    for pair in serial.chunks(2) {
+        if let [on, off] = pair {
+            assert_ne!(on.1, off.1, "{} vs {}: same digest", on.0, off.0);
+        }
+    }
+}
+
+/// Same-seed faulted runs reproduce byte-for-byte; a different seed moves
+/// the fault timeline and with it the decision stream.
+#[test]
+fn repeated_faulted_runs_are_byte_identical() {
+    let run = |seed: u64| {
+        let out = faults::faulty_cluster_spec(
+            "fault-determinism",
+            "memcached-revocable",
+            8,
+            static_all_big(),
+            6,
+            seed,
+            true,
+        )
+        .build()
+        .expect("valid faulted cluster spec")
+        .run();
+        (
+            out.decision_digest,
+            out.decisions,
+            format!("{:?}", out.summary),
+            out.trace.to_csv(),
+        )
+    };
+    let first = run(31);
+    assert_eq!(first, run(31), "same seed must reproduce byte-for-byte");
+    assert_ne!(
+        first.0,
+        run(32).0,
+        "a different seed must move the fault timeline"
+    );
 }
 
 #[test]

@@ -94,6 +94,59 @@ pub trait Dispatcher: std::fmt::Debug + Send {
     /// occupancy. `rng` is consulted only by the randomized policies,
     /// and each policy draws a fixed number of values per call.
     fn pick(&mut self, rng: &mut SimRng) -> usize;
+
+    /// Masks or unmasks a node. Masked (revoked) nodes are never
+    /// returned by `pick`: a policy choice landing on one remaps to the
+    /// next unmasked index, cyclically.
+    fn set_masked(&mut self, node: usize, masked: bool);
+
+    /// Whether `node` is currently masked.
+    fn is_masked(&self, node: usize) -> bool;
+}
+
+/// Revocation mask shared by both dispatcher implementations. The remap
+/// runs *after* the policy's own (possibly RNG-consuming) choice, so both
+/// implementations keep identical RNG streams with or without masks, and
+/// the O(N) scan only ever runs while a pick lands on a masked node.
+/// With every node masked the raw candidate comes back unchanged — the
+/// cluster layer strands work instead of dispatching in that regime.
+#[derive(Debug, Default)]
+struct NodeMask {
+    masked: Vec<bool>,
+    count: usize,
+}
+
+impl NodeMask {
+    fn set(&mut self, node: usize, len: usize, masked: bool) {
+        if self.masked.is_empty() {
+            self.masked = vec![false; len];
+        }
+        if self.masked[node] != masked {
+            self.masked[node] = masked;
+            if masked {
+                self.count += 1;
+            } else {
+                self.count -= 1;
+            }
+        }
+    }
+
+    fn is_masked(&self, node: usize) -> bool {
+        self.count > 0 && self.masked[node]
+    }
+
+    fn remap(&self, node: usize, len: usize) -> usize {
+        if self.count == 0 || self.count >= len || !self.masked[node] {
+            return node;
+        }
+        let mut i = node;
+        loop {
+            i = (i + 1) % len;
+            if !self.masked[i] {
+                return i;
+            }
+        }
+    }
 }
 
 /// Shared P2C candidate sampling: one RNG draw, halved into two 32-bit
@@ -134,6 +187,7 @@ pub struct BitmapDispatcher {
     policy: DispatchPolicy,
     state: OccState,
     rr_next: usize,
+    mask: NodeMask,
 }
 
 /// Occupancy bookkeeping, shaped to what the policy actually queries.
@@ -213,6 +267,7 @@ impl BitmapDispatcher {
             policy,
             state,
             rr_next: 0,
+            mask: NodeMask::default(),
         }
     }
 }
@@ -258,8 +313,18 @@ impl Dispatcher for BitmapDispatcher {
                 p2c_winner(a, b, state.occupancy(a), state.occupancy(b))
             }
         };
+        let node = self.mask.remap(node, n);
         self.state.inc(node);
         node
+    }
+
+    fn set_masked(&mut self, node: usize, masked: bool) {
+        let n = self.state.len();
+        self.mask.set(node, n, masked);
+    }
+
+    fn is_masked(&self, node: usize) -> bool {
+        self.mask.is_masked(node)
     }
 }
 
@@ -275,6 +340,7 @@ pub struct ScanDispatcher {
     cap: u32,
     sum: u64,
     rr_next: usize,
+    mask: NodeMask,
 }
 
 impl ScanDispatcher {
@@ -292,6 +358,7 @@ impl ScanDispatcher {
             cap,
             sum: 0,
             rr_next: 0,
+            mask: NodeMask::default(),
         }
     }
 
@@ -348,8 +415,18 @@ impl Dispatcher for ScanDispatcher {
                 p2c_winner(a, b, self.occ[a], self.occ[b])
             }
         };
+        let node = self.mask.remap(node, n);
         self.bump(node);
         node
+    }
+
+    fn set_masked(&mut self, node: usize, masked: bool) {
+        let n = self.occ.len();
+        self.mask.set(node, n, masked);
+    }
+
+    fn is_masked(&self, node: usize) -> bool {
+        self.mask.is_masked(node)
     }
 }
 
@@ -395,6 +472,49 @@ mod tests {
                 assert_eq!(a.total(), b.total());
             }
         }
+    }
+
+    /// Masked nodes are never returned, both implementations remap to
+    /// the same survivor, and the RNG streams stay aligned through
+    /// mask/unmask churn.
+    #[test]
+    fn masked_nodes_are_never_picked_and_impls_agree() {
+        for policy in DispatchPolicy::ALL {
+            let (mut a, mut b) = (
+                BitmapDispatcher::new(policy, 9, 16),
+                ScanDispatcher::new(policy, 9, 16),
+            );
+            let (mut ra, mut rb) = (SimRng::seed(5), SimRng::seed(5));
+            for round in 0..40 {
+                for node in 0..9 {
+                    let m = (node + round) % 3 == 0;
+                    a.set_masked(node, m);
+                    b.set_masked(node, m);
+                    a.set_occupancy(node, (node % 4) as u32);
+                    b.set_occupancy(node, (node % 4) as u32);
+                }
+                for _ in 0..18 {
+                    let pa = a.pick(&mut ra);
+                    assert_eq!(pa, b.pick(&mut rb), "{}", policy.name());
+                    assert!(!a.is_masked(pa), "{} picked a masked node", policy.name());
+                }
+            }
+        }
+    }
+
+    /// With every node masked, pick falls back to the raw candidate (the
+    /// cluster layer strands work before dispatching in that regime).
+    #[test]
+    fn fully_masked_tier_still_returns_a_candidate() {
+        let mut d = BitmapDispatcher::new(DispatchPolicy::RoundRobin, 3, 4);
+        let mut rng = SimRng::seed(1);
+        for node in 0..3 {
+            d.set_masked(node, true);
+        }
+        let p = d.pick(&mut rng);
+        assert!(p < 3);
+        d.set_masked(p, false);
+        assert_eq!(d.pick(&mut rng), p, "only unmasked node wins the remap");
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct ClusterInterval {
     pub cloud_busy_req_s: f64,
     /// Dollars billed for the cloud tier this interval.
     pub cloud_cost_usd: f64,
+    /// Private nodes revoked (transiently gone) this interval.
+    pub revoked_nodes: usize,
+    /// Private nodes in a straggler episode this interval.
+    pub straggling_nodes: usize,
+    /// Stranded quanta re-dispatched from the retry queue this interval.
+    pub retried_quanta: usize,
+    /// Stranded quanta dropped after exhausting their retry budget.
+    pub dropped_quanta: usize,
 }
 
 /// Cluster-wide tail percentiles over one interval's per-node tail
@@ -108,6 +116,26 @@ impl ClusterTrace {
                     spilled as f64 / quanta as f64
                 }
             },
+            revoked_node_intervals: self
+                .intervals
+                .iter()
+                .map(|iv| iv.revoked_nodes as u64)
+                .sum(),
+            straggling_node_intervals: self
+                .intervals
+                .iter()
+                .map(|iv| iv.straggling_nodes as u64)
+                .sum(),
+            retried_quanta: self
+                .intervals
+                .iter()
+                .map(|iv| iv.retried_quanta as u64)
+                .sum(),
+            dropped_quanta: self
+                .intervals
+                .iter()
+                .map(|iv| iv.dropped_quanta as u64)
+                .sum(),
         }
     }
 
@@ -115,11 +143,12 @@ impl ClusterTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "interval,start_s,offered_frac,quanta,spilled_quanta,arrivals,completions,\
-             timeouts,p95_s,p99_s,private_energy_j,cloud_busy_req_s,cloud_cost_usd\n",
+             timeouts,p95_s,p99_s,private_energy_j,cloud_busy_req_s,cloud_cost_usd,\
+             revoked_nodes,straggling_nodes,retried_quanta,dropped_quanta\n",
         );
         for iv in &self.intervals {
             out.push_str(&format!(
-                "{},{:.3},{:.6},{},{},{},{},{},{:.9},{:.9},{:.6},{:.6},{:.9}\n",
+                "{},{:.3},{:.6},{},{},{},{},{},{:.9},{:.9},{:.6},{:.6},{:.9},{},{},{},{}\n",
                 iv.index,
                 iv.start_s,
                 iv.offered_frac,
@@ -133,6 +162,10 @@ impl ClusterTrace {
                 iv.private_energy_j,
                 iv.cloud_busy_req_s,
                 iv.cloud_cost_usd,
+                iv.revoked_nodes,
+                iv.straggling_nodes,
+                iv.retried_quanta,
+                iv.dropped_quanta,
             ));
         }
         out
@@ -162,6 +195,14 @@ pub struct ClusterSummary {
     pub total_cloud_usd: f64,
     /// Fraction of quanta that overflowed to the cloud tier.
     pub spill_frac: f64,
+    /// Node-intervals spent revoked, summed over the run.
+    pub revoked_node_intervals: u64,
+    /// Node-intervals spent straggling, summed over the run.
+    pub straggling_node_intervals: u64,
+    /// Stranded quanta successfully re-dispatched over the run.
+    pub retried_quanta: u64,
+    /// Stranded quanta dropped after exhausting retries.
+    pub dropped_quanta: u64,
 }
 
 #[cfg(test)]
@@ -184,6 +225,10 @@ mod tests {
             private_energy_j: 5.0,
             cloud_busy_req_s: 0.5,
             cloud_cost_usd: 0.01,
+            revoked_nodes: 1,
+            straggling_nodes: 2,
+            retried_quanta: 3,
+            dropped_quanta: if index % 2 == 0 { 1 } else { 0 },
         }
     }
 
@@ -200,9 +245,14 @@ mod tests {
         assert_eq!(s.total_energy_j, 10.0);
         assert!((s.spill_frac - 0.1).abs() < 1e-12);
         assert_eq!(s.peak_p99_s, 0.03);
+        assert_eq!(s.revoked_node_intervals, 2);
+        assert_eq!(s.straggling_node_intervals, 4);
+        assert_eq!(s.retried_quanta, 6);
+        assert_eq!(s.dropped_quanta, 1);
         let csv = trace.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("interval,start_s,"));
+        assert!(csv.lines().next().unwrap().ends_with("dropped_quanta"));
     }
 
     #[test]

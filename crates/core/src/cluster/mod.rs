@@ -58,12 +58,16 @@
 pub mod dispatch;
 pub mod metrics;
 pub mod overflow;
+pub mod retry;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hipster_platform::Platform;
-use hipster_sim::{EngineSpec, EngineSpecError, LcModel, LoadPattern, QosTarget, SimRng};
+use hipster_sim::{
+    EngineSpec, EngineSpecError, FaultPlan, FaultSpec, FaultSpecError, FaultState, LcModel,
+    LoadPattern, QosTarget, SimRng,
+};
 
 use crate::fleet::split_seed;
 use crate::manager::Manager;
@@ -74,6 +78,7 @@ pub use dispatch::{
 };
 pub use metrics::{cluster_tails, ClusterInterval, ClusterSummary, ClusterTrace};
 pub use overflow::{CloudBill, OverflowSpec};
+pub use retry::RetrySpec;
 
 /// Why a [`ClusterSpec`] failed to validate.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +111,13 @@ pub enum ClusterError {
     },
     /// A per-node engine knob is invalid (interval length, jitter sigma).
     Engine(EngineSpecError),
+    /// The fault-injection spec is invalid (negative rate, probability
+    /// outside `[0, 1]`, slowdown below one, ...).
+    Fault(FaultSpecError),
+    /// The retry policy allows zero re-dispatch attempts.
+    ZeroRetryAttempts,
+    /// The retry backoff cap is zero intervals.
+    ZeroBackoffCap,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -132,6 +144,13 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "cloud price {usd_per_req_s} $/req-s is invalid")
             }
             ClusterError::Engine(e) => write!(f, "per-node engine: {e}"),
+            ClusterError::Fault(e) => write!(f, "fault spec: {e}"),
+            ClusterError::ZeroRetryAttempts => {
+                f.write_str("retry policy must allow at least one attempt")
+            }
+            ClusterError::ZeroBackoffCap => {
+                f.write_str("retry backoff cap must be at least one interval")
+            }
         }
     }
 }
@@ -140,6 +159,7 @@ impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClusterError::Engine(e) => Some(e),
+            ClusterError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -169,6 +189,9 @@ pub struct ClusterSpec {
     intervals: usize,
     interval_s: f64,
     seed: u64,
+    faults: FaultSpec,
+    retry: RetrySpec,
+    mitigation: bool,
 }
 
 impl std::fmt::Debug for ClusterSpec {
@@ -183,6 +206,8 @@ impl std::fmt::Debug for ClusterSpec {
             .field("intervals", &self.intervals)
             .field("interval_s", &self.interval_s)
             .field("seed", &self.seed)
+            .field("faults", &self.faults)
+            .field("mitigation", &self.mitigation)
             .finish_non_exhaustive()
     }
 }
@@ -206,6 +231,9 @@ impl ClusterSpec {
             intervals: 0,
             interval_s: 1.0,
             seed: 0,
+            faults: FaultSpec::none(),
+            retry: RetrySpec::default(),
+            mitigation: true,
         }
     }
 
@@ -288,6 +316,30 @@ impl ClusterSpec {
         self
     }
 
+    /// Injects faults into the private tier: transient revocations and
+    /// straggler episodes per [`FaultSpec`], drawn from a dedicated
+    /// split-seeded stream. `FaultSpec::none()` (the default) leaves the
+    /// run byte-identical to a fault-free cluster.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// Sets the retry policy for work stranded on revoked nodes.
+    pub fn retry(mut self, spec: RetrySpec) -> Self {
+        self.retry = spec;
+        self
+    }
+
+    /// Toggles resilience mitigation (default on). With mitigation off,
+    /// faults still strike the nodes but the dispatcher keeps feeding
+    /// revoked and straggling nodes as if nothing happened — the
+    /// ablation baseline for `BENCH_PR8.json`.
+    pub fn mitigation(mut self, on: bool) -> Self {
+        self.mitigation = on;
+        self
+    }
+
     /// Checks the description without building it.
     pub fn validate(&self) -> Result<(), ClusterError> {
         if self.workload.is_none() {
@@ -314,6 +366,8 @@ impl ClusterSpec {
             (Some(_), 0) => return Err(ClusterError::OverflowWithoutCloud),
             (Some(of), _) => of.validate()?,
         }
+        self.faults.validate().map_err(ClusterError::Fault)?;
+        self.retry.validate()?;
         // Engine knobs are validated by EngineSpec::build per node; check
         // the shared interval length up front for a better error.
         let mut probe = EngineSpec::seeded(self.seed);
@@ -375,6 +429,16 @@ impl ClusterSpec {
             )
         });
 
+        // Node-level fault timelines ride their own split stream so the
+        // dispatcher RNG is untouched whether or not faults are on.
+        let faults = (!self.faults.is_none()).then(|| {
+            FaultPlan::new(
+                self.faults,
+                split_seed(self.seed, u64::MAX - 1),
+                self.private_nodes,
+            )
+        });
+
         Ok(ClusterSim {
             name: self.name,
             nodes,
@@ -385,6 +449,7 @@ impl ClusterSpec {
             load,
             qos,
             q,
+            cap,
             reqs_per_quantum,
             interval_s: self.interval_s,
             intervals_total: self.intervals,
@@ -396,6 +461,12 @@ impl ClusterSpec {
             trace: ClusterTrace::new(),
             assigned: vec![0; total],
             scratch_tails: Vec::with_capacity(total),
+            faults,
+            retry: self.retry,
+            mitigation: self.mitigation,
+            node_fault: vec![FaultState::Healthy; self.private_nodes],
+            retries: Vec::new(),
+            retry_scratch: Vec::new(),
         })
     }
 }
@@ -424,6 +495,17 @@ struct NodeSlot {
     carry: u32,
 }
 
+/// A batch of quanta stranded by a revocation, waiting out its backoff.
+#[derive(Debug, Clone, Copy)]
+struct RetryBatch {
+    /// Interval index at which the batch becomes eligible again.
+    due: u64,
+    /// Re-dispatch attempts consumed so far (1-based).
+    attempt: u32,
+    /// Quanta in the batch.
+    count: u32,
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -447,6 +529,7 @@ pub struct ClusterSim {
     load: Box<dyn LoadPattern>,
     qos: QosTarget,
     q: usize,
+    cap: u32,
     reqs_per_quantum: f64,
     interval_s: f64,
     intervals_total: usize,
@@ -458,6 +541,12 @@ pub struct ClusterSim {
     trace: ClusterTrace,
     assigned: Vec<u32>,
     scratch_tails: Vec<f64>,
+    faults: Option<FaultPlan>,
+    retry: RetrySpec,
+    mitigation: bool,
+    node_fault: Vec<FaultState>,
+    retries: Vec<RetryBatch>,
+    retry_scratch: Vec<RetryBatch>,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -508,13 +597,121 @@ impl ClusterSim {
     /// its cluster-wide aggregate.
     pub fn step(&mut self) -> ClusterInterval {
         let now = self.stepped as f64 * self.interval_s;
+        let idx = self.stepped as u64;
         let offered = self.load.load_at(now).max(0.0);
         let capacity_quanta = (self.n_private * self.q) as u64;
         let total_quanta = (offered * capacity_quanta as f64).round() as usize;
 
-        // Interval-start occupancy: each node's carried backlog.
+        // --- Fault overlay. Inactive (`faults: None`) this block folds
+        // nothing into the digest and touches nothing — the run stays
+        // byte-identical to a fault-free cluster.
+        let mut revoked_nodes = 0usize;
+        let mut straggling_nodes = 0usize;
+        let mut retried_quanta = 0usize;
+        let mut dropped_quanta = 0usize;
+        let mut extra_quanta = 0usize;
+        let mut all_private_masked = false;
+        if let Some(plan) = self.faults.as_mut() {
+            // Sample each private node's fault state; on a fresh
+            // revocation (mitigation on) mask the node out of dispatch
+            // and strand its carried backlog into the retry queue. A
+            // warned revocation re-dispatches immediately; an unwarned
+            // one waits out the base backoff first.
+            for i in 0..self.n_private {
+                let state = plan.state(i, now);
+                self.node_fault[i] = state;
+                match state {
+                    FaultState::Revoked { warned } => {
+                        revoked_nodes += 1;
+                        if self.mitigation {
+                            if !self.private_dispatch.is_masked(i) {
+                                self.private_dispatch.set_masked(i, true);
+                                self.digest = fnv_fold(self.digest, (2 << 32) | i as u64);
+                            }
+                            let carry = self.nodes[i].carry;
+                            if carry > 0 {
+                                let due = if warned {
+                                    idx
+                                } else {
+                                    idx + self.retry.backoff_for(0)
+                                };
+                                self.retries.push(RetryBatch {
+                                    due,
+                                    attempt: 1,
+                                    count: carry,
+                                });
+                                self.nodes[i].carry = 0;
+                            }
+                        }
+                    }
+                    FaultState::Straggling { .. } => {
+                        straggling_nodes += 1;
+                        if self.private_dispatch.is_masked(i) {
+                            self.private_dispatch.set_masked(i, false);
+                            self.digest = fnv_fold(self.digest, (3 << 32) | i as u64);
+                        }
+                    }
+                    FaultState::Healthy => {
+                        if self.private_dispatch.is_masked(i) {
+                            self.private_dispatch.set_masked(i, false);
+                            self.digest = fnv_fold(self.digest, (3 << 32) | i as u64);
+                        }
+                    }
+                }
+            }
+            all_private_masked = (0..self.n_private).all(|i| self.private_dispatch.is_masked(i));
+
+            // Drain due retry batches back into this interval's dispatch
+            // volume; batches out of attempts with nowhere to go are
+            // dropped, the rest wait out an exponentially longer backoff.
+            let any_private = !all_private_masked;
+            let can_spill = self.cloud_dispatch.is_some() && self.overflow.is_some();
+            let mut parked = std::mem::take(&mut self.retry_scratch);
+            parked.clear();
+            for batch in self.retries.drain(..) {
+                if batch.due > idx {
+                    parked.push(batch);
+                } else if any_private || can_spill {
+                    extra_quanta += batch.count as usize;
+                    retried_quanta += batch.count as usize;
+                    self.digest = fnv_fold(self.digest, (4 << 32) | u64::from(batch.count));
+                } else if batch.attempt >= self.retry.max_attempts {
+                    dropped_quanta += batch.count as usize;
+                    self.digest = fnv_fold(self.digest, (5 << 32) | u64::from(batch.count));
+                } else {
+                    parked.push(RetryBatch {
+                        due: idx + self.retry.backoff_for(batch.attempt),
+                        attempt: batch.attempt + 1,
+                        count: batch.count,
+                    });
+                }
+            }
+            std::mem::swap(&mut self.retries, &mut parked);
+            self.retry_scratch = parked;
+        }
+
+        // Interval-start occupancy: each node's carried backlog. Masked
+        // (revoked) nodes report their full capacity share (`q`) so the
+        // watermark sees exactly the lost capacity — mass revocation then
+        // overflows to the cloud tier as graceful degradation. Straggling
+        // nodes (mitigation on) report the capacity fraction a slowdown
+        // of `s` actually forfeits, `(1 - 1/s)·q`, so power-of-two picks
+        // steer around them without the watermark over-counting.
         for i in 0..self.n_private {
-            self.private_dispatch.set_occupancy(i, self.nodes[i].carry);
+            let occ = if self.private_dispatch.is_masked(i) {
+                (self.q as u32).max(self.nodes[i].carry)
+            } else if self.mitigation {
+                match self.node_fault[i] {
+                    FaultState::Straggling { slowdown } => {
+                        let penalty = ((1.0 - 1.0 / slowdown) * self.q as f64).round() as u32;
+                        self.nodes[i].carry.saturating_add(penalty).min(self.cap)
+                    }
+                    _ => self.nodes[i].carry,
+                }
+            } else {
+                self.nodes[i].carry
+            };
+            self.private_dispatch.set_occupancy(i, occ);
         }
         if let Some(cd) = self.cloud_dispatch.as_mut() {
             for (j, slot) in self.nodes[self.n_private..].iter().enumerate() {
@@ -522,14 +719,23 @@ impl ClusterSim {
             }
         }
 
-        // Place the interval's quanta one decision at a time.
+        // Place the interval's quanta one decision at a time. Retried
+        // quanta ride along as extra volume; with the whole private tier
+        // revoked and no cloud to spill to, fresh quanta are stranded
+        // into the retry queue instead of dispatched onto dead nodes.
         self.assigned.fill(0);
         let mut spilled = 0usize;
-        for _ in 0..total_quanta {
+        let mut stranded = 0u32;
+        for _ in 0..total_quanta + extra_quanta {
             let spill = match (&self.cloud_dispatch, &self.overflow) {
                 (Some(_), Some(of)) => of.spills(self.private_dispatch.total(), capacity_quanta),
                 _ => false,
             };
+            if all_private_masked && !spill {
+                stranded += 1;
+                self.digest = fnv_fold(self.digest, 6 << 32);
+                continue;
+            }
             let (tier_tag, node) = if spill {
                 let cd = self.cloud_dispatch.as_mut().expect("checked above");
                 let local = cd.pick(&mut self.rng);
@@ -544,6 +750,13 @@ impl ClusterSim {
             self.digest = fnv_fold(self.digest, (tier_tag << 32) | node as u64);
             self.decisions += 1;
         }
+        if stranded > 0 {
+            self.retries.push(RetryBatch {
+                due: idx + self.retry.backoff_for(0),
+                attempt: 1,
+                count: stranded,
+            });
+        }
 
         // Run every node's engine interval at its assigned load fraction.
         let (mut arrivals, mut completions, mut timeouts) = (0usize, 0usize, 0usize);
@@ -553,6 +766,9 @@ impl ClusterSim {
         for (i, slot) in self.nodes.iter_mut().enumerate() {
             let frac = f64::from(self.assigned[i]) / self.q as f64;
             slot.cell.store(frac.to_bits(), Ordering::Relaxed);
+            if self.faults.is_some() && i < self.n_private {
+                slot.manager.set_external_fault(self.node_fault[i]);
+            }
             let stats = slot.manager.step();
             arrivals += stats.arrivals;
             completions += stats.completions;
@@ -588,6 +804,10 @@ impl ClusterSim {
             private_energy_j: private_energy,
             cloud_busy_req_s,
             cloud_cost_usd,
+            revoked_nodes,
+            straggling_nodes,
+            retried_quanta,
+            dropped_quanta,
         };
         self.trace.push(interval.clone());
         self.stepped += 1;
@@ -643,6 +863,7 @@ mod tests {
     use super::*;
     use crate::baselines::StaticPolicy;
     use crate::policy::Policy;
+    use hipster_sim::FaultSpec;
     use hipster_workloads::{memcached, Constant};
 
     fn spec(nodes: usize) -> ClusterSpec {
@@ -742,6 +963,104 @@ mod tests {
         assert!(out.summary.spill_frac > 0.0, "{:?}", out.summary);
         assert!(out.summary.total_cloud_usd > 0.0);
         assert!(out.cloud_bill.req_seconds > 0.0);
+    }
+
+    #[test]
+    fn fault_off_is_byte_identical_to_the_fault_free_path() {
+        let plain = spec(6).build().unwrap().run();
+        let fault_off = spec(6).faults(FaultSpec::none()).build().unwrap().run();
+        assert_eq!(plain.decision_digest, fault_off.decision_digest);
+        assert_eq!(plain.summary, fault_off.summary);
+    }
+
+    #[test]
+    fn fault_knobs_validate_with_typed_errors() {
+        assert!(matches!(
+            spec(4)
+                .faults(FaultSpec::none().with_revocations(-1.0, 0.2))
+                .validate(),
+            Err(ClusterError::Fault(_))
+        ));
+        let mut bad = RetrySpec::default();
+        bad.max_attempts = 0;
+        assert_eq!(
+            spec(4).retry(bad).validate(),
+            Err(ClusterError::ZeroRetryAttempts)
+        );
+        let mut bad = RetrySpec::default();
+        bad.backoff_cap_intervals = 0;
+        assert_eq!(
+            spec(4).retry(bad).validate(),
+            Err(ClusterError::ZeroBackoffCap)
+        );
+    }
+
+    fn faulty_spec(nodes: usize, mitigation: bool) -> ClusterSpec {
+        spec(nodes)
+            .intervals(40)
+            .faults(
+                FaultSpec::none()
+                    .with_revocations(2.0, 0.3)
+                    .with_warned(0.5),
+            )
+            .mitigation(mitigation)
+    }
+
+    #[test]
+    fn revocations_mask_nodes_and_recycle_work() {
+        let out = faulty_spec(6, true).build().unwrap().run();
+        assert!(out.summary.revoked_node_intervals > 0, "{:?}", out.summary);
+        assert!(
+            out.summary.retried_quanta > 0,
+            "stranded backlog should re-dispatch: {:?}",
+            out.summary
+        );
+        // Mitigation changes dispatch decisions relative to the ablation.
+        let ablated = faulty_spec(6, false).build().unwrap().run();
+        assert_eq!(
+            out.summary.revoked_node_intervals, ablated.summary.revoked_node_intervals,
+            "fault timeline is independent of mitigation"
+        );
+        assert_ne!(out.decision_digest, ablated.decision_digest);
+        assert_eq!(ablated.summary.retried_quanta, 0);
+    }
+
+    #[test]
+    fn straggler_episodes_are_counted_and_deterministic() {
+        let make = || {
+            spec(6)
+                .intervals(40)
+                .faults(FaultSpec::none().with_stragglers(2.0, 0.3, 1.5, 2.0, 6.0))
+                .build()
+                .unwrap()
+                .run()
+        };
+        let a = make();
+        let b = make();
+        assert!(a.summary.straggling_node_intervals > 0, "{:?}", a.summary);
+        assert_eq!(a.summary.revoked_node_intervals, 0);
+        assert_eq!(a.decision_digest, b.decision_digest);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn total_revocation_without_cloud_strands_then_drops() {
+        // One node, revoked essentially forever: fresh quanta must be
+        // stranded (never dispatched to the dead node) and eventually
+        // dropped once their retry budget runs out.
+        let out = spec(1)
+            .intervals(30)
+            .faults(FaultSpec::none().with_revocations(200.0, 1e6))
+            .retry(RetrySpec {
+                max_attempts: 2,
+                backoff_intervals: 1,
+                backoff_cap_intervals: 2,
+            })
+            .build()
+            .unwrap()
+            .run();
+        assert!(out.summary.revoked_node_intervals > 20, "{:?}", out.summary);
+        assert!(out.summary.dropped_quanta > 0, "{:?}", out.summary);
     }
 
     #[test]

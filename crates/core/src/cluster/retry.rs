@@ -1,0 +1,94 @@
+//! Retry policy for work stranded on revoked nodes: capped attempts
+//! with exponential backoff, measured in monitoring intervals.
+
+use super::ClusterError;
+
+/// How the cluster re-dispatches quanta stranded on a revoked node.
+///
+/// When a node is revoked mid-run, its carried backlog is pulled off the
+/// node and parked in a retry queue. Each parked batch waits
+/// `backoff_intervals << attempt` intervals (clamped to
+/// `backoff_cap_intervals`) before re-entering dispatch; after
+/// `max_attempts` failed re-dispatches the batch is dropped and counted
+/// in [`ClusterSummary::dropped_quanta`](super::ClusterSummary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Re-dispatch attempts before a stranded batch is dropped (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff before the first re-dispatch, in intervals.
+    pub backoff_intervals: u32,
+    /// Upper bound on any single backoff wait, in intervals (≥ 1).
+    pub backoff_cap_intervals: u32,
+}
+
+impl Default for RetrySpec {
+    /// Three attempts, one-interval base backoff, eight-interval cap.
+    fn default() -> Self {
+        RetrySpec {
+            max_attempts: 3,
+            backoff_intervals: 1,
+            backoff_cap_intervals: 8,
+        }
+    }
+}
+
+impl RetrySpec {
+    /// Checks the knobs: zero attempts or a zero backoff cap would
+    /// either drop everything instantly or never delay a retry.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.max_attempts == 0 {
+            return Err(ClusterError::ZeroRetryAttempts);
+        }
+        if self.backoff_cap_intervals == 0 {
+            return Err(ClusterError::ZeroBackoffCap);
+        }
+        Ok(())
+    }
+
+    /// The wait before attempt `attempt` (1-based), in intervals:
+    /// exponential in the attempt number, clamped to the cap, never zero.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(16);
+        u64::from(self.backoff_intervals)
+            .saturating_mul(1u64 << shift)
+            .clamp(1, u64::from(self.backoff_cap_intervals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates_and_backoff_doubles_to_the_cap() {
+        let r = RetrySpec::default();
+        assert!(r.validate().is_ok());
+        assert_eq!(r.backoff_for(0), 1);
+        assert_eq!(r.backoff_for(1), 2);
+        assert_eq!(r.backoff_for(2), 4);
+        assert_eq!(r.backoff_for(3), 8);
+        assert_eq!(r.backoff_for(4), 8, "clamped at the cap");
+        assert_eq!(r.backoff_for(40), 8, "shift is bounded");
+    }
+
+    #[test]
+    fn zero_knobs_are_typed_errors() {
+        let mut r = RetrySpec::default();
+        r.max_attempts = 0;
+        assert_eq!(r.validate(), Err(ClusterError::ZeroRetryAttempts));
+        let mut r = RetrySpec::default();
+        r.backoff_cap_intervals = 0;
+        assert_eq!(r.validate(), Err(ClusterError::ZeroBackoffCap));
+    }
+
+    #[test]
+    fn zero_base_backoff_still_waits_one_interval() {
+        let r = RetrySpec {
+            max_attempts: 2,
+            backoff_intervals: 0,
+            backoff_cap_intervals: 4,
+        };
+        assert!(r.validate().is_ok());
+        assert_eq!(r.backoff_for(1), 1);
+    }
+}

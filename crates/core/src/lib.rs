@@ -77,7 +77,7 @@ pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
 pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
 pub use cluster::{
     ClusterError, ClusterInterval, ClusterOutcome, ClusterSim, ClusterSpec, ClusterSummary,
-    ClusterTrace, DispatchPolicy, OverflowSpec,
+    ClusterTrace, DispatchPolicy, OverflowSpec, RetrySpec,
 };
 pub use configspace::ConfigSpace;
 pub use feedback::{FeedbackController, Zones};
@@ -89,7 +89,7 @@ pub use metrics::{energy_reduction_pct, PolicySummary};
 pub use policy::{Observation, Policy};
 pub use qtable::QTable;
 pub use reward::{reward, Objective, RewardParams};
-pub use scenario::{PolicyFactory, ScenarioError, ScenarioOutcome, ScenarioSpec};
+pub use scenario::{BatchDeadline, PolicyFactory, ScenarioError, ScenarioOutcome, ScenarioSpec};
 pub use telemetry::{
     CsvSink, JsonLinesSink, RunMeta, SinkHandle, SummarySink, TelemetrySink, TraceSink,
 };

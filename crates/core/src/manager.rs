@@ -143,6 +143,13 @@ impl Manager {
         &self.engine
     }
 
+    /// Applies a machine-wide fault state for the next interval — the
+    /// cluster tier's hook for injecting node-level revocations and
+    /// straggler slowdowns into this node's engine.
+    pub fn set_external_fault(&mut self, state: hipster_sim::FaultState) {
+        self.engine.set_external_fault(state);
+    }
+
     /// The observation the policy will act on next.
     pub fn observation(&self) -> Observation {
         let qos = self.engine.lc_model().qos();

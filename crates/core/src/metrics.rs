@@ -17,6 +17,10 @@ pub struct PolicySummary {
     pub migrations: usize,
     /// Mean aggregate batch IPS (0 without collocation).
     pub mean_batch_ips: f64,
+    /// Fraction of batch tasks that missed their deadline, percent
+    /// (`None` unless the scenario declared a
+    /// [`BatchDeadline`](crate::BatchDeadline)).
+    pub deadline_miss_pct: Option<f64>,
 }
 
 impl PolicySummary {
@@ -29,6 +33,7 @@ impl PolicySummary {
             total_energy_j: trace.total_energy_j(),
             migrations: trace.total_migrations(),
             mean_batch_ips: trace.mean_batch_ips(),
+            deadline_miss_pct: None,
         }
     }
 

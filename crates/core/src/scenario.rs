@@ -33,7 +33,8 @@
 
 use hipster_platform::Platform;
 use hipster_sim::{
-    BatchProgram, EngineSpec, EngineSpecError, LcModel, LoadPattern, QosTarget, Trace,
+    BatchProgram, EngineSpec, EngineSpecError, FaultSpec, FaultSpecError, LcModel, LoadPattern,
+    QosTarget, Trace,
 };
 
 use crate::manager::Manager;
@@ -82,6 +83,17 @@ pub enum ScenarioError {
     BatchWithoutCollocation,
     /// An engine knob is invalid (interval length, jitter sigma).
     Engine(EngineSpecError),
+    /// The fault-injection spec is invalid (negative rate, probability
+    /// outside `[0, 1]`, slowdown below one, ...).
+    Fault(FaultSpecError),
+    /// A batch deadline was declared without a collocated batch tenant.
+    DeadlineWithoutBatch,
+    /// The batch deadline itself is malformed (zero tasks, non-positive
+    /// work or deadline).
+    InvalidDeadline {
+        /// The rejected deadline description.
+        deadline: BatchDeadline,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -100,6 +112,13 @@ impl std::fmt::Display for ScenarioError {
                 f.write_str("batch programs supplied but collocation is disabled")
             }
             ScenarioError::Engine(e) => write!(f, "invalid engine configuration: {e}"),
+            ScenarioError::Fault(e) => write!(f, "fault spec: {e}"),
+            ScenarioError::DeadlineWithoutBatch => {
+                f.write_str("batch deadline declared but the scenario is not collocated")
+            }
+            ScenarioError::InvalidDeadline { deadline } => {
+                write!(f, "invalid batch deadline: {deadline:?}")
+            }
         }
     }
 }
@@ -108,6 +127,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Engine(e) => Some(e),
+            ScenarioError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +136,64 @@ impl std::error::Error for ScenarioError {
 impl From<EngineSpecError> for ScenarioError {
     fn from(e: EngineSpecError) -> Self {
         ScenarioError::Engine(e)
+    }
+}
+
+/// A deadline for the collocated batch tenant: a bag of `tasks` equal
+/// tasks, each `instructions_per_task` instructions of work, all due by
+/// `deadline_s` seconds into the run. Tasks drain sequentially from the
+/// measured batch throughput; [`PolicySummary::deadline_miss_pct`]
+/// reports the fraction finishing late (or never).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchDeadline {
+    /// Number of equal tasks in the bag (≥ 1).
+    pub tasks: usize,
+    /// Work per task, instructions.
+    pub instructions_per_task: f64,
+    /// Completion deadline, seconds from the start of the run.
+    pub deadline_s: f64,
+}
+
+impl BatchDeadline {
+    /// A bag of `tasks` tasks of `instructions_per_task` instructions,
+    /// all due at `deadline_s`.
+    pub fn new(tasks: usize, instructions_per_task: f64, deadline_s: f64) -> Self {
+        BatchDeadline {
+            tasks,
+            instructions_per_task,
+            deadline_s,
+        }
+    }
+
+    fn valid(&self) -> bool {
+        self.tasks > 0
+            && self.instructions_per_task.is_finite()
+            && self.instructions_per_task > 0.0
+            && self.deadline_s.is_finite()
+            && self.deadline_s > 0.0
+    }
+
+    /// Fraction of the bag's tasks finishing after `deadline_s` (or not
+    /// at all), given a run's measured batch throughput.
+    pub fn miss_fraction(&self, trace: &Trace) -> f64 {
+        let mut missed = 0usize;
+        let mut completed_instr = 0.0f64;
+        let mut next_task = 0usize;
+        for iv in trace.intervals() {
+            completed_instr += (iv.batch_ips_big + iv.batch_ips_small) * iv.duration_s;
+            let end = iv.start_s + iv.duration_s;
+            while next_task < self.tasks
+                && completed_instr >= (next_task + 1) as f64 * self.instructions_per_task
+            {
+                if end > self.deadline_s {
+                    missed += 1;
+                }
+                next_task += 1;
+            }
+        }
+        // Tasks the run never finished are late by definition.
+        missed += self.tasks - next_task;
+        missed as f64 / self.tasks as f64
     }
 }
 
@@ -136,6 +214,7 @@ pub struct ScenarioSpec {
     policy: Option<Box<dyn PolicyFactory>>,
     batch: Vec<BatchFactory>,
     collocate: bool,
+    deadline: Option<BatchDeadline>,
     intervals: usize,
     seed: Option<u64>,
     engine: EngineSpec,
@@ -148,6 +227,7 @@ impl std::fmt::Debug for ScenarioSpec {
             .field("name", &self.name)
             .field("collocate", &self.collocate)
             .field("batch_programs", &self.batch.len())
+            .field("deadline", &self.deadline)
             .field("intervals", &self.intervals)
             .field("seed", &self.seed)
             .field("engine", &self.engine)
@@ -167,6 +247,7 @@ impl ScenarioSpec {
             policy: None,
             batch: Vec::new(),
             collocate: false,
+            deadline: None,
             intervals: 0,
             seed: None,
             engine: EngineSpec::default(),
@@ -235,6 +316,24 @@ impl ScenarioSpec {
     /// Enables batch collocation (HipsterCo style).
     pub fn collocated(mut self) -> Self {
         self.collocate = true;
+        self
+    }
+
+    /// Declares the collocated batch pool as a deadline-constrained bag
+    /// of tasks; the run's summary then reports
+    /// [`PolicySummary::deadline_miss_pct`]. Requires
+    /// [`collocated`](Self::collocated).
+    pub fn batch_deadline(mut self, deadline: BatchDeadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Injects machine faults — transient core revocations and straggler
+    /// slowdowns per [`FaultSpec`] — into the engine, on a dedicated
+    /// split-seeded stream. `FaultSpec::none()` (the default) leaves the
+    /// run byte-identical to a fault-free scenario.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.engine.faults = spec;
         self
     }
 
@@ -313,6 +412,15 @@ impl ScenarioSpec {
         if !self.collocate && !self.batch.is_empty() {
             return Err(ScenarioError::BatchWithoutCollocation);
         }
+        match &self.deadline {
+            Some(_) if !self.collocate => return Err(ScenarioError::DeadlineWithoutBatch),
+            Some(d) if !d.valid() => return Err(ScenarioError::InvalidDeadline { deadline: *d }),
+            _ => {}
+        }
+        self.engine
+            .faults
+            .validate()
+            .map_err(ScenarioError::Fault)?;
         self.engine.validate()?;
         Ok(())
     }
@@ -358,10 +466,14 @@ impl ScenarioSpec {
     /// [`ScenarioSpec::seed_value`].
     pub fn run(self) -> Result<ScenarioOutcome, ScenarioError> {
         let name = self.name.clone();
+        let deadline = self.deadline;
         let (mut manager, intervals) = self.build()?;
         let trace = manager.run(intervals);
         let meta = manager.meta().clone();
-        let summary = PolicySummary::from_trace(meta.policy.clone(), &trace, meta.qos);
+        let mut summary = PolicySummary::from_trace(meta.policy.clone(), &trace, meta.qos);
+        if let Some(d) = deadline {
+            summary.deadline_miss_pct = Some(100.0 * d.miss_fraction(&trace));
+        }
         let _engine = manager.finish();
         Ok(ScenarioOutcome {
             name,
@@ -529,6 +641,78 @@ mod tests {
         let by_hand = Manager::new(engine, Box::new(StaticPolicy::all_big(&platform))).run(5);
         let by_spec = base().run().unwrap().trace;
         assert_eq!(by_hand.to_csv(), by_spec.to_csv());
+    }
+
+    #[test]
+    fn deadline_misdeclarations_are_typed_errors() {
+        let spec = base().batch_deadline(BatchDeadline::new(4, 1.0e9, 5.0));
+        assert_eq!(spec.validate(), Err(ScenarioError::DeadlineWithoutBatch));
+        let bad = BatchDeadline::new(0, 1.0e9, 5.0);
+        let spec = base()
+            .collocated()
+            .batch_with(|| Box::new(FixedIps))
+            .batch_deadline(bad);
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::InvalidDeadline { deadline: bad })
+        );
+        let bad = BatchDeadline::new(4, -1.0, 5.0);
+        let spec = base()
+            .collocated()
+            .batch_with(|| Box::new(FixedIps))
+            .batch_deadline(bad);
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::InvalidDeadline { deadline: bad })
+        );
+    }
+
+    #[test]
+    fn deadline_miss_fraction_lands_in_summary() {
+        // Generous deadline: every task makes it.
+        let out = base()
+            .collocated()
+            .batch_with(|| Box::new(FixedIps))
+            .batch_deadline(BatchDeadline::new(4, 1.0e6, 5.0))
+            .run()
+            .expect("valid");
+        assert_eq!(out.summary.deadline_miss_pct, Some(0.0));
+        // Impossible volume: every task is late (never finishes).
+        let out = base()
+            .collocated()
+            .batch_with(|| Box::new(FixedIps))
+            .batch_deadline(BatchDeadline::new(4, 1.0e30, 5.0))
+            .run()
+            .expect("valid");
+        assert_eq!(out.summary.deadline_miss_pct, Some(100.0));
+        // No deadline declared: the summary stays None.
+        let out = base()
+            .collocated()
+            .batch_with(|| Box::new(FixedIps))
+            .run()
+            .expect("valid");
+        assert_eq!(out.summary.deadline_miss_pct, None);
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_typed_error() {
+        let spec = base().faults(FaultSpec::none().with_warned(2.0));
+        assert!(matches!(spec.validate(), Err(ScenarioError::Fault(_))));
+        let spec = base().faults(FaultSpec::none().with_stragglers(1.0, 0.1, 1.5, 0.5, 2.0));
+        assert!(matches!(spec.validate(), Err(ScenarioError::Fault(_))));
+    }
+
+    #[test]
+    fn fault_off_scenario_matches_plain_run() {
+        let plain = base().run().unwrap();
+        let off = base().faults(FaultSpec::none()).run().unwrap();
+        assert_eq!(plain.trace.to_csv(), off.trace.to_csv());
+        // Faults on: the run completes and differs.
+        let on = base()
+            .faults(FaultSpec::none().with_revocations(3.0, 0.4))
+            .run()
+            .unwrap();
+        assert_ne!(plain.trace.to_csv(), on.trace.to_csv());
     }
 
     #[test]

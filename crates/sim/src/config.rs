@@ -11,6 +11,7 @@ use hipster_platform::Platform;
 
 use crate::costs::{ContentionModel, ReconfigCosts};
 use crate::engine::{Engine, DEFAULT_JITTER_SIGMA};
+use crate::fault::{FaultSpec, FaultSpecError};
 use crate::traits::{BatchProgram, LcModel, LoadPattern};
 
 /// Why an [`EngineSpec`] failed validation.
@@ -26,6 +27,8 @@ pub enum EngineSpecError {
         /// The rejected sigma.
         sigma: f64,
     },
+    /// The fault-injection spec is invalid.
+    Fault(FaultSpecError),
 }
 
 impl std::fmt::Display for EngineSpecError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for EngineSpecError {
                     "jitter sigma must be finite and non-negative, got {sigma}"
                 )
             }
+            EngineSpecError::Fault(e) => write!(f, "fault spec: {e}"),
         }
     }
 }
@@ -66,6 +70,9 @@ pub struct EngineSpec {
     /// Whether Linux `cpuidle` is disabled (the paper's perf-bug
     /// mitigation; idle cores burn more power but counters stay clean).
     pub cpuidle_disabled: bool,
+    /// Fault injection: transient revocations and straggler episodes
+    /// ([`FaultSpec::none`] = the exact fault-free path).
+    pub faults: FaultSpec,
 }
 
 impl Default for EngineSpec {
@@ -78,6 +85,7 @@ impl Default for EngineSpec {
             contention: ContentionModel::juno_defaults(),
             perf_quirk: false,
             cpuidle_disabled: false,
+            faults: FaultSpec::none(),
         }
     }
 }
@@ -103,6 +111,7 @@ impl EngineSpec {
                 sigma: self.jitter_sigma,
             });
         }
+        self.faults.validate().map_err(EngineSpecError::Fault)?;
         Ok(())
     }
 
@@ -126,6 +135,9 @@ impl EngineSpec {
             .with_costs(self.costs)
             .with_contention(self.contention)
             .with_perf_quirk(self.perf_quirk);
+        if !self.faults.is_none() {
+            engine = engine.with_faults(self.faults);
+        }
         if !batch.is_empty() {
             engine = engine.with_batch_pool(batch);
         }
@@ -211,6 +223,18 @@ mod tests {
         let mut s = EngineSpec::default();
         s.interval_s = f64::NAN;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_fault_spec() {
+        let mut s = EngineSpec::default();
+        s.faults = FaultSpec::none()
+            .with_warned(2.0)
+            .with_revocations(0.1, 1.0);
+        assert!(matches!(
+            s.validate(),
+            Err(EngineSpecError::Fault(FaultSpecError::InvalidProbability { prob })) if prob == 2.0
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use hipster_platform::{
 
 use crate::costs::{ContentionModel, ReconfigCosts};
 use crate::dist::Exponential;
+use crate::fault::{FaultPlan, FaultSpec, FaultState};
 use crate::request::QosTarget;
 use crate::rng::{Sampler, SimRng};
 use crate::service::{ServerSpec, ServiceNode};
@@ -206,6 +207,25 @@ pub struct Engine {
     small_busy_buf: Vec<f64>,
     /// Completion times collected by the closed-loop event loop.
     completions_buf: Vec<f64>,
+    /// The run seed, kept so the fault stream can be derived lazily from
+    /// its own dedicated fork without disturbing demand/arrival/jitter.
+    seed: u64,
+    /// Per-core fault timelines, when fault injection is enabled.
+    faults: Option<FaultPlan>,
+    /// Machine-wide fault condition imposed from outside (the cluster
+    /// tier revokes or slows whole nodes through this).
+    external_fault: FaultState,
+    /// Previous interval's per-server revocation flags (spec order), for
+    /// detecting alive-set changes that force a preempting reconfigure.
+    prev_revoked: Vec<bool>,
+    /// Scratch: this interval's per-server fault states (spec order).
+    fault_states_buf: Vec<FaultState>,
+    /// Scratch: this interval's per-server revocation flags.
+    cur_revoked_buf: Vec<bool>,
+    /// Core-intervals spent revoked (fault telemetry).
+    revoked_core_intervals: u64,
+    /// Core-intervals spent straggling (fault telemetry).
+    straggler_core_intervals: u64,
 }
 
 impl Engine {
@@ -258,6 +278,14 @@ impl Engine {
             big_busy_buf: Vec::new(),
             small_busy_buf: Vec::new(),
             completions_buf: Vec::new(),
+            seed,
+            faults: None,
+            external_fault: FaultState::Healthy,
+            prev_revoked: Vec::new(),
+            fault_states_buf: Vec::new(),
+            cur_revoked_buf: Vec::new(),
+            revoked_core_intervals: 0,
+            straggler_core_intervals: 0,
         }
     }
 
@@ -314,6 +342,51 @@ impl Engine {
         assert!(sigma.is_finite() && sigma >= 0.0, "invalid jitter: {sigma}");
         self.jitter_sigma = sigma;
         self
+    }
+
+    /// Enables fault injection: per-core transient revocations and
+    /// straggler episodes scheduled by `spec`. The timelines draw from a
+    /// dedicated `"faults"` fork of the run seed, so enabling faults
+    /// never perturbs the demand/arrival/jitter streams, and
+    /// [`FaultSpec::none`] leaves the engine exactly on the fault-free
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`FaultSpec::validate`] — scenario and
+    /// cluster specs validate before reaching here.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid fault spec: {e}"));
+        self.faults = (!spec.is_none()).then(|| {
+            let base = SimRng::seed(self.seed).fork("faults").next_u64();
+            FaultPlan::new(spec, base, self.platform.num_cores())
+        });
+        self
+    }
+
+    /// Imposes a machine-wide fault condition from outside for subsequent
+    /// intervals — the cluster tier's hook for revoking or slowing whole
+    /// nodes. Combines with any per-core [`Engine::with_faults`] plan
+    /// (revocation dominates; straggles compound).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straggling state with slowdown below 1.
+    pub fn set_external_fault(&mut self, state: FaultState) {
+        if let FaultState::Straggling { slowdown } = state {
+            assert!(
+                slowdown.is_finite() && slowdown >= 1.0,
+                "external straggle slowdown must be >= 1: {slowdown}"
+            );
+        }
+        self.external_fault = state;
+    }
+
+    /// Core-intervals spent `(revoked, straggling)` so far — the engine's
+    /// fault telemetry counters.
+    pub fn fault_core_intervals(&self) -> (u64, u64) {
+        (self.revoked_core_intervals, self.straggler_core_intervals)
     }
 
     /// Disables Linux `cpuidle` — the paper's mitigation for the perf bug.
@@ -374,7 +447,7 @@ impl Engine {
             "latency-critical workload needs at least one core"
         );
 
-        let (preempt, stall, migrated) = self.transition_kind(&cfg);
+        let (mut preempt, mut stall, migrated) = self.transition_kind(&cfg);
         self.total_migrations += migrated as u64;
         self.cold_this_interval = migrated > 0;
 
@@ -404,8 +477,94 @@ impl Engine {
                 slowdown,
             });
         }
-        self.node
-            .reconfigure(self.now, &self.specs_buf, preempt, stall);
+        // Fault overlay, sampled at the interval boundary: revoked servers
+        // drop out of the spec list (forcing a preempting reconfigure when
+        // the alive set changes, so in-flight work requeues), stragglers
+        // keep their slot with a multiplied slowdown (a pure re-key riding
+        // the DVFS path). When no plan, no external fault, and no revoked
+        // carry-over exist, none of this runs and the spec list is exactly
+        // the fault-free one.
+        let total_servers = cfg.lc.total_cores();
+        let mut alive_big = cfg.lc.n_big;
+        let mut alive_small = cfg.lc.n_small;
+        let faults_active = self.faults.is_some()
+            || self.external_fault.is_faulted()
+            || self.prev_revoked.iter().any(|&r| r);
+        if faults_active {
+            let big_total = self.platform.cluster(CoreKind::Big).len();
+            self.fault_states_buf.clear();
+            for s in 0..total_servers {
+                // Server `s` sits on a stable physical core: big LC servers
+                // on big cores 0.., small LC servers on small cores 0..
+                // (platform core id `big_total + ..`).
+                let unit = if s < cfg.lc.n_big {
+                    s
+                } else {
+                    big_total + (s - cfg.lc.n_big)
+                };
+                let local = match &mut self.faults {
+                    Some(plan) => plan.state(unit, self.now),
+                    None => FaultState::Healthy,
+                };
+                self.fault_states_buf
+                    .push(FaultState::combine(self.external_fault, local));
+            }
+            self.cur_revoked_buf.clear();
+            let mut unwarned_new = false;
+            let mut w = 0usize;
+            for s in 0..total_servers {
+                match self.fault_states_buf[s] {
+                    FaultState::Revoked { warned } => {
+                        self.cur_revoked_buf.push(true);
+                        if s < cfg.lc.n_big {
+                            alive_big -= 1;
+                        } else {
+                            alive_small -= 1;
+                        }
+                        self.revoked_core_intervals += 1;
+                        if !warned && self.prev_revoked.get(s) != Some(&true) {
+                            unwarned_new = true;
+                        }
+                    }
+                    state => {
+                        self.cur_revoked_buf.push(false);
+                        let mut spec = self.specs_buf[s];
+                        if let FaultState::Straggling { slowdown: m } = state {
+                            spec.slowdown *= m;
+                            self.straggler_core_intervals += 1;
+                        }
+                        self.specs_buf[w] = spec;
+                        w += 1;
+                    }
+                }
+            }
+            self.specs_buf.truncate(w);
+            let cur_any = self.cur_revoked_buf.iter().any(|&r| r);
+            let prev_any = self.prev_revoked.iter().any(|&r| r);
+            let revoked_set_changed =
+                (cur_any || prev_any) && self.prev_revoked != self.cur_revoked_buf;
+            if !preempt && revoked_set_changed {
+                // The alive set changed: requeue in-flight work through the
+                // preemption path. A fresh *unwarned* revocation also pays
+                // the migration stall; warned ones drained gracefully.
+                preempt = true;
+                if unwarned_new {
+                    stall = stall.max(self.costs.core_migration_stall_s);
+                }
+            }
+            std::mem::swap(&mut self.prev_revoked, &mut self.cur_revoked_buf);
+        } else if !self.prev_revoked.is_empty() {
+            self.prev_revoked.clear();
+        }
+        if self.specs_buf.is_empty() {
+            // Every server revoked: nothing to run on. Requests keep
+            // queueing (and shed on timeout at dispatch); energy gates in
+            // `measure` via the zero alive counts.
+            self.node.revoke_all(self.now);
+        } else {
+            self.node
+                .reconfigure(self.now, &self.specs_buf, preempt, stall);
+        }
         self.node.begin_interval(self.now);
 
         // Event loop for the interval.
@@ -420,7 +579,15 @@ impl Engine {
         let node_iv = self.node.end_interval(t_end, self.lc_qos.percentile);
 
         // Measurement: power, energy, counters.
-        let stats = self.measure(cfg, frac, rate, node_iv, &batch_cores);
+        let stats = self.measure(
+            cfg,
+            frac,
+            rate,
+            node_iv,
+            &batch_cores,
+            alive_big,
+            alive_small,
+        );
         self.batch_kinds_buf = batch_cores;
         self.current = Some(cfg);
         self.now = t_end;
@@ -618,6 +785,11 @@ impl Engine {
         self.completions_buf = completions;
     }
 
+    /// `alive_big`/`alive_small` are the LC servers that actually ran
+    /// this interval (equal to `cfg.lc` counts unless fault injection
+    /// revoked some): the node's busy vector covers exactly those, and
+    /// energy gating keys off them so a fully revoked cluster powers down.
+    #[allow(clippy::too_many_arguments)]
     fn measure(
         &mut self,
         cfg: MachineConfig,
@@ -625,6 +797,8 @@ impl Engine {
         rate: f64,
         node_iv: crate::service::NodeInterval,
         batch_cores: &[CoreKind],
+        alive_big: usize,
+        alive_small: usize,
     ) -> IntervalStats {
         let dur = self.interval_s;
         let big_total = self.platform.cluster(CoreKind::Big).len();
@@ -639,11 +813,11 @@ impl Engine {
         big_busy.resize(big_total, 0.0);
         small_busy.clear();
         small_busy.resize(small_total, 0.0);
-        for i in 0..cfg.lc.n_big {
+        for i in 0..alive_big {
             big_busy[i] = node_iv.busy[i];
         }
-        for i in 0..cfg.lc.n_small {
-            small_busy[i] = node_iv.busy[cfg.lc.n_big + i];
+        for i in 0..alive_small {
+            small_busy[i] = node_iv.busy[alive_big + i];
         }
         let n_batch_big = batch_cores.iter().filter(|k| **k == CoreKind::Big).count();
         let n_batch_small = batch_cores.len() - n_batch_big;
@@ -693,7 +867,7 @@ impl Engine {
             .spec()
             .compute_ips(cfg.small_freq);
         for (i, &b) in big_busy.iter().enumerate() {
-            if i < cfg.lc.n_big {
+            if i < alive_big {
                 self.counters
                     .record(CoreId(i), (big_lc_ips * b * dur) as u64, b);
             }
@@ -704,7 +878,7 @@ impl Engine {
         }
         for (i, &b) in small_busy.iter().enumerate() {
             let core = CoreId(big_total + i);
-            if i < cfg.lc.n_small {
+            if i < alive_small {
                 self.counters
                     .record(core, (small_lc_ips * b * dur) as u64, b);
             }
@@ -727,8 +901,8 @@ impl Engine {
         // fully idle: with cpuidle enabled it enters Juno's cluster-off
         // state and its static draw collapses.
         let model = self.power_override.unwrap_or(*self.platform.power_model());
-        let big_gated = cfg.lc.n_big == 0 && n_batch_big == 0;
-        let small_gated = cfg.lc.n_small == 0 && n_batch_small == 0;
+        let big_gated = alive_big == 0 && n_batch_big == 0;
+        let small_gated = alive_small == 0 && n_batch_small == 0;
         let power = model.system_power_gated(
             &self.platform,
             cfg.big_freq,

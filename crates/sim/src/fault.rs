@@ -1,0 +1,532 @@
+//! Deterministic fault injection: transient server revocations and
+//! heavy-tailed straggler episodes.
+//!
+//! A [`FaultSpec`] declares two independent per-server fault families:
+//!
+//! * **Transient revocations** (CloudCoaster-style): a server disappears
+//!   for a fixed epoch. Revocations arrive as a Poisson process per
+//!   server; each episode is *warned* (the scheduler saw it coming and
+//!   drains gracefully) or *unwarned* (in-flight work is preempted and
+//!   pays the migration stall) with probability `warned_prob`.
+//! * **Straggler episodes** (START-style): a server keeps running but
+//!   slows down by a heavy-tailed multiplier drawn from a bounded Pareto,
+//!   for a fixed epoch. Stragglers ride the existing DVFS re-key path —
+//!   the server set is unchanged, only effective rates move.
+//!
+//! A [`FaultPlan`] expands a spec into per-unit timelines ("unit" is a
+//! physical core for the engine, a node for the cluster tier). Every unit
+//! gets its own split-seeded [`SimRng`] *pair* (one stream per fault
+//! family), so timelines are reproducible and independent of how many
+//! other units exist, which units are queried, or what order queries
+//! arrive in across units. Queries per unit must be time-monotonic — the
+//! engine and cluster both sample at interval starts, which are.
+//!
+//! `FaultSpec::none()` builds no plan at all: the fault-off path draws
+//! zero random numbers and executes the exact pre-fault code, which the
+//! `fault_equivalence` differential suite pins byte-for-byte.
+
+use crate::dist::{BoundedPareto, Exponential};
+use crate::rng::{Sampler, SimRng};
+use std::fmt;
+
+/// Declarative fault configuration. `Copy`, like [`crate::EngineSpec`],
+/// so specs can be embedded in engine/cluster specs freely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Poisson rate of revocation episodes per server, per second.
+    /// Zero disables revocations.
+    pub revocation_rate_per_s: f64,
+    /// Length of each revocation epoch, seconds.
+    pub revocation_duration_s: f64,
+    /// Probability a revocation is warned (graceful drain, no stall, and
+    /// the cluster tier may re-dispatch stranded work immediately).
+    pub warned_prob: f64,
+    /// Poisson rate of straggler episodes per server, per second.
+    /// Zero disables stragglers.
+    pub straggler_rate_per_s: f64,
+    /// Length of each straggler epoch, seconds.
+    pub straggler_duration_s: f64,
+    /// Pareto shape of the slowdown multiplier (smaller = heavier tail).
+    pub straggler_alpha: f64,
+    /// Minimum slowdown multiplier (must be >= 1: a straggler never
+    /// speeds up).
+    pub straggler_min: f64,
+    /// Maximum slowdown multiplier (>= `straggler_min`).
+    pub straggler_max: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+impl FaultSpec {
+    /// No faults at all — the simulator behaves exactly as without this
+    /// subsystem.
+    pub fn none() -> Self {
+        FaultSpec {
+            revocation_rate_per_s: 0.0,
+            revocation_duration_s: 0.0,
+            warned_prob: 0.0,
+            straggler_rate_per_s: 0.0,
+            straggler_duration_s: 0.0,
+            straggler_alpha: 1.0,
+            straggler_min: 1.0,
+            straggler_max: 1.0,
+        }
+    }
+
+    /// Enables transient revocations at `rate_per_s` per server, each
+    /// lasting `duration_s`.
+    pub fn with_revocations(mut self, rate_per_s: f64, duration_s: f64) -> Self {
+        self.revocation_rate_per_s = rate_per_s;
+        self.revocation_duration_s = duration_s;
+        self
+    }
+
+    /// Sets the probability that a revocation is warned.
+    pub fn with_warned(mut self, prob: f64) -> Self {
+        self.warned_prob = prob;
+        self
+    }
+
+    /// Enables straggler episodes at `rate_per_s` per server, each
+    /// lasting `duration_s`, with slowdown multipliers drawn from
+    /// `BoundedPareto(min, max, alpha)` (or exactly `min` when
+    /// `min == max`).
+    pub fn with_stragglers(
+        mut self,
+        rate_per_s: f64,
+        duration_s: f64,
+        alpha: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        self.straggler_rate_per_s = rate_per_s;
+        self.straggler_duration_s = duration_s;
+        self.straggler_alpha = alpha;
+        self.straggler_min = min;
+        self.straggler_max = max;
+        self
+    }
+
+    /// True when both fault families are disabled.
+    pub fn is_none(&self) -> bool {
+        self.revocation_rate_per_s == 0.0 && self.straggler_rate_per_s == 0.0
+    }
+
+    /// Checks every knob, returning the first violation. A spec that
+    /// passes here can never panic deeper in the stack.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        for &rate in &[self.revocation_rate_per_s, self.straggler_rate_per_s] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(FaultSpecError::NegativeRate { rate });
+            }
+        }
+        if !self.warned_prob.is_finite() || !(0.0..=1.0).contains(&self.warned_prob) {
+            return Err(FaultSpecError::InvalidProbability {
+                prob: self.warned_prob,
+            });
+        }
+        if self.revocation_rate_per_s > 0.0
+            && (!self.revocation_duration_s.is_finite() || self.revocation_duration_s <= 0.0)
+        {
+            return Err(FaultSpecError::NonPositiveDuration {
+                seconds: self.revocation_duration_s,
+            });
+        }
+        if self.straggler_rate_per_s > 0.0 {
+            if !self.straggler_duration_s.is_finite() || self.straggler_duration_s <= 0.0 {
+                return Err(FaultSpecError::NonPositiveDuration {
+                    seconds: self.straggler_duration_s,
+                });
+            }
+            if !self.straggler_min.is_finite() || self.straggler_min < 1.0 {
+                return Err(FaultSpecError::SlowdownBelowOne {
+                    multiplier: self.straggler_min,
+                });
+            }
+            if !self.straggler_max.is_finite() || self.straggler_max < self.straggler_min {
+                return Err(FaultSpecError::InvalidSlowdownRange {
+                    min: self.straggler_min,
+                    max: self.straggler_max,
+                });
+            }
+            if !self.straggler_alpha.is_finite() || self.straggler_alpha <= 0.0 {
+                return Err(FaultSpecError::InvalidAlpha {
+                    alpha: self.straggler_alpha,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultSpec`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpecError {
+    /// A fault rate was negative or non-finite.
+    NegativeRate {
+        /// The offending rate, per second.
+        rate: f64,
+    },
+    /// `warned_prob` was outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// The offending probability.
+        prob: f64,
+    },
+    /// An episode duration was zero, negative, or non-finite while its
+    /// fault family was enabled.
+    NonPositiveDuration {
+        /// The offending duration, seconds.
+        seconds: f64,
+    },
+    /// The straggler slowdown floor was below 1 (a straggler never runs
+    /// faster than healthy).
+    SlowdownBelowOne {
+        /// The offending minimum multiplier.
+        multiplier: f64,
+    },
+    /// The straggler slowdown range was inverted (`max < min`).
+    InvalidSlowdownRange {
+        /// Configured minimum multiplier.
+        min: f64,
+        /// Configured maximum multiplier.
+        max: f64,
+    },
+    /// The straggler Pareto shape was non-positive or non-finite.
+    InvalidAlpha {
+        /// The offending shape parameter.
+        alpha: f64,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::NegativeRate { rate } => {
+                write!(f, "fault rate must be finite and >= 0, got {rate}")
+            }
+            FaultSpecError::InvalidProbability { prob } => {
+                write!(f, "warned probability must lie in [0, 1], got {prob}")
+            }
+            FaultSpecError::NonPositiveDuration { seconds } => {
+                write!(f, "fault epoch duration must be > 0 s, got {seconds}")
+            }
+            FaultSpecError::SlowdownBelowOne { multiplier } => {
+                write!(f, "straggler slowdown must be >= 1, got {multiplier}")
+            }
+            FaultSpecError::InvalidSlowdownRange { min, max } => {
+                write!(f, "straggler slowdown range inverted: [{min}, {max}]")
+            }
+            FaultSpecError::InvalidAlpha { alpha } => {
+                write!(f, "straggler Pareto alpha must be > 0, got {alpha}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// The fault condition of one unit at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultState {
+    /// No active fault.
+    Healthy,
+    /// The unit is revoked: it serves nothing until the epoch ends.
+    Revoked {
+        /// Whether the scheduler was warned in advance (graceful drain).
+        warned: bool,
+    },
+    /// The unit runs slowed by the given multiplier (>= 1).
+    Straggling {
+        /// Service-time multiplier for the epoch.
+        slowdown: f64,
+    },
+}
+
+impl FaultState {
+    /// True unless `Healthy`.
+    pub fn is_faulted(&self) -> bool {
+        !matches!(self, FaultState::Healthy)
+    }
+
+    /// Combines an externally-imposed machine-wide state with a local
+    /// per-unit state: revocation dominates (external warned flag wins
+    /// when both revoke), straggles compound multiplicatively.
+    pub fn combine(external: FaultState, local: FaultState) -> FaultState {
+        match (external, local) {
+            (FaultState::Revoked { warned }, _) | (_, FaultState::Revoked { warned }) => {
+                FaultState::Revoked { warned }
+            }
+            (FaultState::Straggling { slowdown: a }, FaultState::Straggling { slowdown: b }) => {
+                FaultState::Straggling { slowdown: a * b }
+            }
+            (FaultState::Straggling { slowdown }, _) | (_, FaultState::Straggling { slowdown }) => {
+                FaultState::Straggling { slowdown }
+            }
+            (FaultState::Healthy, FaultState::Healthy) => FaultState::Healthy,
+        }
+    }
+}
+
+/// SplitMix64-style per-unit seed derivation, so unit `i`'s timeline
+/// never depends on how many units exist or which are queried.
+fn unit_seed(base: u64, unit: u64) -> u64 {
+    let mut z = base ^ unit.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One fault family's lazily-advanced episode window for one unit.
+#[derive(Debug, Clone)]
+struct Episode {
+    rng: SimRng,
+    start: f64,
+    end: f64,
+    /// Warned flag (revocations) — unused for stragglers.
+    warned: bool,
+    /// Slowdown multiplier (stragglers) — unused for revocations.
+    slowdown: f64,
+}
+
+/// A spec expanded into independent per-unit fault timelines.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    revocations: Vec<Episode>,
+    stragglers: Vec<Episode>,
+    rev_gap: Option<Exponential>,
+    str_gap: Option<Exponential>,
+    str_mult: Option<BoundedPareto>,
+}
+
+impl FaultPlan {
+    /// Expands `spec` into `units` independent timelines. `base_seed`
+    /// should come from a dedicated split of the run seed so fault
+    /// randomness never perturbs demand/arrival/jitter streams.
+    ///
+    /// # Panics
+    /// Panics if the spec does not [`FaultSpec::validate`] — validate at
+    /// the scenario/cluster boundary first.
+    pub fn new(spec: FaultSpec, base_seed: u64, units: usize) -> Self {
+        spec.validate().expect("FaultPlan::new: invalid FaultSpec");
+        let rev_gap = (spec.revocation_rate_per_s > 0.0)
+            .then(|| Exponential::new(spec.revocation_rate_per_s));
+        let str_gap =
+            (spec.straggler_rate_per_s > 0.0).then(|| Exponential::new(spec.straggler_rate_per_s));
+        let str_mult = (spec.straggler_rate_per_s > 0.0 && spec.straggler_max > spec.straggler_min)
+            .then(|| {
+                BoundedPareto::new(spec.straggler_min, spec.straggler_max, spec.straggler_alpha)
+            });
+        let mut plan = FaultPlan {
+            spec,
+            revocations: Vec::with_capacity(units),
+            stragglers: Vec::with_capacity(units),
+            rev_gap,
+            str_gap,
+            str_mult,
+        };
+        for unit in 0..units as u64 {
+            let seed = unit_seed(base_seed, unit);
+            let mut rev = Episode {
+                rng: SimRng::seed(unit_seed(seed, 0x5245_564f)), // "REVO"
+                start: f64::INFINITY,
+                end: f64::INFINITY,
+                warned: false,
+                slowdown: 1.0,
+            };
+            let mut str_ep = Episode {
+                rng: SimRng::seed(unit_seed(seed, 0x5354_5247)), // "STRG"
+                start: f64::INFINITY,
+                end: f64::INFINITY,
+                warned: false,
+                slowdown: 1.0,
+            };
+            plan.schedule_revocation(&mut rev, 0.0);
+            plan.schedule_straggle(&mut str_ep, 0.0);
+            plan.revocations.push(rev);
+            plan.stragglers.push(str_ep);
+        }
+        plan
+    }
+
+    /// Number of units this plan covers.
+    pub fn units(&self) -> usize {
+        self.revocations.len()
+    }
+
+    fn schedule_revocation(&self, ep: &mut Episode, from: f64) {
+        if let Some(gap) = &self.rev_gap {
+            ep.start = from + gap.sample(&mut ep.rng);
+            ep.end = ep.start + self.spec.revocation_duration_s;
+            ep.warned = ep.rng.chance(self.spec.warned_prob);
+        }
+    }
+
+    fn schedule_straggle(&self, ep: &mut Episode, from: f64) {
+        if let Some(gap) = &self.str_gap {
+            ep.start = from + gap.sample(&mut ep.rng);
+            ep.end = ep.start + self.spec.straggler_duration_s;
+            ep.slowdown = match &self.str_mult {
+                Some(pareto) => pareto.sample(&mut ep.rng),
+                None => self.spec.straggler_min,
+            };
+        }
+    }
+
+    /// The fault state of `unit` at time `t`. Queries must be
+    /// time-monotonic per unit (interval starts are). Revocation wins
+    /// when both families overlap.
+    pub fn state(&mut self, unit: usize, t: f64) -> FaultState {
+        // Advance each family's window past expired episodes. The
+        // episodes are taken out of `self` so the scheduling helpers can
+        // borrow the plan immutably.
+        let mut rev = std::mem::replace(&mut self.revocations[unit], Episode::placeholder());
+        while t >= rev.end {
+            let end = rev.end;
+            self.schedule_revocation(&mut rev, end);
+        }
+        let revoked = t >= rev.start;
+        let warned = rev.warned;
+        self.revocations[unit] = rev;
+
+        let mut st = std::mem::replace(&mut self.stragglers[unit], Episode::placeholder());
+        while t >= st.end {
+            let end = st.end;
+            self.schedule_straggle(&mut st, end);
+        }
+        let straggling = t >= st.start;
+        let slowdown = st.slowdown;
+        self.stragglers[unit] = st;
+
+        if revoked {
+            FaultState::Revoked { warned }
+        } else if straggling {
+            FaultState::Straggling { slowdown }
+        } else {
+            FaultState::Healthy
+        }
+    }
+}
+
+impl Episode {
+    fn placeholder() -> Self {
+        Episode {
+            rng: SimRng::seed(0),
+            start: f64::INFINITY,
+            end: f64::INFINITY,
+            warned: false,
+            slowdown: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulty() -> FaultSpec {
+        FaultSpec::none()
+            .with_revocations(0.2, 1.5)
+            .with_warned(0.5)
+            .with_stragglers(0.3, 2.0, 1.5, 2.0, 8.0)
+    }
+
+    #[test]
+    fn none_is_none_and_validates() {
+        let spec = FaultSpec::none();
+        assert!(spec.is_none());
+        assert_eq!(spec.validate(), Ok(()));
+        assert!(!faulty().is_none());
+        assert_eq!(faulty().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let bad_rate = FaultSpec::none().with_revocations(-1.0, 1.0);
+        assert!(matches!(
+            bad_rate.validate(),
+            Err(FaultSpecError::NegativeRate { .. })
+        ));
+        let bad_prob = faulty().with_warned(1.5);
+        assert!(matches!(
+            bad_prob.validate(),
+            Err(FaultSpecError::InvalidProbability { prob }) if prob == 1.5
+        ));
+        let bad_dur = FaultSpec::none().with_revocations(0.1, 0.0);
+        assert!(matches!(
+            bad_dur.validate(),
+            Err(FaultSpecError::NonPositiveDuration { .. })
+        ));
+        let slow = FaultSpec::none().with_stragglers(0.1, 1.0, 1.5, 0.5, 8.0);
+        assert!(matches!(
+            slow.validate(),
+            Err(FaultSpecError::SlowdownBelowOne { .. })
+        ));
+        let inverted = FaultSpec::none().with_stragglers(0.1, 1.0, 1.5, 4.0, 2.0);
+        assert!(matches!(
+            inverted.validate(),
+            Err(FaultSpecError::InvalidSlowdownRange { .. })
+        ));
+        let alpha = FaultSpec::none().with_stragglers(0.1, 1.0, 0.0, 2.0, 8.0);
+        assert!(matches!(
+            alpha.validate(),
+            Err(FaultSpecError::InvalidAlpha { .. })
+        ));
+    }
+
+    #[test]
+    fn timelines_are_reproducible_and_unit_independent() {
+        // The same unit produces the same state sequence regardless of
+        // how many other units the plan holds or whether they're queried.
+        let mut wide = FaultPlan::new(faulty(), 99, 16);
+        let mut narrow = FaultPlan::new(faulty(), 99, 4);
+        for step in 0..400 {
+            let t = step as f64 * 0.25;
+            // Query wide's units in reverse to shuffle cross-unit order.
+            let w3 = wide.state(3, t);
+            let w0 = wide.state(0, t);
+            assert_eq!(narrow.state(0, t), w0, "unit 0 diverged at t={t}");
+            assert_eq!(narrow.state(3, t), w3, "unit 3 diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn episodes_actually_fire_with_sane_parameters() {
+        let mut plan = FaultPlan::new(faulty(), 7, 8);
+        let (mut revoked, mut straggling) = (0u32, 0u32);
+        for step in 0..2000 {
+            let t = step as f64 * 0.1;
+            for unit in 0..8 {
+                match plan.state(unit, t) {
+                    FaultState::Revoked { .. } => revoked += 1,
+                    FaultState::Straggling { slowdown } => {
+                        assert!((2.0..=8.0).contains(&slowdown), "slowdown {slowdown}");
+                        straggling += 1;
+                    }
+                    FaultState::Healthy => {}
+                }
+            }
+        }
+        assert!(revoked > 100, "revocations too rare: {revoked}");
+        assert!(straggling > 100, "stragglers too rare: {straggling}");
+    }
+
+    #[test]
+    fn degenerate_slowdown_range_uses_constant_multiplier() {
+        let spec = FaultSpec::none().with_stragglers(5.0, 1.0, 1.5, 3.0, 3.0);
+        assert_eq!(spec.validate(), Ok(()));
+        let mut plan = FaultPlan::new(spec, 1, 2);
+        let mut seen = false;
+        for step in 0..200 {
+            if let FaultState::Straggling { slowdown } = plan.state(0, step as f64 * 0.1) {
+                assert_eq!(slowdown, 3.0);
+                seen = true;
+            }
+        }
+        assert!(seen, "no straggler episode fired");
+    }
+}

@@ -63,6 +63,7 @@ mod completion;
 mod config;
 mod costs;
 mod engine;
+mod fault;
 mod freelist;
 mod jsonl;
 mod latency;
@@ -80,6 +81,7 @@ pub use completion::CompletionQueue;
 pub use config::{EngineSpec, EngineSpecError};
 pub use costs::{ContentionModel, ReconfigCosts};
 pub use engine::{Engine, IntervalStats, MachineConfig, DEFAULT_JITTER_SIGMA};
+pub use fault::{FaultPlan, FaultSpec, FaultSpecError, FaultState};
 pub use jsonl::{interval_from_jsonl, interval_to_jsonl};
 pub use latency::{percentile, LatencyRecorder, P2Quantile};
 pub use nodemap::NodeOccupancyMap;

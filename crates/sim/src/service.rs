@@ -363,6 +363,28 @@ impl<Q: CompletionQueue> QueuedNode<Q> {
         self.dispatch(now + stall_s);
     }
 
+    /// Revokes every server at time `now` — the fault-injection layer's
+    /// full-revocation path ([`QueuedNode::reconfigure`] itself rejects
+    /// an empty server list). In-flight requests are preempted with their
+    /// remaining demand preserved and requeued in arrival order; the
+    /// server set, speed-class free lists, and pending-completion queue
+    /// all empty out. Arrivals keep queueing (and timed-out ones keep
+    /// shedding at dispatch) until a preempting `reconfigure` brings
+    /// servers back.
+    pub fn revoke_all(&mut self, now: f64) {
+        self.preempt_all(now);
+        self.hot.clear();
+        self.rate.clear();
+        self.cold.clear();
+        self.eff.clear();
+        self.uniform_rate = None;
+        let mut busy = std::mem::take(&mut self.completion_scratch);
+        busy.clear();
+        self.rebuild_index(&mut busy);
+        self.completion_scratch = busy;
+        self.dispatch(now);
+    }
+
     /// Rebuilds the free-list bitmaps and the pending-completion queue
     /// (`busy`, drained and transformed by the caller; consumed here).
     /// Free servers all enter the stalled bitmaps; the next dispatch

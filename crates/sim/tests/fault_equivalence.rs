@@ -1,0 +1,127 @@
+//! Fault-off differential battery: an engine built with
+//! [`Engine::with_faults`]`(FaultSpec::none())` must stay **event-for-event
+//! byte-identical** to a plain engine under arbitrary load levels, config
+//! schedules and seeds — enabling the fault subsystem without arming it
+//! draws zero RNG values, folds nothing into any digest, and leaves every
+//! interval statistic bit-equal. This is the regression fence that pins
+//! the pre-fault behavior of every existing scenario.
+//!
+//! The converse is also pinned: an *armed* spec (revocations or
+//! stragglers at meaningful rates) must visibly perturb the run, so the
+//! battery cannot rot into comparing two fault-free paths.
+
+use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform};
+use hipster_sim::{
+    interval_to_jsonl, Demand, Engine, FaultSpec, IntervalStats, LcModel, LoadPattern,
+    MachineConfig, QosTarget, SimRng,
+};
+use proptest::prelude::*;
+
+/// Deterministic toy LC workload (1 work unit per request).
+#[derive(Debug)]
+struct ToyLc;
+
+impl LcModel for ToyLc {
+    fn name(&self) -> &str {
+        "toy"
+    }
+    fn max_load_rps(&self) -> f64 {
+        1000.0
+    }
+    fn qos(&self) -> QosTarget {
+        QosTarget::new(0.95, 0.010)
+    }
+    fn sample_demand(&self, _rng: &mut SimRng) -> Demand {
+        Demand::new(1.0, 0.0)
+    }
+    fn service_speed(&self, kind: CoreKind, f: Frequency) -> f64 {
+        match kind {
+            CoreKind::Big => 1000.0 * f.ratio_to(Frequency::from_mhz(1150)),
+            CoreKind::Small => 400.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Flat(f64);
+
+impl LoadPattern for Flat {
+    fn load_at(&self, _t: f64) -> f64 {
+        self.0
+    }
+    fn duration(&self) -> f64 {
+        600.0
+    }
+}
+
+fn cfg(label: &str) -> MachineConfig {
+    let lc: CoreConfig = label.parse().unwrap();
+    MachineConfig::interactive(&Platform::juno_r1(), lc)
+}
+
+/// The config schedule exercised: indices into this table are drawn by
+/// proptest, covering core-count changes (preempting remaps), DVFS-only
+/// re-keys, and mixed big/small intervals.
+const CONFIGS: [&str; 5] = ["2B-1.15", "1B-0.60", "2B2S-0.90", "2S-0.65", "1B1S-1.15"];
+
+fn drive(mut engine: Engine, schedule: &[usize]) -> Vec<IntervalStats> {
+    schedule
+        .iter()
+        .map(|&c| engine.step(cfg(CONFIGS[c])))
+        .collect()
+}
+
+fn toy_engine(load: f64, seed: u64) -> Engine {
+    Engine::new(
+        Platform::juno_r1(),
+        Box::new(ToyLc),
+        Box::new(Flat(load)),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `FaultSpec::none()` is byte-for-byte the fault-free engine.
+    #[test]
+    fn fault_off_engine_is_byte_identical(
+        seed in 0u64..1_000_000,
+        load in 0.05f64..0.95,
+        schedule in proptest::collection::vec(0usize..CONFIGS.len(), 3..24),
+    ) {
+        let plain = drive(toy_engine(load, seed), &schedule);
+        let off = drive(toy_engine(load, seed).with_faults(FaultSpec::none()), &schedule);
+        prop_assert_eq!(plain.len(), off.len());
+        for (a, b) in plain.iter().zip(&off) {
+            // Bit-equal floats, not approximately-equal: the jsonl
+            // rendering is the byte-level witness.
+            prop_assert_eq!(interval_to_jsonl(a), interval_to_jsonl(b));
+        }
+    }
+
+    /// An armed revocation spec perturbs the run for every seed: faults
+    /// are real events, not dead configuration.
+    #[test]
+    fn armed_faults_perturb_the_run(seed in 0u64..10_000) {
+        let schedule: Vec<usize> = (0..20).map(|i| i % CONFIGS.len()).collect();
+        let spec = FaultSpec::none().with_revocations(0.8, 2.5).with_warned(0.5);
+        let plain = drive(toy_engine(0.5, seed), &schedule);
+        let on = drive(toy_engine(0.5, seed).with_faults(spec), &schedule);
+        prop_assert!(
+            plain.iter().zip(&on).any(|(a, b)| a != b),
+            "a 0.8/s revocation wave over 20 s must alter at least one interval"
+        );
+    }
+}
+
+/// Straggler episodes alone (no revocations) also perturb the run — the
+/// DVFS re-key path their slowdown multipliers ride is live.
+#[test]
+fn armed_stragglers_perturb_the_run() {
+    let schedule: Vec<usize> = (0..30).map(|i| i % CONFIGS.len()).collect();
+    let spec = FaultSpec::none().with_stragglers(0.5, 3.0, 1.5, 2.0, 8.0);
+    let plain = drive(toy_engine(0.6, 11), &schedule);
+    let on = drive(toy_engine(0.6, 11).with_faults(spec), &schedule);
+    assert!(plain.iter().zip(&on).any(|(a, b)| a != b));
+}

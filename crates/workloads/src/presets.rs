@@ -10,7 +10,7 @@
 //! big cores at maximum DVFS* — verified by integration tests.
 
 use hipster_platform::Frequency;
-use hipster_sim::QosTarget;
+use hipster_sim::{FaultSpec, QosTarget};
 
 use crate::lc::LcWorkload;
 
@@ -28,7 +28,13 @@ pub const WEB_SEARCH_QOS: (f64, f64) = (0.90, 0.500);
 
 /// Names accepted by [`preset`], in the paper's presentation order
 /// followed by the beyond-paper variants.
-pub const PRESET_NAMES: [&str; 3] = ["memcached", "web-search", "memcached-bursty"];
+pub const PRESET_NAMES: [&str; 5] = [
+    "memcached",
+    "web-search",
+    "memcached-bursty",
+    "memcached-revocable",
+    "memcached-straggler",
+];
 
 /// Looks up a calibrated workload preset by name, so scenarios can be
 /// declared from strings (CLIs, config files, fleet sweeps).
@@ -49,8 +55,81 @@ pub fn preset(name: &str) -> Option<LcWorkload> {
         "memcached" => Some(memcached()),
         "web-search" | "websearch" => Some(web_search()),
         "memcached-bursty" => Some(memcached_bursty()),
+        "memcached-revocable" => Some(memcached_revocable()),
+        "memcached-straggler" => Some(memcached_straggler()),
         _ => None,
     }
+}
+
+/// The fault-injection spec paired with a preset name, for the fault
+/// presets; `None` for fault-free presets and unknown names. Same
+/// case/`-`/`_` matching as [`preset`].
+///
+/// ```
+/// assert!(hipster_workloads::fault_preset("memcached-revocable").is_some());
+/// assert!(hipster_workloads::fault_preset("memcached").is_none());
+/// ```
+pub fn fault_preset(name: &str) -> Option<FaultSpec> {
+    match name.to_ascii_lowercase().replace('_', "-").as_str() {
+        "memcached-revocable" => Some(REVOCABLE_FAULTS()),
+        "memcached-straggler" => Some(STRAGGLER_FAULTS()),
+        _ => None,
+    }
+}
+
+/// The revocation wave injected by `preset("memcached-revocable")`:
+/// CloudCoaster-style transient departures — on average one revocation
+/// every ~2.5 s per server lasting 0.3 s, 50% of them warned.
+#[allow(non_snake_case)]
+fn REVOCABLE_FAULTS() -> FaultSpec {
+    FaultSpec::none()
+        .with_revocations(0.4, 0.3)
+        .with_warned(0.5)
+}
+
+/// The straggler regime injected by `preset("memcached-straggler")`:
+/// START-style heavy-tailed slowdown episodes — Pareto(α = 1.5)
+/// multipliers between 2× and 8×, ~0.4 s long, ~0.7 episodes/s per
+/// server.
+#[allow(non_snake_case)]
+fn STRAGGLER_FAULTS() -> FaultSpec {
+    FaultSpec::none().with_stragglers(0.7, 0.4, 1.5, 2.0, 8.0)
+}
+
+/// The Memcached calibration for the transient-revocation fault preset:
+/// identical service model to [`memcached`], paired with
+/// [`fault_preset`]`("memcached-revocable")` by the fault experiments.
+///
+/// Beyond-paper (the ROADMAP's CloudCoaster-style transient regime).
+pub fn memcached_revocable() -> LcWorkload {
+    LcWorkload::builder("Memcached-Revocable")
+        .max_load_rps(MEMCACHED_MAX_RPS)
+        .qos(QosTarget::new(MEMCACHED_QOS.0, MEMCACHED_QOS.1))
+        .work(37.0, 0.7)
+        .mem_seconds(9e-6)
+        .big_speed(1.0e6, Frequency::from_mhz(1150))
+        .small_ipc_penalty(2.37)
+        .burst_mean(10.0)
+        .timeout(0.1)
+        .build()
+}
+
+/// The Memcached calibration for the heavy-tailed straggler fault
+/// preset: identical service model to [`memcached`], paired with
+/// [`fault_preset`]`("memcached-straggler")`.
+///
+/// Beyond-paper (the ROADMAP's START-style straggler regime).
+pub fn memcached_straggler() -> LcWorkload {
+    LcWorkload::builder("Memcached-Straggler")
+        .max_load_rps(MEMCACHED_MAX_RPS)
+        .qos(QosTarget::new(MEMCACHED_QOS.0, MEMCACHED_QOS.1))
+        .work(37.0, 0.7)
+        .mem_seconds(9e-6)
+        .big_speed(1.0e6, Frequency::from_mhz(1150))
+        .small_ipc_penalty(2.37)
+        .burst_mean(10.0)
+        .timeout(0.1)
+        .build()
 }
 
 /// The Memcached model (Table 1 row 1).
@@ -160,6 +239,25 @@ mod tests {
         // Only the arrival clumping differs from the Table 1 row.
         assert_eq!(mb.mean_burst(), 2.0 * memcached().mean_burst());
         assert!(PRESET_NAMES.contains(&"memcached-bursty"));
+    }
+
+    #[test]
+    fn fault_presets_pair_workload_and_spec() {
+        for name in ["memcached-revocable", "Memcached_Straggler"] {
+            let w = preset(name).unwrap();
+            let spec = fault_preset(name).unwrap();
+            assert!(spec.validate().is_ok(), "{name}");
+            assert!(!spec.is_none(), "{name}");
+            // Same Table 1 capacity and QoS as the base calibration.
+            assert_eq!(w.max_load_rps(), MEMCACHED_MAX_RPS);
+            assert_eq!(w.qos().target_s, MEMCACHED_QOS.1);
+        }
+        assert!(fault_preset("memcached").is_none());
+        assert!(fault_preset("web-search").is_none());
+        let rev = fault_preset("memcached-revocable").unwrap();
+        assert!(rev.revocation_rate_per_s > 0.0 && rev.straggler_rate_per_s == 0.0);
+        let str_ = fault_preset("memcached-straggler").unwrap();
+        assert!(str_.straggler_rate_per_s > 0.0 && str_.revocation_rate_per_s == 0.0);
     }
 
     #[test]

@@ -64,17 +64,18 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    run_tasks, split_seed, ClusterError, ClusterOutcome, ClusterSpec, ClusterSummary, ConfigSpace,
-    CsvSink, DispatchPolicy, Fleet, FleetError, FleetStats, HeuristicMapper, Hipster,
-    JsonLinesSink, Manager, Observation, OctopusMan, OverflowSpec, Policy, PolicyFactory,
-    PolicySummary, RunMeta, ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy,
-    SummarySink, TelemetrySink, TraceSink,
+    run_tasks, split_seed, BatchDeadline, ClusterError, ClusterOutcome, ClusterSpec,
+    ClusterSummary, ConfigSpace, CsvSink, DispatchPolicy, Fleet, FleetError, FleetStats,
+    HeuristicMapper, Hipster, JsonLinesSink, Manager, Observation, OctopusMan, OverflowSpec,
+    Policy, PolicyFactory, PolicySummary, RetrySpec, RunMeta, ScenarioError, ScenarioOutcome,
+    ScenarioSpec, SinkHandle, StaticPolicy, SummarySink, TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{
-    interval_from_jsonl, interval_to_jsonl, Engine, EngineSpec, EngineSpecError, IntervalStats,
-    LcModel, MachineConfig, QosTarget, Trace,
+    interval_from_jsonl, interval_to_jsonl, Engine, EngineSpec, EngineSpecError, FaultPlan,
+    FaultSpec, FaultSpecError, FaultState, IntervalStats, LcModel, MachineConfig, QosTarget, Trace,
 };
 pub use hipster_workloads::{
-    load_preset, memcached, memcached_bursty, preset, web_search, Constant, Diurnal, MmppLoad, Ramp,
+    fault_preset, load_preset, memcached, memcached_bursty, memcached_revocable,
+    memcached_straggler, preset, web_search, Constant, Diurnal, MmppLoad, Ramp,
 };
