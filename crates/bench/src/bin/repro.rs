@@ -6,6 +6,8 @@
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
 //! repro cluster        # beyond-paper 16-1024-node cluster sweep
 //! repro faults         # fault injection + mitigation ablation → BENCH_PR8.json
+//! repro cluster --store d      # journal each cell to d/ as it finishes
+//! repro cluster --store d --resume   # skip cells d/ already holds
 //! repro bench          # perf baselines → BENCH_PR{3,4,5,6,7}.json
 //! repro bench --smoke  # same cells, seconds (CI)
 //! repro bench --smoke --only open/   # just the cells matching a prefix
@@ -32,9 +34,12 @@ const EXPERIMENTS: &[(&str, fn(bool))] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] <experiment>...\n       repro [--quick] all\n       \
-         repro [--quick] cluster\n       \
-         repro [--quick] faults\n       \
-         repro bench [--smoke] [--only <cell-prefix>]\n\nexperiments: {} cluster faults bench",
+         repro [--quick] cluster [--store <dir>] [--resume]\n       \
+         repro [--quick] faults [--store <dir>] [--resume]\n       \
+         repro bench [--smoke] [--only <cell-prefix>]\n\n\
+         --store <dir>  journal every finished sweep cell to <dir> (fsync'd)\n\
+         --resume       skip cells already in the store (requires --store)\n\n\
+         experiments: {} cluster faults bench",
         EXPERIMENTS
             .iter()
             .map(|(n, _)| *n)
@@ -59,10 +64,28 @@ fn main() {
         }
     });
     let only_value_idx = only_flag_idx.map(|i| i + 1);
+    // `--store <dir>` journals sweep cells durably; `--resume` restores
+    // the cells a previous (possibly killed) run already finished.
+    let store_flag_idx = args.iter().position(|a| a == "--store");
+    let store: Option<&std::path::Path> = store_flag_idx.map(|i| match args.get(i + 1) {
+        Some(p) if !p.starts_with('-') => std::path::Path::new(p.as_str()),
+        _ => {
+            eprintln!("--store requires a directory path");
+            usage();
+        }
+    });
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && store.is_none() {
+        eprintln!("--resume requires --store <dir>");
+        usage();
+    }
+    let store_value_idx = store_flag_idx.map(|i| i + 1);
     let selected: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with('-') && Some(*i) != only_value_idx)
+        .filter(|(i, a)| {
+            !a.starts_with('-') && Some(*i) != only_value_idx && Some(*i) != store_value_idx
+        })
         .map(|(_, a)| a.as_str())
         .collect();
     if selected.is_empty() {
@@ -83,13 +106,13 @@ fn main() {
     if selected.contains(&"cluster") {
         matched = true;
         let start = std::time::Instant::now();
-        exp::cluster::run(quick);
+        exp::cluster::run(quick, store, resume);
         println!("[cluster done in {:.1}s]\n", start.elapsed().as_secs_f64());
     }
     if selected.contains(&"faults") {
         matched = true;
         let start = std::time::Instant::now();
-        exp::faults::run(quick);
+        exp::faults::run(quick, store, resume);
         println!("[faults done in {:.1}s]\n", start.elapsed().as_secs_f64());
     }
     for (name, runner) in EXPERIMENTS {

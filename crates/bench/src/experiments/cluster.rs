@@ -15,8 +15,12 @@
 //! ([`run_tasks`]), whose wall-clock/throughput stats are printed per
 //! sweep (and recorded in `BENCH_PR7.json`'s cluster-sweep cells).
 
+use std::path::Path;
+use std::sync::Mutex;
+
 use hipster_core::cluster::{ClusterOutcome, ClusterSpec, DispatchPolicy, OverflowSpec};
-use hipster_core::run_tasks;
+use hipster_core::store::json::JsonObj;
+use hipster_core::{run_tasks, CellJournal, ClusterSummary};
 use hipster_platform::Platform;
 use hipster_workloads::{memcached_bursty, MmppLoad};
 
@@ -83,8 +87,108 @@ pub fn cluster_spec(
         .seed(seed)
 }
 
+/// One sweep cell as it lands in the [`CellJournal`] and the digests
+/// file: the cluster summary plus the decision digest the determinism
+/// tests compare.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Condensed run results (drives the printed table).
+    pub summary: ClusterSummary,
+    /// FNV digest over every per-quantum dispatch decision.
+    pub decision_digest: u64,
+    /// Decisions folded into the digest.
+    pub decisions: u64,
+}
+
+impl SweepCell {
+    pub(crate) fn of(out: &ClusterOutcome) -> SweepCell {
+        SweepCell {
+            summary: out.summary.clone(),
+            decision_digest: out.decision_digest,
+            decisions: out.decisions,
+        }
+    }
+
+    /// The journal payload: the summary's exact flat JSON plus the
+    /// digest counters as decimal strings.
+    pub fn to_json_obj(&self) -> JsonObj {
+        self.summary
+            .to_json_obj()
+            .u64("decision_digest", self.decision_digest)
+            .u64("decisions", self.decisions)
+    }
+
+    /// Rebuilds a cell journaled with [`to_json_obj`](Self::to_json_obj);
+    /// `None` on foreign or truncated payloads.
+    pub fn from_json_obj(obj: &JsonObj) -> Option<SweepCell> {
+        Some(SweepCell {
+            summary: ClusterSummary::from_json_obj(obj)?,
+            decision_digest: obj.get_u64("decision_digest")?,
+            decisions: obj.get_u64("decisions")?,
+        })
+    }
+}
+
+/// Opens (or starts) the sweep's cell journal under `dir`.
+pub(crate) fn open_journal(dir: &Path, file: &str, resume: bool) -> Mutex<CellJournal> {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("create store dir {}: {e}", dir.display()));
+    let path = dir.join(file);
+    let journal = if resume {
+        CellJournal::open(&path)
+    } else {
+        CellJournal::create(&path)
+    };
+    Mutex::new(journal.unwrap_or_else(|e| panic!("open cell journal: {e}")))
+}
+
+/// Looks up a previously journaled cell (resume mode only).
+pub(crate) fn restore(
+    journal: Option<&Mutex<CellJournal>>,
+    resume: bool,
+    name: &str,
+) -> Option<SweepCell> {
+    if !resume {
+        return None;
+    }
+    let journal = journal?.lock().expect("journal lock");
+    journal.get(name).and_then(SweepCell::from_json_obj)
+}
+
+/// Journals a finished cell (no-op without a store).
+pub(crate) fn journal_cell(journal: Option<&Mutex<CellJournal>>, name: &str, cell: &SweepCell) {
+    if let Some(journal) = journal {
+        journal
+            .lock()
+            .expect("journal lock")
+            .put(name, cell.to_json_obj())
+            .unwrap_or_else(|e| panic!("journal cell {name}: {e}"));
+    }
+}
+
+/// Writes the deterministic digest manifest the CI kill-and-resume step
+/// diffs: one `name digest decisions` row per cell, declaration order.
+fn write_digests(dir: &Path, file: &str, rows: &[(String, SweepCell)]) {
+    let mut out = String::new();
+    for (name, cell) in rows {
+        out.push_str(&format!(
+            "{name} {:016x} {}\n",
+            cell.decision_digest, cell.decisions
+        ));
+    }
+    let path = dir.join(file);
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  [store] wrote {}", path.display());
+}
+
 /// Runs the sweep and prints the comparison tables.
-pub fn run(quick: bool) {
+///
+/// With `store_dir` set, every finished cell is journaled (fsync'd) the
+/// moment it completes; with `resume` as well, cells already in the
+/// journal are restored instead of re-run — summaries and digests come
+/// back exactly as recorded, so `cluster_digests.txt` is byte-identical
+/// to an uninterrupted run no matter where a previous attempt died.
+pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
     println!("== Cluster: 16-1024 nodes, two-tier overflow, Hipster vs baselines ==\n");
     let intervals = if quick { 4 } else { 10 };
     println!(
@@ -94,28 +198,56 @@ pub fn run(quick: bool) {
         intervals
     );
 
+    let journal = store_dir.map(|dir| open_journal(dir, "cluster_cells.jsonl", resume));
+    let journal = journal.as_ref();
+
     let mut table = Table::new(vec![
         "nodes", "policy", "QoS %", "p99 ms", "energy J", "W/node", "cloud $", "spill %",
     ]);
+    let mut digest_rows: Vec<(String, SweepCell)> = Vec::new();
     for &nodes in &NODE_COUNTS {
-        let tasks: Vec<(String, _)> = policies(quick)
-            .into_iter()
-            .enumerate()
-            .map(|(i, (label, make))| {
-                let name = format!("cluster/n{nodes}/{label}");
-                let policy = make(quick);
-                (name.clone(), move || {
-                    cluster_spec(name, nodes, policy, intervals, 90 + i as u64)
-                        .build()
-                        .expect("valid cluster spec")
-                        .run()
+        // Declaration order is fixed; resume restores journaled cells and
+        // only the remainder go through the work-stealing scheduler.
+        let mut rows: Vec<(String, Option<SweepCell>)> = Vec::new();
+        let mut pending: Vec<(String, PolicyFn, u64)> = Vec::new();
+        for (i, (label, make)) in policies(quick).into_iter().enumerate() {
+            let name = format!("cluster/n{nodes}/{label}");
+            match restore(journal, resume, &name) {
+                Some(cell) => rows.push((name, Some(cell))),
+                None => {
+                    pending.push((name.clone(), make(quick), 90 + i as u64));
+                    rows.push((name, None));
+                }
+            }
+        }
+        let restored_count = rows.iter().filter(|(_, c)| c.is_some()).count();
+        let mut stats = None;
+        let mut executed = Vec::new();
+        if !pending.is_empty() {
+            let tasks: Vec<(String, _)> = pending
+                .into_iter()
+                .map(|(name, policy, seed)| {
+                    (name.clone(), move || {
+                        let out = cluster_spec(name, nodes, policy, intervals, seed)
+                            .build()
+                            .expect("valid cluster spec")
+                            .run();
+                        let cell = SweepCell::of(&out);
+                        journal_cell(journal, &out.name, &cell);
+                        cell
+                    })
                 })
-            })
-            .collect();
-        let (outcomes, stats) = run_tasks(tasks, 0).expect("cluster sweep");
+                .collect();
+            let (cells, s) = run_tasks(tasks, 0).expect("cluster sweep");
+            executed = cells;
+            stats = Some(s);
+        }
+        let mut fresh = executed.into_iter();
         let sim_s = intervals as f64 * 0.05;
-        for out in &outcomes {
-            let s = &out.summary;
+        for (name, restored) in rows {
+            let cell =
+                restored.unwrap_or_else(|| fresh.next().expect("one executed cell per pending"));
+            let s = &cell.summary;
             let label = s.name.rsplit('/').next().unwrap_or(&s.name);
             let watts_per_node = s.total_energy_j / sim_s / (nodes - (nodes / 4).max(1)) as f64;
             table.row(vec![
@@ -128,16 +260,29 @@ pub fn run(quick: bool) {
                 format!("{:.4}", s.total_cloud_usd),
                 f(s.spill_frac * 100.0, 1),
             ]);
+            digest_rows.push((name, cell));
         }
-        println!(
-            "   [n={nodes}] sweep: {} clusters in {:.2}s ({:.2} scenarios/s, \
-             {} workers, idle tail {:.1}%)",
-            stats.scenarios,
-            stats.wall_s,
-            stats.scenarios_per_sec(),
-            stats.workers,
-            stats.idle_tail_frac() * 100.0,
-        );
+        match stats {
+            Some(stats) => {
+                let note = if restored_count > 0 {
+                    format!(", {restored_count} restored from store")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "   [n={nodes}] sweep: {} clusters in {:.2}s ({:.2} scenarios/s, \
+                     {} workers, idle tail {:.1}%{note})",
+                    stats.scenarios,
+                    stats.wall_s,
+                    stats.scenarios_per_sec(),
+                    stats.workers,
+                    stats.idle_tail_frac() * 100.0,
+                );
+            }
+            None => {
+                println!("   [n={nodes}] sweep: all {restored_count} cells restored from store")
+            }
+        }
     }
     println!();
     table.print();
@@ -149,6 +294,10 @@ pub fn run(quick: bool) {
          the private tier cannot absorb into dollars instead of violations. \
          Dispatch cost is O(1) in node count (see BENCH_PR7.json)."
     );
+
+    if let Some(dir) = store_dir {
+        write_digests(dir, "cluster_digests.txt", &digest_rows);
+    }
 }
 
 /// The determinism hook the cluster tests use: one small fig2-shaped

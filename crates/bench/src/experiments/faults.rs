@@ -22,14 +22,20 @@
 //! recovery floor — mitigation-on must beat mitigation-off on
 //! QoS-guarantee fraction under both fault presets at equal load.
 
+use std::path::Path;
+use std::sync::Mutex;
+
 use hipster_core::cluster::{ClusterSpec, DispatchPolicy, OverflowSpec, RetrySpec};
 use hipster_core::run_tasks;
-use hipster_core::ClusterSummary;
+use hipster_core::store::json::JsonObj;
+use hipster_core::{CellJournal, ClusterSummary};
 use hipster_platform::Platform;
 use hipster_sim::FaultSpec;
 use hipster_workloads::{fault_preset, preset, MmppLoad};
 
-use crate::experiments::cluster::{USD_PER_REQ_S, WATERMARK};
+use crate::experiments::cluster::{
+    journal_cell, open_journal, restore, SweepCell, USD_PER_REQ_S, WATERMARK,
+};
 use crate::runner::{
     heuristic_mapper, hipster_in, scenario, static_all_big, static_all_small, PolicyFn, Workload,
 };
@@ -121,6 +127,46 @@ struct NodeCell {
     tail_blowup: f64,
 }
 
+/// Restores a journaled node cell (resume mode only). The raw `f64`s
+/// round-trip exactly, so a restored cell renders the same JSON bytes
+/// the original run would have.
+fn restore_node(
+    journal: Option<&Mutex<CellJournal>>,
+    resume: bool,
+    name: &str,
+    preset: &'static str,
+    policy: &'static str,
+) -> Option<NodeCell> {
+    if !resume {
+        return None;
+    }
+    let journal = journal?.lock().expect("journal lock");
+    let obj = journal.get(name)?;
+    Some(NodeCell {
+        name: name.to_owned(),
+        preset,
+        policy,
+        qos_clean_pct: obj.get_num("qos_clean_pct")?,
+        qos_fault_pct: obj.get_num("qos_fault_pct")?,
+        tail_blowup: obj.get_num("tail_blowup")?,
+    })
+}
+
+/// Journals a finished node cell (no-op without a store).
+fn journal_node(journal: Option<&Mutex<CellJournal>>, cell: &NodeCell) {
+    if let Some(journal) = journal {
+        let payload = JsonObj::new()
+            .num("qos_clean_pct", cell.qos_clean_pct)
+            .num("qos_fault_pct", cell.qos_fault_pct)
+            .num("tail_blowup", cell.tail_blowup);
+        journal
+            .lock()
+            .expect("journal lock")
+            .put(&cell.name, payload)
+            .unwrap_or_else(|e| panic!("journal cell {}: {e}", cell.name));
+    }
+}
+
 impl NodeCell {
     fn json(&self) -> String {
         format!(
@@ -186,10 +232,17 @@ fn mean_tail_s(trace: &hipster_sim::Trace) -> f64 {
 
 /// Runs the fault matrices, prints the tables and writes
 /// `BENCH_PR8.json` (`"smoke": true` under `--quick`).
-pub fn run(quick: bool) {
+///
+/// With `store_dir` set, node cells and ablation cells are journaled as
+/// they finish; with `resume`, journaled cells are restored instead of
+/// re-run and `faults_digests.txt` (plus `BENCH_PR8.json` itself) comes
+/// out byte-identical to an uninterrupted run.
+pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
     println!("== Faults: revocations + stragglers, node policies and cluster mitigation ==\n");
     let node_secs = if quick { 15 } else { 60 };
     let cluster_intervals = if quick { 20 } else { 80 };
+    let journal = store_dir.map(|dir| open_journal(dir, "faults_cells.jsonl", resume));
+    let journal = journal.as_ref();
 
     // --- Node level: core-grain faults vs the paper's policies.
     println!(
@@ -207,38 +260,47 @@ pub fn run(quick: bool) {
     for preset_name in FAULT_PRESETS {
         let faults = node_faults(preset_name);
         for (i, (label, _)) in node_policies(quick).into_iter().enumerate() {
-            let make = |suffix: &str, faulted: bool| {
-                let mut spec = scenario(
-                    format!("faults/node/{preset_name}/{label}/{suffix}"),
-                    Workload::Memcached,
-                    MmppLoad::new(0.55, 10.0, node_secs as f64, 17),
-                    node_policies(quick).remove(i).1,
-                    node_secs,
-                    120 + i as u64,
-                );
-                if faulted {
-                    spec = spec.faults(faults);
+            let cell_name = format!("faults/node/{preset_name}/{label}");
+            let cell = match restore_node(journal, resume, &cell_name, preset_name, label) {
+                Some(cell) => cell,
+                None => {
+                    let make = |suffix: &str, faulted: bool| {
+                        let mut spec = scenario(
+                            format!("{cell_name}/{suffix}"),
+                            Workload::Memcached,
+                            MmppLoad::new(0.55, 10.0, node_secs as f64, 17),
+                            node_policies(quick).remove(i).1,
+                            node_secs,
+                            120 + i as u64,
+                        );
+                        if faulted {
+                            spec = spec.faults(faults);
+                        }
+                        spec
+                    };
+                    let clean = make("clean", false).run().expect("valid scenario");
+                    let faulted = make("faulted", true).run().expect("valid scenario");
+                    let blowup = mean_tail_s(&faulted.trace) / mean_tail_s(&clean.trace).max(1e-9);
+                    let cell = NodeCell {
+                        name: cell_name,
+                        preset: preset_name,
+                        policy: label,
+                        qos_clean_pct: clean.summary.qos_guarantee_pct,
+                        qos_fault_pct: faulted.summary.qos_guarantee_pct,
+                        tail_blowup: blowup,
+                    };
+                    journal_node(journal, &cell);
+                    cell
                 }
-                spec
             };
-            let clean = make("clean", false).run().expect("valid scenario");
-            let faulted = make("faulted", true).run().expect("valid scenario");
-            let blowup = mean_tail_s(&faulted.trace) / mean_tail_s(&clean.trace).max(1e-9);
             node_table.row(vec![
                 preset_name.to_string(),
                 label.to_string(),
-                f(clean.summary.qos_guarantee_pct, 1),
-                f(faulted.summary.qos_guarantee_pct, 1),
-                f(blowup, 2),
+                f(cell.qos_clean_pct, 1),
+                f(cell.qos_fault_pct, 1),
+                f(cell.tail_blowup, 2),
             ]);
-            node_cells.push(NodeCell {
-                name: format!("faults/node/{preset_name}/{label}"),
-                preset: preset_name,
-                policy: label,
-                qos_clean_pct: clean.summary.qos_guarantee_pct,
-                qos_fault_pct: faulted.summary.qos_guarantee_pct,
-                tail_blowup: blowup,
-            });
+            node_cells.push(cell);
         }
     }
     node_table.print();
@@ -260,36 +322,65 @@ pub fn run(quick: bool) {
         "straggle nv",
     ]);
     let mut recovery_cells: Vec<RecoveryCell> = Vec::new();
+    let mut digest_rows: Vec<(String, SweepCell)> = Vec::new();
     for preset_name in FAULT_PRESETS {
-        let tasks: Vec<(String, _)> = [true, false]
-            .into_iter()
-            .map(|mitigation| {
-                let tag = if mitigation { "on" } else { "off" };
-                let name = format!("faults/cluster/{preset_name}/{tag}");
-                // Static-Big per node: the highest fault-free QoS baseline
-                // (see the PR7 cluster table), so the ablation isolates
-                // the cluster resilience layer rather than per-node
-                // policy convergence.
-                let policy = static_all_big();
-                (name.clone(), move || {
-                    faulty_cluster_spec(
-                        name,
-                        preset_name,
-                        FAULT_CLUSTER_NODES,
-                        policy,
-                        cluster_intervals,
-                        208,
-                        mitigation,
-                    )
-                    .build()
-                    .expect("valid faulted cluster spec")
-                    .run()
+        let mut cells: Vec<(String, Option<SweepCell>)> = Vec::new();
+        let mut pending: Vec<(String, bool)> = Vec::new();
+        for mitigation in [true, false] {
+            let tag = if mitigation { "on" } else { "off" };
+            let name = format!("faults/cluster/{preset_name}/{tag}");
+            match restore(journal, resume, &name) {
+                Some(cell) => cells.push((name, Some(cell))),
+                None => {
+                    pending.push((name.clone(), mitigation));
+                    cells.push((name, None));
+                }
+            }
+        }
+        let executed = if pending.is_empty() {
+            Vec::new()
+        } else {
+            let tasks: Vec<(String, _)> = pending
+                .into_iter()
+                .map(|(name, mitigation)| {
+                    // Static-Big per node: the highest fault-free QoS
+                    // baseline (see the PR7 cluster table), so the
+                    // ablation isolates the cluster resilience layer
+                    // rather than per-node policy convergence.
+                    let policy = static_all_big();
+                    (name.clone(), move || {
+                        let out = faulty_cluster_spec(
+                            name,
+                            preset_name,
+                            FAULT_CLUSTER_NODES,
+                            policy,
+                            cluster_intervals,
+                            208,
+                            mitigation,
+                        )
+                        .build()
+                        .expect("valid faulted cluster spec")
+                        .run();
+                        let cell = SweepCell::of(&out);
+                        journal_cell(journal, &out.name, &cell);
+                        cell
+                    })
                 })
+                .collect();
+            run_tasks(tasks, 0).expect("fault ablation").0
+        };
+        let mut fresh = executed.into_iter();
+        let resolved: Vec<(String, SweepCell)> = cells
+            .into_iter()
+            .map(|(name, restored)| {
+                let cell = restored
+                    .unwrap_or_else(|| fresh.next().expect("one executed cell per pending"));
+                (name, cell)
             })
             .collect();
-        let (outcomes, _) = run_tasks(tasks, 0).expect("fault ablation");
-        let on = outcomes[0].summary.clone();
-        let off = outcomes[1].summary.clone();
+        let on = resolved[0].1.summary.clone();
+        let off = resolved[1].1.summary.clone();
+        digest_rows.extend(resolved);
         for (tag, s) in [("on", &on), ("off", &off)] {
             cl_table.row(vec![
                 preset_name.to_string(),
@@ -355,6 +446,26 @@ pub fn run(quick: bool) {
     match std::fs::write(path, &json) {
         Ok(()) => println!("  [json] wrote {path}"),
         Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+
+    // The deterministic manifest the CI kill-and-resume step diffs: node
+    // cells render their exact JSON rows, ablation cells their decision
+    // digests, all in declaration order.
+    if let Some(dir) = store_dir {
+        let mut out = String::new();
+        for cell in &node_cells {
+            out.push_str(&cell.json());
+            out.push('\n');
+        }
+        for (name, cell) in &digest_rows {
+            out.push_str(&format!(
+                "{name} {:016x} {}\n",
+                cell.decision_digest, cell.decisions
+            ));
+        }
+        let path = dir.join("faults_digests.txt");
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("  [store] wrote {}", path.display());
     }
 }
 

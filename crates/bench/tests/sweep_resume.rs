@@ -1,0 +1,220 @@
+//! End-to-end durability proof for the tentpole: a sweep killed at an
+//! arbitrary cell and resumed from its `FileStore` journal produces
+//! byte-identical digests, summaries and CSV to an uninterrupted run —
+//! serially and under 2-/4-worker work-stealing, with and without an
+//! armed `FaultSpec` — and panic quarantine leaves the survivors
+//! untouched.
+//!
+//! Crashes are emulated, not staged: the full sweep's journal bytes are
+//! truncated at arbitrary offsets (including mid-line, exactly what a
+//! SIGKILL between `write` and `fsync` leaves behind) and the resumed
+//! fleet must finish the remainder from whatever prefix survived.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hipster_bench::runner::{
+    heuristic_mapper, hipster_in, scenario, static_all_big, static_all_small, PolicyFn, Workload,
+};
+use hipster_core::{FileStore, Fleet, PanicPolicy, ScenarioOutcome, ScenarioSpec};
+use hipster_workloads::{fault_preset, Constant, MmppLoad};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "hipster-resume-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The sweep under test: 8 cells mixing policies and load shapes. Every
+/// spec pins its own seed, so cell identity survives any execution
+/// order. `faulted` arms the revocation `FaultSpec` on every cell.
+fn specs(faulted: bool) -> Vec<ScenarioSpec> {
+    let policies: Vec<(&str, fn() -> PolicyFn)> = vec![
+        ("big", || static_all_big()),
+        ("small", || static_all_small()),
+        ("heur", || {
+            heuristic_mapper(Workload::Memcached.tuned_zones())
+        }),
+        ("hipster", || {
+            hipster_in(Workload::Memcached.tuned_zones(), 2, 0.05)
+        }),
+    ];
+    let mut out = Vec::new();
+    for (w, workload) in Workload::BOTH.into_iter().enumerate() {
+        for (p, (label, make)) in policies.iter().enumerate() {
+            let i = w * policies.len() + p;
+            let name = format!("resume/{}/{label}", workload.name());
+            let mut spec = if p % 2 == 0 {
+                scenario(
+                    name,
+                    workload,
+                    Constant::new(0.35 + 0.05 * p as f64, 8.0),
+                    make(),
+                    8,
+                    300 + i as u64,
+                )
+            } else {
+                scenario(
+                    name,
+                    workload,
+                    MmppLoad::new(0.5, 10.0, 8.0, 17),
+                    make(),
+                    8,
+                    300 + i as u64,
+                )
+            };
+            if faulted {
+                spec = spec.faults(fault_preset("memcached-revocable").expect("fault preset"));
+            }
+            out.push(spec);
+        }
+    }
+    out
+}
+
+/// Everything an execution strategy could perturb, in byte-comparable
+/// form: name, seed, the full per-interval CSV and the Debug-rendered
+/// summary of every outcome, in declaration order.
+fn digest(outcomes: &[ScenarioOutcome]) -> Vec<(String, u64, String, String)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.name.clone(),
+                o.seed,
+                o.trace.to_csv(),
+                format!("{:?}", o.summary),
+            )
+        })
+        .collect()
+}
+
+fn run_plain(faulted: bool) -> Vec<(String, u64, String, String)> {
+    let fleet: Fleet = specs(faulted).into_iter().collect();
+    digest(&fleet.threads(1).run().expect("uninterrupted sweep"))
+}
+
+/// Runs the full sweep once into a `FileStore` and returns the healthy
+/// journal bytes.
+fn full_journal(faulted: bool) -> Vec<u8> {
+    let dir = scratch("full");
+    let mut store = FileStore::create(&dir).expect("create store");
+    let fleet: Fleet = specs(faulted).into_iter().collect();
+    fleet
+        .threads(1)
+        .resume(&mut store)
+        .expect("journaled sweep");
+    let bytes = fs::read(FileStore::journal_path(&dir)).expect("journal bytes");
+    let _ = fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// The tentpole property, exercised clean and under an armed FaultSpec:
+/// kill the sweep at an arbitrary byte (= arbitrary cell, including torn
+/// mid-line writes), resume serially and with 2/4 workers, and require
+/// byte-identity with the uninterrupted run.
+fn kill_and_resume_is_byte_identical(faulted: bool) {
+    let baseline = run_plain(faulted);
+    let journal = full_journal(faulted);
+    // Cuts chosen to land in different cells and inside lines; 0.0 is a
+    // cold start, 1.0 a fully-complete store (pure restore).
+    for cut_frac in [0.0, 0.13, 0.42, 0.77, 0.95, 1.0] {
+        let cut = (journal.len() as f64 * cut_frac) as usize;
+        for threads in [1usize, 2, 4] {
+            let dir = scratch("kill");
+            fs::create_dir_all(&dir).expect("mkdir");
+            fs::write(FileStore::journal_path(&dir), &journal[..cut]).expect("plant prefix");
+            let mut store = FileStore::open(&dir).expect("recover from kill");
+            let fleet: Fleet = specs(faulted).into_iter().collect();
+            let (outcomes, stats) = fleet
+                .threads(threads)
+                .resume(&mut store)
+                .expect("resumed sweep");
+            assert_eq!(
+                digest(&outcomes),
+                baseline,
+                "cut {cut_frac} x {threads} workers diverged (faulted: {faulted})"
+            );
+            assert_eq!(
+                stats.resumed + stats.scenarios,
+                baseline.len(),
+                "every cell is either restored or re-run"
+            );
+            if cut_frac == 1.0 {
+                assert_eq!(stats.scenarios, 0, "complete store re-ran cells");
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn kill_at_random_cell_then_resume_matches_uninterrupted_run() {
+    kill_and_resume_is_byte_identical(false);
+}
+
+#[test]
+fn kill_and_resume_holds_under_armed_faultspec() {
+    kill_and_resume_is_byte_identical(true);
+}
+
+/// A poisoned policy factory: cell 3 panics at policy construction,
+/// mid-sweep from the scheduler's point of view.
+fn bombed_specs() -> Vec<ScenarioSpec> {
+    let mut specs = specs(false);
+    specs[3] = scenario(
+        "resume/bomb",
+        Workload::Memcached,
+        Constant::new(0.4, 8.0),
+        Box::new(|_, _| panic!("bench bomb")),
+        8,
+        303,
+    );
+    specs
+}
+
+/// Quarantine-policy equivalence at the bench level: the survivors of a
+/// sweep containing a panicking cell are byte-identical to a sweep that
+/// never declared it, and a resume against the same store restores the
+/// survivors without re-running anything.
+#[test]
+fn quarantined_cell_leaves_survivors_byte_identical_and_resumable() {
+    // The reference sweep: the same 7 surviving cells, bomb never declared.
+    let mut survivors = specs(false);
+    survivors.remove(3);
+    let fleet: Fleet = survivors.into_iter().collect();
+    let expected = digest(&fleet.threads(1).run().expect("survivor sweep"));
+
+    for threads in [1usize, 4] {
+        let dir = scratch("bomb");
+        let mut store = FileStore::create(&dir).expect("create store");
+        let fleet: Fleet = bombed_specs().into_iter().collect();
+        let (outcomes, stats) = fleet
+            .threads(threads)
+            .panic_policy(PanicPolicy::Quarantine)
+            .resume(&mut store)
+            .expect("quarantining sweep");
+        assert_eq!(stats.quarantined, 1, "{threads} workers");
+        assert_eq!(digest(&outcomes), expected, "{threads} workers");
+
+        // Resume from the same store: survivors restore, the quarantined
+        // cell stays skipped, nothing re-runs.
+        let fleet: Fleet = bombed_specs().into_iter().collect();
+        let (outcomes, stats) = fleet
+            .threads(threads)
+            .panic_policy(PanicPolicy::Quarantine)
+            .resume(&mut store)
+            .expect("resume after quarantine");
+        assert_eq!(
+            (stats.scenarios, stats.resumed, stats.skipped),
+            (0, 7, 1),
+            "{threads} workers"
+        );
+        assert_eq!(digest(&outcomes), expected, "{threads} workers");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

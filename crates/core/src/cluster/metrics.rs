@@ -2,6 +2,7 @@
 //! tail latency across all nodes (via the selection-based percentiles),
 //! private-tier energy, cloud dollars, and spill accounting.
 
+use crate::store::json::JsonObj;
 use hipster_sim::{percentile, QosTarget};
 
 /// One monitoring interval aggregated across every node in the cluster.
@@ -205,6 +206,53 @@ pub struct ClusterSummary {
     pub dropped_quanta: u64,
 }
 
+impl ClusterSummary {
+    /// Renders the summary as a flat JSON object for a
+    /// [`CellJournal`](crate::CellJournal) cell. Counters go out as
+    /// decimal strings (exact at any magnitude); floats use shortest
+    /// round-trip formatting, so [`from_json_obj`](Self::from_json_obj)
+    /// reconstructs the summary bit-for-bit.
+    pub fn to_json_obj(&self) -> JsonObj {
+        JsonObj::new()
+            .str("name", &self.name)
+            .u64("intervals", self.intervals as u64)
+            .num("qos_guarantee_pct", self.qos_guarantee_pct)
+            .num("mean_p99_s", self.mean_p99_s)
+            .num("peak_p99_s", self.peak_p99_s)
+            .u64("completions", self.completions)
+            .u64("timeouts", self.timeouts)
+            .num("total_energy_j", self.total_energy_j)
+            .num("total_cloud_usd", self.total_cloud_usd)
+            .num("spill_frac", self.spill_frac)
+            .u64("revoked_node_intervals", self.revoked_node_intervals)
+            .u64("straggling_node_intervals", self.straggling_node_intervals)
+            .u64("retried_quanta", self.retried_quanta)
+            .u64("dropped_quanta", self.dropped_quanta)
+    }
+
+    /// Rebuilds a summary stored with [`to_json_obj`](Self::to_json_obj).
+    /// Returns `None` when any field is missing or mistyped (a foreign or
+    /// hand-edited cell), never panics.
+    pub fn from_json_obj(obj: &JsonObj) -> Option<ClusterSummary> {
+        Some(ClusterSummary {
+            name: obj.get_str("name")?.to_owned(),
+            intervals: usize::try_from(obj.get_u64("intervals")?).ok()?,
+            qos_guarantee_pct: obj.get_num("qos_guarantee_pct")?,
+            mean_p99_s: obj.get_num("mean_p99_s")?,
+            peak_p99_s: obj.get_num("peak_p99_s")?,
+            completions: obj.get_u64("completions")?,
+            timeouts: obj.get_u64("timeouts")?,
+            total_energy_j: obj.get_num("total_energy_j")?,
+            total_cloud_usd: obj.get_num("total_cloud_usd")?,
+            spill_frac: obj.get_num("spill_frac")?,
+            revoked_node_intervals: obj.get_u64("revoked_node_intervals")?,
+            straggling_node_intervals: obj.get_u64("straggling_node_intervals")?,
+            retried_quanta: obj.get_u64("retried_quanta")?,
+            dropped_quanta: obj.get_u64("dropped_quanta")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +301,22 @@ mod tests {
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("interval,start_s,"));
         assert!(csv.lines().next().unwrap().ends_with("dropped_quanta"));
+    }
+
+    #[test]
+    fn summary_round_trips_through_flat_json_exactly() {
+        let mut trace = ClusterTrace::new();
+        trace.push(interval(0, 0.005, 0.02));
+        trace.push(interval(1, 0.015, 0.03));
+        let mut s = trace.summary("cluster/64/hipster", QosTarget::new(0.95, 0.010));
+        s.completions = u64::MAX - 3; // force magnitudes f64 cannot hold
+        s.dropped_quanta = (1 << 60) + 1;
+        let line = s.to_json_obj().render();
+        let parsed = JsonObj::parse(&line).expect("rendered line parses");
+        assert_eq!(ClusterSummary::from_json_obj(&parsed), Some(s));
+        // A foreign cell (missing fields) is a None, not a panic.
+        let foreign = JsonObj::new().str("name", "x");
+        assert_eq!(ClusterSummary::from_json_obj(&foreign), None);
     }
 
     #[test]

@@ -47,10 +47,17 @@ impl RetrySpec {
 
     /// The wait before attempt `attempt` (1-based), in intervals:
     /// exponential in the attempt number, clamped to the cap, never zero.
+    ///
+    /// The doubling saturates instead of overflowing: `1 << attempt`
+    /// would be undefined behaviour at `attempt ≥ 64` (and the previous
+    /// `attempt.min(16)` bound silently under-backed-off large caps), so
+    /// the factor is computed with `checked_shl` and pegged to `u64::MAX`
+    /// once the shift leaves the representable range — the cap clamp then
+    /// does the rest.
     pub fn backoff_for(&self, attempt: u32) -> u64 {
-        let shift = attempt.min(16);
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
         u64::from(self.backoff_intervals)
-            .saturating_mul(1u64 << shift)
+            .saturating_mul(factor)
             .clamp(1, u64::from(self.backoff_cap_intervals))
     }
 }
@@ -69,6 +76,37 @@ mod tests {
         assert_eq!(r.backoff_for(3), 8);
         assert_eq!(r.backoff_for(4), 8, "clamped at the cap");
         assert_eq!(r.backoff_for(40), 8, "shift is bounded");
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_the_u64_boundary() {
+        // A cap at u32::MAX exposes the raw doubling: attempts near and
+        // past the 64-bit shift limit must saturate, not overflow or
+        // wrap to a tiny wait.
+        let r = RetrySpec {
+            max_attempts: u32::MAX,
+            backoff_intervals: 1,
+            backoff_cap_intervals: u32::MAX,
+        };
+        assert_eq!(r.backoff_for(31), 1u64 << 31);
+        assert_eq!(r.backoff_for(32), u64::from(u32::MAX), "clamped at cap");
+        assert_eq!(r.backoff_for(63), u64::from(u32::MAX));
+        assert_eq!(r.backoff_for(64), u64::from(u32::MAX), "shift == width");
+        assert_eq!(r.backoff_for(u32::MAX), u64::from(u32::MAX));
+        // Saturation composes with a zero base: the floor still applies.
+        let r = RetrySpec {
+            max_attempts: 2,
+            backoff_intervals: 0,
+            backoff_cap_intervals: 4,
+        };
+        assert_eq!(r.backoff_for(64), 1, "0 × saturated factor floors to 1");
+        // Attempts 17–63 (beyond the old min(16) bound) keep doubling.
+        let r = RetrySpec {
+            max_attempts: u32::MAX,
+            backoff_intervals: 2,
+            backoff_cap_intervals: u32::MAX,
+        };
+        assert_eq!(r.backoff_for(20), 2u64 << 20);
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //! seed and their index ([`split_seed`]), so one `base` reproduces a whole
 //! sweep.
 //!
+//! Sweeps can be made **durable**: [`Fleet::resume`] (and
+//! [`Fleet::run_each_stored`]) run against a
+//! [`SweepStore`](crate::store::SweepStore) — every finished scenario is
+//! journaled as it completes under work-stealing, completed cells found in
+//! the store are restored instead of re-run, and because seeds are split
+//! per declaration index the merged output is byte-identical to an
+//! uninterrupted run. Panicking scenarios can be *quarantined* into the
+//! store ([`PanicPolicy::Quarantine`]) instead of failing the sweep; the
+//! surviving cells are unaffected.
+//!
 //! # Example
 //!
 //! ```
@@ -49,12 +59,13 @@
 //! assert_eq!(outcomes[0].name, "load-0.3"); // declaration order
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 use crate::scenario::{ScenarioError, ScenarioOutcome, ScenarioSpec};
+use crate::store::{QuarantineRecord, StoreError, SweepRecord, SweepStore};
 
 /// Derives a scenario's seed from a fleet-level base seed and the
 /// scenario's **declaration index** in the fleet (scenarios with pinned
@@ -98,6 +109,17 @@ pub enum FleetError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The [`SweepStore`] failed while recording a finished scenario —
+    /// the sweep stops rather than silently losing durability.
+    Store(StoreError),
+    /// A resumed store does not belong to this fleet: a recorded cell's
+    /// index, name or seed disagrees with the declared scenarios.
+    StoreMismatch {
+        /// Declaration index of the disputed cell.
+        index: u64,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -114,6 +136,10 @@ impl std::fmt::Display for FleetError {
             } => {
                 write!(f, "scenario #{index} ({name:?}) panicked: {message}")
             }
+            FleetError::Store(e) => write!(f, "sweep store failed: {e}"),
+            FleetError::StoreMismatch { index, detail } => {
+                write!(f, "store cell #{index} does not match this fleet: {detail}")
+            }
         }
     }
 }
@@ -122,9 +148,25 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::InvalidScenario { error, .. } => Some(error),
+            FleetError::Store(error) => Some(error),
             _ => None,
         }
     }
+}
+
+/// What a [`Fleet`] does when a scenario panics mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PanicPolicy {
+    /// Stop the sweep and report the first (lowest-index) panic as
+    /// [`FleetError::ScenarioPanicked`] — the historical behaviour, and
+    /// still the default.
+    #[default]
+    FailFast,
+    /// Capture the panic as a [`QuarantineRecord`] (scenario index, seed,
+    /// panic message), skip that cell, and keep the sweep running. With a
+    /// store attached the record is durable; resumed runs skip
+    /// quarantined cells unless [`Fleet::retry_quarantined`] is set.
+    Quarantine,
 }
 
 /// Execution statistics of one fleet run — how well the scheduler kept
@@ -133,8 +175,18 @@ impl std::error::Error for FleetError {
 pub struct FleetStats {
     /// Worker threads the run used.
     pub workers: usize,
-    /// Scenarios executed (or claimed before a failure stopped the run).
+    /// Scenarios actually executed this run (or claimed before a failure
+    /// stopped it) — cells restored from a store are *not* counted here.
     pub scenarios: usize,
+    /// Cells restored from an attached [`SweepStore`](crate::SweepStore)
+    /// instead of re-run. Always 0 without a store.
+    pub resumed: usize,
+    /// Cells skipped because a previous run quarantined them and
+    /// [`Fleet::retry_quarantined`] was off. Always 0 without a store.
+    pub skipped: usize,
+    /// Cells that panicked *this run* and were quarantined under
+    /// [`PanicPolicy::Quarantine`].
+    pub quarantined: usize,
     /// Wall-clock seconds the whole run took, from first claim to last
     /// worker exit.
     pub wall_s: f64,
@@ -197,6 +249,8 @@ pub struct Fleet {
     scenarios: Vec<ScenarioSpec>,
     threads: usize,
     base_seed: u64,
+    panic_policy: PanicPolicy,
+    retry_quarantined: bool,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -205,6 +259,8 @@ impl std::fmt::Debug for Fleet {
             .field("scenarios", &self.scenarios.len())
             .field("threads", &self.threads)
             .field("base_seed", &self.base_seed)
+            .field("panic_policy", &self.panic_policy)
+            .field("retry_quarantined", &self.retry_quarantined)
             .finish()
     }
 }
@@ -232,6 +288,8 @@ impl Fleet {
             scenarios: Vec::new(),
             threads: 0,
             base_seed: 0,
+            panic_policy: PanicPolicy::FailFast,
+            retry_quarantined: false,
         }
     }
 
@@ -256,6 +314,22 @@ impl Fleet {
     /// [`split_seed`]. Scenarios with a pinned seed are unaffected.
     pub fn base_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Sets what happens when a scenario panics mid-sweep (default:
+    /// [`PanicPolicy::FailFast`]).
+    pub fn panic_policy(mut self, policy: PanicPolicy) -> Self {
+        self.panic_policy = policy;
+        self
+    }
+
+    /// When resuming from a store, re-run cells a previous run
+    /// quarantined instead of skipping them (default: off — a cell that
+    /// panicked once will deterministically panic again unless the code
+    /// under test changed).
+    pub fn retry_quarantined(mut self, retry: bool) -> Self {
+        self.retry_quarantined = retry;
         self
     }
 
@@ -288,16 +362,7 @@ impl Fleet {
         for (index, spec) in self.scenarios.iter_mut().enumerate() {
             spec.assign_seed_if_unset(split_seed(self.base_seed, index as u64));
         }
-        let n = self.scenarios.len();
-        let workers = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.threads
-        }
-        .min(n)
-        .max(1);
+        let workers = resolve_workers(self.threads, self.scenarios.len());
         Ok((self.scenarios, workers))
     }
 
@@ -318,6 +383,47 @@ impl Fleet {
         Ok((outcomes, stats))
     }
 
+    /// Runs the fleet against a durable [`SweepStore`] and collects the
+    /// outcomes **in declaration order**: cells already completed in the
+    /// store are restored without re-running, the remainder execute under
+    /// work-stealing and are journaled as they finish, and the merged
+    /// result is byte-identical to an uninterrupted [`Fleet::run`].
+    ///
+    /// On a fresh (empty) store this is simply a fully-journaled sweep,
+    /// so the same call works for the first attempt and every resume —
+    /// kill the process at any cell, call `resume` again, and only the
+    /// missing cells re-run. Cells a previous run quarantined are skipped
+    /// (see [`Fleet::retry_quarantined`]); skipped and currently
+    /// quarantined cells simply do not appear in the returned vector.
+    ///
+    /// Fails with [`FleetError::StoreMismatch`] if the store's recorded
+    /// cells disagree with this fleet's names or seeds — resuming a sweep
+    /// against the wrong store would silently splice unrelated results.
+    pub fn resume(
+        self,
+        store: &mut dyn SweepStore,
+    ) -> Result<(Vec<ScenarioOutcome>, FleetStats), FleetError> {
+        let mut outcomes = Vec::with_capacity(self.len());
+        let stats = self.run_each_stored(store, |outcome| outcomes.push(outcome))?;
+        Ok((outcomes, stats))
+    }
+
+    /// The streaming flavour of [`Fleet::resume`]: like
+    /// [`Fleet::run_each`], but restored and fresh outcomes alike fold in
+    /// declaration order while fresh completions are journaled to `store`
+    /// the moment they arrive (completion order), each one durable before
+    /// the sweep moves on.
+    pub fn run_each_stored<F>(
+        self,
+        store: &mut dyn SweepStore,
+        fold: F,
+    ) -> Result<FleetStats, FleetError>
+    where
+        F: FnMut(ScenarioOutcome),
+    {
+        self.run_each_inner(Some(store), fold)
+    }
+
     /// Executes the fleet, streaming each [`ScenarioOutcome`] to `fold`
     /// **in declaration order** as soon as it (and everything before it)
     /// has completed. Only out-of-order stragglers are buffered, so a
@@ -330,62 +436,155 @@ impl Fleet {
     /// index is delivered. Outcomes *before* the failing index may already
     /// have been folded when the error returns — a streaming API cannot
     /// take them back.
-    pub fn run_each<F>(self, mut fold: F) -> Result<FleetStats, FleetError>
+    pub fn run_each<F>(self, fold: F) -> Result<FleetStats, FleetError>
     where
         F: FnMut(ScenarioOutcome),
     {
-        let (specs, workers) = self.prepare()?;
+        self.run_each_inner(None, fold)
+    }
+
+    /// The one sweep executor behind [`Fleet::run_each`] and
+    /// [`Fleet::run_each_stored`]: reconciles the optional store with the
+    /// declared scenarios, then runs the remainder serially or under
+    /// work-stealing.
+    fn run_each_inner<F>(
+        self,
+        mut store: Option<&mut dyn SweepStore>,
+        mut fold: F,
+    ) -> Result<FleetStats, FleetError>
+    where
+        F: FnMut(ScenarioOutcome),
+    {
+        let panic_policy = self.panic_policy;
+        let retry_quarantined = self.retry_quarantined;
+        let threads = self.threads;
+        let (specs, _) = self.prepare()?;
         let n = specs.len();
 
-        let run_started = Instant::now();
-        if workers == 1 {
-            // Serial fast path: declaration order is execution order, so
-            // outcomes stream with no reorder buffer and failure stops
-            // the loop directly.
-            let mut busy = 0.0f64;
-            for (index, spec) in specs.into_iter().enumerate() {
+        // Reconcile the store with this fleet: every recorded cell must
+        // name-and-seed-match the scenario at its index, or the caller is
+        // resuming against the wrong store.
+        let mut restored: BTreeMap<usize, ScenarioOutcome> = BTreeMap::new();
+        let mut skip: BTreeSet<usize> = BTreeSet::new();
+        if let Some(store) = store.as_deref_mut() {
+            for index in store.completed_indices() {
+                let i = checked_cell_index(index, n)?;
+                let rec = store.fetch(index).expect("listed index is retrievable");
+                check_cell_identity(index, &rec.name, rec.seed, &specs[i])?;
+                restored.insert(i, rec.into_outcome());
+            }
+            for q in store.quarantined() {
+                let i = checked_cell_index(q.index, n)?;
+                check_cell_identity(q.index, &q.name, q.seed, &specs[i])?;
+                if !retry_quarantined {
+                    skip.insert(i);
+                }
+            }
+        }
+        let resumed = restored.len();
+        let skipped = skip.len();
+
+        // Split the fleet into fixed cells (restored outcomes and
+        // quarantine holes, already decided) and the jobs to execute;
+        // each job remembers its declaration index, name and seed so a
+        // fresh completion can be journaled and a panic quarantined.
+        let mut fixed: BTreeMap<usize, Option<ScenarioOutcome>> = BTreeMap::new();
+        let mut to_run: Vec<(usize, String, u64, ScenarioSpec)> = Vec::new();
+        for (index, spec) in specs.into_iter().enumerate() {
+            if let Some(outcome) = restored.remove(&index) {
+                fixed.insert(index, Some(outcome));
+            } else if skip.contains(&index) {
+                fixed.insert(index, None);
+            } else {
                 let name = spec.name().to_owned();
+                let seed = spec.seed_value().expect("prepare assigned every seed");
+                to_run.push((index, name, seed, spec));
+            }
+        }
+        let jobs_n = to_run.len();
+        let workers = resolve_workers(threads, jobs_n);
+        let mut quarantined = 0usize;
+
+        let run_started = Instant::now();
+        if workers == 1 || jobs_n == 0 {
+            // Serial fast path (also the everything-already-restored
+            // path): declaration order is execution order, so outcomes
+            // stream with no reorder buffer.
+            let mut busy = 0.0f64;
+            let mut jobs = to_run.into_iter().peekable();
+            for index in 0..n {
+                if let Some(entry) = fixed.remove(&index) {
+                    if let Some(outcome) = entry {
+                        fold(outcome);
+                    }
+                    continue;
+                }
+                let (i, name, seed, spec) = jobs.next().expect("every cell fixed or runnable");
+                debug_assert_eq!(i, index);
                 let started = Instant::now();
                 let outcome = run_caught(spec);
                 busy += started.elapsed().as_secs_f64();
                 match outcome {
-                    Ok(outcome) => fold(outcome),
-                    Err(message) => {
-                        return Err(FleetError::ScenarioPanicked {
-                            index,
-                            name,
-                            message,
-                        })
+                    Ok(outcome) => {
+                        if let Some(store) = store.as_deref_mut() {
+                            let rec = SweepRecord::from_outcome(index as u64, &outcome);
+                            store.record(&rec).map_err(FleetError::Store)?;
+                        }
+                        fold(outcome);
                     }
+                    Err(message) => match panic_policy {
+                        PanicPolicy::FailFast => {
+                            return Err(FleetError::ScenarioPanicked {
+                                index,
+                                name,
+                                message,
+                            })
+                        }
+                        PanicPolicy::Quarantine => {
+                            quarantined += 1;
+                            if let Some(store) = store.as_deref_mut() {
+                                let q = QuarantineRecord {
+                                    index: index as u64,
+                                    name,
+                                    seed,
+                                    message,
+                                };
+                                store.record_quarantine(&q).map_err(FleetError::Store)?;
+                            }
+                        }
+                    },
                 }
             }
             let wall_s = run_started.elapsed().as_secs_f64();
             return Ok(FleetStats {
                 workers: 1,
-                scenarios: n,
+                scenarios: jobs_n,
+                resumed,
+                skipped,
+                quarantined,
                 wall_s,
                 worker_busy_s: vec![busy],
                 worker_finish_s: vec![wall_s],
             });
         }
 
-        // Shared work-stealing state: an atomic cursor hands out scenario
+        // Shared work-stealing state: an atomic cursor hands out job
         // indices; each job slot is locked exactly once, by the single
-        // worker that claimed its index.
-        let jobs: Vec<Mutex<Option<(String, ScenarioSpec)>>> = specs
-            .into_iter()
-            .map(|s| Mutex::new(Some((s.name().to_owned(), s))))
-            .collect();
+        // worker that claimed it.
+        let jobs: Vec<Mutex<Option<(usize, String, u64, ScenarioSpec)>>> =
+            to_run.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let cursor = AtomicUsize::new(0);
-        // Fail fast: once any scenario fails, the whole run is lost (the
-        // fleet returns an error), so workers stop picking up new jobs
-        // rather than burning CPU on outcomes that would be discarded.
+        // Fail fast: once any scenario fails (or the store refuses a
+        // write), the whole run is lost, so workers stop picking up new
+        // jobs rather than burning CPU on outcomes that would be
+        // discarded. Under quarantine a panic is a result, not a failure.
         let failed = AtomicBool::new(false);
         let busy = Mutex::new(vec![0.0f64; workers]);
         let finishes = Mutex::new(vec![0.0f64; workers]);
-        let (tx, rx) = mpsc::channel::<(usize, String, Result<ScenarioOutcome, String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, String, u64, Result<ScenarioOutcome, String>)>();
 
         let mut first_failure: Option<(usize, String, String)> = None;
+        let mut store_failure: Option<StoreError> = None;
         std::thread::scope(|scope| {
             let jobs = &jobs;
             let cursor = &cursor;
@@ -400,22 +599,22 @@ impl Fleet {
                         if failed.load(Ordering::Relaxed) {
                             break;
                         }
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if index >= n {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= jobs_n {
                             break;
                         }
-                        let (name, spec) = jobs[index]
+                        let (index, name, seed, spec) = jobs[slot]
                             .lock()
                             .expect("job slot poisoned")
                             .take()
-                            .expect("index claimed exactly once");
+                            .expect("slot claimed exactly once");
                         let started = Instant::now();
                         let outcome = run_caught(spec);
                         my_busy += started.elapsed().as_secs_f64();
-                        if outcome.is_err() {
+                        if outcome.is_err() && panic_policy == PanicPolicy::FailFast {
                             failed.store(true, Ordering::Relaxed);
                         }
-                        if tx.send((index, name, outcome)).is_err() {
+                        if tx.send((index, name, seed, outcome)).is_err() {
                             break;
                         }
                     }
@@ -426,32 +625,77 @@ impl Fleet {
             }
             drop(tx);
 
-            // The calling thread is the consumer: a reorder buffer turns
-            // completion order into declaration order, and the callback
-            // fires the moment the next expected index is ready.
-            let mut pending: BTreeMap<usize, ScenarioOutcome> = BTreeMap::new();
+            // The calling thread is the consumer: fresh completions are
+            // journaled the moment they arrive (completion order — a kill
+            // right after loses nothing), then a reorder buffer preseeded
+            // with the restored/skipped cells turns completion order into
+            // declaration order, firing the callback the moment the next
+            // expected index is ready.
+            let mut pending = fixed;
             let mut next = 0usize;
-            for (index, name, outcome) in rx {
+            let drain = |pending: &mut BTreeMap<usize, Option<ScenarioOutcome>>,
+                         next: &mut usize,
+                         fold: &mut F| {
+                while let Some(entry) = pending.remove(next) {
+                    if let Some(outcome) = entry {
+                        fold(outcome);
+                    }
+                    *next += 1;
+                }
+            };
+            drain(&mut pending, &mut next, &mut fold);
+            for (index, name, seed, outcome) in rx {
+                if store_failure.is_some() {
+                    continue; // drain the channel; the run is already lost
+                }
                 match outcome {
                     Ok(outcome) => {
-                        pending.insert(index, outcome);
-                        while let Some(ready) = pending.remove(&next) {
-                            fold(ready);
-                            next += 1;
+                        if let Some(store) = store.as_deref_mut() {
+                            let rec = SweepRecord::from_outcome(index as u64, &outcome);
+                            if let Err(e) = store.record(&rec) {
+                                store_failure = Some(e);
+                                failed.store(true, Ordering::Relaxed);
+                                continue;
+                            }
                         }
+                        pending.insert(index, Some(outcome));
+                        drain(&mut pending, &mut next, &mut fold);
                     }
-                    Err(message) => {
-                        let is_first = first_failure
-                            .as_ref()
-                            .map_or(true, |(lowest, ..)| index < *lowest);
-                        if is_first {
-                            first_failure = Some((index, name, message));
+                    Err(message) => match panic_policy {
+                        PanicPolicy::Quarantine => {
+                            let q = QuarantineRecord {
+                                index: index as u64,
+                                name,
+                                seed,
+                                message,
+                            };
+                            if let Some(store) = store.as_deref_mut() {
+                                if let Err(e) = store.record_quarantine(&q) {
+                                    store_failure = Some(e);
+                                    failed.store(true, Ordering::Relaxed);
+                                    continue;
+                                }
+                            }
+                            quarantined += 1;
+                            pending.insert(index, None);
+                            drain(&mut pending, &mut next, &mut fold);
                         }
-                    }
+                        PanicPolicy::FailFast => {
+                            let is_first = first_failure
+                                .as_ref()
+                                .map_or(true, |(lowest, ..)| index < *lowest);
+                            if is_first {
+                                first_failure = Some((index, name, message));
+                            }
+                        }
+                    },
                 }
             }
         });
 
+        if let Some(e) = store_failure {
+            return Err(FleetError::Store(e));
+        }
         match first_failure {
             Some((index, name, message)) => Err(FleetError::ScenarioPanicked {
                 index,
@@ -460,13 +704,69 @@ impl Fleet {
             }),
             None => Ok(FleetStats {
                 workers,
-                scenarios: n,
+                scenarios: jobs_n,
+                resumed,
+                skipped,
+                quarantined,
                 wall_s: run_started.elapsed().as_secs_f64(),
                 worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
                 worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),
             }),
         }
     }
+}
+
+/// Resolves a thread-count request against the number of runnable jobs
+/// (0 = one worker per available core; always at least one worker).
+fn resolve_workers(threads: usize, jobs: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(jobs)
+    .max(1)
+}
+
+/// Bounds-checks a store cell index against this fleet's size.
+fn checked_cell_index(index: u64, n: usize) -> Result<usize, FleetError> {
+    match usize::try_from(index) {
+        Ok(i) if i < n => Ok(i),
+        _ => Err(FleetError::StoreMismatch {
+            index,
+            detail: format!("the fleet declares only {n} scenarios"),
+        }),
+    }
+}
+
+/// Checks a store record's identity against the declared scenario at its
+/// index.
+fn check_cell_identity(
+    index: u64,
+    name: &str,
+    seed: u64,
+    spec: &ScenarioSpec,
+) -> Result<(), FleetError> {
+    if name != spec.name() {
+        return Err(FleetError::StoreMismatch {
+            index,
+            detail: format!(
+                "store recorded scenario {:?}, the fleet declares {:?}",
+                name,
+                spec.name()
+            ),
+        });
+    }
+    let expected = spec.seed_value().expect("prepare assigned every seed");
+    if seed != expected {
+        return Err(FleetError::StoreMismatch {
+            index,
+            detail: format!("store recorded seed {seed}, the fleet derives {expected}"),
+        });
+    }
+    Ok(())
 }
 
 /// Runs one spec with panic capture, flattening panics and validation
@@ -523,15 +823,7 @@ where
         return Err(FleetError::Empty);
     }
     let n = tasks.len();
-    let workers = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(n)
-    .max(1);
+    let workers = resolve_workers(threads, n);
 
     let catch = |name: String, index: usize, task: F| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).map_err(|payload| {
@@ -559,6 +851,9 @@ where
             FleetStats {
                 workers: 1,
                 scenarios: n,
+                resumed: 0,
+                skipped: 0,
+                quarantined: 0,
                 wall_s,
                 worker_busy_s: vec![busy],
                 worker_finish_s: vec![wall_s],
@@ -633,6 +928,9 @@ where
         FleetStats {
             workers,
             scenarios: n,
+            resumed: 0,
+            skipped: 0,
+            quarantined: 0,
             wall_s: run_started.elapsed().as_secs_f64(),
             worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
             worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),
@@ -742,6 +1040,9 @@ mod tests {
         let stats = FleetStats {
             workers: 2,
             scenarios: 4,
+            resumed: 0,
+            skipped: 0,
+            quarantined: 0,
             wall_s: 1.0,
             worker_busy_s: vec![1.0, 0.5],
             worker_finish_s: vec![1.0, 0.5],
@@ -755,6 +1056,9 @@ mod tests {
         let even = FleetStats {
             workers: 2,
             scenarios: 4,
+            resumed: 0,
+            skipped: 0,
+            quarantined: 0,
             wall_s: 1.0,
             worker_busy_s: vec![1.0, 1.0],
             worker_finish_s: vec![1.0, 1.0],
@@ -842,6 +1146,194 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    /// A comparable projection of a sweep's full output.
+    fn sweep_digest(outcomes: &[ScenarioOutcome]) -> Vec<(String, u64, String, String)> {
+        outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    o.seed,
+                    o.trace.to_csv(),
+                    format!("{:?}", o.summary),
+                )
+            })
+            .collect()
+    }
+
+    fn fleet_of(n: usize) -> Fleet {
+        (0..n).map(|i| spec(&format!("s{i}"))).collect::<Fleet>()
+    }
+
+    #[test]
+    fn resume_restores_completed_cells_byte_identically() {
+        use crate::store::MemStore;
+        let baseline = fleet_of(6).base_seed(11).run().expect("baseline");
+
+        // "Crash" after three cells: run a prefix fleet into the store —
+        // split seeds depend only on (base, index), so the prefix's
+        // records are exactly what a killed full sweep would have left.
+        let mut store = MemStore::new();
+        let prefix: Fleet = (0..3).map(|i| spec(&format!("s{i}"))).collect();
+        prefix.base_seed(11).resume(&mut store).expect("prefix run");
+        assert_eq!(store.len(), 3);
+
+        let (resumed, stats) = fleet_of(6)
+            .base_seed(11)
+            .threads(2)
+            .resume(&mut store)
+            .expect("resume");
+        assert_eq!(sweep_digest(&resumed), sweep_digest(&baseline));
+        assert_eq!((stats.resumed, stats.scenarios, stats.skipped), (3, 3, 0));
+
+        // A second resume restores everything and runs nothing.
+        let (again, stats) = fleet_of(6)
+            .base_seed(11)
+            .resume(&mut store)
+            .expect("all restored");
+        assert_eq!(sweep_digest(&again), sweep_digest(&baseline));
+        assert_eq!((stats.resumed, stats.scenarios), (6, 0));
+    }
+
+    #[test]
+    fn fresh_store_run_equals_plain_run() {
+        use crate::store::MemStore;
+        let plain = fleet_of(5).base_seed(3).run().expect("plain");
+        let mut store = MemStore::new();
+        let (stored, stats) = fleet_of(5)
+            .base_seed(3)
+            .threads(3)
+            .resume(&mut store)
+            .expect("stored");
+        assert_eq!(sweep_digest(&stored), sweep_digest(&plain));
+        assert_eq!((stats.resumed, stats.scenarios), (0, 5));
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn wrong_store_is_a_typed_mismatch_not_a_splice() {
+        use crate::store::MemStore;
+        let mut store = MemStore::new();
+        fleet_of(4)
+            .base_seed(1)
+            .resume(&mut store)
+            .expect("populate");
+        // Different base seed → different split seeds → mismatch.
+        let err = fleet_of(4)
+            .base_seed(2)
+            .resume(&mut store)
+            .expect_err("seed mismatch");
+        assert!(matches!(err, FleetError::StoreMismatch { .. }), "{err}");
+
+        let mut store = MemStore::new();
+        fleet_of(4)
+            .base_seed(1)
+            .resume(&mut store)
+            .expect("repopulate");
+        // A smaller fleet cannot own cells beyond its length.
+        let err = fleet_of(2)
+            .base_seed(1)
+            .resume(&mut store)
+            .expect_err("index out of range");
+        match err {
+            FleetError::StoreMismatch { index, detail } => {
+                assert_eq!(index, 2);
+                assert!(detail.contains("2 scenarios"), "{detail}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[derive(Debug)]
+    struct Bomb;
+    impl Policy for Bomb {
+        fn name(&self) -> &str {
+            "bomb"
+        }
+        fn decide(&mut self, _obs: &crate::Observation) -> hipster_platform::CoreConfig {
+            panic!("quarantine me");
+        }
+    }
+
+    #[test]
+    fn quarantine_policy_keeps_survivors_identical() {
+        use crate::store::{MemStore, SweepStore};
+        // Pin every seed so the bomb-free control fleet sees the same
+        // seeds at shifted indices.
+        let survivors = |with_bomb: bool| -> Fleet {
+            let mut fleet = Fleet::new();
+            for i in 0..5 {
+                if with_bomb && i == 2 {
+                    fleet.push(
+                        spec("bomb")
+                            .policy(|_: &Platform, _| Box::new(Bomb) as Box<dyn Policy>)
+                            .seed(1000),
+                    );
+                }
+                fleet.push(spec(&format!("s{i}")).seed(2000 + i));
+            }
+            fleet
+        };
+        let control = survivors(false).run().expect("no bomb");
+        for threads in [1, 3] {
+            let mut store = MemStore::new();
+            let (outcomes, stats) = survivors(true)
+                .threads(threads)
+                .panic_policy(PanicPolicy::Quarantine)
+                .resume(&mut store)
+                .expect("quarantine continues");
+            assert_eq!(sweep_digest(&outcomes), sweep_digest(&control));
+            assert_eq!(stats.quarantined, 1);
+            let q = store.quarantined();
+            assert_eq!(q.len(), 1);
+            assert_eq!((q[0].index, q[0].seed), (2, 1000));
+            assert!(q[0].message.contains("quarantine me"), "{}", q[0].message);
+
+            // Resume skips the quarantined cell by default…
+            let (again, stats) = survivors(true)
+                .threads(threads)
+                .panic_policy(PanicPolicy::Quarantine)
+                .resume(&mut store)
+                .expect("resume skips quarantined");
+            assert_eq!(sweep_digest(&again), sweep_digest(&control));
+            assert_eq!(
+                (
+                    stats.resumed,
+                    stats.skipped,
+                    stats.scenarios,
+                    stats.quarantined
+                ),
+                (5, 1, 0, 0)
+            );
+
+            // …and re-runs (and re-quarantines) it when asked to retry.
+            let (retried, stats) = survivors(true)
+                .threads(threads)
+                .panic_policy(PanicPolicy::Quarantine)
+                .retry_quarantined(true)
+                .resume(&mut store)
+                .expect("retry re-quarantines");
+            assert_eq!(sweep_digest(&retried), sweep_digest(&control));
+            assert_eq!((stats.resumed, stats.skipped, stats.quarantined), (5, 0, 1));
+        }
+    }
+
+    #[test]
+    fn failfast_sweep_still_persists_completed_cells() {
+        use crate::store::MemStore;
+        // Under the default fail-fast policy a panic aborts the sweep,
+        // but cells journaled before the failure survive for resume.
+        let mut fleet = Fleet::new();
+        for i in 0..3 {
+            fleet.push(spec(&format!("s{i}")).seed(100 + i));
+        }
+        fleet.push(spec("bomb").policy(|_: &Platform, _| Box::new(Bomb) as Box<dyn Policy>));
+        let mut store = MemStore::new();
+        let err = fleet.threads(1).resume(&mut store).expect_err("fail fast");
+        assert!(matches!(err, FleetError::ScenarioPanicked { index: 3, .. }));
+        assert_eq!(store.len(), 3, "completed prefix is durable");
     }
 
     #[test]

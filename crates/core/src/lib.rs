@@ -25,7 +25,12 @@
 //! Whole experiments are declared rather than hand-wired: a
 //! [`ScenarioSpec`] validates and builds one (platform × workload × load ×
 //! policy) run, and a [`Fleet`] executes many scenarios across OS threads
-//! with split seeds and deterministically ordered results.
+//! with split seeds and deterministically ordered results. Sweeps become
+//! durable and resumable through the [`store`] module: a crash-safe
+//! [`SweepStore`] journal lets [`Fleet::resume`] skip completed cells and
+//! re-run only the remainder, byte-identical to an uninterrupted run, with
+//! panicking scenarios quarantined instead of poisoning the sweep
+//! ([`PanicPolicy`]).
 //!
 //! Beyond one machine, the [`cluster`] module scales out: a
 //! [`ClusterSpec`] declares N nodes (each with its own engine, policy and
@@ -71,6 +76,7 @@ mod qtable;
 pub mod reference;
 mod reward;
 mod scenario;
+pub mod store;
 mod telemetry;
 
 pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
@@ -81,7 +87,7 @@ pub use cluster::{
 };
 pub use configspace::ConfigSpace;
 pub use feedback::{FeedbackController, Zones};
-pub use fleet::{run_tasks, split_seed, Fleet, FleetError, FleetStats};
+pub use fleet::{run_tasks, split_seed, Fleet, FleetError, FleetStats, PanicPolicy};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hipster::{Hipster, HipsterBuilder, Phase};
 pub use manager::Manager;
@@ -90,6 +96,9 @@ pub use policy::{Observation, Policy};
 pub use qtable::QTable;
 pub use reward::{reward, Objective, RewardParams};
 pub use scenario::{BatchDeadline, PolicyFactory, ScenarioError, ScenarioOutcome, ScenarioSpec};
+pub use store::{
+    CellJournal, FileStore, MemStore, QuarantineRecord, StoreError, SweepRecord, SweepStore,
+};
 pub use telemetry::{
     CsvSink, JsonLinesSink, RunMeta, SinkHandle, SummarySink, TelemetrySink, TraceSink,
 };

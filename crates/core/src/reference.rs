@@ -213,6 +213,9 @@ pub fn run_static_chunked(fleet: Fleet) -> Result<(Vec<ScenarioOutcome>, FleetSt
     let stats = FleetStats {
         workers,
         scenarios: n,
+        resumed: 0,
+        skipped: 0,
+        quarantined: 0,
         wall_s: run_started.elapsed().as_secs_f64(),
         worker_busy_s: busy.into_inner().expect("busy slots poisoned"),
         worker_finish_s: finishes.into_inner().expect("finish slots poisoned"),

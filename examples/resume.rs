@@ -1,0 +1,94 @@
+//! Durable sweeps: interrupt a journaled fleet mid-run, resume it from
+//! the `FileStore`, and verify the merged results are byte-identical to
+//! an uninterrupted run.
+//!
+//! ```text
+//! cargo run --release --example resume
+//! ```
+//!
+//! The "crash" is emulated the way a SIGKILL actually lands: the sweep
+//! runs to completion once, then its journal file is truncated at an
+//! arbitrary byte offset — mid-cell, even mid-line — and a second fleet
+//! resumes from whatever prefix survived. Completed cells restore from
+//! the journal without re-running; the torn tail is discarded and only
+//! the missing cells execute.
+
+use std::fs;
+
+use hipster::workloads::memcached;
+use hipster::{FileStore, Fleet, Platform, Policy, ScenarioOutcome, ScenarioSpec, StaticPolicy};
+
+/// The sweep: six load levels, one scenario each, pinned seeds.
+fn specs() -> Vec<ScenarioSpec> {
+    (0..6)
+        .map(|i| {
+            let load = 0.3 + 0.1 * i as f64;
+            ScenarioSpec::new(format!("resume/load-{load:.1}"), Platform::juno_r1())
+                .workload_with(|| Box::new(memcached()))
+                .load(hipster::Constant::new(load, 30.0))
+                .policy(|p: &Platform, _| Box::new(StaticPolicy::all_big(p)) as Box<dyn Policy>)
+                .intervals(30)
+                .seed(7000 + i)
+        })
+        .collect()
+}
+
+/// FNV-1a over every outcome's CSV + summary — one number that moves if
+/// any byte of any result moves.
+fn digest(outcomes: &[ScenarioOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for o in outcomes {
+        for chunk in [
+            o.name.as_str(),
+            &o.trace.to_csv(),
+            &format!("{:?}", o.summary),
+        ] {
+            for b in chunk.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hipster-resume-example-{}", std::process::id()));
+
+    // Reference: the same sweep, never interrupted, no store involved.
+    let fleet: Fleet = specs().into_iter().collect();
+    let uninterrupted = fleet.run().expect("valid sweep");
+    println!("uninterrupted digest: {:016x}", digest(&uninterrupted));
+
+    // First attempt: journal every cell, then "crash" by chopping the
+    // journal to 40% of its bytes (a torn final line included).
+    let mut store = FileStore::create(&dir).expect("create store");
+    let fleet: Fleet = specs().into_iter().collect();
+    fleet.resume(&mut store).expect("journaled sweep");
+    drop(store);
+    let journal = FileStore::journal_path(&dir);
+    let bytes = fs::read(&journal).expect("journal bytes");
+    let cut = bytes.len() * 2 / 5;
+    fs::write(&journal, &bytes[..cut]).expect("emulate SIGKILL");
+    println!("killed: journal truncated {} -> {cut} bytes", bytes.len());
+
+    // Resume: recovery drops the torn tail, restores whole cells, and
+    // re-runs only the remainder.
+    let mut store = FileStore::open(&dir).expect("recover journal");
+    println!("recovered {} completed cell(s)", store.len());
+    let fleet: Fleet = specs().into_iter().collect();
+    let (resumed, stats) = fleet.resume(&mut store).expect("resumed sweep");
+    println!(
+        "resumed: {} restored, {} re-run",
+        stats.resumed, stats.scenarios
+    );
+    println!("resumed digest:       {:016x}", digest(&resumed));
+
+    assert_eq!(
+        digest(&uninterrupted),
+        digest(&resumed),
+        "resume must be byte-identical to the uninterrupted sweep"
+    );
+    println!("byte-identical: yes");
+    let _ = fs::remove_dir_all(&dir);
+}

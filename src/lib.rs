@@ -47,6 +47,15 @@
 //! ordered results; [`TelemetrySink`]s tap per-interval statistics without
 //! touching the driver (see `examples/fleet.rs`).
 //!
+//! # Surviving crashes: durable sweeps
+//!
+//! [`Fleet::resume`] runs a sweep against a [`SweepStore`] — an
+//! append-only, fsync'd journal ([`FileStore`] on disk, [`MemStore`] in
+//! memory). Kill the process at any cell and call `resume` again with the
+//! same store: completed cells restore byte-identically, only the
+//! remainder re-run, and panicking cells can be quarantined instead of
+//! poisoning the sweep ([`PanicPolicy`]; see `examples/resume.rs`).
+//!
 //! # Scaling further: a cluster
 //!
 //! A [`ClusterSpec`] declares N nodes — each its own engine, policy and
@@ -64,11 +73,12 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    run_tasks, split_seed, BatchDeadline, ClusterError, ClusterOutcome, ClusterSpec,
-    ClusterSummary, ConfigSpace, CsvSink, DispatchPolicy, Fleet, FleetError, FleetStats,
-    HeuristicMapper, Hipster, JsonLinesSink, Manager, Observation, OctopusMan, OverflowSpec,
-    Policy, PolicyFactory, PolicySummary, RetrySpec, RunMeta, ScenarioError, ScenarioOutcome,
-    ScenarioSpec, SinkHandle, StaticPolicy, SummarySink, TelemetrySink, TraceSink,
+    run_tasks, split_seed, BatchDeadline, CellJournal, ClusterError, ClusterOutcome, ClusterSpec,
+    ClusterSummary, ConfigSpace, CsvSink, DispatchPolicy, FileStore, Fleet, FleetError, FleetStats,
+    HeuristicMapper, Hipster, JsonLinesSink, Manager, MemStore, Observation, OctopusMan,
+    OverflowSpec, PanicPolicy, Policy, PolicyFactory, PolicySummary, QuarantineRecord, RetrySpec,
+    RunMeta, ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, StoreError,
+    SummarySink, SweepRecord, SweepStore, TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{
