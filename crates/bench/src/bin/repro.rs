@@ -5,7 +5,9 @@
 //! repro table2 fig2    # selected experiments
 //! repro all --quick    # 4× shorter runs for a fast smoke pass
 //! repro cluster        # beyond-paper 16-1024-node cluster sweep
-//! repro faults         # fault injection + mitigation ablation → BENCH_PR8.json
+//! repro faults         # fault injection + mitigation ablation → BENCH_PR8.json,
+//!                      # plus zone-wave cells (hedging + admission ladder)
+//!                      # → BENCH_PR10.json + waves_summary.csv
 //! repro cluster --store d      # journal each cell to d/ as it finishes
 //! repro cluster --store d --resume   # skip cells d/ already holds
 //! repro bench          # perf baselines → BENCH_PR{3,4,5,6,7}.json

@@ -21,17 +21,28 @@
 //! Both matrices land in `BENCH_PR8.json`; full runs enforce the
 //! recovery floor — mitigation-on must beat mitigation-off on
 //! QoS-guarantee fraction under both fault presets at equal load.
+//!
+//! A third, *wave* table (PR 10) escalates to correlated failure
+//! domains: the `memcached-zonewave` preset arms zone-scale revocation
+//! waves and rack-scale straggle waves over a node → rack → zone
+//! topology, plus per-request bounded-Pareto stragglers, against the
+//! full tail-tolerance stack — domain-aware dispatch steering, hedged
+//! requests ([`HedgeSpec`]), and an admission ladder ([`AdmissionSpec`])
+//! that sheds the collocated SPEC batch before deferring best-effort
+//! arrivals. The ablation lands in `BENCH_PR10.json` (plus
+//! `waves_summary.csv`, one [`ClusterSummary`] row per arm); full runs
+//! enforce that mitigation-on beats mitigation-off on **both** QoS and
+//! mean p99 under the wave preset.
 
 use std::path::Path;
 use std::sync::Mutex;
 
-use hipster_core::cluster::{ClusterSpec, DispatchPolicy, OverflowSpec, RetrySpec};
-use hipster_core::run_tasks;
+use hipster_core::cluster::{AdmissionSpec, ClusterSpec, DispatchPolicy, OverflowSpec, RetrySpec};
 use hipster_core::store::json::JsonObj;
-use hipster_core::{CellJournal, ClusterSummary};
+use hipster_core::{run_tasks, BatchDeadline, CellJournal, ClusterSummary};
 use hipster_platform::Platform;
-use hipster_sim::FaultSpec;
-use hipster_workloads::{fault_preset, preset, MmppLoad};
+use hipster_sim::{BatchProgram, FaultSpec, HedgeSpec, TopologySpec};
+use hipster_workloads::{domain_fault_preset, fault_preset, preset, MmppLoad};
 
 use crate::experiments::cluster::{
     journal_cell, open_journal, restore, SweepCell, USD_PER_REQ_S, WATERMARK,
@@ -44,8 +55,14 @@ use crate::tablefmt::{f, Table};
 /// The fault presets exercised, in presentation order.
 pub const FAULT_PRESETS: [&str; 2] = ["memcached-revocable", "memcached-straggler"];
 
+/// The correlated-wave presets exercised at the cluster tier (PR 10).
+pub const WAVE_PRESETS: [&str; 1] = ["memcached-zonewave"];
+
 /// Cluster size for the mitigation ablation (3/4 private, 1/4 cloud).
 pub const FAULT_CLUSTER_NODES: usize = 16;
+
+/// Cluster interval length for every faulted cluster cell, seconds.
+const FAULT_INTERVAL_S: f64 = 0.05;
 
 /// The per-node policies compared at the node level.
 fn node_policies(quick: bool) -> Vec<(&'static str, PolicyFn)> {
@@ -93,7 +110,7 @@ pub fn faulty_cluster_spec(
     seed: u64,
     mitigation: bool,
 ) -> ClusterSpec {
-    let interval_s = 0.05;
+    let interval_s = FAULT_INTERVAL_S;
     let cloud = (nodes / 4).max(1);
     let private = nodes - cloud;
     ClusterSpec::new(name, Platform::juno_r1())
@@ -115,6 +132,77 @@ pub fn faulty_cluster_spec(
         .faults(fault_preset(preset_name).expect("fault preset"))
         .retry(RetrySpec::default())
         .mitigation(mitigation)
+}
+
+/// Shapes a private tier into failure domains for the wave cells:
+/// as many zones as evenly divide the node count (preferring four),
+/// splitting each zone into two racks when it holds an even number of
+/// nodes; awkward counts collapse to a flat single-domain topology.
+fn wave_topology(private: usize) -> TopologySpec {
+    for zones in [4usize, 3, 2] {
+        if private % zones == 0 {
+            let per_zone = private / zones;
+            let racks = if per_zone % 2 == 0 { 2 } else { 1 };
+            return TopologySpec::new(zones, racks, per_zone / racks).expect("non-zero levels");
+        }
+    }
+    TopologySpec::flat(private).expect("non-empty private tier")
+}
+
+/// The SPEC batch bag every wave cell collocates on its private nodes:
+/// sized so a healthy run drains it comfortably before the deadline
+/// (set at 3/4 of the simulated duration) while admission-ladder
+/// shedding shows up as a visible deadline-miss delta.
+fn wave_deadline(nodes: usize, intervals: usize) -> BatchDeadline {
+    let private = nodes - (nodes / 4).max(1);
+    let duration = intervals as f64 * FAULT_INTERVAL_S;
+    let deadline_s = 0.75 * duration;
+    // Calibrated against the aggregate batch_ips column of the wave
+    // cells' trace CSV: one private node sustains ~2.1e9 batch
+    // instructions per second when nothing is shed, so an unshed run
+    // drains the bag just before the deadline and every shed interval
+    // pushes the last tasks past it.
+    let sustained_ips = 2.1e9 * private as f64;
+    BatchDeadline::new(8, 0.97 * sustained_ips * deadline_s / 8.0, deadline_s)
+}
+
+/// Declares one zone-wave cluster run (PR 10): the zonewave preset's
+/// per-request stragglers plus correlated zone/rack fault waves over a
+/// domain-aware two-tier cluster, with the whole tail-tolerance stack —
+/// domain steering, hedged requests, and the admission ladder shedding
+/// the collocated SPEC batch before deferring best-effort arrivals —
+/// toggled by `mitigation`. Fault timelines (unit episodes, waves,
+/// per-request straggles) are identical across both arms.
+pub fn zonewave_cluster_spec(
+    name: impl Into<String>,
+    nodes: usize,
+    policy: PolicyFn,
+    intervals: usize,
+    seed: u64,
+    mitigation: bool,
+) -> ClusterSpec {
+    let private = nodes - (nodes / 4).max(1);
+    faulty_cluster_spec(
+        name,
+        "memcached-zonewave",
+        nodes,
+        policy,
+        intervals,
+        seed,
+        mitigation,
+    )
+    .topology(wave_topology(private))
+    .domain_faults(domain_fault_preset("memcached-zonewave").expect("domain fault preset"))
+    .hedge(HedgeSpec::after(1.0))
+    .admission(AdmissionSpec::new(0.5, 0.75, 0.5))
+    .batch_with(|| {
+        hipster_workloads::spec::programs()
+            .into_iter()
+            .take(2)
+            .map(|p| Box::new(p) as Box<dyn BatchProgram>)
+            .collect()
+    })
+    .batch_deadline(wave_deadline(nodes, intervals))
 }
 
 #[derive(Debug)]
@@ -218,6 +306,59 @@ impl RecoveryCell {
             self.on.straggling_node_intervals,
             self.on.spill_frac,
             self.off.spill_frac,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct WaveCell {
+    name: String,
+    preset: &'static str,
+    nodes: usize,
+    zones: usize,
+    on: ClusterSummary,
+    off: ClusterSummary,
+}
+
+impl WaveCell {
+    fn miss(s: &ClusterSummary) -> f64 {
+        s.deadline_miss_pct
+            .expect("wave cells always declare a batch deadline")
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"preset\":\"{}\",\"nodes\":{},\"zones\":{},",
+                "\"qos_on_pct\":{:.2},\"qos_off_pct\":{:.2},",
+                "\"p99_on_ms\":{:.3},\"p99_off_ms\":{:.3},",
+                "\"hedged_on\":{},\"hedged_off\":{},",
+                "\"deferred_on\":{},\"shed_intervals_on\":{},",
+                "\"deadline_miss_on_pct\":{:.2},\"deadline_miss_off_pct\":{:.2},",
+                "\"revoked_node_intervals\":{},\"straggling_node_intervals\":{},",
+                "\"spill_on_frac\":{:.4},\"spill_off_frac\":{:.4},",
+                "\"cloud_usd_on\":{:.4},\"cloud_usd_off\":{:.4}}}"
+            ),
+            self.name,
+            self.preset,
+            self.nodes,
+            self.zones,
+            self.on.qos_guarantee_pct,
+            self.off.qos_guarantee_pct,
+            self.on.mean_p99_s * 1e3,
+            self.off.mean_p99_s * 1e3,
+            self.on.hedged_requests,
+            self.off.hedged_requests,
+            self.on.deferred_quanta,
+            self.on.shed_intervals,
+            WaveCell::miss(&self.on),
+            WaveCell::miss(&self.off),
+            self.on.revoked_node_intervals,
+            self.on.straggling_node_intervals,
+            self.on.spill_frac,
+            self.off.spill_frac,
+            self.on.total_cloud_usd,
+            self.off.total_cloud_usd,
         )
     }
 }
@@ -404,6 +545,106 @@ pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
     }
     cl_table.print();
 
+    // --- Wave level: correlated zone/rack fault waves (PR 10).
+    let wave_topo = wave_topology(FAULT_CLUSTER_NODES - (FAULT_CLUSTER_NODES / 4).max(1));
+    println!(
+        "\nwave tier: {FAULT_CLUSTER_NODES} nodes ({} zones x {} racks private), \
+         {cluster_intervals} x 50 ms intervals, zone/rack fault waves + per-request \
+         stragglers, hedging + admission ladder, mitigation on vs off\n",
+        wave_topo.num_zones(),
+        wave_topo.num_racks(),
+    );
+    let mut wave_table = Table::new(vec![
+        "preset",
+        "mitigation",
+        "QoS %",
+        "p99 ms",
+        "hedged",
+        "deferred",
+        "shed iv",
+        "miss %",
+        "spill %",
+        "cloud $",
+    ]);
+    let mut wave_cells: Vec<WaveCell> = Vec::new();
+    for preset_name in WAVE_PRESETS {
+        let mut cells: Vec<(String, Option<SweepCell>)> = Vec::new();
+        let mut pending: Vec<(String, bool)> = Vec::new();
+        for mitigation in [true, false] {
+            let tag = if mitigation { "on" } else { "off" };
+            let name = format!("faults/wave/{preset_name}/{tag}");
+            match restore(journal, resume, &name) {
+                Some(cell) => cells.push((name, Some(cell))),
+                None => {
+                    pending.push((name.clone(), mitigation));
+                    cells.push((name, None));
+                }
+            }
+        }
+        let executed = if pending.is_empty() {
+            Vec::new()
+        } else {
+            let tasks: Vec<(String, _)> = pending
+                .into_iter()
+                .map(|(name, mitigation)| {
+                    let policy = static_all_big();
+                    (name.clone(), move || {
+                        let out = zonewave_cluster_spec(
+                            name,
+                            FAULT_CLUSTER_NODES,
+                            policy,
+                            cluster_intervals,
+                            412,
+                            mitigation,
+                        )
+                        .build()
+                        .expect("valid zone-wave cluster spec")
+                        .run();
+                        let cell = SweepCell::of(&out);
+                        journal_cell(journal, &out.name, &cell);
+                        cell
+                    })
+                })
+                .collect();
+            run_tasks(tasks, 0).expect("wave ablation").0
+        };
+        let mut fresh = executed.into_iter();
+        let resolved: Vec<(String, SweepCell)> = cells
+            .into_iter()
+            .map(|(name, restored)| {
+                let cell = restored
+                    .unwrap_or_else(|| fresh.next().expect("one executed cell per pending"));
+                (name, cell)
+            })
+            .collect();
+        let on = resolved[0].1.summary.clone();
+        let off = resolved[1].1.summary.clone();
+        digest_rows.extend(resolved);
+        for (tag, s) in [("on", &on), ("off", &off)] {
+            wave_table.row(vec![
+                preset_name.to_string(),
+                tag.to_string(),
+                f(s.qos_guarantee_pct, 1),
+                f(s.mean_p99_s * 1e3, 2),
+                s.hedged_requests.to_string(),
+                s.deferred_quanta.to_string(),
+                s.shed_intervals.to_string(),
+                f(WaveCell::miss(s), 1),
+                f(s.spill_frac * 100.0, 1),
+                f(s.total_cloud_usd, 4),
+            ]);
+        }
+        wave_cells.push(WaveCell {
+            name: format!("faults/wave/{preset_name}"),
+            preset: preset_name,
+            nodes: FAULT_CLUSTER_NODES,
+            zones: wave_topo.num_zones(),
+            on,
+            off,
+        });
+    }
+    wave_table.print();
+
     // Enforce the recovery floors on full runs — the committed
     // BENCH_PR8.json must always demonstrate that the resilience layer
     // earns its keep.
@@ -418,6 +659,27 @@ pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
                 cell.off.qos_guarantee_pct,
             );
         }
+        // PR10 floors: under a zone-scale fault wave the tail-tolerance
+        // stack must win on QoS *and* p99 — the committed BENCH_PR10.json
+        // always demonstrates recovery, not just different numbers.
+        for cell in &wave_cells {
+            assert!(
+                cell.on.qos_guarantee_pct > cell.off.qos_guarantee_pct,
+                "PR10 floor: mitigation-on must beat mitigation-off on QoS \
+                 under {}: {:.2}% vs {:.2}%",
+                cell.preset,
+                cell.on.qos_guarantee_pct,
+                cell.off.qos_guarantee_pct,
+            );
+            assert!(
+                cell.on.mean_p99_s < cell.off.mean_p99_s,
+                "PR10 floor: mitigation-on must beat mitigation-off on p99 \
+                 under {}: {:.3} ms vs {:.3} ms",
+                cell.preset,
+                cell.on.mean_p99_s * 1e3,
+                cell.off.mean_p99_s * 1e3,
+            );
+        }
     }
 
     println!(
@@ -426,7 +688,11 @@ pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
          straggling nodes at 2-8x slowdown saturate. Mitigation masks dead \
          nodes (their lost capacity spills past the watermark to the cloud \
          tier), steers around stragglers, and re-dispatches stranded quanta \
-         with capped exponential backoff."
+         with capped exponential backoff. Under zone waves the stack adds \
+         domain steering (probe pairs re-drawn out of degraded zones), \
+         hedged backups that cap per-request straggle, and brownout \
+         shedding of the collocated batch — trading deadline misses for \
+         interactive tail."
     );
 
     let node_body: Vec<String> = node_cells.iter().map(NodeCell::json).collect();
@@ -446,6 +712,41 @@ pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
     match std::fs::write(path, &json) {
         Ok(()) => println!("  [json] wrote {path}"),
         Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+
+    let wave_body: Vec<String> = wave_cells.iter().map(WaveCell::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hipster correlated fault waves: zone/rack revocation waves, \
+         hedged requests + admission-ladder ablation\",\
+         \"pr\":\"PR10\",\"smoke\":{quick},\
+         \"presets\":[\"memcached-zonewave\"],\
+         \"cluster_nodes\":{FAULT_CLUSTER_NODES},\
+         \"zones\":{},\"racks\":{},\
+         \"wave_cells\":[\n  {}\n]}}\n",
+        wave_topo.num_zones(),
+        wave_topo.num_racks(),
+        wave_body.join(",\n  ")
+    );
+    let path = "BENCH_PR10.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] FAILED to write {path}: {e}"),
+    }
+
+    // Both arms of every wave cell as flat summary rows (including the
+    // deadline-miss column), for offline side-by-side comparison.
+    let mut csv = String::from(ClusterSummary::csv_header());
+    csv.push('\n');
+    for cell in &wave_cells {
+        for s in [&cell.on, &cell.off] {
+            csv.push_str(&s.csv_row());
+            csv.push('\n');
+        }
+    }
+    let path = "waves_summary.csv";
+    match std::fs::write(path, &csv) {
+        Ok(()) => println!("  [csv]  wrote {path}"),
+        Err(e) => eprintln!("  [csv]  FAILED to write {path}: {e}"),
     }
 
     // The deterministic manifest the CI kill-and-resume step diffs: node
@@ -476,13 +777,18 @@ pub fn run(quick: bool, store_dir: Option<&Path>, resume: bool) {
 /// Fault timelines ride split-seeded streams, so any execution strategy
 /// must reproduce them byte-for-byte.
 pub fn sweep_digests(threads: usize) -> Vec<(String, u64, u64, String)> {
-    let tasks: Vec<(String, _)> = FAULT_PRESETS
+    type Task = Box<dyn FnOnce() -> (String, u64, u64, String) + Send>;
+    let digest = |out: hipster_core::ClusterOutcome| {
+        let summary = format!("{:?}", out.summary);
+        (out.name, out.decision_digest, out.decisions, summary)
+    };
+    let mut tasks: Vec<(String, Task)> = FAULT_PRESETS
         .into_iter()
         .flat_map(|preset_name| {
             [true, false].into_iter().map(move |mitigation| {
                 let tag = if mitigation { "on" } else { "off" };
                 let name = format!("faultdigest/{preset_name}/{tag}");
-                (name.clone(), move || {
+                let task: Task = Box::new(move || {
                     let out = faulty_cluster_spec(
                         name,
                         preset_name,
@@ -495,11 +801,29 @@ pub fn sweep_digests(threads: usize) -> Vec<(String, u64, u64, String)> {
                     .build()
                     .expect("valid faulted cluster spec")
                     .run();
-                    let summary = format!("{:?}", out.summary);
-                    (out.name, out.decision_digest, out.decisions, summary)
-                })
+                    digest(out)
+                });
+                (format!("faultdigest/{preset_name}/{tag}"), task)
             })
         })
         .collect();
+    // The wave pair rides the same grid (kept adjacent on/off, like the
+    // pairs above): domain flags, hedge counts and admission rungs all
+    // fold into the digest, so steering divergence anywhere fails the
+    // cross-strategy comparison.
+    for preset_name in WAVE_PRESETS {
+        for mitigation in [true, false] {
+            let tag = if mitigation { "on" } else { "off" };
+            let name = format!("faultdigest/{preset_name}/{tag}");
+            let task: Task = Box::new(move || {
+                let out = zonewave_cluster_spec(name, 8, static_all_big(), 6, 31, mitigation)
+                    .build()
+                    .expect("valid zone-wave cluster spec")
+                    .run();
+                digest(out)
+            });
+            tasks.push((format!("faultdigest/{preset_name}/{tag}"), task));
+        }
+    }
     run_tasks(tasks, threads).expect("fault digest sweep").0
 }

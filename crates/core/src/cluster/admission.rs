@@ -1,0 +1,145 @@
+//! Overload protection: a two-rung brownout ladder driven by the private
+//! tier's occupancy fraction.
+//!
+//! Rung 1 (**shed**): past `shed_watermark`, colocated batch work is
+//! paused cluster-wide — every node's manager flips to its interactive
+//! configuration, handing the batch cores and their shared-cluster DVFS
+//! headroom back to the latency-critical workload. This is the cheapest
+//! capacity the cluster can reclaim: batch only loses throughput (and
+//! may miss its [`BatchDeadline`](crate::BatchDeadline)), no request is
+//! turned away.
+//!
+//! Rung 2 (**defer**): past `defer_watermark`, a fraction of *newly
+//! arriving* best-effort quanta are parked in a defer queue instead of
+//! dispatched. Deferred quanta re-enter (capacity-capped per interval)
+//! once occupancy falls back below the watermark — brownout, not
+//! blackout.
+//!
+//! Both rungs are deterministic functions of the occupancy signal, and
+//! the cluster folds every transition and every deferred/released count
+//! into its decision digest, so armed sweeps stay byte-identical across
+//! worker counts and resume.
+
+use super::ClusterError;
+
+/// The brownout ladder's knobs. [`AdmissionSpec::none`] (infinite
+/// watermarks) leaves the cluster byte-identical to a build without this
+/// subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionSpec {
+    /// Occupancy fraction (total occupancy / capacity quanta) at or above
+    /// which colocated batch work is shed.
+    pub shed_watermark: f64,
+    /// Occupancy fraction at or above which best-effort arrivals are
+    /// deferred. Usually above `shed_watermark`: shed cheap work first.
+    pub defer_watermark: f64,
+    /// Fraction of newly arriving quanta treated as best-effort (and thus
+    /// deferrable) while above `defer_watermark`.
+    pub best_effort_frac: f64,
+}
+
+impl Default for AdmissionSpec {
+    fn default() -> Self {
+        AdmissionSpec::none()
+    }
+}
+
+impl AdmissionSpec {
+    /// Overload protection disabled: no rung ever trips.
+    pub fn none() -> Self {
+        AdmissionSpec {
+            shed_watermark: f64::INFINITY,
+            defer_watermark: f64::INFINITY,
+            best_effort_frac: 0.0,
+        }
+    }
+
+    /// A ladder shedding batch at `shed_watermark` and deferring
+    /// `best_effort_frac` of arrivals at `defer_watermark`.
+    pub fn new(shed_watermark: f64, defer_watermark: f64, best_effort_frac: f64) -> Self {
+        AdmissionSpec {
+            shed_watermark,
+            defer_watermark,
+            best_effort_frac,
+        }
+    }
+
+    /// True when no rung can ever trip.
+    pub fn is_none(&self) -> bool {
+        self.shed_watermark.is_infinite() && self.defer_watermark.is_infinite()
+    }
+
+    /// Checks every knob, returning the first violation.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        for &(what, value) in &[
+            ("shed_watermark", self.shed_watermark),
+            ("defer_watermark", self.defer_watermark),
+        ] {
+            if value.is_nan() || value <= 0.0 {
+                return Err(ClusterError::InvalidAdmission { what, value });
+            }
+        }
+        if !self.best_effort_frac.is_finite() || !(0.0..=1.0).contains(&self.best_effort_frac) {
+            return Err(ClusterError::InvalidAdmission {
+                what: "best_effort_frac",
+                value: self.best_effort_frac,
+            });
+        }
+        if self.defer_watermark < self.shed_watermark {
+            return Err(ClusterError::InvalidAdmission {
+                what: "defer_watermark (below shed_watermark)",
+                value: self.defer_watermark,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_validates() {
+        assert!(AdmissionSpec::none().is_none());
+        assert_eq!(AdmissionSpec::none().validate(), Ok(()));
+        let armed = AdmissionSpec::new(0.7, 0.9, 0.5);
+        assert!(!armed.is_none());
+        assert_eq!(armed.validate(), Ok(()));
+        // Shed-only and defer-only ladders are both legal.
+        assert!(!AdmissionSpec::new(0.7, f64::INFINITY, 0.0).is_none());
+        assert_eq!(
+            AdmissionSpec::new(0.7, f64::INFINITY, 0.0).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(matches!(
+            AdmissionSpec::new(0.0, 0.9, 0.5).validate(),
+            Err(ClusterError::InvalidAdmission {
+                what: "shed_watermark",
+                ..
+            })
+        ));
+        assert!(matches!(
+            AdmissionSpec::new(0.7, f64::NAN, 0.5).validate(),
+            Err(ClusterError::InvalidAdmission {
+                what: "defer_watermark",
+                ..
+            })
+        ));
+        assert!(matches!(
+            AdmissionSpec::new(0.7, 0.9, 1.5).validate(),
+            Err(ClusterError::InvalidAdmission {
+                what: "best_effort_frac",
+                ..
+            })
+        ));
+        assert!(matches!(
+            AdmissionSpec::new(0.9, 0.7, 0.5).validate(),
+            Err(ClusterError::InvalidAdmission { .. })
+        ));
+    }
+}

@@ -102,6 +102,25 @@ pub trait Dispatcher: std::fmt::Debug + Send {
 
     /// Whether `node` is currently masked.
     fn is_masked(&self, node: usize) -> bool;
+
+    /// Teaches the dispatcher the failure-domain topology: `zone_of[i]`
+    /// and `rack_of[i]` are node `i`'s zone and (global) rack indices.
+    /// Until this is called the dispatcher is domain-blind and every
+    /// pick is byte-identical to the topology-free implementation.
+    fn set_topology(&mut self, zone_of: Vec<u16>, rack_of: Vec<u16>);
+
+    /// Flags a whole domain (zone, or rack when `rack` is set) as
+    /// degraded or recovered. Degraded domains steer P2C re-probes and
+    /// retry placement away; they do **not** mask nodes (use
+    /// [`Dispatcher::set_masked`] for hard revocations).
+    fn set_domain_degraded(&mut self, rack: bool, index: usize, degraded: bool);
+
+    /// Places one *retried* quantum. Identical to [`Dispatcher::pick`]
+    /// unless a topology is installed and some (but not all) domains are
+    /// degraded, in which case least-loaded spreads the retry across the
+    /// least-occupied node of the surviving domains (ties to the lowest
+    /// index, masked nodes skipped) without consuming RNG.
+    fn pick_retry(&mut self, rng: &mut SimRng) -> usize;
 }
 
 /// Revocation mask shared by both dispatcher implementations. The remap
@@ -149,6 +168,76 @@ impl NodeMask {
     }
 }
 
+/// Failure-domain bookkeeping shared by both dispatcher implementations.
+/// Tracks which zones/racks are degraded and maintains the per-node
+/// degraded flags plus a healthy-node count, so pick-time queries are
+/// O(1) and the O(N) recompute only runs on the rare domain transition.
+#[derive(Debug, Default)]
+struct DomainView {
+    zone_of: Vec<u16>,
+    rack_of: Vec<u16>,
+    zone_bad: Vec<bool>,
+    rack_bad: Vec<bool>,
+    degraded: Vec<bool>,
+    healthy: usize,
+}
+
+impl DomainView {
+    fn install(&mut self, zone_of: Vec<u16>, rack_of: Vec<u16>) {
+        assert_eq!(
+            zone_of.len(),
+            rack_of.len(),
+            "zone/rack maps must cover the same nodes"
+        );
+        let zones = zone_of.iter().map(|&z| z as usize + 1).max().unwrap_or(0);
+        let racks = rack_of.iter().map(|&r| r as usize + 1).max().unwrap_or(0);
+        self.zone_bad = vec![false; zones];
+        self.rack_bad = vec![false; racks];
+        self.degraded = vec![false; zone_of.len()];
+        self.healthy = zone_of.len();
+        self.zone_of = zone_of;
+        self.rack_of = rack_of;
+    }
+
+    fn armed(&self) -> bool {
+        !self.zone_of.is_empty()
+    }
+
+    fn set_bad(&mut self, rack: bool, index: usize, bad: bool) {
+        if !self.armed() {
+            return;
+        }
+        let flags = if rack {
+            &mut self.rack_bad
+        } else {
+            &mut self.zone_bad
+        };
+        if flags[index] == bad {
+            return;
+        }
+        flags[index] = bad;
+        self.healthy = 0;
+        for node in 0..self.degraded.len() {
+            let d = self.zone_bad[self.zone_of[node] as usize]
+                || self.rack_bad[self.rack_of[node] as usize];
+            self.degraded[node] = d;
+            if !d {
+                self.healthy += 1;
+            }
+        }
+    }
+
+    fn is_degraded(&self, node: usize) -> bool {
+        self.armed() && self.degraded[node]
+    }
+
+    /// True when steering can help: some domain is degraded but healthy
+    /// nodes survive elsewhere.
+    fn has_degraded(&self) -> bool {
+        self.armed() && self.healthy > 0 && self.healthy < self.degraded.len()
+    }
+}
+
 /// Shared P2C candidate sampling: one RNG draw, halved into two 32-bit
 /// words, each mapped to `[0, n)` by Lemire's multiply-shift. One draw
 /// (instead of two `index` calls) keeps a P2C pick cheaper than a
@@ -177,6 +266,73 @@ fn p2c_winner(a: usize, b: usize, occ_a: u32, occ_b: u32) -> usize {
     }
 }
 
+/// Shared P2C pick with domain awareness. While degradation is active
+/// (and healthy domains survive), a probe in a degraded domain loses the
+/// occupancy comparison outright, and when *both* probes land degraded
+/// one extra probe pair is drawn and judged the same way. With no
+/// topology installed (or no degradation) this is byte-identical to the
+/// plain pick: exactly one RNG draw, same winner. Both dispatchers route
+/// through this one function.
+#[inline]
+fn p2c_domain_pick(
+    rng: &mut SimRng,
+    n: usize,
+    view: &DomainView,
+    occ: impl Fn(usize) -> u32,
+) -> usize {
+    let (a, b) = p2c_probes(rng, n);
+    if !view.has_degraded() {
+        return p2c_winner(a, b, occ(a), occ(b));
+    }
+    match (view.is_degraded(a), view.is_degraded(b)) {
+        (false, false) => p2c_winner(a, b, occ(a), occ(b)),
+        (false, true) => a,
+        (true, false) => b,
+        (true, true) => {
+            let (c, d) = p2c_probes(rng, n);
+            match (view.is_degraded(c), view.is_degraded(d)) {
+                (false, false) => p2c_winner(c, d, occ(c), occ(d)),
+                (false, true) => c,
+                (true, false) => d,
+                // Re-probe also missed the healthy domains: best of all
+                // four by occupancy.
+                (true, true) => {
+                    let winner = p2c_winner(a, b, occ(a), occ(b));
+                    let rewinner = p2c_winner(c, d, occ(c), occ(d));
+                    p2c_winner(winner, rewinner, occ(winner), occ(rewinner))
+                }
+            }
+        }
+    }
+}
+
+/// Shared retry steering: the least-occupied unmasked node of the
+/// surviving (non-degraded) domains, ties to the lowest index. `None`
+/// when steering cannot help — no topology, no degradation, or every
+/// healthy-domain node masked — in which case the caller falls back to
+/// its normal pick. Consumes no RNG.
+fn retry_scan(
+    view: &DomainView,
+    mask: &NodeMask,
+    n: usize,
+    occ: impl Fn(usize) -> u32,
+) -> Option<usize> {
+    if !view.has_degraded() {
+        return None;
+    }
+    let mut best: Option<usize> = None;
+    for node in 0..n {
+        if view.is_degraded(node) || mask.is_masked(node) {
+            continue;
+        }
+        best = match best {
+            Some(b) if occ(node) >= occ(b) => Some(b),
+            _ => Some(node),
+        };
+    }
+    best
+}
+
 /// The production dispatcher. Least-loaded keeps its occupancies in a
 /// [`NodeOccupancyMap`], so the global argmin is three bit scans; the
 /// other policies only ever read *point* occupancies, so they keep a
@@ -188,6 +344,7 @@ pub struct BitmapDispatcher {
     state: OccState,
     rr_next: usize,
     mask: NodeMask,
+    view: DomainView,
 }
 
 /// Occupancy bookkeeping, shaped to what the policy actually queries.
@@ -268,6 +425,7 @@ impl BitmapDispatcher {
             state,
             rr_next: 0,
             mask: NodeMask::default(),
+            view: DomainView::default(),
         }
     }
 }
@@ -295,7 +453,7 @@ impl Dispatcher for BitmapDispatcher {
 
     fn pick(&mut self, rng: &mut SimRng) -> usize {
         let n = self.state.len();
-        let node = match (self.policy, &mut self.state) {
+        let node = match (self.policy, &self.state) {
             (DispatchPolicy::Random, _) => rng.index(n),
             (DispatchPolicy::RoundRobin, _) => {
                 let node = self.rr_next;
@@ -309,8 +467,7 @@ impl Dispatcher for BitmapDispatcher {
                 unreachable!("least-loaded always builds the bitmap state")
             }
             (DispatchPolicy::PowerOfTwo, state) => {
-                let (a, b) = p2c_probes(rng, n);
-                p2c_winner(a, b, state.occupancy(a), state.occupancy(b))
+                p2c_domain_pick(rng, n, &self.view, |i| state.occupancy(i))
             }
         };
         let node = self.mask.remap(node, n);
@@ -325,6 +482,31 @@ impl Dispatcher for BitmapDispatcher {
 
     fn is_masked(&self, node: usize) -> bool {
         self.mask.is_masked(node)
+    }
+
+    fn set_topology(&mut self, zone_of: Vec<u16>, rack_of: Vec<u16>) {
+        assert_eq!(
+            zone_of.len(),
+            self.state.len(),
+            "topology must cover the tier"
+        );
+        self.view.install(zone_of, rack_of);
+    }
+
+    fn set_domain_degraded(&mut self, rack: bool, index: usize, degraded: bool) {
+        self.view.set_bad(rack, index, degraded);
+    }
+
+    fn pick_retry(&mut self, rng: &mut SimRng) -> usize {
+        if self.policy == DispatchPolicy::LeastLoaded {
+            let n = self.state.len();
+            let state = &self.state;
+            if let Some(node) = retry_scan(&self.view, &self.mask, n, |i| state.occupancy(i)) {
+                self.state.inc(node);
+                return node;
+            }
+        }
+        self.pick(rng)
     }
 }
 
@@ -341,6 +523,7 @@ pub struct ScanDispatcher {
     sum: u64,
     rr_next: usize,
     mask: NodeMask,
+    view: DomainView,
 }
 
 impl ScanDispatcher {
@@ -359,6 +542,7 @@ impl ScanDispatcher {
             sum: 0,
             rr_next: 0,
             mask: NodeMask::default(),
+            view: DomainView::default(),
         }
     }
 
@@ -410,10 +594,7 @@ impl Dispatcher for ScanDispatcher {
                 }
                 best
             }
-            DispatchPolicy::PowerOfTwo => {
-                let (a, b) = p2c_probes(rng, n);
-                p2c_winner(a, b, self.occ[a], self.occ[b])
-            }
+            DispatchPolicy::PowerOfTwo => p2c_domain_pick(rng, n, &self.view, |i| self.occ[i]),
         };
         let node = self.mask.remap(node, n);
         self.bump(node);
@@ -427,6 +608,30 @@ impl Dispatcher for ScanDispatcher {
 
     fn is_masked(&self, node: usize) -> bool {
         self.mask.is_masked(node)
+    }
+
+    fn set_topology(&mut self, zone_of: Vec<u16>, rack_of: Vec<u16>) {
+        assert_eq!(
+            zone_of.len(),
+            self.occ.len(),
+            "topology must cover the tier"
+        );
+        self.view.install(zone_of, rack_of);
+    }
+
+    fn set_domain_degraded(&mut self, rack: bool, index: usize, degraded: bool) {
+        self.view.set_bad(rack, index, degraded);
+    }
+
+    fn pick_retry(&mut self, rng: &mut SimRng) -> usize {
+        if self.policy == DispatchPolicy::LeastLoaded {
+            let n = self.occ.len();
+            if let Some(node) = retry_scan(&self.view, &self.mask, n, |i| self.occ[i]) {
+                self.bump(node);
+                return node;
+            }
+        }
+        self.pick(rng)
     }
 }
 
@@ -528,6 +733,120 @@ mod tests {
         assert_eq!(d.pick(&mut rng), 5); // emptiest
         assert_eq!(d.pick(&mut rng), 0); // now all tie at 2 → lowest index
         assert_eq!(d.occupancy(5), 2);
+    }
+
+    /// Builds a 2-zone × 2-racks-per-zone topology over `n` nodes.
+    fn toy_topology(n: usize) -> (Vec<u16>, Vec<u16>) {
+        let per_rack = n / 4;
+        let rack_of: Vec<u16> = (0..n).map(|i| (i / per_rack).min(3) as u16).collect();
+        let zone_of: Vec<u16> = rack_of.iter().map(|&r| r / 2).collect();
+        (zone_of, rack_of)
+    }
+
+    /// With a topology installed but nothing degraded, picks and RNG
+    /// consumption are byte-identical to a topology-blind dispatcher.
+    #[test]
+    fn idle_topology_changes_nothing() {
+        for policy in DispatchPolicy::ALL {
+            let (mut plain, mut topo) = (
+                BitmapDispatcher::new(policy, 16, 16),
+                BitmapDispatcher::new(policy, 16, 16),
+            );
+            let (zone_of, rack_of) = toy_topology(16);
+            topo.set_topology(zone_of, rack_of);
+            let (mut ra, mut rb) = (SimRng::seed(3), SimRng::seed(3));
+            for _ in 0..200 {
+                assert_eq!(plain.pick(&mut ra), topo.pick(&mut rb), "{}", policy.name());
+                assert_eq!(plain.pick_retry(&mut ra), topo.pick_retry(&mut rb));
+            }
+            assert_eq!(ra.next_u64(), rb.next_u64(), "RNG streams diverged");
+        }
+    }
+
+    /// Degraded-domain steering: both implementations agree decision for
+    /// decision through degrade/recover churn, for every policy.
+    #[test]
+    fn domain_steering_impls_agree() {
+        for policy in DispatchPolicy::ALL {
+            let (mut a, mut b) = (
+                BitmapDispatcher::new(policy, 16, 16),
+                ScanDispatcher::new(policy, 16, 16),
+            );
+            let (zone_of, rack_of) = toy_topology(16);
+            a.set_topology(zone_of.clone(), rack_of.clone());
+            b.set_topology(zone_of, rack_of);
+            let (mut ra, mut rb) = (SimRng::seed(11), SimRng::seed(11));
+            for round in 0..60 {
+                a.set_domain_degraded(false, 0, round % 2 == 0);
+                b.set_domain_degraded(false, 0, round % 2 == 0);
+                a.set_domain_degraded(true, 3, round % 3 == 0);
+                b.set_domain_degraded(true, 3, round % 3 == 0);
+                for node in 0..16 {
+                    let carry = ((node * 5 + round) % 11) as u32;
+                    a.set_occupancy(node, carry);
+                    b.set_occupancy(node, carry);
+                }
+                for q in 0..32 {
+                    if q % 5 == 0 {
+                        assert_eq!(a.pick_retry(&mut ra), b.pick_retry(&mut rb));
+                    } else {
+                        assert_eq!(a.pick(&mut ra), b.pick(&mut rb), "{}", policy.name());
+                    }
+                }
+            }
+        }
+    }
+
+    /// P2C steers away from a degraded zone: with zone 0 degraded, picks
+    /// land in zone 1 far more often than the blind 50/50 split.
+    #[test]
+    fn p2c_reprobe_steers_away_from_degraded_zone() {
+        let mut d = BitmapDispatcher::new(DispatchPolicy::PowerOfTwo, 16, 64);
+        let (zone_of, rack_of) = toy_topology(16);
+        let zone = zone_of.clone();
+        d.set_topology(zone_of, rack_of);
+        d.set_domain_degraded(false, 0, true);
+        let mut rng = SimRng::seed(42);
+        let mut healthy_picks = 0;
+        for _ in 0..1000 {
+            let p = d.pick(&mut rng);
+            if zone[p] == 1 {
+                healthy_picks += 1;
+            }
+            for node in 0..16 {
+                d.set_occupancy(node, 0);
+            }
+        }
+        assert!(
+            healthy_picks > 650,
+            "re-probe too weak: {healthy_picks}/1000 in healthy zone"
+        );
+    }
+
+    /// Least-loaded retries go to the emptiest surviving-domain node and
+    /// consume no RNG; once every domain is degraded they fall back to
+    /// the plain pick.
+    #[test]
+    fn least_loaded_retry_spreads_across_surviving_domains() {
+        let mut d = BitmapDispatcher::new(DispatchPolicy::LeastLoaded, 16, 64);
+        let (zone_of, rack_of) = toy_topology(16);
+        d.set_topology(zone_of, rack_of);
+        d.set_domain_degraded(false, 1, true);
+        for node in 0..16 {
+            d.set_occupancy(node, if node < 8 { 4 } else { 0 });
+        }
+        // Zone 1 (nodes 8..16) is degraded and empty; zone 0 is loaded.
+        // A plain least-loaded pick would choose node 8; the retry must
+        // stay in the surviving zone 0.
+        let mut rng = SimRng::seed(9);
+        let before = rng.clone().next_u64();
+        let p = d.pick_retry(&mut rng);
+        assert_eq!(p, 0, "least-occupied surviving node, lowest index");
+        assert_eq!(rng.next_u64(), before, "retry scan must not consume RNG");
+        // Degrade the surviving zone too: no steering possible, plain pick.
+        d.set_domain_degraded(false, 0, true);
+        let mut rng = SimRng::seed(9);
+        assert_eq!(d.pick_retry(&mut rng), 8, "fallback to plain least-loaded");
     }
 
     #[test]

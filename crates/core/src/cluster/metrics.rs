@@ -2,6 +2,7 @@
 //! tail latency across all nodes (via the selection-based percentiles),
 //! private-tier energy, cloud dollars, and spill accounting.
 
+use crate::scenario::BatchDeadline;
 use crate::store::json::JsonObj;
 use hipster_sim::{percentile, QosTarget};
 
@@ -44,6 +45,16 @@ pub struct ClusterInterval {
     pub retried_quanta: usize,
     /// Stranded quanta dropped after exhausting their retry budget.
     pub dropped_quanta: usize,
+    /// Requests hedged (backup issued) this interval, summed over nodes.
+    pub hedged_requests: u64,
+    /// Requests hit by a per-request straggler multiplier this interval.
+    pub straggled_requests: u64,
+    /// Best-effort quanta deferred by the admission ladder this interval.
+    pub deferred_quanta: usize,
+    /// Aggregate colocated-batch throughput, instructions per second.
+    pub batch_ips: f64,
+    /// Whether the shed rung held colocated batch paused this interval.
+    pub shed_batch: bool,
 }
 
 /// Cluster-wide tail percentiles over one interval's per-node tail
@@ -137,7 +148,39 @@ impl ClusterTrace {
                 .iter()
                 .map(|iv| iv.dropped_quanta as u64)
                 .sum(),
+            hedged_requests: self.intervals.iter().map(|iv| iv.hedged_requests).sum(),
+            deferred_quanta: self
+                .intervals
+                .iter()
+                .map(|iv| iv.deferred_quanta as u64)
+                .sum(),
+            shed_intervals: self.intervals.iter().filter(|iv| iv.shed_batch).count() as u64,
+            deadline_miss_pct: None,
         }
+    }
+
+    /// Fraction of the batch bag's tasks finishing after the deadline
+    /// (or never), draining sequentially from the cluster's aggregate
+    /// batch throughput — the cluster analogue of
+    /// [`BatchDeadline::miss_fraction`].
+    pub fn deadline_miss_fraction(&self, deadline: &BatchDeadline) -> f64 {
+        let mut missed = 0usize;
+        let mut completed_instr = 0.0f64;
+        let mut next_task = 0usize;
+        for iv in &self.intervals {
+            completed_instr += iv.batch_ips * iv.duration_s;
+            let end = iv.start_s + iv.duration_s;
+            while next_task < deadline.tasks
+                && completed_instr >= (next_task + 1) as f64 * deadline.instructions_per_task
+            {
+                if end > deadline.deadline_s {
+                    missed += 1;
+                }
+                next_task += 1;
+            }
+        }
+        missed += deadline.tasks - next_task;
+        missed as f64 / deadline.tasks as f64
     }
 
     /// CSV of every interval (header + one row each), for offline plots.
@@ -145,11 +188,12 @@ impl ClusterTrace {
         let mut out = String::from(
             "interval,start_s,offered_frac,quanta,spilled_quanta,arrivals,completions,\
              timeouts,p95_s,p99_s,private_energy_j,cloud_busy_req_s,cloud_cost_usd,\
-             revoked_nodes,straggling_nodes,retried_quanta,dropped_quanta\n",
+             revoked_nodes,straggling_nodes,retried_quanta,dropped_quanta,\
+             hedged_requests,straggled_requests,deferred_quanta,batch_ips,shed_batch\n",
         );
         for iv in &self.intervals {
             out.push_str(&format!(
-                "{},{:.3},{:.6},{},{},{},{},{},{:.9},{:.9},{:.6},{:.6},{:.9},{},{},{},{}\n",
+                "{},{:.3},{:.6},{},{},{},{},{},{:.9},{:.9},{:.6},{:.6},{:.9},{},{},{},{},{},{},{},{:.3},{}\n",
                 iv.index,
                 iv.start_s,
                 iv.offered_frac,
@@ -167,6 +211,11 @@ impl ClusterTrace {
                 iv.straggling_nodes,
                 iv.retried_quanta,
                 iv.dropped_quanta,
+                iv.hedged_requests,
+                iv.straggled_requests,
+                iv.deferred_quanta,
+                iv.batch_ips,
+                u8::from(iv.shed_batch),
             ));
         }
         out
@@ -204,6 +253,15 @@ pub struct ClusterSummary {
     pub retried_quanta: u64,
     /// Stranded quanta dropped after exhausting retries.
     pub dropped_quanta: u64,
+    /// Requests hedged (backup issued) over the run.
+    pub hedged_requests: u64,
+    /// Best-effort quanta deferred by the admission ladder over the run.
+    pub deferred_quanta: u64,
+    /// Intervals spent with colocated batch shed.
+    pub shed_intervals: u64,
+    /// Percent of the batch bag's tasks finishing late, when a
+    /// [`BatchDeadline`] was declared ([`None`] otherwise).
+    pub deadline_miss_pct: Option<f64>,
 }
 
 impl ClusterSummary {
@@ -213,7 +271,7 @@ impl ClusterSummary {
     /// round-trip formatting, so [`from_json_obj`](Self::from_json_obj)
     /// reconstructs the summary bit-for-bit.
     pub fn to_json_obj(&self) -> JsonObj {
-        JsonObj::new()
+        let obj = JsonObj::new()
             .str("name", &self.name)
             .u64("intervals", self.intervals as u64)
             .num("qos_guarantee_pct", self.qos_guarantee_pct)
@@ -228,6 +286,13 @@ impl ClusterSummary {
             .u64("straggling_node_intervals", self.straggling_node_intervals)
             .u64("retried_quanta", self.retried_quanta)
             .u64("dropped_quanta", self.dropped_quanta)
+            .u64("hedged_requests", self.hedged_requests)
+            .u64("deferred_quanta", self.deferred_quanta)
+            .u64("shed_intervals", self.shed_intervals);
+        match self.deadline_miss_pct {
+            Some(pct) => obj.num("deadline_miss_pct", pct),
+            None => obj,
+        }
     }
 
     /// Rebuilds a summary stored with [`to_json_obj`](Self::to_json_obj).
@@ -249,7 +314,52 @@ impl ClusterSummary {
             straggling_node_intervals: obj.get_u64("straggling_node_intervals")?,
             retried_quanta: obj.get_u64("retried_quanta")?,
             dropped_quanta: obj.get_u64("dropped_quanta")?,
+            hedged_requests: obj.get_u64("hedged_requests")?,
+            deferred_quanta: obj.get_u64("deferred_quanta")?,
+            shed_intervals: obj.get_u64("shed_intervals")?,
+            deadline_miss_pct: obj.get_num("deadline_miss_pct"),
         })
+    }
+
+    /// Header for [`csv_row`](Self::csv_row) — one summary per line, for
+    /// side-by-side comparison files (e.g. the wave ablation CSV written
+    /// by `repro faults`).
+    pub fn csv_header() -> &'static str {
+        "name,intervals,qos_guarantee_pct,mean_p99_ms,peak_p99_ms,completions,timeouts,\
+         total_energy_j,total_cloud_usd,spill_frac,revoked_node_intervals,\
+         straggling_node_intervals,retried_quanta,dropped_quanta,hedged_requests,\
+         deferred_quanta,shed_intervals,deadline_miss_pct"
+    }
+
+    /// Renders the summary as one CSV row matching
+    /// [`csv_header`](Self::csv_header). `deadline_miss_pct` renders
+    /// empty when no [`BatchDeadline`] was declared.
+    pub fn csv_row(&self) -> String {
+        let miss = match self.deadline_miss_pct {
+            Some(pct) => format!("{pct:.3}"),
+            None => String::new(),
+        };
+        format!(
+            "{},{},{:.3},{:.6},{:.6},{},{},{:.3},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+            self.name,
+            self.intervals,
+            self.qos_guarantee_pct,
+            self.mean_p99_s * 1e3,
+            self.peak_p99_s * 1e3,
+            self.completions,
+            self.timeouts,
+            self.total_energy_j,
+            self.total_cloud_usd,
+            self.spill_frac,
+            self.revoked_node_intervals,
+            self.straggling_node_intervals,
+            self.retried_quanta,
+            self.dropped_quanta,
+            self.hedged_requests,
+            self.deferred_quanta,
+            self.shed_intervals,
+            miss,
+        )
     }
 }
 
@@ -277,6 +387,11 @@ mod tests {
             straggling_nodes: 2,
             retried_quanta: 3,
             dropped_quanta: if index % 2 == 0 { 1 } else { 0 },
+            hedged_requests: 4,
+            straggled_requests: 7,
+            deferred_quanta: 2,
+            batch_ips: 1000.0,
+            shed_batch: index % 2 == 1,
         }
     }
 
@@ -297,10 +412,36 @@ mod tests {
         assert_eq!(s.straggling_node_intervals, 4);
         assert_eq!(s.retried_quanta, 6);
         assert_eq!(s.dropped_quanta, 1);
+        assert_eq!(s.hedged_requests, 8);
+        assert_eq!(s.deferred_quanta, 4);
+        assert_eq!(s.shed_intervals, 1);
+        assert_eq!(s.deadline_miss_pct, None);
         let csv = trace.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("interval,start_s,"));
-        assert!(csv.lines().next().unwrap().ends_with("dropped_quanta"));
+        assert!(csv.lines().next().unwrap().ends_with("shed_batch"));
+    }
+
+    #[test]
+    fn deadline_miss_drains_the_bag_from_aggregate_batch_ips() {
+        // Two intervals of 1000 IPS each: 2000 instructions total. Four
+        // 500-instruction tasks; a 1.5 s deadline lands mid-run, so the
+        // two tasks finishing in interval 0 (end 1.0 s) are on time and
+        // the two finishing in interval 1 (end 2.0 s) are late.
+        let mut trace = ClusterTrace::new();
+        trace.push(interval(0, 0.005, 0.02));
+        trace.push(interval(1, 0.015, 0.03));
+        let d = BatchDeadline::new(4, 500.0, 1.5);
+        assert_eq!(trace.deadline_miss_fraction(&d), 0.5);
+        // An impossible bag is 100% late, an instant one 0%.
+        assert_eq!(
+            trace.deadline_miss_fraction(&BatchDeadline::new(3, 1e12, 1.5)),
+            1.0
+        );
+        assert_eq!(
+            trace.deadline_miss_fraction(&BatchDeadline::new(2, 100.0, 5.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -313,10 +454,29 @@ mod tests {
         s.dropped_quanta = (1 << 60) + 1;
         let line = s.to_json_obj().render();
         let parsed = JsonObj::parse(&line).expect("rendered line parses");
+        assert_eq!(ClusterSummary::from_json_obj(&parsed), Some(s.clone()));
+        // The optional deadline field round-trips when present.
+        s.deadline_miss_pct = Some(12.5);
+        let line = s.to_json_obj().render();
+        let parsed = JsonObj::parse(&line).expect("rendered line parses");
         assert_eq!(ClusterSummary::from_json_obj(&parsed), Some(s));
         // A foreign cell (missing fields) is a None, not a panic.
         let foreign = JsonObj::new().str("name", "x");
         assert_eq!(ClusterSummary::from_json_obj(&foreign), None);
+    }
+
+    #[test]
+    fn summary_csv_row_matches_header_and_renders_optional_deadline() {
+        let mut trace = ClusterTrace::new();
+        trace.push(interval(0, 0.005, 0.02));
+        let mut s = trace.summary("wave/on", QosTarget::new(0.95, 0.010));
+        let cols = ClusterSummary::csv_header().split(',').count();
+        assert_eq!(s.csv_row().split(',').count(), cols);
+        // No deadline declared: the last column is empty.
+        assert!(s.csv_row().ends_with(','));
+        s.deadline_miss_pct = Some(25.0);
+        assert!(s.csv_row().ends_with(",25.000"));
+        assert!(s.csv_row().starts_with("wave/on,1,"));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! assert_eq!(outcome.summary.intervals, 4);
 //! ```
 
+pub mod admission;
 pub mod dispatch;
 pub mod metrics;
 pub mod overflow;
@@ -65,14 +66,16 @@ use std::sync::Arc;
 
 use hipster_platform::Platform;
 use hipster_sim::{
-    EngineSpec, EngineSpecError, FaultPlan, FaultSpec, FaultSpecError, FaultState, LcModel,
-    LoadPattern, QosTarget, SimRng,
+    BatchProgram, DomainFaultSpec, EngineSpec, EngineSpecError, FaultPlan, FaultSpec,
+    FaultSpecError, FaultState, HedgeSpec, LcModel, LoadPattern, QosTarget, SimRng, TopologySpec,
+    WavePlan,
 };
 
 use crate::fleet::split_seed;
 use crate::manager::Manager;
-use crate::scenario::PolicyFactory;
+use crate::scenario::{BatchDeadline, PolicyFactory};
 
+pub use admission::AdmissionSpec;
 pub use dispatch::{
     build_dispatcher, BitmapDispatcher, DispatchPolicy, Dispatcher, ScanDispatcher,
 };
@@ -118,6 +121,27 @@ pub enum ClusterError {
     ZeroRetryAttempts,
     /// The retry backoff cap is zero intervals.
     ZeroBackoffCap,
+    /// The declared topology does not address exactly the private tier.
+    TopologyNodeMismatch {
+        /// Nodes the topology addresses.
+        topology_nodes: usize,
+        /// Private-tier nodes the cluster actually has.
+        private_nodes: usize,
+    },
+    /// Domain fault waves were declared without a topology to aim at.
+    WavesWithoutTopology,
+    /// An overload-protection knob is invalid.
+    InvalidAdmission {
+        /// Which knob was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A batch deadline was declared without a batch workload.
+    DeadlineWithoutBatch,
+    /// The batch deadline has zero tasks, non-positive work or a
+    /// non-positive due time.
+    InvalidDeadline,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -150,6 +174,25 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::ZeroBackoffCap => {
                 f.write_str("retry backoff cap must be at least one interval")
+            }
+            ClusterError::TopologyNodeMismatch {
+                topology_nodes,
+                private_nodes,
+            } => write!(
+                f,
+                "topology addresses {topology_nodes} nodes but the private tier has {private_nodes}"
+            ),
+            ClusterError::WavesWithoutTopology => {
+                f.write_str("domain fault waves declared but no topology; call topology(...)")
+            }
+            ClusterError::InvalidAdmission { what, value } => {
+                write!(f, "admission {what} is invalid: {value}")
+            }
+            ClusterError::DeadlineWithoutBatch => {
+                f.write_str("batch deadline declared but no batch workload; call batch_with(...)")
+            }
+            ClusterError::InvalidDeadline => {
+                f.write_str("batch deadline needs tasks >= 1 and positive work and due time")
             }
         }
     }
@@ -192,6 +235,12 @@ pub struct ClusterSpec {
     faults: FaultSpec,
     retry: RetrySpec,
     mitigation: bool,
+    topology: Option<TopologySpec>,
+    waves: DomainFaultSpec,
+    hedge: HedgeSpec,
+    admission: AdmissionSpec,
+    batch: Option<Box<dyn Fn() -> Vec<Box<dyn BatchProgram>> + Send + Sync>>,
+    deadline: Option<BatchDeadline>,
 }
 
 impl std::fmt::Debug for ClusterSpec {
@@ -208,6 +257,11 @@ impl std::fmt::Debug for ClusterSpec {
             .field("seed", &self.seed)
             .field("faults", &self.faults)
             .field("mitigation", &self.mitigation)
+            .field("topology", &self.topology)
+            .field("waves", &self.waves)
+            .field("hedge", &self.hedge)
+            .field("admission", &self.admission)
+            .field("deadline", &self.deadline)
             .finish_non_exhaustive()
     }
 }
@@ -234,6 +288,12 @@ impl ClusterSpec {
             faults: FaultSpec::none(),
             retry: RetrySpec::default(),
             mitigation: true,
+            topology: None,
+            waves: DomainFaultSpec::none(),
+            hedge: HedgeSpec::none(),
+            admission: AdmissionSpec::none(),
+            batch: None,
+            deadline: None,
         }
     }
 
@@ -333,10 +393,62 @@ impl ClusterSpec {
 
     /// Toggles resilience mitigation (default on). With mitigation off,
     /// faults still strike the nodes but the dispatcher keeps feeding
-    /// revoked and straggling nodes as if nothing happened — the
-    /// ablation baseline for `BENCH_PR8.json`.
+    /// revoked and straggling nodes as if nothing happened, no request
+    /// is hedged and the admission ladder never trips — the ablation
+    /// baseline for `BENCH_PR8.json` / `BENCH_PR10.json`.
     pub fn mitigation(mut self, on: bool) -> Self {
         self.mitigation = on;
+        self
+    }
+
+    /// Declares the private tier's failure-domain layout (node → rack →
+    /// zone). Required by [`domain_faults`](Self::domain_faults); also
+    /// teaches the dispatcher to steer around degraded domains when
+    /// mitigation is on.
+    pub fn topology(mut self, topo: TopologySpec) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// Schedules correlated fault waves over whole zones and racks per
+    /// [`DomainFaultSpec`], drawn from a dedicated `fork("waves")`
+    /// stream. `DomainFaultSpec::none()` (the default) leaves the run
+    /// byte-identical to a wave-free cluster.
+    pub fn domain_faults(mut self, spec: DomainFaultSpec) -> Self {
+        self.waves = spec;
+        self
+    }
+
+    /// Arms per-request hedging on every private node: a request whose
+    /// straggler multiplier exceeds `1 + delay_multiple` is re-issued
+    /// and the loser cancelled. Only acts when mitigation is on.
+    pub fn hedge(mut self, spec: HedgeSpec) -> Self {
+        self.hedge = spec;
+        self
+    }
+
+    /// Arms the overload-protection brownout ladder (shed colocated
+    /// batch, then defer best-effort arrivals). Only acts when
+    /// mitigation is on.
+    pub fn admission(mut self, spec: AdmissionSpec) -> Self {
+        self.admission = spec;
+        self
+    }
+
+    /// Gives every private node a colocated batch pool (one fresh pool
+    /// per node) — the sheddable tenant the admission ladder acts on.
+    pub fn batch_with(
+        mut self,
+        f: impl Fn() -> Vec<Box<dyn BatchProgram>> + Send + Sync + 'static,
+    ) -> Self {
+        self.batch = Some(Box::new(f));
+        self
+    }
+
+    /// Declares a cluster-wide deadline for the colocated batch bag;
+    /// [`ClusterSummary::deadline_miss_pct`] reports the late fraction.
+    pub fn batch_deadline(mut self, deadline: BatchDeadline) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -368,6 +480,28 @@ impl ClusterSpec {
         }
         self.faults.validate().map_err(ClusterError::Fault)?;
         self.retry.validate()?;
+        match &self.topology {
+            Some(topo) if topo.nodes() != self.private_nodes => {
+                return Err(ClusterError::TopologyNodeMismatch {
+                    topology_nodes: topo.nodes(),
+                    private_nodes: self.private_nodes,
+                });
+            }
+            Some(_) => {}
+            None if !self.waves.is_none() => return Err(ClusterError::WavesWithoutTopology),
+            None => {}
+        }
+        self.waves.validate().map_err(ClusterError::Fault)?;
+        self.hedge.validate().map_err(ClusterError::Fault)?;
+        self.admission.validate()?;
+        if self.deadline.is_some() && self.batch.is_none() {
+            return Err(ClusterError::DeadlineWithoutBatch);
+        }
+        if let Some(d) = &self.deadline {
+            if !d.valid() {
+                return Err(ClusterError::InvalidDeadline);
+            }
+        }
         // Engine knobs are validated by EngineSpec::build per node; check
         // the shared interval length up front for a better error.
         let mut probe = EngineSpec::seeded(self.seed);
@@ -399,13 +533,30 @@ impl ClusterSpec {
             let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
             let mut espec = EngineSpec::seeded(node_seed);
             espec.interval_s = self.interval_s;
+            // Private nodes suffer the spec's per-request stragglers and
+            // (mitigation on) hedge against them; node-level revocation /
+            // straggler episodes stay cluster-imposed via the fault
+            // overlay, so the unit families are stripped here.
+            let batch_pool = if i < self.private_nodes {
+                espec.faults = self.faults.request_only();
+                if self.mitigation {
+                    espec.hedge = self.hedge;
+                }
+                self.batch.as_ref().map(|f| f()).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let collocate = !batch_pool.is_empty();
             let engine = espec.build(
                 self.platform.clone(),
                 workload(),
                 Box::new(SharedLoad(cell.clone())),
-                Vec::new(),
+                batch_pool,
             )?;
             let mut manager = Manager::new(engine, policy.build(&self.platform, node_seed));
+            if collocate {
+                manager = manager.collocated();
+            }
             manager.set_run_identity(format!("{}/node{i}", self.name), node_seed);
             nodes.push(NodeSlot {
                 manager,
@@ -414,12 +565,23 @@ impl ClusterSpec {
             });
         }
 
-        let private_dispatch = build_dispatcher(
+        let mut private_dispatch = build_dispatcher(
             self.dispatch,
             self.private_nodes,
             cap,
             self.reference_dispatch,
         );
+        if self.mitigation {
+            if let Some(topo) = &self.topology {
+                let zone_of = (0..self.private_nodes)
+                    .map(|i| topo.zone_of(i) as u16)
+                    .collect();
+                let rack_of = (0..self.private_nodes)
+                    .map(|i| topo.rack_of(i) as u16)
+                    .collect();
+                private_dispatch.set_topology(zone_of, rack_of);
+            }
+        }
         let cloud_dispatch = (self.cloud_nodes > 0).then(|| {
             build_dispatcher(
                 self.dispatch,
@@ -431,13 +593,27 @@ impl ClusterSpec {
 
         // Node-level fault timelines ride their own split stream so the
         // dispatcher RNG is untouched whether or not faults are on.
-        let faults = (!self.faults.is_none()).then(|| {
+        // Request-straggler knobs live inside the node engines, so only
+        // the unit families warrant a cluster-level plan.
+        let faults = self.faults.has_unit_faults().then(|| {
             FaultPlan::new(
                 self.faults,
                 split_seed(self.seed, u64::MAX - 1),
                 self.private_nodes,
             )
         });
+        // Domain waves ride yet another stream (`fork("waves")`), split
+        // per zone / rack inside the plan, so arming them leaves both
+        // the node-fault and dispatcher streams untouched.
+        let waves = (!self.waves.is_none()).then(|| {
+            let topo = self.topology.expect("validated");
+            let base = SimRng::seed(self.seed).fork("waves").next_u64();
+            WavePlan::new(self.waves, topo, base)
+        });
+        let (num_zones, num_racks) = match (&waves, &self.topology) {
+            (Some(_), Some(topo)) => (topo.num_zones(), topo.num_racks()),
+            _ => (0, 0),
+        };
 
         Ok(ClusterSim {
             name: self.name,
@@ -467,6 +643,16 @@ impl ClusterSpec {
             node_fault: vec![FaultState::Healthy; self.private_nodes],
             retries: Vec::new(),
             retry_scratch: Vec::new(),
+            waves,
+            admission: self.admission,
+            deadline: self.deadline,
+            has_batch: self.batch.is_some(),
+            shedding: false,
+            deferred: 0,
+            zone_bad: vec![false; num_zones],
+            rack_bad: vec![false; num_racks],
+            prev_hedged: 0,
+            prev_straggled: 0,
         })
     }
 }
@@ -547,6 +733,20 @@ pub struct ClusterSim {
     node_fault: Vec<FaultState>,
     retries: Vec<RetryBatch>,
     retry_scratch: Vec<RetryBatch>,
+    waves: Option<WavePlan>,
+    admission: AdmissionSpec,
+    deadline: Option<BatchDeadline>,
+    has_batch: bool,
+    /// Whether the shed rung is currently tripped.
+    shedding: bool,
+    /// Best-effort quanta parked by the defer rung, awaiting release.
+    deferred: u64,
+    zone_bad: Vec<bool>,
+    rack_bad: Vec<bool>,
+    /// Cumulative hedged-request count across nodes at last interval end.
+    prev_hedged: u64,
+    /// Cumulative straggled-request count at last interval end.
+    prev_straggled: u64,
 }
 
 impl std::fmt::Debug for ClusterSim {
@@ -602,23 +802,32 @@ impl ClusterSim {
         let capacity_quanta = (self.n_private * self.q) as u64;
         let total_quanta = (offered * capacity_quanta as f64).round() as usize;
 
-        // --- Fault overlay. Inactive (`faults: None`) this block folds
-        // nothing into the digest and touches nothing — the run stays
-        // byte-identical to a fault-free cluster.
+        // --- Fault overlay. Inactive (no node plan, no wave plan) this
+        // block folds nothing into the digest and touches nothing — the
+        // run stays byte-identical to a fault-free cluster.
         let mut revoked_nodes = 0usize;
         let mut straggling_nodes = 0usize;
         let mut retried_quanta = 0usize;
         let mut dropped_quanta = 0usize;
         let mut extra_quanta = 0usize;
         let mut all_private_masked = false;
-        if let Some(plan) = self.faults.as_mut() {
-            // Sample each private node's fault state; on a fresh
-            // revocation (mitigation on) mask the node out of dispatch
-            // and strand its carried backlog into the retry queue. A
-            // warned revocation re-dispatches immediately; an unwarned
-            // one waits out the base backoff first.
+        let have_faults = self.faults.is_some() || self.waves.is_some();
+        if have_faults {
+            // Sample each private node's fault state — the correlated
+            // wave state of its zone and rack combined with its own
+            // independent timeline. On a fresh revocation (mitigation
+            // on) mask the node out of dispatch and strand its carried
+            // backlog into the retry queue. A warned revocation
+            // re-dispatches immediately; an unwarned one waits out the
+            // base backoff first.
             for i in 0..self.n_private {
-                let state = plan.state(i, now);
+                let mut state = match self.waves.as_mut() {
+                    Some(w) => w.state(i, now),
+                    None => FaultState::Healthy,
+                };
+                if let Some(plan) = self.faults.as_mut() {
+                    state = FaultState::combine(state, plan.state(i, now));
+                }
                 self.node_fault[i] = state;
                 match state {
                     FaultState::Revoked { warned } => {
@@ -660,6 +869,37 @@ impl ClusterSim {
                 }
             }
             all_private_masked = (0..self.n_private).all(|i| self.private_dispatch.is_masked(i));
+
+            // Tell the dispatcher which whole domains are degraded this
+            // interval so p2c re-probes and retry placement steer toward
+            // survivors; every transition folds into the digest (tag 7 =
+            // zone, tag 8 = rack).
+            if self.mitigation {
+                if let Some(w) = self.waves.as_mut() {
+                    for z in 0..self.zone_bad.len() {
+                        let bad = w.zone_state(z, now).is_faulted();
+                        if bad != self.zone_bad[z] {
+                            self.zone_bad[z] = bad;
+                            self.private_dispatch.set_domain_degraded(false, z, bad);
+                            self.digest = fnv_fold(
+                                self.digest,
+                                (7 << 32) | ((z as u64) << 1) | u64::from(bad),
+                            );
+                        }
+                    }
+                    for r in 0..self.rack_bad.len() {
+                        let bad = w.rack_state(r, now).is_faulted();
+                        if bad != self.rack_bad[r] {
+                            self.rack_bad[r] = bad;
+                            self.private_dispatch.set_domain_degraded(true, r, bad);
+                            self.digest = fnv_fold(
+                                self.digest,
+                                (8 << 32) | ((r as u64) << 1) | u64::from(bad),
+                            );
+                        }
+                    }
+                }
+            }
 
             // Drain due retry batches back into this interval's dispatch
             // volume; batches out of attempts with nowhere to go are
@@ -719,14 +959,44 @@ impl ClusterSim {
             }
         }
 
-        // Place the interval's quanta one decision at a time. Retried
-        // quanta ride along as extra volume; with the whole private tier
-        // revoked and no cloud to spill to, fresh quanta are stranded
-        // into the retry queue instead of dispatched onto dead nodes.
+        // --- Overload protection. The brownout ladder reads interval-
+        // start occupancy: rung 1 sheds colocated batch, rung 2 parks a
+        // fraction of fresh arrivals in the defer queue and releases
+        // them (capacity-capped) once pressure lifts. Unarmed (or with
+        // mitigation off) this folds nothing and changes nothing.
+        let mut deferred_now = 0usize;
+        let mut released_quanta = 0usize;
+        if self.mitigation && !self.admission.is_none() {
+            let occ_frac = self.private_dispatch.total() as f64 / capacity_quanta as f64;
+            let shed = occ_frac >= self.admission.shed_watermark;
+            if shed != self.shedding {
+                self.shedding = shed;
+                self.digest = fnv_fold(self.digest, (10 << 32) | u64::from(shed));
+            }
+            if occ_frac >= self.admission.defer_watermark {
+                deferred_now =
+                    (self.admission.best_effort_frac * total_quanta as f64).floor() as usize;
+                if deferred_now > 0 {
+                    self.deferred += deferred_now as u64;
+                    self.digest = fnv_fold(self.digest, (11 << 32) | deferred_now as u64);
+                }
+            } else if self.deferred > 0 {
+                released_quanta = self.deferred.min(capacity_quanta) as usize;
+                self.deferred -= released_quanta as u64;
+                self.digest = fnv_fold(self.digest, (12 << 32) | released_quanta as u64);
+            }
+        }
+
+        // Place the interval's quanta one decision at a time, retried
+        // quanta first (they may take the dispatcher's domain-aware
+        // retry path); with the whole private tier revoked and no cloud
+        // to spill to, fresh quanta are stranded into the retry queue
+        // instead of dispatched onto dead nodes.
         self.assigned.fill(0);
         let mut spilled = 0usize;
         let mut stranded = 0u32;
-        for _ in 0..total_quanta + extra_quanta {
+        let place_total = extra_quanta + total_quanta - deferred_now + released_quanta;
+        for k in 0..place_total {
             let spill = match (&self.cloud_dispatch, &self.overflow) {
                 (Some(_), Some(of)) => of.spills(self.private_dispatch.total(), capacity_quanta),
                 _ => false,
@@ -743,7 +1013,11 @@ impl ClusterSim {
                 self.assigned[self.n_private + local] += 1;
                 (1u64, local)
             } else {
-                let local = self.private_dispatch.pick(&mut self.rng);
+                let local = if k < extra_quanta {
+                    self.private_dispatch.pick_retry(&mut self.rng)
+                } else {
+                    self.private_dispatch.pick(&mut self.rng)
+                };
                 self.assigned[local] += 1;
                 (0u64, local)
             };
@@ -762,12 +1036,18 @@ impl ClusterSim {
         let (mut arrivals, mut completions, mut timeouts) = (0usize, 0usize, 0usize);
         let mut private_energy = 0.0;
         let mut cloud_busy_req_s = 0.0;
+        let mut batch_ips = 0.0;
+        let mut hedged_total = 0u64;
+        let mut straggled_total = 0u64;
         self.scratch_tails.clear();
         for (i, slot) in self.nodes.iter_mut().enumerate() {
             let frac = f64::from(self.assigned[i]) / self.q as f64;
             slot.cell.store(frac.to_bits(), Ordering::Relaxed);
-            if self.faults.is_some() && i < self.n_private {
+            if have_faults && i < self.n_private {
                 slot.manager.set_external_fault(self.node_fault[i]);
+            }
+            if self.has_batch && i < self.n_private {
+                slot.manager.set_batch_shed(self.shedding);
             }
             let stats = slot.manager.step();
             arrivals += stats.arrivals;
@@ -778,10 +1058,23 @@ impl ClusterSim {
             }
             if i < self.n_private {
                 private_energy += stats.energy_j;
+                batch_ips += stats.batch_ips_big + stats.batch_ips_small;
+                hedged_total += slot.manager.engine().hedged_requests();
+                straggled_total += slot.manager.engine().request_straggles();
             } else {
                 cloud_busy_req_s += stats.lc_busy.iter().sum::<f64>() * stats.duration_s;
             }
             slot.carry = quantize_backlog(stats.queue_len, self.reqs_per_quantum);
+        }
+        // Engines count hedges/straggles cumulatively; the interval's
+        // share is the delta. Hedge decisions join the digest (tag 9) so
+        // armed sweeps compare hedging event for event.
+        let hedged_requests = hedged_total - self.prev_hedged;
+        self.prev_hedged = hedged_total;
+        let straggled_requests = straggled_total - self.prev_straggled;
+        self.prev_straggled = straggled_total;
+        if hedged_requests > 0 {
+            self.digest = fnv_fold(self.digest, (9 << 32) | hedged_requests);
         }
 
         let (p95_s, p99_s) = cluster_tails(&mut self.scratch_tails);
@@ -808,6 +1101,11 @@ impl ClusterSim {
             straggling_nodes,
             retried_quanta,
             dropped_quanta,
+            hedged_requests,
+            straggled_requests,
+            deferred_quanta: deferred_now,
+            batch_ips,
+            shed_batch: self.shedding,
         };
         self.trace.push(interval.clone());
         self.stepped += 1;
@@ -819,7 +1117,10 @@ impl ClusterSim {
         while self.stepped < self.intervals_total {
             self.step();
         }
-        let summary = self.trace.summary(self.name.clone(), self.qos);
+        let mut summary = self.trace.summary(self.name.clone(), self.qos);
+        if let Some(d) = &self.deadline {
+            summary.deadline_miss_pct = Some(100.0 * self.trace.deadline_miss_fraction(d));
+        }
         ClusterOutcome {
             name: self.name,
             summary,
@@ -1081,5 +1382,194 @@ mod tests {
             );
             assert_eq!(fast.summary, slow.summary);
         }
+    }
+
+    fn batch_pool() -> Vec<Box<dyn BatchProgram>> {
+        hipster_workloads::spec::programs()
+            .into_iter()
+            .take(2)
+            .map(|p| Box::new(p) as Box<dyn BatchProgram>)
+            .collect()
+    }
+
+    #[test]
+    fn disarmed_pr10_subsystems_are_byte_identical_to_the_plain_path() {
+        // Topology installed, every new subsystem declared but disarmed:
+        // the run must be byte-identical to a cluster that has never
+        // heard of any of it.
+        let plain = spec(8).build().unwrap().run();
+        let armed_none = spec(8)
+            .topology(TopologySpec::new(2, 2, 2).unwrap())
+            .domain_faults(DomainFaultSpec::none())
+            .hedge(HedgeSpec::none())
+            .admission(AdmissionSpec::none())
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(plain.decision_digest, armed_none.decision_digest);
+        assert_eq!(plain.summary, armed_none.summary);
+    }
+
+    #[test]
+    fn validation_catches_pr10_misdeclarations() {
+        let base = || spec(4);
+        assert_eq!(
+            base()
+                .topology(TopologySpec::new(2, 2, 2).unwrap())
+                .validate(),
+            Err(ClusterError::TopologyNodeMismatch {
+                topology_nodes: 8,
+                private_nodes: 4,
+            })
+        );
+        assert_eq!(
+            base()
+                .domain_faults(DomainFaultSpec::none().with_zone_revocations(1.0, 0.3))
+                .validate(),
+            Err(ClusterError::WavesWithoutTopology)
+        );
+        assert!(matches!(
+            base()
+                .topology(TopologySpec::new(2, 1, 2).unwrap())
+                .domain_faults(DomainFaultSpec::none().with_zone_revocations(-1.0, 0.3))
+                .validate(),
+            Err(ClusterError::Fault(_))
+        ));
+        assert!(matches!(
+            base().hedge(HedgeSpec::after(-1.0)).validate(),
+            Err(ClusterError::Fault(_))
+        ));
+        assert!(matches!(
+            base()
+                .admission(AdmissionSpec::new(0.9, 0.5, 0.5))
+                .validate(),
+            Err(ClusterError::InvalidAdmission { .. })
+        ));
+        assert_eq!(
+            base()
+                .batch_deadline(BatchDeadline::new(10, 1e6, 1.0))
+                .validate(),
+            Err(ClusterError::DeadlineWithoutBatch)
+        );
+        assert_eq!(
+            base()
+                .batch_with(batch_pool)
+                .batch_deadline(BatchDeadline::new(0, 1e6, 1.0))
+                .validate(),
+            Err(ClusterError::InvalidDeadline)
+        );
+        assert!(base()
+            .topology(TopologySpec::new(2, 1, 2).unwrap())
+            .domain_faults(DomainFaultSpec::none().with_zone_revocations(1.0, 0.3))
+            .hedge(HedgeSpec::after(1.5))
+            .admission(AdmissionSpec::new(0.7, 0.9, 0.5))
+            .batch_with(batch_pool)
+            .batch_deadline(BatchDeadline::new(10, 1e6, 1.0))
+            .validate()
+            .is_ok());
+    }
+
+    fn wave_spec(mitigation: bool) -> ClusterSpec {
+        spec(8)
+            .intervals(40)
+            .topology(TopologySpec::new(2, 2, 2).unwrap())
+            .domain_faults(DomainFaultSpec::none().with_zone_revocations(2.0, 0.3))
+            .mitigation(mitigation)
+    }
+
+    #[test]
+    fn zone_waves_revoke_whole_zones_and_mitigation_steers() {
+        let on = wave_spec(true).build().unwrap().run();
+        assert!(on.summary.revoked_node_intervals > 0, "{:?}", on.summary);
+        // Zone-level waves strike all four nodes of a zone at once.
+        for iv in on.trace.intervals() {
+            assert_eq!(iv.revoked_nodes % 4, 0, "partial zone: {iv:?}");
+        }
+        // The wave timeline is independent of mitigation; the dispatch
+        // decisions are not.
+        let off = wave_spec(false).build().unwrap().run();
+        assert_eq!(
+            on.summary.revoked_node_intervals,
+            off.summary.revoked_node_intervals
+        );
+        assert_ne!(on.decision_digest, off.decision_digest);
+        // And the whole thing replays byte-identically.
+        let again = wave_spec(true).build().unwrap().run();
+        assert_eq!(on.decision_digest, again.decision_digest);
+        assert_eq!(on.summary, again.summary);
+    }
+
+    #[test]
+    fn hedging_fires_only_under_mitigation() {
+        let make = |mitigation: bool| {
+            spec(6)
+                .intervals(20)
+                .faults(FaultSpec::none().with_request_stragglers(0.2, 1.5, 4.0, 20.0))
+                .hedge(HedgeSpec::after(2.0))
+                .mitigation(mitigation)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let on = make(true);
+        let off = make(false);
+        assert!(on.summary.hedged_requests > 0, "{:?}", on.summary);
+        assert_eq!(off.summary.hedged_requests, 0);
+        let straggled: u64 = on
+            .trace
+            .intervals()
+            .iter()
+            .map(|iv| iv.straggled_requests)
+            .sum();
+        assert!(straggled >= on.summary.hedged_requests);
+        // Capping straggler work changes backlogs and thus dispatch.
+        assert_ne!(on.decision_digest, off.decision_digest);
+    }
+
+    #[test]
+    fn admission_ladder_sheds_batch_then_defers_arrivals() {
+        let make = |mitigation: bool| {
+            spec(4)
+                .intervals(20)
+                .load(Constant::new(1.2, 10.0))
+                .batch_with(batch_pool)
+                .admission(AdmissionSpec::new(0.3, 0.6, 0.5))
+                .mitigation(mitigation)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let on = make(true);
+        assert!(on.summary.shed_intervals > 0, "{:?}", on.summary);
+        assert!(on.summary.deferred_quanta > 0, "{:?}", on.summary);
+        let off = make(false);
+        assert_eq!(off.summary.shed_intervals, 0);
+        assert_eq!(off.summary.deferred_quanta, 0);
+        assert_ne!(on.decision_digest, off.decision_digest);
+    }
+
+    #[test]
+    fn deadline_miss_pct_reported_only_when_declared() {
+        let without = spec(4).batch_with(batch_pool).build().unwrap().run();
+        assert!(without.summary.deadline_miss_pct.is_none());
+        assert!(without
+            .trace
+            .intervals()
+            .iter()
+            .any(|iv| iv.batch_ips > 0.0));
+        let hopeless = spec(4)
+            .batch_with(batch_pool)
+            .batch_deadline(BatchDeadline::new(10, 1e15, 0.01))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(hopeless.summary.deadline_miss_pct, Some(100.0));
+        let easy = spec(4)
+            .batch_with(batch_pool)
+            .batch_deadline(BatchDeadline::new(1, 1.0, 10.0))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(easy.summary.deadline_miss_pct, Some(0.0));
     }
 }

@@ -82,8 +82,8 @@ mod telemetry;
 pub use baselines::{DvfsOnly, HeuristicMapper, OctopusMan, StaticPolicy};
 pub use bucket::{LoadBuckets, MAX_OBSERVABLE_LOAD_FRAC};
 pub use cluster::{
-    ClusterError, ClusterInterval, ClusterOutcome, ClusterSim, ClusterSpec, ClusterSummary,
-    ClusterTrace, DispatchPolicy, OverflowSpec, RetrySpec,
+    AdmissionSpec, ClusterError, ClusterInterval, ClusterOutcome, ClusterSim, ClusterSpec,
+    ClusterSummary, ClusterTrace, DispatchPolicy, OverflowSpec, RetrySpec,
 };
 pub use configspace::ConfigSpace;
 pub use feedback::{FeedbackController, Zones};

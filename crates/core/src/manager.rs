@@ -52,6 +52,7 @@ pub struct Manager {
     engine: Engine,
     policy: Box<dyn Policy>,
     collocate: bool,
+    batch_shed: bool,
     last: Option<LastSignals>,
     meta: RunMeta,
     sinks: Vec<Box<dyn TelemetrySink>>,
@@ -86,6 +87,7 @@ impl Manager {
             engine,
             policy,
             collocate: false,
+            batch_shed: false,
             last: None,
             meta,
             sinks: Vec::new(),
@@ -150,6 +152,14 @@ impl Manager {
         self.engine.set_external_fault(state);
     }
 
+    /// Pauses (`true`) or resumes (`false`) batch collocation without
+    /// dropping the pool — the cluster admission ladder's shed rung.
+    /// While shed, the node runs its interactive configuration and the
+    /// policy sees no batch tenant. No-op on an interactive manager.
+    pub fn set_batch_shed(&mut self, shed: bool) {
+        self.batch_shed = shed;
+    }
+
     /// The observation the policy will act on next.
     pub fn observation(&self) -> Observation {
         let qos = self.engine.lc_model().qos();
@@ -170,7 +180,7 @@ impl Manager {
                     batch_ips_big: s.batch_ips_big,
                     batch_ips_small: s.batch_ips_small,
                     counters_valid: s.counters_valid,
-                    has_batch: self.collocate,
+                    has_batch: self.collocate && !self.batch_shed,
                 }
             }
         }
@@ -186,7 +196,7 @@ impl Manager {
         }
         let obs = self.observation();
         let lc = self.policy.decide(&obs);
-        let cfg = if self.collocate {
+        let cfg = if self.collocate && !self.batch_shed {
             MachineConfig::collocated(self.engine.platform(), lc)
         } else {
             MachineConfig::interactive(self.engine.platform(), lc)

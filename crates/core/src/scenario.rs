@@ -165,7 +165,7 @@ impl BatchDeadline {
         }
     }
 
-    fn valid(&self) -> bool {
+    pub(crate) fn valid(&self) -> bool {
         self.tasks > 0
             && self.instructions_per_task.is_finite()
             && self.instructions_per_task > 0.0

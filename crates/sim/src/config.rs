@@ -11,7 +11,7 @@ use hipster_platform::Platform;
 
 use crate::costs::{ContentionModel, ReconfigCosts};
 use crate::engine::{Engine, DEFAULT_JITTER_SIGMA};
-use crate::fault::{FaultSpec, FaultSpecError};
+use crate::fault::{FaultSpec, FaultSpecError, HedgeSpec};
 use crate::traits::{BatchProgram, LcModel, LoadPattern};
 
 /// Why an [`EngineSpec`] failed validation.
@@ -73,6 +73,10 @@ pub struct EngineSpec {
     /// Fault injection: transient revocations and straggler episodes
     /// ([`FaultSpec::none`] = the exact fault-free path).
     pub faults: FaultSpec,
+    /// Hedging policy for per-request stragglers ([`HedgeSpec::none`] =
+    /// no backups; only meaningful when
+    /// [`FaultSpec::with_request_stragglers`] is armed).
+    pub hedge: HedgeSpec,
 }
 
 impl Default for EngineSpec {
@@ -86,6 +90,7 @@ impl Default for EngineSpec {
             perf_quirk: false,
             cpuidle_disabled: false,
             faults: FaultSpec::none(),
+            hedge: HedgeSpec::none(),
         }
     }
 }
@@ -112,6 +117,7 @@ impl EngineSpec {
             });
         }
         self.faults.validate().map_err(EngineSpecError::Fault)?;
+        self.hedge.validate().map_err(EngineSpecError::Fault)?;
         Ok(())
     }
 
@@ -135,6 +141,9 @@ impl EngineSpec {
             .with_costs(self.costs)
             .with_contention(self.contention)
             .with_perf_quirk(self.perf_quirk);
+        if !self.hedge.is_none() {
+            engine = engine.with_hedging(self.hedge);
+        }
         if !self.faults.is_none() {
             engine = engine.with_faults(self.faults);
         }

@@ -7,9 +7,9 @@ use hipster_platform::{
 };
 
 use crate::costs::{ContentionModel, ReconfigCosts};
-use crate::dist::Exponential;
-use crate::fault::{FaultPlan, FaultSpec, FaultState};
-use crate::request::QosTarget;
+use crate::dist::{BoundedPareto, Exponential};
+use crate::fault::{FaultPlan, FaultSpec, FaultState, HedgeSpec};
+use crate::request::{Demand, QosTarget};
 use crate::rng::{Sampler, SimRng};
 use crate::service::{ServerSpec, ServiceNode};
 use crate::think::ThinkPool;
@@ -226,6 +226,29 @@ pub struct Engine {
     revoked_core_intervals: u64,
     /// Core-intervals spent straggling (fault telemetry).
     straggler_core_intervals: u64,
+    /// Per-request straggler injection + hedging, when armed.
+    req_faults: Option<ReqFaults>,
+    /// The hedging policy applied to per-request stragglers.
+    hedge: HedgeSpec,
+}
+
+/// Per-request straggler machinery: each arriving request independently
+/// straggles with probability `prob`, scaling its service demand by a
+/// bounded-Pareto multiplier drawn from a dedicated `"reqstraggle"` RNG
+/// fork. Hedging caps the effective multiplier at `1 + delay_multiple`
+/// (the backup copy finishes at nominal speed after the issue delay) and
+/// counts each capped request as one hedge.
+#[derive(Debug)]
+struct ReqFaults {
+    rng: SimRng,
+    prob: f64,
+    mult: Option<BoundedPareto>,
+    min: f64,
+    /// Effective-multiplier cap from hedging (`1 + delay_multiple`;
+    /// infinite when hedging is disabled).
+    cap: f64,
+    straggled: u64,
+    hedged: u64,
 }
 
 impl Engine {
@@ -286,6 +309,8 @@ impl Engine {
             cur_revoked_buf: Vec::new(),
             revoked_core_intervals: 0,
             straggler_core_intervals: 0,
+            req_faults: None,
+            hedge: HedgeSpec::none(),
         }
     }
 
@@ -358,11 +383,83 @@ impl Engine {
     pub fn with_faults(mut self, spec: FaultSpec) -> Self {
         spec.validate()
             .unwrap_or_else(|e| panic!("invalid fault spec: {e}"));
-        self.faults = (!spec.is_none()).then(|| {
+        self.faults = spec.has_unit_faults().then(|| {
             let base = SimRng::seed(self.seed).fork("faults").next_u64();
             FaultPlan::new(spec, base, self.platform.num_cores())
         });
+        self.req_faults = spec.has_request_stragglers().then(|| ReqFaults {
+            rng: SimRng::seed(self.seed).fork("reqstraggle"),
+            prob: spec.request_straggler_prob,
+            mult: (spec.request_straggler_max > spec.request_straggler_min).then(|| {
+                BoundedPareto::new(
+                    spec.request_straggler_min,
+                    spec.request_straggler_max,
+                    spec.request_straggler_alpha,
+                )
+            }),
+            min: spec.request_straggler_min,
+            cap: 1.0 + self.hedge.delay_multiple,
+            straggled: 0,
+            hedged: 0,
+        });
         self
+    }
+
+    /// Sets the hedging policy for per-request stragglers: a straggled
+    /// request's effective service time is capped at
+    /// `1 + delay_multiple` times nominal (the backup copy, issued after
+    /// the delay, finishes at nominal speed and the loser is cancelled).
+    /// Has no effect unless [`FaultSpec::with_request_stragglers`] is
+    /// armed; [`HedgeSpec::none`] never hedges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`HedgeSpec::validate`].
+    pub fn with_hedging(mut self, hedge: HedgeSpec) -> Self {
+        hedge
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid hedge spec: {e}"));
+        self.hedge = hedge;
+        if let Some(rf) = self.req_faults.as_mut() {
+            rf.cap = 1.0 + hedge.delay_multiple;
+        }
+        self
+    }
+
+    /// Cumulative count of requests whose per-request straggle draw fired.
+    pub fn request_straggles(&self) -> u64 {
+        self.req_faults.as_ref().map_or(0, |rf| rf.straggled)
+    }
+
+    /// Cumulative count of requests rescued by a hedged backup copy
+    /// (straggle multiplier exceeded the hedge cap).
+    pub fn hedged_requests(&self) -> u64 {
+        self.req_faults.as_ref().map_or(0, |rf| rf.hedged)
+    }
+
+    /// Applies the per-request straggler draw (and hedge cap) to one
+    /// arriving request's demand. No-op — and crucially, zero RNG draws —
+    /// when per-request stragglers are unarmed.
+    #[inline]
+    fn straggle_demand(&mut self, mut demand: Demand) -> Demand {
+        if let Some(rf) = self.req_faults.as_mut() {
+            if rf.rng.chance(rf.prob) {
+                let drawn = match &rf.mult {
+                    Some(pareto) => pareto.sample(&mut rf.rng),
+                    None => rf.min,
+                };
+                rf.straggled += 1;
+                let eff = if drawn > rf.cap {
+                    rf.hedged += 1;
+                    rf.cap
+                } else {
+                    drawn
+                };
+                demand.work *= eff;
+                demand.mem_s *= eff;
+            }
+        }
+        demand
     }
 
     /// Imposes a machine-wide fault condition from outside for subsequent
@@ -693,6 +790,7 @@ impl Engine {
                     let burst = self.lc.sample_burst(&mut self.demand_rng).max(1);
                     for _ in 0..burst {
                         let demand = self.lc.sample_demand(&mut self.demand_rng);
+                        let demand = self.straggle_demand(demand);
                         self.node.arrive(t, demand);
                     }
                     next_arrival = iat.as_ref().map(|d| t + d.sample(&mut self.arrival_rng));
@@ -773,6 +871,7 @@ impl Engine {
                 2 => {
                     self.thinking.pop_min().expect("think expiry exists");
                     let demand = self.lc.sample_demand(&mut self.demand_rng);
+                    let demand = self.straggle_demand(demand);
                     self.node.arrive(t, demand);
                 }
                 3 => {

@@ -21,12 +21,26 @@
 //! arrive in across units. Queries per unit must be time-monotonic — the
 //! engine and cluster both sample at interval starts, which are.
 //!
+//! Beyond the per-server families, a [`FaultSpec`] can arm per-*request*
+//! stragglers (bounded-Pareto service-time multipliers drawn per request
+//! from a dedicated stream — the START-style tail, where any individual
+//! request can go long even on a healthy server), optionally mitigated by
+//! a [`HedgeSpec`] that issues a backup copy after a configurable delay
+//! and keeps whichever finishes first.
+//!
+//! Correlated *domain* faults — a whole rack or zone failing at once —
+//! are declared by a [`DomainFaultSpec`] and expanded over a
+//! [`TopologySpec`](crate::TopologySpec) by a [`WavePlan`], which layers
+//! on top of the independent per-unit [`FaultPlan`].
+//!
 //! `FaultSpec::none()` builds no plan at all: the fault-off path draws
 //! zero random numbers and executes the exact pre-fault code, which the
-//! `fault_equivalence` differential suite pins byte-for-byte.
+//! `fault_equivalence` differential suite pins byte-for-byte. The same
+//! holds for `DomainFaultSpec::none()` and `HedgeSpec::none()`.
 
 use crate::dist::{BoundedPareto, Exponential};
 use crate::rng::{Sampler, SimRng};
+use crate::topology::TopologySpec;
 use std::fmt;
 
 /// Declarative fault configuration. `Copy`, like [`crate::EngineSpec`],
@@ -53,6 +67,16 @@ pub struct FaultSpec {
     pub straggler_min: f64,
     /// Maximum slowdown multiplier (>= `straggler_min`).
     pub straggler_max: f64,
+    /// Probability that any individual request straggles (service-time
+    /// multiplier drawn per request, not per server). Zero disables
+    /// per-request stragglers.
+    pub request_straggler_prob: f64,
+    /// Pareto shape of the per-request multiplier.
+    pub request_straggler_alpha: f64,
+    /// Minimum per-request multiplier (>= 1).
+    pub request_straggler_min: f64,
+    /// Maximum per-request multiplier (>= `request_straggler_min`).
+    pub request_straggler_max: f64,
 }
 
 impl Default for FaultSpec {
@@ -74,6 +98,10 @@ impl FaultSpec {
             straggler_alpha: 1.0,
             straggler_min: 1.0,
             straggler_max: 1.0,
+            request_straggler_prob: 0.0,
+            request_straggler_alpha: 1.0,
+            request_straggler_min: 1.0,
+            request_straggler_max: 1.0,
         }
     }
 
@@ -111,9 +139,46 @@ impl FaultSpec {
         self
     }
 
-    /// True when both fault families are disabled.
+    /// Each request independently straggles with probability `prob`,
+    /// scaling its service demand by a multiplier drawn from
+    /// `BoundedPareto(min, max, alpha)` (or exactly `min` when
+    /// `min == max`).
+    pub fn with_request_stragglers(mut self, prob: f64, alpha: f64, min: f64, max: f64) -> Self {
+        self.request_straggler_prob = prob;
+        self.request_straggler_alpha = alpha;
+        self.request_straggler_min = min;
+        self.request_straggler_max = max;
+        self
+    }
+
+    /// True when every fault family is disabled.
     pub fn is_none(&self) -> bool {
-        self.revocation_rate_per_s == 0.0 && self.straggler_rate_per_s == 0.0
+        !self.has_unit_faults() && !self.has_request_stragglers()
+    }
+
+    /// True when a per-unit (per-server) fault family is armed — the
+    /// families a [`FaultPlan`] expands.
+    pub fn has_unit_faults(&self) -> bool {
+        self.revocation_rate_per_s > 0.0 || self.straggler_rate_per_s > 0.0
+    }
+
+    /// True when per-request stragglers are armed.
+    pub fn has_request_stragglers(&self) -> bool {
+        self.request_straggler_prob > 0.0
+    }
+
+    /// This spec with the per-unit families stripped, keeping only the
+    /// per-request straggler knobs. The cluster tier imposes unit faults
+    /// itself (so per-node engines must not re-draw them) but delegates
+    /// request-level stragglers to each node's engine.
+    pub fn request_only(&self) -> FaultSpec {
+        FaultSpec {
+            request_straggler_prob: self.request_straggler_prob,
+            request_straggler_alpha: self.request_straggler_alpha,
+            request_straggler_min: self.request_straggler_min,
+            request_straggler_max: self.request_straggler_max,
+            ..FaultSpec::none()
+        }
     }
 
     /// Checks every knob, returning the first violation. A spec that
@@ -159,6 +224,33 @@ impl FaultSpec {
                 });
             }
         }
+        if !self.request_straggler_prob.is_finite()
+            || !(0.0..=1.0).contains(&self.request_straggler_prob)
+        {
+            return Err(FaultSpecError::InvalidProbability {
+                prob: self.request_straggler_prob,
+            });
+        }
+        if self.request_straggler_prob > 0.0 {
+            if !self.request_straggler_min.is_finite() || self.request_straggler_min < 1.0 {
+                return Err(FaultSpecError::SlowdownBelowOne {
+                    multiplier: self.request_straggler_min,
+                });
+            }
+            if !self.request_straggler_max.is_finite()
+                || self.request_straggler_max < self.request_straggler_min
+            {
+                return Err(FaultSpecError::InvalidSlowdownRange {
+                    min: self.request_straggler_min,
+                    max: self.request_straggler_max,
+                });
+            }
+            if !self.request_straggler_alpha.is_finite() || self.request_straggler_alpha <= 0.0 {
+                return Err(FaultSpecError::InvalidAlpha {
+                    alpha: self.request_straggler_alpha,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -200,6 +292,11 @@ pub enum FaultSpecError {
         /// The offending shape parameter.
         alpha: f64,
     },
+    /// A hedge delay multiple was zero, negative, or NaN.
+    InvalidHedgeDelay {
+        /// The offending delay multiple.
+        delay: f64,
+    },
 }
 
 impl fmt::Display for FaultSpecError {
@@ -223,11 +320,68 @@ impl fmt::Display for FaultSpecError {
             FaultSpecError::InvalidAlpha { alpha } => {
                 write!(f, "straggler Pareto alpha must be > 0, got {alpha}")
             }
+            FaultSpecError::InvalidHedgeDelay { delay } => {
+                write!(f, "hedge delay multiple must be > 0, got {delay}")
+            }
         }
     }
 }
 
 impl std::error::Error for FaultSpecError {}
+
+/// Request hedging: issue a backup copy of a request once it has run
+/// `delay_multiple` times its nominal service time, and keep whichever
+/// copy finishes first.
+///
+/// Under the simulator's analytic cancellation model a request whose
+/// per-request straggle multiplier is `m` completes in
+/// `min(m, 1 + delay_multiple)` nominal service times: the backup starts
+/// after the delay, runs at nominal speed (straggles are per-request, so
+/// the backup re-rolls and the winning copy is overwhelmingly the healthy
+/// one for tail multipliers), and the loser is cancelled. Hedging only
+/// changes behavior when per-request stragglers are armed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeSpec {
+    /// Backup-issue delay as a multiple of the request's nominal service
+    /// time. `INFINITY` (the [`HedgeSpec::none`] default) never hedges.
+    pub delay_multiple: f64,
+}
+
+impl Default for HedgeSpec {
+    fn default() -> Self {
+        HedgeSpec::none()
+    }
+}
+
+impl HedgeSpec {
+    /// Hedging disabled: the backup never fires.
+    pub fn none() -> Self {
+        HedgeSpec {
+            delay_multiple: f64::INFINITY,
+        }
+    }
+
+    /// Hedge after `delay_multiple` nominal service times (e.g. `2.0`
+    /// caps any straggled request at 3x nominal).
+    pub fn after(delay_multiple: f64) -> Self {
+        HedgeSpec { delay_multiple }
+    }
+
+    /// True when hedging is disabled.
+    pub fn is_none(&self) -> bool {
+        self.delay_multiple.is_infinite()
+    }
+
+    /// Checks the delay knob.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        if self.delay_multiple.is_nan() || self.delay_multiple <= 0.0 {
+            return Err(FaultSpecError::InvalidHedgeDelay {
+                delay: self.delay_multiple,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// The fault condition of one unit at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -422,6 +576,424 @@ impl Episode {
             slowdown: 1.0,
         }
     }
+
+    fn fresh(seed: u64) -> Self {
+        Episode {
+            rng: SimRng::seed(seed),
+            ..Episode::placeholder()
+        }
+    }
+}
+
+/// Schedules the next revocation window after `from`, mirroring
+/// [`FaultPlan`]'s per-unit scheduling (same RNG call order) so domain
+/// and unit timelines are statistically interchangeable.
+fn schedule_rev(
+    ep: &mut Episode,
+    from: f64,
+    gap: &Option<Exponential>,
+    duration_s: f64,
+    warned_prob: f64,
+) {
+    if let Some(gap) = gap {
+        ep.start = from + gap.sample(&mut ep.rng);
+        ep.end = ep.start + duration_s;
+        ep.warned = ep.rng.chance(warned_prob);
+    }
+}
+
+/// Straggler counterpart of [`schedule_rev`].
+fn schedule_str(
+    ep: &mut Episode,
+    from: f64,
+    gap: &Option<Exponential>,
+    duration_s: f64,
+    mult: &Option<BoundedPareto>,
+    min: f64,
+) {
+    if let Some(gap) = gap {
+        ep.start = from + gap.sample(&mut ep.rng);
+        ep.end = ep.start + duration_s;
+        ep.slowdown = match mult {
+            Some(pareto) => pareto.sample(&mut ep.rng),
+            None => min,
+        };
+    }
+}
+
+/// Declarative correlated-fault configuration: revocation and straggler
+/// *waves* that hit a whole zone or rack at once.
+///
+/// Each armed family is a Poisson process per *domain* (not per node);
+/// when a domain episode is active, every node in that domain is revoked
+/// (or straggling at the same shared multiplier) simultaneously — that is
+/// the correlation. A [`WavePlan`] expands the spec over a
+/// [`TopologySpec`] and layers on top of the independent per-node
+/// [`FaultPlan`] via [`FaultState::combine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainFaultSpec {
+    /// Poisson rate of zone-wide revocation waves per zone, per second.
+    /// Zero disables them.
+    pub zone_revocation_rate_per_s: f64,
+    /// Length of each zone revocation wave, seconds.
+    pub zone_revocation_duration_s: f64,
+    /// Poisson rate of rack-wide revocation waves per rack, per second.
+    pub rack_revocation_rate_per_s: f64,
+    /// Length of each rack revocation wave, seconds.
+    pub rack_revocation_duration_s: f64,
+    /// Poisson rate of zone-wide straggler waves per zone, per second.
+    pub zone_straggler_rate_per_s: f64,
+    /// Length of each zone straggler wave, seconds.
+    pub zone_straggler_duration_s: f64,
+    /// Poisson rate of rack-wide straggler waves per rack, per second.
+    pub rack_straggler_rate_per_s: f64,
+    /// Length of each rack straggler wave, seconds.
+    pub rack_straggler_duration_s: f64,
+    /// Probability a revocation wave is warned (graceful drain).
+    pub warned_prob: f64,
+    /// Pareto shape of the shared wave slowdown multiplier.
+    pub straggler_alpha: f64,
+    /// Minimum wave slowdown multiplier (>= 1).
+    pub straggler_min: f64,
+    /// Maximum wave slowdown multiplier (>= `straggler_min`).
+    pub straggler_max: f64,
+}
+
+impl Default for DomainFaultSpec {
+    fn default() -> Self {
+        DomainFaultSpec::none()
+    }
+}
+
+impl DomainFaultSpec {
+    /// No correlated faults — byte-identical to a simulation without this
+    /// subsystem.
+    pub fn none() -> Self {
+        DomainFaultSpec {
+            zone_revocation_rate_per_s: 0.0,
+            zone_revocation_duration_s: 0.0,
+            rack_revocation_rate_per_s: 0.0,
+            rack_revocation_duration_s: 0.0,
+            zone_straggler_rate_per_s: 0.0,
+            zone_straggler_duration_s: 0.0,
+            rack_straggler_rate_per_s: 0.0,
+            rack_straggler_duration_s: 0.0,
+            warned_prob: 0.0,
+            straggler_alpha: 1.0,
+            straggler_min: 1.0,
+            straggler_max: 1.0,
+        }
+    }
+
+    /// Enables zone-wide revocation waves.
+    pub fn with_zone_revocations(mut self, rate_per_s: f64, duration_s: f64) -> Self {
+        self.zone_revocation_rate_per_s = rate_per_s;
+        self.zone_revocation_duration_s = duration_s;
+        self
+    }
+
+    /// Enables rack-wide revocation waves.
+    pub fn with_rack_revocations(mut self, rate_per_s: f64, duration_s: f64) -> Self {
+        self.rack_revocation_rate_per_s = rate_per_s;
+        self.rack_revocation_duration_s = duration_s;
+        self
+    }
+
+    /// Enables zone-wide straggler waves.
+    pub fn with_zone_stragglers(mut self, rate_per_s: f64, duration_s: f64) -> Self {
+        self.zone_straggler_rate_per_s = rate_per_s;
+        self.zone_straggler_duration_s = duration_s;
+        self
+    }
+
+    /// Enables rack-wide straggler waves.
+    pub fn with_rack_stragglers(mut self, rate_per_s: f64, duration_s: f64) -> Self {
+        self.rack_straggler_rate_per_s = rate_per_s;
+        self.rack_straggler_duration_s = duration_s;
+        self
+    }
+
+    /// Sets the probability that a revocation wave is warned.
+    pub fn with_warned(mut self, prob: f64) -> Self {
+        self.warned_prob = prob;
+        self
+    }
+
+    /// Sets the shared slowdown distribution for straggler waves:
+    /// `BoundedPareto(min, max, alpha)` (or exactly `min` when
+    /// `min == max`).
+    pub fn with_slowdowns(mut self, alpha: f64, min: f64, max: f64) -> Self {
+        self.straggler_alpha = alpha;
+        self.straggler_min = min;
+        self.straggler_max = max;
+        self
+    }
+
+    /// True when every wave family is disabled.
+    pub fn is_none(&self) -> bool {
+        self.zone_revocation_rate_per_s == 0.0
+            && self.rack_revocation_rate_per_s == 0.0
+            && self.zone_straggler_rate_per_s == 0.0
+            && self.rack_straggler_rate_per_s == 0.0
+    }
+
+    fn has_stragglers(&self) -> bool {
+        self.zone_straggler_rate_per_s > 0.0 || self.rack_straggler_rate_per_s > 0.0
+    }
+
+    /// Checks every knob, returning the first violation.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        for &rate in &[
+            self.zone_revocation_rate_per_s,
+            self.rack_revocation_rate_per_s,
+            self.zone_straggler_rate_per_s,
+            self.rack_straggler_rate_per_s,
+        ] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(FaultSpecError::NegativeRate { rate });
+            }
+        }
+        if !self.warned_prob.is_finite() || !(0.0..=1.0).contains(&self.warned_prob) {
+            return Err(FaultSpecError::InvalidProbability {
+                prob: self.warned_prob,
+            });
+        }
+        for &(rate, duration) in &[
+            (
+                self.zone_revocation_rate_per_s,
+                self.zone_revocation_duration_s,
+            ),
+            (
+                self.rack_revocation_rate_per_s,
+                self.rack_revocation_duration_s,
+            ),
+            (
+                self.zone_straggler_rate_per_s,
+                self.zone_straggler_duration_s,
+            ),
+            (
+                self.rack_straggler_rate_per_s,
+                self.rack_straggler_duration_s,
+            ),
+        ] {
+            if rate > 0.0 && (!duration.is_finite() || duration <= 0.0) {
+                return Err(FaultSpecError::NonPositiveDuration { seconds: duration });
+            }
+        }
+        if self.has_stragglers() {
+            if !self.straggler_min.is_finite() || self.straggler_min < 1.0 {
+                return Err(FaultSpecError::SlowdownBelowOne {
+                    multiplier: self.straggler_min,
+                });
+            }
+            if !self.straggler_max.is_finite() || self.straggler_max < self.straggler_min {
+                return Err(FaultSpecError::InvalidSlowdownRange {
+                    min: self.straggler_min,
+                    max: self.straggler_max,
+                });
+            }
+            if !self.straggler_alpha.is_finite() || self.straggler_alpha <= 0.0 {
+                return Err(FaultSpecError::InvalidAlpha {
+                    alpha: self.straggler_alpha,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One domain's pair of wave timelines (revocations + stragglers).
+#[derive(Debug, Clone)]
+struct DomainTimeline {
+    rev: Episode,
+    straggle: Episode,
+}
+
+/// Domain-seed salts so zone and rack streams never collide with each
+/// other or with [`FaultPlan`]'s per-unit streams.
+const ZONE_SALT: u64 = 0x5a4f_4e45; // "ZONE"
+const RACK_SALT: u64 = 0x5241_434b; // "RACK"
+
+/// A [`DomainFaultSpec`] expanded over a [`TopologySpec`] into per-zone
+/// and per-rack wave timelines.
+///
+/// Every domain gets its own split-seeded RNG pair (one stream per
+/// family), derived from `base_seed` with a domain-kind salt, so a zone's
+/// wave history is independent of rack count, query order, and the
+/// per-node [`FaultPlan`] streams. The per-node state is the
+/// [`FaultState::combine`] of the node's zone and rack waves; callers
+/// combine that again with any independent per-node plan.
+#[derive(Debug, Clone)]
+pub struct WavePlan {
+    spec: DomainFaultSpec,
+    topo: TopologySpec,
+    zones: Vec<DomainTimeline>,
+    racks: Vec<DomainTimeline>,
+    zone_rev_gap: Option<Exponential>,
+    zone_str_gap: Option<Exponential>,
+    rack_rev_gap: Option<Exponential>,
+    rack_str_gap: Option<Exponential>,
+    str_mult: Option<BoundedPareto>,
+}
+
+impl WavePlan {
+    /// Expands `spec` over `topo`. `base_seed` should come from a
+    /// dedicated `fork("waves")` split of the run seed so wave randomness
+    /// never perturbs demand/arrival/jitter or per-node fault streams.
+    ///
+    /// # Panics
+    /// Panics if the spec does not [`DomainFaultSpec::validate`] —
+    /// validate at the cluster boundary first.
+    pub fn new(spec: DomainFaultSpec, topo: TopologySpec, base_seed: u64) -> Self {
+        spec.validate()
+            .expect("WavePlan::new: invalid DomainFaultSpec");
+        let gap = |rate: f64| (rate > 0.0).then(|| Exponential::new(rate));
+        let str_mult =
+            (spec.has_stragglers() && spec.straggler_max > spec.straggler_min).then(|| {
+                BoundedPareto::new(spec.straggler_min, spec.straggler_max, spec.straggler_alpha)
+            });
+        let mut plan = WavePlan {
+            spec,
+            topo,
+            zones: Vec::with_capacity(topo.num_zones()),
+            racks: Vec::with_capacity(topo.num_racks()),
+            zone_rev_gap: gap(spec.zone_revocation_rate_per_s),
+            zone_str_gap: gap(spec.zone_straggler_rate_per_s),
+            rack_rev_gap: gap(spec.rack_revocation_rate_per_s),
+            rack_str_gap: gap(spec.rack_straggler_rate_per_s),
+            str_mult,
+        };
+        for zone in 0..topo.num_zones() as u64 {
+            let seed = unit_seed(base_seed ^ ZONE_SALT, zone);
+            let mut rev = Episode::fresh(unit_seed(seed, 0x5245_564f)); // "REVO"
+            let mut straggle = Episode::fresh(unit_seed(seed, 0x5354_5247)); // "STRG"
+            schedule_rev(
+                &mut rev,
+                0.0,
+                &plan.zone_rev_gap,
+                spec.zone_revocation_duration_s,
+                spec.warned_prob,
+            );
+            schedule_str(
+                &mut straggle,
+                0.0,
+                &plan.zone_str_gap,
+                spec.zone_straggler_duration_s,
+                &plan.str_mult,
+                spec.straggler_min,
+            );
+            plan.zones.push(DomainTimeline { rev, straggle });
+        }
+        for rack in 0..topo.num_racks() as u64 {
+            let seed = unit_seed(base_seed ^ RACK_SALT, rack);
+            let mut rev = Episode::fresh(unit_seed(seed, 0x5245_564f));
+            let mut straggle = Episode::fresh(unit_seed(seed, 0x5354_5247));
+            schedule_rev(
+                &mut rev,
+                0.0,
+                &plan.rack_rev_gap,
+                spec.rack_revocation_duration_s,
+                spec.warned_prob,
+            );
+            schedule_str(
+                &mut straggle,
+                0.0,
+                &plan.rack_str_gap,
+                spec.rack_straggler_duration_s,
+                &plan.str_mult,
+                spec.straggler_min,
+            );
+            plan.racks.push(DomainTimeline { rev, straggle });
+        }
+        plan
+    }
+
+    /// The topology this plan fans out over.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topo
+    }
+
+    /// The wave state of zone `zone` at time `t`. Queries must be
+    /// time-monotonic per domain (interval starts are); repeated queries
+    /// at the same `t` are idempotent.
+    pub fn zone_state(&mut self, zone: usize, t: f64) -> FaultState {
+        let tl = &mut self.zones[zone];
+        while t >= tl.rev.end {
+            let end = tl.rev.end;
+            schedule_rev(
+                &mut tl.rev,
+                end,
+                &self.zone_rev_gap,
+                self.spec.zone_revocation_duration_s,
+                self.spec.warned_prob,
+            );
+        }
+        while t >= tl.straggle.end {
+            let end = tl.straggle.end;
+            schedule_str(
+                &mut tl.straggle,
+                end,
+                &self.zone_str_gap,
+                self.spec.zone_straggler_duration_s,
+                &self.str_mult,
+                self.spec.straggler_min,
+            );
+        }
+        timeline_state(tl, t)
+    }
+
+    /// The wave state of (global) rack `rack` at time `t`.
+    pub fn rack_state(&mut self, rack: usize, t: f64) -> FaultState {
+        let tl = &mut self.racks[rack];
+        while t >= tl.rev.end {
+            let end = tl.rev.end;
+            schedule_rev(
+                &mut tl.rev,
+                end,
+                &self.rack_rev_gap,
+                self.spec.rack_revocation_duration_s,
+                self.spec.warned_prob,
+            );
+        }
+        while t >= tl.straggle.end {
+            let end = tl.straggle.end;
+            schedule_str(
+                &mut tl.straggle,
+                end,
+                &self.rack_str_gap,
+                self.spec.rack_straggler_duration_s,
+                &self.str_mult,
+                self.spec.straggler_min,
+            );
+        }
+        timeline_state(tl, t)
+    }
+
+    /// The combined wave state of `node` at time `t`: its zone's wave
+    /// combined with its rack's ([`FaultState::combine`] — revocation
+    /// dominates, straggles compound).
+    pub fn state(&mut self, node: usize, t: f64) -> FaultState {
+        let zone = self.topo.zone_of(node);
+        let rack = self.topo.rack_of(node);
+        let zs = self.zone_state(zone, t);
+        let rs = self.rack_state(rack, t);
+        FaultState::combine(zs, rs)
+    }
+}
+
+/// The instantaneous state of one domain timeline (revocation wins).
+fn timeline_state(tl: &DomainTimeline, t: f64) -> FaultState {
+    if t >= tl.rev.start && t < tl.rev.end {
+        FaultState::Revoked {
+            warned: tl.rev.warned,
+        }
+    } else if t >= tl.straggle.start && t < tl.straggle.end {
+        FaultState::Straggling {
+            slowdown: tl.straggle.slowdown,
+        }
+    } else {
+        FaultState::Healthy
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +1085,158 @@ mod tests {
         }
         assert!(revoked > 100, "revocations too rare: {revoked}");
         assert!(straggling > 100, "stragglers too rare: {straggling}");
+    }
+
+    fn wavy() -> DomainFaultSpec {
+        DomainFaultSpec::none()
+            .with_zone_revocations(0.1, 2.0)
+            .with_rack_revocations(0.2, 1.0)
+            .with_zone_stragglers(0.15, 2.5)
+            .with_rack_stragglers(0.25, 1.5)
+            .with_warned(0.5)
+            .with_slowdowns(1.5, 2.0, 8.0)
+    }
+
+    #[test]
+    fn domain_spec_none_is_none_and_validates() {
+        let spec = DomainFaultSpec::none();
+        assert!(spec.is_none());
+        assert_eq!(spec.validate(), Ok(()));
+        assert!(!wavy().is_none());
+        assert_eq!(wavy().validate(), Ok(()));
+        assert!(matches!(
+            DomainFaultSpec::none()
+                .with_zone_revocations(-1.0, 1.0)
+                .validate(),
+            Err(FaultSpecError::NegativeRate { .. })
+        ));
+        assert!(matches!(
+            DomainFaultSpec::none()
+                .with_rack_revocations(0.1, 0.0)
+                .validate(),
+            Err(FaultSpecError::NonPositiveDuration { .. })
+        ));
+        assert!(matches!(
+            wavy().with_slowdowns(1.5, 0.5, 8.0).validate(),
+            Err(FaultSpecError::SlowdownBelowOne { .. })
+        ));
+        assert!(matches!(
+            wavy().with_warned(-0.1).validate(),
+            Err(FaultSpecError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn waves_hit_every_node_of_a_domain_at_once() {
+        let topo = TopologySpec::new(2, 2, 4).unwrap();
+        let mut plan = WavePlan::new(wavy(), topo, 1234);
+        let mut correlated = 0u32;
+        for step in 0..2000 {
+            let t = step as f64 * 0.1;
+            for zone in 0..topo.num_zones() {
+                let zs = plan.zone_state(zone, t);
+                if !zs.is_faulted() {
+                    continue;
+                }
+                correlated += 1;
+                // Every node of the zone sees at least the zone wave
+                // (possibly compounded/overridden by its rack's wave).
+                for node in 0..topo.nodes() {
+                    if topo.zone_of(node) != zone {
+                        continue;
+                    }
+                    let ns = plan.state(node, t);
+                    match (zs, ns) {
+                        (FaultState::Revoked { .. }, FaultState::Revoked { .. }) => {}
+                        (FaultState::Straggling { .. }, s) => {
+                            assert!(s.is_faulted(), "node {node} healthy in zone wave at {t}")
+                        }
+                        (z, n) => panic!("zone {z:?} but node {n:?} at t={t}"),
+                    }
+                }
+            }
+        }
+        assert!(correlated > 50, "zone waves too rare: {correlated}");
+    }
+
+    #[test]
+    fn wave_timelines_are_reproducible_and_query_order_independent() {
+        let topo = TopologySpec::new(4, 2, 2).unwrap();
+        let mut a = WavePlan::new(wavy(), topo, 77);
+        let mut b = WavePlan::new(wavy(), topo, 77);
+        for step in 0..500 {
+            let t = step as f64 * 0.2;
+            // Query a forward, b backward — per-domain streams must not
+            // care about cross-domain query order.
+            let fwd: Vec<_> = (0..topo.nodes()).map(|n| a.state(n, t)).collect();
+            let bwd: Vec<_> = (0..topo.nodes()).rev().map(|n| b.state(n, t)).collect();
+            let bwd: Vec<_> = bwd.into_iter().rev().collect();
+            assert_eq!(fwd, bwd, "diverged at t={t}");
+        }
+        // A different seed produces a different history.
+        let mut c = WavePlan::new(wavy(), topo, 78);
+        let mut differs = false;
+        for step in 0..500 {
+            let t = step as f64 * 0.2;
+            let b0 = b.state(0, t);
+            if c.state(0, t) != b0 {
+                differs = true;
+            }
+        }
+        assert!(differs, "seed 78 reproduced seed 77's wave history");
+    }
+
+    #[test]
+    fn hedge_spec_validates_and_none_is_none() {
+        assert!(HedgeSpec::none().is_none());
+        assert_eq!(HedgeSpec::none().validate(), Ok(()));
+        assert!(!HedgeSpec::after(2.0).is_none());
+        assert_eq!(HedgeSpec::after(2.0).validate(), Ok(()));
+        assert!(matches!(
+            HedgeSpec::after(0.0).validate(),
+            Err(FaultSpecError::InvalidHedgeDelay { .. })
+        ));
+        assert!(matches!(
+            HedgeSpec::after(f64::NAN).validate(),
+            Err(FaultSpecError::InvalidHedgeDelay { .. })
+        ));
+    }
+
+    #[test]
+    fn request_straggler_knobs_validate() {
+        let spec = FaultSpec::none().with_request_stragglers(0.05, 1.5, 2.0, 10.0);
+        assert!(!spec.is_none());
+        assert!(!spec.has_unit_faults());
+        assert!(spec.has_request_stragglers());
+        assert_eq!(spec.validate(), Ok(()));
+        assert_eq!(spec.request_only(), spec);
+        let full = faulty().with_request_stragglers(0.05, 1.5, 2.0, 10.0);
+        assert!(full.has_unit_faults());
+        assert_eq!(full.request_only(), spec);
+        assert!(matches!(
+            FaultSpec::none()
+                .with_request_stragglers(1.5, 1.5, 2.0, 10.0)
+                .validate(),
+            Err(FaultSpecError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::none()
+                .with_request_stragglers(0.1, 1.5, 0.5, 10.0)
+                .validate(),
+            Err(FaultSpecError::SlowdownBelowOne { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::none()
+                .with_request_stragglers(0.1, 1.5, 4.0, 2.0)
+                .validate(),
+            Err(FaultSpecError::InvalidSlowdownRange { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::none()
+                .with_request_stragglers(0.1, 0.0, 2.0, 10.0)
+                .validate(),
+            Err(FaultSpecError::InvalidAlpha { .. })
+        ));
     }
 
     #[test]

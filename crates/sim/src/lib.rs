@@ -73,6 +73,7 @@ mod request;
 mod rng;
 mod service;
 mod think;
+mod topology;
 mod trace;
 mod traits;
 
@@ -81,7 +82,9 @@ pub use completion::CompletionQueue;
 pub use config::{EngineSpec, EngineSpecError};
 pub use costs::{ContentionModel, ReconfigCosts};
 pub use engine::{Engine, IntervalStats, MachineConfig, DEFAULT_JITTER_SIGMA};
-pub use fault::{FaultPlan, FaultSpec, FaultSpecError, FaultState};
+pub use fault::{
+    DomainFaultSpec, FaultPlan, FaultSpec, FaultSpecError, FaultState, HedgeSpec, WavePlan,
+};
 pub use jsonl::{interval_from_jsonl, interval_to_jsonl};
 pub use latency::{percentile, LatencyRecorder, P2Quantile};
 pub use nodemap::NodeOccupancyMap;
@@ -89,5 +92,6 @@ pub use request::{Demand, QosTarget, Request, RequestId};
 pub use rng::{Sampler, SimRng};
 pub use service::{NodeInterval, QueuedNode, ServerSpec, ServiceNode};
 pub use think::ThinkPool;
+pub use topology::{TopologyError, TopologySpec};
 pub use trace::{csv_header, csv_row, Trace};
 pub use traits::{BatchProgram, ClosedLoop, LcModel, LoadPattern};

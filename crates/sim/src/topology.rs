@@ -1,0 +1,168 @@
+//! Failure-domain topology: nodes nest in racks, racks nest in zones.
+//!
+//! Real clusters fail in *correlated* waves — a rack PDU trip or a
+//! spot-market reclamation takes out a whole failure domain at once, not
+//! one server at a time. A [`TopologySpec`] gives every node a (zone,
+//! rack) address so the fault layer can schedule domain-level episodes
+//! ([`WavePlan`](crate::WavePlan)) and the cluster dispatcher can steer
+//! work toward surviving domains.
+//!
+//! The mapping is purely arithmetic — node `i` lives in rack
+//! `i / nodes_per_rack` and zone `rack / racks_per_zone` — so a topology
+//! is `Copy`, allocation-free, and trivially reproducible.
+
+use std::fmt;
+
+/// Why a [`TopologySpec`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A topology level (zones, racks per zone, nodes per rack) was zero.
+    ZeroLevel {
+        /// Which level was zero.
+        level: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroLevel { level } => {
+                write!(f, "topology needs at least one {level}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A three-level failure-domain tree: `zones × racks_per_zone ×
+/// nodes_per_rack` nodes, addressed contiguously (node 0 is zone 0 /
+/// rack 0; the last node is in the last rack of the last zone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologySpec {
+    zones: usize,
+    racks_per_zone: usize,
+    nodes_per_rack: usize,
+}
+
+impl TopologySpec {
+    /// A topology of `zones` zones, each holding `racks_per_zone` racks
+    /// of `nodes_per_rack` nodes.
+    pub fn new(
+        zones: usize,
+        racks_per_zone: usize,
+        nodes_per_rack: usize,
+    ) -> Result<Self, TopologyError> {
+        for (level, n) in [
+            ("zone", zones),
+            ("rack per zone", racks_per_zone),
+            ("node per rack", nodes_per_rack),
+        ] {
+            if n == 0 {
+                return Err(TopologyError::ZeroLevel { level });
+            }
+        }
+        Ok(TopologySpec {
+            zones,
+            racks_per_zone,
+            nodes_per_rack,
+        })
+    }
+
+    /// A degenerate single-zone, single-rack topology holding `nodes`
+    /// nodes — correlated waves then behave like machine-wide outages.
+    pub fn flat(nodes: usize) -> Result<Self, TopologyError> {
+        TopologySpec::new(1, 1, nodes)
+    }
+
+    /// Total node count (`zones × racks_per_zone × nodes_per_rack`).
+    pub fn nodes(&self) -> usize {
+        self.zones * self.racks_per_zone * self.nodes_per_rack
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> usize {
+        self.zones
+    }
+
+    /// Number of racks across all zones.
+    pub fn num_racks(&self) -> usize {
+        self.zones * self.racks_per_zone
+    }
+
+    /// Nodes per rack.
+    pub fn nodes_per_rack(&self) -> usize {
+        self.nodes_per_rack
+    }
+
+    /// The global rack index of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology.
+    pub fn rack_of(&self, node: usize) -> usize {
+        assert!(node < self.nodes(), "node {node} outside topology");
+        node / self.nodes_per_rack
+    }
+
+    /// The zone index of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology.
+    pub fn zone_of(&self, node: usize) -> usize {
+        self.rack_of(node) / self.racks_per_zone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_is_contiguous_blocks() {
+        let t = TopologySpec::new(2, 3, 4).unwrap();
+        assert_eq!(t.nodes(), 24);
+        assert_eq!(t.num_zones(), 2);
+        assert_eq!(t.num_racks(), 6);
+        assert_eq!(t.rack_of(0), 0);
+        assert_eq!(t.rack_of(3), 0);
+        assert_eq!(t.rack_of(4), 1);
+        assert_eq!(t.rack_of(23), 5);
+        assert_eq!(t.zone_of(0), 0);
+        assert_eq!(t.zone_of(11), 0);
+        assert_eq!(t.zone_of(12), 1);
+        assert_eq!(t.zone_of(23), 1);
+    }
+
+    #[test]
+    fn flat_topology_is_one_domain() {
+        let t = TopologySpec::flat(7).unwrap();
+        assert_eq!(t.nodes(), 7);
+        assert_eq!(t.num_racks(), 1);
+        for node in 0..7 {
+            assert_eq!(t.zone_of(node), 0);
+            assert_eq!(t.rack_of(node), 0);
+        }
+    }
+
+    #[test]
+    fn zero_levels_are_typed_errors() {
+        assert_eq!(
+            TopologySpec::new(0, 1, 1),
+            Err(TopologyError::ZeroLevel { level: "zone" })
+        );
+        assert!(TopologySpec::new(1, 0, 1).is_err());
+        assert!(TopologySpec::new(1, 1, 0).is_err());
+        assert!(TopologySpec::flat(0).is_err());
+        assert!(TopologyError::ZeroLevel { level: "zone" }
+            .to_string()
+            .contains("zone"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_node_panics() {
+        TopologySpec::new(1, 1, 2).unwrap().rack_of(2);
+    }
+}

@@ -37,6 +37,7 @@ pub use loadgen::{
     MMPP_BURST_FACTOR, MMPP_CALM_FACTOR, MMPP_DUTY, PAPER_DIURNAL_HOURS,
 };
 pub use presets::{
-    fault_preset, memcached, memcached_bursty, memcached_revocable, memcached_straggler, preset,
-    web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS, PRESET_NAMES, WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
+    domain_fault_preset, fault_preset, memcached, memcached_bursty, memcached_revocable,
+    memcached_straggler, memcached_zonewave, preset, web_search, MEMCACHED_MAX_RPS, MEMCACHED_QOS,
+    PRESET_NAMES, WEB_SEARCH_MAX_QPS, WEB_SEARCH_QOS,
 };

@@ -10,7 +10,7 @@
 //! big cores at maximum DVFS* — verified by integration tests.
 
 use hipster_platform::Frequency;
-use hipster_sim::{FaultSpec, QosTarget};
+use hipster_sim::{DomainFaultSpec, FaultSpec, QosTarget};
 
 use crate::lc::LcWorkload;
 
@@ -28,12 +28,13 @@ pub const WEB_SEARCH_QOS: (f64, f64) = (0.90, 0.500);
 
 /// Names accepted by [`preset`], in the paper's presentation order
 /// followed by the beyond-paper variants.
-pub const PRESET_NAMES: [&str; 5] = [
+pub const PRESET_NAMES: [&str; 6] = [
     "memcached",
     "web-search",
     "memcached-bursty",
     "memcached-revocable",
     "memcached-straggler",
+    "memcached-zonewave",
 ];
 
 /// Looks up a calibrated workload preset by name, so scenarios can be
@@ -57,6 +58,7 @@ pub fn preset(name: &str) -> Option<LcWorkload> {
         "memcached-bursty" => Some(memcached_bursty()),
         "memcached-revocable" => Some(memcached_revocable()),
         "memcached-straggler" => Some(memcached_straggler()),
+        "memcached-zonewave" => Some(memcached_zonewave()),
         _ => None,
     }
 }
@@ -73,6 +75,22 @@ pub fn fault_preset(name: &str) -> Option<FaultSpec> {
     match name.to_ascii_lowercase().replace('_', "-").as_str() {
         "memcached-revocable" => Some(REVOCABLE_FAULTS()),
         "memcached-straggler" => Some(STRAGGLER_FAULTS()),
+        "memcached-zonewave" => Some(ZONEWAVE_REQUEST_FAULTS()),
+        _ => None,
+    }
+}
+
+/// The correlated domain-fault wave paired with a preset name, for the
+/// cluster fault experiments; `None` for presets without one and unknown
+/// names. Same case/`-`/`_` matching as [`preset`].
+///
+/// ```
+/// assert!(hipster_workloads::domain_fault_preset("memcached-zonewave").is_some());
+/// assert!(hipster_workloads::domain_fault_preset("memcached-revocable").is_none());
+/// ```
+pub fn domain_fault_preset(name: &str) -> Option<DomainFaultSpec> {
+    match name.to_ascii_lowercase().replace('_', "-").as_str() {
+        "memcached-zonewave" => Some(ZONEWAVE_DOMAIN_FAULTS()),
         _ => None,
     }
 }
@@ -94,6 +112,50 @@ fn REVOCABLE_FAULTS() -> FaultSpec {
 #[allow(non_snake_case)]
 fn STRAGGLER_FAULTS() -> FaultSpec {
     FaultSpec::none().with_stragglers(0.7, 0.4, 1.5, 2.0, 8.0)
+}
+
+/// The per-request straggler regime injected by
+/// `preset("memcached-zonewave")`: 5% of requests draw a Pareto(α = 1.5)
+/// service multiplier between 3× and 15× — the tail the hedging policy
+/// exists to cut. Node-level episodes stay off; the zone wave
+/// ([`domain_fault_preset`]) supplies the correlated outages.
+#[allow(non_snake_case)]
+fn ZONEWAVE_REQUEST_FAULTS() -> FaultSpec {
+    FaultSpec::none().with_request_stragglers(0.05, 1.5, 3.0, 15.0)
+}
+
+/// The zone-scale fault wave injected by
+/// `domain_fault_preset("memcached-zonewave")`: on average one zone-wide
+/// revocation every ~4 s per zone lasting 0.4 s (30% warned), plus
+/// rack-wide Pareto(α = 1.5) straggler episodes (2–6×, ~0.3 s,
+/// ~0.2 episodes/s per rack).
+#[allow(non_snake_case)]
+fn ZONEWAVE_DOMAIN_FAULTS() -> DomainFaultSpec {
+    DomainFaultSpec::none()
+        .with_zone_revocations(0.25, 0.4)
+        .with_rack_stragglers(0.2, 0.3)
+        .with_warned(0.3)
+        .with_slowdowns(1.5, 2.0, 6.0)
+}
+
+/// The Memcached calibration for the correlated zone-wave preset:
+/// identical service model to [`memcached`], paired with
+/// [`fault_preset`]`("memcached-zonewave")` (per-request stragglers) and
+/// [`domain_fault_preset`]`("memcached-zonewave")` (zone/rack waves) by
+/// the cluster fault experiments.
+///
+/// Beyond-paper (the ROADMAP's zone-scale fault-wave regime).
+pub fn memcached_zonewave() -> LcWorkload {
+    LcWorkload::builder("Memcached-Zonewave")
+        .max_load_rps(MEMCACHED_MAX_RPS)
+        .qos(QosTarget::new(MEMCACHED_QOS.0, MEMCACHED_QOS.1))
+        .work(37.0, 0.7)
+        .mem_seconds(9e-6)
+        .big_speed(1.0e6, Frequency::from_mhz(1150))
+        .small_ipc_penalty(2.37)
+        .burst_mean(10.0)
+        .timeout(0.1)
+        .build()
 }
 
 /// The Memcached calibration for the transient-revocation fault preset:
@@ -258,6 +320,27 @@ mod tests {
         assert!(rev.revocation_rate_per_s > 0.0 && rev.straggler_rate_per_s == 0.0);
         let str_ = fault_preset("memcached-straggler").unwrap();
         assert!(str_.straggler_rate_per_s > 0.0 && str_.revocation_rate_per_s == 0.0);
+    }
+
+    #[test]
+    fn zonewave_preset_pairs_request_and_domain_faults() {
+        let w = preset("Memcached_Zonewave").unwrap();
+        assert_eq!(w.name(), "Memcached-Zonewave");
+        assert_eq!(w.max_load_rps(), MEMCACHED_MAX_RPS);
+        assert_eq!(w.qos().target_s, MEMCACHED_QOS.1);
+        // Request-level stragglers only: no node-level episode families,
+        // so the cluster's wave plan supplies every correlated outage.
+        let spec = fault_preset("memcached-zonewave").unwrap();
+        assert!(spec.validate().is_ok());
+        assert!(!spec.has_unit_faults());
+        assert!(spec.has_request_stragglers());
+        let waves = domain_fault_preset("memcached-zonewave").unwrap();
+        assert!(waves.validate().is_ok());
+        assert!(!waves.is_none());
+        assert!(waves.zone_revocation_rate_per_s > 0.0);
+        assert!(waves.rack_straggler_rate_per_s > 0.0);
+        assert!(domain_fault_preset("memcached-straggler").is_none());
+        assert!(PRESET_NAMES.contains(&"memcached-zonewave"));
     }
 
     #[test]

@@ -73,19 +73,21 @@ pub use hipster_sim as sim;
 pub use hipster_workloads as workloads;
 
 pub use hipster_core::{
-    run_tasks, split_seed, BatchDeadline, CellJournal, ClusterError, ClusterOutcome, ClusterSpec,
-    ClusterSummary, ConfigSpace, CsvSink, DispatchPolicy, FileStore, Fleet, FleetError, FleetStats,
-    HeuristicMapper, Hipster, JsonLinesSink, Manager, MemStore, Observation, OctopusMan,
-    OverflowSpec, PanicPolicy, Policy, PolicyFactory, PolicySummary, QuarantineRecord, RetrySpec,
-    RunMeta, ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle, StaticPolicy, StoreError,
-    SummarySink, SweepRecord, SweepStore, TelemetrySink, TraceSink,
+    run_tasks, split_seed, AdmissionSpec, BatchDeadline, CellJournal, ClusterError, ClusterOutcome,
+    ClusterSpec, ClusterSummary, ConfigSpace, CsvSink, DispatchPolicy, FileStore, Fleet,
+    FleetError, FleetStats, HeuristicMapper, Hipster, JsonLinesSink, Manager, MemStore,
+    Observation, OctopusMan, OverflowSpec, PanicPolicy, Policy, PolicyFactory, PolicySummary,
+    QuarantineRecord, RetrySpec, RunMeta, ScenarioError, ScenarioOutcome, ScenarioSpec, SinkHandle,
+    StaticPolicy, StoreError, SummarySink, SweepRecord, SweepStore, TelemetrySink, TraceSink,
 };
 pub use hipster_platform::{CoreConfig, CoreKind, Frequency, Platform, PlatformBuilder};
 pub use hipster_sim::{
-    interval_from_jsonl, interval_to_jsonl, Engine, EngineSpec, EngineSpecError, FaultPlan,
-    FaultSpec, FaultSpecError, FaultState, IntervalStats, LcModel, MachineConfig, QosTarget, Trace,
+    interval_from_jsonl, interval_to_jsonl, DomainFaultSpec, Engine, EngineSpec, EngineSpecError,
+    FaultPlan, FaultSpec, FaultSpecError, FaultState, HedgeSpec, IntervalStats, LcModel,
+    MachineConfig, QosTarget, TopologySpec, Trace, WavePlan,
 };
 pub use hipster_workloads::{
-    fault_preset, load_preset, memcached, memcached_bursty, memcached_revocable,
-    memcached_straggler, preset, web_search, Constant, Diurnal, MmppLoad, Ramp,
+    domain_fault_preset, fault_preset, load_preset, memcached, memcached_bursty,
+    memcached_revocable, memcached_straggler, memcached_zonewave, preset, web_search, Constant,
+    Diurnal, MmppLoad, Ramp,
 };
